@@ -1,0 +1,71 @@
+// Ablation B (§5.5): GC-helper scan interval.
+//
+// The helper threads scan their weak-reference lists "periodically (e.g.,
+// every second)". This ablation sweeps the period and reports the
+// trade-off: longer periods mean fewer scans and eviction batches
+// (overhead) but a larger peak mirror-registry population — dead mirrors
+// pinned in the enclave heap until the next scan (staleness).
+#include "apps/synthetic/generator.h"
+#include "bench/bench_common.h"
+#include "core/montsalvat.h"
+
+namespace msv {
+namespace {
+
+struct Outcome {
+  std::uint64_t scans = 0;
+  std::uint64_t eviction_batches = 0;
+  std::size_t peak_registry = 0;
+  std::size_t final_registry = 0;
+};
+
+Outcome run_with_period(double period_seconds) {
+  core::AppConfig config;
+  config.gc_scan_period_seconds = period_seconds;
+  core::PartitionedApp app(apps::synthetic::build_micro_app(), config);
+  auto& u = app.untrusted_context();
+  Env& env = app.env();
+
+  Outcome out;
+  // 30 simulated seconds: every 100 ms a burst of proxies is created and
+  // dropped; the untrusted heap is collected each burst.
+  const Cycles tick = env.clock.seconds_to_cycles(0.1);
+  for (int step = 0; step < 300; ++step) {
+    for (int i = 0; i < 200; ++i) u.construct("Worker", {});
+    u.isolate().heap().collect();
+    const Cycles target = static_cast<Cycles>(step + 1) * tick;
+    if (env.clock.now() < target) env.clock.advance(target - env.clock.now());
+    app.rmi().pump_gc();
+    out.peak_registry =
+        std::max(out.peak_registry, app.rmi().registry(Side::kTrusted).size());
+  }
+  out.scans = app.rmi().gc_stats(Side::kUntrusted).scans;
+  out.eviction_batches = app.rmi().gc_stats(Side::kUntrusted).eviction_calls;
+  out.final_registry = app.rmi().registry(Side::kTrusted).size();
+  return out;
+}
+
+}  // namespace
+}  // namespace msv
+
+int main() {
+  using namespace msv;
+  bench::print_header("Ablation B",
+                      "GC-helper scan period vs mirror staleness");
+
+  Table table({"scan period", "scans", "eviction batches",
+               "peak dead+live mirrors", "mirrors at end"});
+  for (const double period : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const Outcome o = run_with_period(period);
+    table.add_row({format_fixed(period, 1) + " s", std::to_string(o.scans),
+                   std::to_string(o.eviction_batches),
+                   std::to_string(o.peak_registry),
+                   std::to_string(o.final_registry)});
+  }
+  table.print();
+  std::printf(
+      "\nShorter periods keep the enclave registry (and thus the pinned "
+      "mirror objects) small at the\ncost of more scans; the paper's 1 s "
+      "default is a balanced point.\n");
+  return 0;
+}

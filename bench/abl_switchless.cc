@@ -1,0 +1,53 @@
+// Ablation A (future work, §7): transition-less cross-enclave calls.
+//
+// The paper's first future-work item is to serve expensive RMIs through
+// switchless calls (HotCalls-style worker threads polling a shared-memory
+// request queue) instead of hardware transitions. Montsalvat implements
+// this as a bridge mode; this ablation measures the RMI latency win and
+// its effect on the Listing-1 workload.
+#include "apps/illustrative/bank.h"
+#include "apps/synthetic/generator.h"
+#include "bench/bench_common.h"
+#include "core/montsalvat.h"
+
+namespace msv {
+namespace {
+
+double rmi_latency(bool switchless, std::int64_t n) {
+  core::AppConfig config;
+  config.switchless_relays = switchless;
+  core::PartitionedApp app(apps::synthetic::build_micro_app(), config);
+  auto& u = app.untrusted_context();
+  const rt::Value w = u.construct("Worker", {});
+  const Cycles t0 = app.env().clock.now();
+  for (std::int64_t i = 0; i < n; ++i) {
+    u.invoke(w.as_ref(), "set", {rt::Value(std::int32_t{1})});
+  }
+  return static_cast<double>(app.env().clock.now() - t0) /
+         app.env().cost.cpu_hz;
+}
+
+}  // namespace
+}  // namespace msv
+
+int main() {
+  using namespace msv;
+  bench::print_header("Ablation A",
+                      "switchless RMI (future work §7) vs hardware "
+                      "transitions");
+
+  Table table({"# invocations", "transition RMI", "switchless RMI",
+               "speedup"});
+  for (std::int64_t n = 10'000; n <= 50'000; n += 10'000) {
+    const double normal = rmi_latency(false, n);
+    const double fast = rmi_latency(true, n);
+    table.add_row({std::to_string(n / 1000) + "k", bench::fmt_s(normal),
+                   bench::fmt_s(fast), bench::fmt_x(normal / fast)});
+  }
+  table.print();
+  std::printf(
+      "\nSwitchless workers stay attached to their isolate, so each call "
+      "saves both the hardware\ntransition and the isolate attach — the two "
+      "dominant terms of Fig. 4a's RMI latency.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Shared helpers for the benchmark binaries. Each binary reproduces one
+// table or figure of the paper (see DESIGN.md §3 for the index) and prints
+// the same rows/series the paper reports, in simulated seconds.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace msv::bench {
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("(simulated time; see DESIGN.md for the cost model)\n");
+  std::printf("==========================================================\n");
+}
+
+inline std::string fmt_s(double seconds) { return format_seconds(seconds); }
+
+inline std::string fmt_x(double ratio) {
+  return format_fixed(ratio, 2) + "x";
+}
+
+}  // namespace msv::bench

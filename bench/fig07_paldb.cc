@@ -1,0 +1,91 @@
+// Figure 7 (§6.5): read and write times for partitioned PalDB.
+//
+// The application writes n K/V pairs (keys: stringified random 31-bit
+// integers; values: random 128-char strings) into a store file and reads
+// them all back. Four configurations, 10k-100k keys:
+//   NoSGX       native image without SGX
+//   NoPart      unpartitioned native image inside the enclave
+//   Part(RTWU)  DBReader @Trusted, DBWriter @Untrusted
+//   Part(RUWT)  DBReader @Untrusted, DBWriter @Trusted
+//
+// Expected shape: NoSGX fastest; RTWU ≈ 2.5x faster than NoPart (writes
+// leave the enclave); RUWT barely better than NoPart (~1.04x) because the
+// in-enclave writer does ~23x more ocalls than RTWU.
+#include "apps/paldb/model.h"
+#include "bench/bench_common.h"
+#include "core/montsalvat.h"
+
+namespace msv {
+namespace {
+
+using apps::paldb::PaldbWorkload;
+using apps::paldb::Scheme;
+
+struct RunOutcome {
+  double seconds = 0;
+  std::uint64_t ocalls = 0;
+};
+
+RunOutcome run_paldb(const char* mode, std::uint64_t n_keys) {
+  PaldbWorkload workload;
+  workload.n_keys = n_keys;
+
+  const std::string m(mode);
+  RunOutcome out;
+  if (m == "NoSGX") {
+    core::NativeApp app(
+        apps::paldb::build_paldb_app(Scheme::kUnpartitioned, workload));
+    app.run_main();
+    out.seconds = app.now_seconds();
+  } else if (m == "NoPart") {
+    core::UnpartitionedApp app(
+        apps::paldb::build_paldb_app(Scheme::kUnpartitioned, workload));
+    app.run_main();
+    out.seconds = app.now_seconds();
+    out.ocalls = app.bridge().stats().ocalls;
+  } else {
+    const Scheme scheme = m == "Part(RTWU)"
+                              ? Scheme::kReaderTrustedWriterUntrusted
+                              : Scheme::kReaderUntrustedWriterTrusted;
+    core::PartitionedApp app(apps::paldb::build_paldb_app(scheme, workload));
+    app.run_main();
+    out.seconds = app.now_seconds();
+    out.ocalls = app.bridge().stats().ocalls;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace msv
+
+int main() {
+  using namespace msv;
+  bench::print_header("Figure 7", "time to read and write K/V pairs (PalDB)");
+
+  Table table({"# keys", "NoSGX", "NoPart", "Part(RTWU)", "Part(RUWT)"});
+  double sum_rtwu_speedup = 0, sum_ruwt_speedup = 0;
+  double sum_ocall_ratio = 0;
+  int rows = 0;
+  for (std::uint64_t n = 10'000; n <= 100'000; n += 10'000) {
+    const RunOutcome nosgx = run_paldb("NoSGX", n);
+    const RunOutcome nopart = run_paldb("NoPart", n);
+    const RunOutcome rtwu = run_paldb("Part(RTWU)", n);
+    const RunOutcome ruwt = run_paldb("Part(RUWT)", n);
+    table.add_row({std::to_string(n / 1000) + "k", bench::fmt_s(nosgx.seconds),
+                   bench::fmt_s(nopart.seconds), bench::fmt_s(rtwu.seconds),
+                   bench::fmt_s(ruwt.seconds)});
+    sum_rtwu_speedup += nopart.seconds / rtwu.seconds;
+    sum_ruwt_speedup += nopart.seconds / ruwt.seconds;
+    sum_ocall_ratio +=
+        static_cast<double>(ruwt.ocalls) / static_cast<double>(rtwu.ocalls);
+    ++rows;
+  }
+  table.print();
+  std::printf(
+      "\nAverages: RTWU %.2fx faster than NoPart (paper: 2.5x); RUWT %.2fx "
+      "(paper: 1.04x);\n"
+      "          RUWT performs %.1fx more ocalls than RTWU (paper: ~23x)\n",
+      sum_rtwu_speedup / rows, sum_ruwt_speedup / rows,
+      sum_ocall_ratio / rows);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 10 (§6.6): partitioned and unpartitioned PalDB native images vs.
+// PalDB on a JVM in a SCONE container.
+//
+// Series: NoPart-NI, Part(RTWU), Part(RUWT), SCONE+JVM, NoSGX-NI.
+// Expected: RTWU ≈ 6.6x and RUWT ≈ 2.8x faster than SCONE+JVM on average;
+// the unpartitioned native image ≈ 2.6x faster than SCONE+JVM.
+#include "apps/paldb/model.h"
+#include "baselines/jvm.h"
+#include "bench/bench_common.h"
+#include "core/montsalvat.h"
+
+namespace msv {
+namespace {
+
+using apps::paldb::PaldbWorkload;
+using apps::paldb::Scheme;
+
+// Classes OpenJDK loads for the PalDB application (PalDB + app + util).
+constexpr std::uint64_t kPaldbClassCount = 140;
+
+struct Run {
+  double seconds = 0;
+  Cycles total = 0;
+  Cycles gc = 0;
+};
+
+Run run_mode(const char* mode, std::uint64_t n_keys) {
+  PaldbWorkload workload;
+  workload.n_keys = n_keys;
+  const std::string m(mode);
+  Run out;
+  if (m == "NoSGX-NI") {
+    core::NativeApp app(
+        apps::paldb::build_paldb_app(Scheme::kUnpartitioned, workload));
+    app.run_main();
+    out = {app.now_seconds(), app.env().clock.now(),
+           app.context().isolate().heap().stats().gc_cycles_total};
+  } else if (m == "NoPart-NI") {
+    core::UnpartitionedApp app(
+        apps::paldb::build_paldb_app(Scheme::kUnpartitioned, workload));
+    app.run_main();
+    out = {app.now_seconds(), app.env().clock.now(),
+           app.context().isolate().heap().stats().gc_cycles_total};
+  } else {
+    const Scheme scheme = m == "Part(RTWU)"
+                              ? Scheme::kReaderTrustedWriterUntrusted
+                              : Scheme::kReaderUntrustedWriterTrusted;
+    core::PartitionedApp app(apps::paldb::build_paldb_app(scheme, workload));
+    app.run_main();
+    out.seconds = app.now_seconds();
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace msv
+
+int main() {
+  using namespace msv;
+  bench::print_header(
+      "Figure 10", "PalDB native images vs PalDB on a JVM in SCONE");
+
+  const baselines::JvmEstimator jvm(CostModel::paper());
+  Table table({"# keys", "NoPart-NI", "Part(RTWU)", "Part(RUWT)", "SCONE+JVM",
+               "NoSGX-NI"});
+  double sum_rtwu = 0, sum_ruwt = 0, sum_nopart = 0;
+  int rows = 0;
+  for (std::uint64_t n = 10'000; n <= 100'000; n += 10'000) {
+    const Run nopart = run_mode("NoPart-NI", n);
+    const Run rtwu = run_mode("Part(RTWU)", n);
+    const Run ruwt = run_mode("Part(RUWT)", n);
+    const Run nosgx = run_mode("NoSGX-NI", n);
+    // SCONE+JVM: the same workload on OpenJDK inside the enclave, modelled
+    // from the measured unpartitioned in-enclave decomposition (§6.6).
+    // PalDB's workload is serialization/boxing heavy; its measured
+    // JVM-vs-AOT gap is wider than the default.
+    const double scone =
+        jvm.estimate(kPaldbClassCount, nopart.total, nopart.gc, true, 1.75)
+            .seconds(CostModel::paper());
+    table.add_row({std::to_string(n / 1000) + "k",
+                   bench::fmt_s(nopart.seconds), bench::fmt_s(rtwu.seconds),
+                   bench::fmt_s(ruwt.seconds), bench::fmt_s(scone),
+                   bench::fmt_s(nosgx.seconds)});
+    sum_rtwu += scone / rtwu.seconds;
+    sum_ruwt += scone / ruwt.seconds;
+    sum_nopart += scone / nopart.seconds;
+    ++rows;
+  }
+  table.print();
+  std::printf(
+      "\nAverages vs SCONE+JVM: Part(RTWU) %.1fx faster (paper: 6.6x); "
+      "Part(RUWT) %.1fx (paper: 2.8x);\n"
+      "                       NoPart-NI %.1fx (paper: 2.6x)\n",
+      sum_rtwu / rows, sum_ruwt / rows, sum_nopart / rows);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 11 (§6.6): partitioned and unpartitioned GraphChi native images
+// vs. GraphChi on a JVM (PageRank, 25k vertices / 100k edges, 1-6 shards).
+//
+// Series: NoSGX-NI, NoSGX+JVM, Part-NI, NoPart-NI, SCONE+JVM.
+// Expected: Part-NI ≈ 2.2x and NoPart-NI ≈ 1.7x faster than SCONE+JVM.
+#include "apps/graphchi/graph.h"
+#include "apps/graphchi/model.h"
+#include "baselines/jvm.h"
+#include "bench/bench_common.h"
+#include "core/montsalvat.h"
+#include "shim/host_io.h"
+
+namespace msv {
+namespace {
+
+using apps::graphchi::GraphChiWorkload;
+using apps::graphchi::PhaseBreakdown;
+
+// Classes OpenJDK loads for GraphChi + the PageRank app.
+constexpr std::uint64_t kGraphchiClassCount = 260;
+
+std::shared_ptr<vfs::FileSystem> make_graph_fs() {
+  auto fs = std::make_shared<vfs::MemFs>();
+  Env scratch(CostModel::paper(), fs);
+  UntrustedDomain domain(scratch);
+  shim::HostIo io(scratch, domain);
+  Rng rng(2026);
+  apps::graphchi::write_edge_list(
+      io, "graph.bin", 25'000,
+      apps::graphchi::generate_rmat(rng, 25'000, 100'000));
+  return fs;
+}
+
+struct Run {
+  double seconds = 0;
+  Cycles total = 0;
+  Cycles gc = 0;
+};
+
+Run run_mode(const char* mode, std::uint32_t nshards) {
+  GraphChiWorkload workload;
+  workload.nshards = nshards;
+  auto breakdown = std::make_shared<PhaseBreakdown>();
+  core::AppConfig config;
+  config.fs = make_graph_fs();
+
+  const std::string m(mode);
+  Run out;
+  if (m == "NoSGX-NI") {
+    core::NativeApp app(
+        apps::graphchi::build_graphchi_app(false, workload, breakdown),
+        config);
+    app.run_main();
+    out = {app.now_seconds(), app.env().clock.now(),
+           app.context().isolate().heap().stats().gc_cycles_total};
+  } else if (m == "NoPart-NI") {
+    core::UnpartitionedApp app(
+        apps::graphchi::build_graphchi_app(false, workload, breakdown),
+        config);
+    app.run_main();
+    out = {app.now_seconds(), app.env().clock.now(),
+           app.context().isolate().heap().stats().gc_cycles_total};
+  } else {  // Part-NI
+    core::PartitionedApp app(
+        apps::graphchi::build_graphchi_app(true, workload, breakdown),
+        config);
+    app.run_main();
+    out.seconds = app.now_seconds();
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace msv
+
+int main() {
+  using namespace msv;
+  bench::print_header(
+      "Figure 11",
+      "GraphChi PageRank (25k-V, 100k-E) native images vs JVM variants");
+
+  const baselines::JvmEstimator jvm(CostModel::paper());
+  Table table({"# shards", "NoSGX-NI", "NoSGX+JVM", "Part-NI", "NoPart-NI",
+               "SCONE+JVM"});
+  double sum_part = 0, sum_nopart = 0;
+  int rows = 0;
+  for (std::uint32_t shards = 1; shards <= 6; ++shards) {
+    const Run nosgx = run_mode("NoSGX-NI", shards);
+    const Run nopart = run_mode("NoPart-NI", shards);
+    const Run part = run_mode("Part-NI", shards);
+    const double nosgx_jvm =
+        jvm.estimate(kGraphchiClassCount, nosgx.total, nosgx.gc, false)
+            .seconds(CostModel::paper());
+    const double scone =
+        jvm.estimate(kGraphchiClassCount, nopart.total, nopart.gc, true)
+            .seconds(CostModel::paper());
+    table.add_row({std::to_string(shards), bench::fmt_s(nosgx.seconds),
+                   bench::fmt_s(nosgx_jvm), bench::fmt_s(part.seconds),
+                   bench::fmt_s(nopart.seconds), bench::fmt_s(scone)});
+    sum_part += scone / part.seconds;
+    sum_nopart += scone / nopart.seconds;
+    ++rows;
+  }
+  table.print();
+  std::printf(
+      "\nAverages vs SCONE+JVM: Part-NI %.1fx faster (paper: 2.2x); "
+      "NoPart-NI %.1fx (paper: 1.7x)\n",
+      sum_part / rows, sum_nopart / rows);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Partitioned GraphChi PageRank (§6.5, Fig. 8).
+//
+// Generates an RMAT graph, shards it with the (untrusted) FastSharder and
+// ranks it with the (trusted) GraphChiEngine, printing the phase breakdown
+// and the top-ranked vertices.
+//
+//   ./examples/example_graphchi_pagerank
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/graphchi/graph.h"
+#include "apps/graphchi/model.h"
+#include "core/montsalvat.h"
+#include "support/stats.h"
+#include "shim/host_io.h"
+#include "support/bytes.h"
+
+int main() {
+  using namespace msv;
+  using namespace msv::apps::graphchi;
+
+  std::puts("== Partitioned GraphChi PageRank (paper §6.5) ==\n");
+
+  constexpr std::uint32_t kVertices = 10'000;
+  constexpr std::uint64_t kEdges = 60'000;
+
+  // Offline: generate the input graph (Fig. 8's "input graph").
+  auto fs = std::make_shared<vfs::MemFs>();
+  {
+    Env scratch(CostModel::paper(), fs);
+    UntrustedDomain domain(scratch);
+    shim::HostIo io(scratch, domain);
+    Rng rng(1234);
+    write_edge_list(io, "graph.bin", kVertices,
+                    generate_rmat(rng, kVertices, kEdges));
+  }
+  std::printf("Input: RMAT graph, %u vertices, %llu edges\n\n", kVertices,
+              static_cast<unsigned long long>(kEdges));
+
+  GraphChiWorkload workload;
+  workload.nshards = 3;
+  workload.pagerank_iterations = 6;
+  auto breakdown = std::make_shared<PhaseBreakdown>();
+  core::AppConfig config;
+  config.fs = fs;
+
+  core::PartitionedApp app(
+      build_graphchi_app(/*partitioned=*/true, workload, breakdown), config);
+  app.run_main();
+
+  std::printf("Phase 1 (sharding, untrusted): %s\n",
+              format_seconds(breakdown->sharding_seconds).c_str());
+  std::printf("Phase 2 (engine, in enclave):  %s\n",
+              format_seconds(breakdown->engine_seconds).c_str());
+  std::printf("Total simulated time:          %s\n\n",
+              format_seconds(app.now_seconds()).c_str());
+
+  // Read the final vertex data back (the engine persisted it).
+  auto vdata = fs->map("pr.vdata");
+  ByteReader r(vdata->data(), vdata->size());
+  std::vector<std::pair<double, std::uint32_t>> ranked(kVertices);
+  double total = 0;
+  for (std::uint32_t v = 0; v < kVertices; ++v) {
+    ranked[v] = {r.get_f64(), v};
+    total += ranked[v].first;
+  }
+  std::partial_sort(ranked.begin(), ranked.begin() + 5, ranked.end(),
+                    std::greater<>());
+  std::puts("Top-5 vertices by PageRank:");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  v%-6u rank %.3f\n", ranked[i].second, ranked[i].first);
+  }
+  std::printf("Total rank mass: %.1f (vertices: %u)\n", total, kVertices);
+
+  std::printf(
+      "\nBridge traffic: %llu ecalls, %llu ocalls — the I/O-heavy sharder "
+      "ran outside; only the\nengine's shard reads crossed the boundary.\n",
+      static_cast<unsigned long long>(app.bridge().stats().ecalls),
+      static_cast<unsigned long long>(app.bridge().stats().ocalls));
+  return 0;
+}

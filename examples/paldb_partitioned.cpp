@@ -1,0 +1,78 @@
+// Partitioned PalDB (§6.5): the RTWU scheme in action.
+//
+// Writes and reads a K/V store in the three interesting deployments and
+// prints what the partitioning changes — run time, ocall counts, and where
+// the I/O actually happened.
+//
+//   ./examples/example_paldb_partitioned
+#include <cstdio>
+
+#include "apps/paldb/model.h"
+#include "core/montsalvat.h"
+#include "support/stats.h"
+
+int main() {
+  using namespace msv;
+  using apps::paldb::PaldbWorkload;
+  using apps::paldb::Scheme;
+
+  std::puts("== Partitioned PalDB (paper §6.5) ==\n");
+
+  PaldbWorkload workload;
+  workload.n_keys = 20'000;
+  std::printf("Workload: %llu keys, %u-char values\n\n",
+              static_cast<unsigned long long>(workload.n_keys),
+              workload.value_length);
+
+  // Everything in the enclave (§5.6).
+  {
+    core::UnpartitionedApp app(
+        apps::paldb::build_paldb_app(Scheme::kUnpartitioned, workload));
+    app.run_main();
+    std::printf("NoPart      : %-10s  %6llu ocalls (every write leaves the "
+                "enclave, every mapped page enters it)\n",
+                format_seconds(app.now_seconds()).c_str(),
+                static_cast<unsigned long long>(app.bridge().stats().ocalls));
+  }
+
+  // Reader trusted, writer untrusted — the winning scheme.
+  {
+    core::PartitionedApp app(apps::paldb::build_paldb_app(
+        Scheme::kReaderTrustedWriterUntrusted, workload));
+    app.run_main();
+    std::printf("Part(RTWU)  : %-10s  %6llu ocalls (the untrusted DBWriter "
+                "does plain I/O)\n",
+                format_seconds(app.now_seconds()).c_str(),
+                static_cast<unsigned long long>(app.bridge().stats().ocalls));
+    std::printf("              trusted image: %zu classes (DBReader + "
+                "DBWriter proxy), untrusted: %zu classes\n",
+                app.trusted_image().class_count(),
+                app.untrusted_image().class_count());
+  }
+
+  // Reader untrusted, writer trusted — the ocall storm.
+  {
+    core::PartitionedApp app(apps::paldb::build_paldb_app(
+        Scheme::kReaderUntrustedWriterTrusted, workload));
+    app.run_main();
+    std::printf("Part(RUWT)  : %-10s  %6llu ocalls (the trusted DBWriter "
+                "relays every put through the shim)\n",
+                format_seconds(app.now_seconds()).c_str(),
+                static_cast<unsigned long long>(app.bridge().stats().ocalls));
+    const auto& per_call = app.bridge().stats().per_call;
+    const auto it = per_call.find("ocall_fwrite");
+    if (it != per_call.end()) {
+      std::printf("              ocall_fwrite alone: %llu calls, %s out of "
+                  "the enclave\n",
+                  static_cast<unsigned long long>(it->second.calls),
+                  format_bytes(static_cast<double>(it->second.bytes_in))
+                      .c_str());
+    }
+  }
+
+  std::puts(
+      "\nPartitioning along the DBReader/DBWriter boundary lets each phase "
+      "run where it is cheap:\nmmap reads stay near the data they protect, "
+      "bulk writes never pay enclave transitions.");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Secure key-value store (§6.7).
+//
+// "The classes/business logic for storing and retrieving key/value pairs
+// ... can be secured in the enclave, while classes for network-related
+// functionality are kept out of the enclave."
+//
+// A @Trusted KvVault holds the sensitive entries inside the enclave; an
+// @Untrusted NetworkFrontend parses client requests outside of it and
+// calls the vault through its proxy. Secrets never live in untrusted
+// memory; the frontend only ever sees what the vault's public API returns.
+//
+//   ./examples/example_secure_kv_store
+#include <cstdio>
+#include <map>
+
+#include "core/montsalvat.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace msv;
+using model::Annotation;
+using rt::Value;
+
+model::AppModel build_kv_app() {
+  model::AppModel app;
+
+  // The sensitive store: lives on the enclave heap, methods execute inside.
+  auto& vault = app.add_class("KvVault", Annotation::kTrusted);
+  vault.add_field("entries");
+  vault.add_constructor(0).body_native([](model::NativeCall& call) {
+    call.isolate.set_field(call.self, 0, Value(rt::ValueList{}));
+    return Value();
+  });
+  // put(key, value): append (key, value) pairs; last write wins on get.
+  vault.add_method("put", 2).body_native([](model::NativeCall& call) {
+    rt::ValueList entries =
+        call.isolate.get_field(call.self, 0).as_list();
+    entries.push_back(Value(rt::ValueList{call.args[0], call.args[1]}));
+    call.isolate.set_field(call.self, 0, Value(std::move(entries)));
+    return Value();
+  });
+  vault.add_method("get", 1).body_native([](model::NativeCall& call) {
+    const Value entries = call.isolate.get_field(call.self, 0);
+    const std::string& key = call.args[0].as_string();
+    Value result;
+    for (const auto& pair : entries.as_list()) {
+      if (pair.as_list()[0].as_string() == key) result = pair.as_list()[1];
+    }
+    return result;
+  });
+  vault.add_method("size", 0).body_native([](model::NativeCall& call) {
+    return Value(static_cast<std::int32_t>(
+        call.isolate.get_field(call.self, 0).as_list().size()));
+  });
+  // requestCount(): how many requests the frontend parsed.
+
+  // The untrusted frontend: network parsing stays outside the TCB (§5.1's
+  // rationale for @Untrusted).
+  auto& frontend = app.add_class("NetworkFrontend", Annotation::kUntrusted);
+  frontend.add_field("vault");
+  frontend.add_field("requests");
+  frontend.add_constructor(1)
+      .body_native([](model::NativeCall& call) {
+        call.isolate.set_field(call.self, 0, call.args[0]);  // vault proxy
+        call.isolate.set_field(call.self, 1, Value(std::int32_t{0}));
+        return Value();
+      });
+  // handle("PUT k v") / handle("GET k") — a toy wire protocol.
+  frontend.add_method("handle", 1)
+      .body_native([](model::NativeCall& call) {
+        const std::string& req = call.args[0].as_string();
+        call.isolate.set_field(
+            call.self, 1,
+            Value(call.isolate.get_field(call.self, 1).as_i32() + 1));
+        const rt::GcRef vault =
+            call.isolate.get_field(call.self, 0).as_ref();
+        const auto sp1 = req.find(' ');
+        const std::string verb = req.substr(0, sp1);
+        if (verb == "PUT") {
+          const auto sp2 = req.find(' ', sp1 + 1);
+          call.ctx.invoke(vault, "put",
+                          {Value(req.substr(sp1 + 1, sp2 - sp1 - 1)),
+                           Value(req.substr(sp2 + 1))});
+          return Value(std::string("OK"));
+        }
+        if (verb == "GET") {
+          const Value v =
+              call.ctx.invoke(vault, "get", {Value(req.substr(sp1 + 1))});
+          return v.is_null() ? Value(std::string("NOT_FOUND")) : v;
+        }
+        return Value(std::string("ERR"));
+      })
+      .calls("KvVault", "put")
+      .calls("KvVault", "get");
+  frontend.add_method("requestCount", 0)
+      .body_native([](model::NativeCall& call) {
+        return call.isolate.get_field(call.self, 1);
+      });
+
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0)
+      .body(model::IrBuilder()
+                .locals(2)
+                .new_object("KvVault", 0)
+                .store_local(0)
+                .load_local(0)
+                .new_object("NetworkFrontend", 1)
+                .store_local(1)
+                .load_local(1)
+                .const_val(Value("PUT db_password hunter2"))
+                .call("handle", 1)
+                .pop()
+                .ret_void()
+                .build());
+  app.set_main_class("Main");
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Secure key-value store (paper §6.7) ==\n");
+
+  core::PartitionedApp app(build_kv_app());
+  app.run_main();
+  auto& u = app.untrusted_context();
+
+  // Stand up the service: the vault proxy goes into the frontend.
+  const Value vault = u.construct("KvVault", {});
+  const Value frontend = u.construct("NetworkFrontend", {vault});
+
+  const char* session[] = {
+      "PUT api_key sk-3f9a...",     "PUT tls_cert_key MIIEvg...",
+      "GET api_key",                "GET missing_key",
+      "PUT api_key sk-rotated...",  "GET api_key",
+  };
+  for (const char* req : session) {
+    const Value resp = u.invoke(frontend.as_ref(), "handle", {Value(req)});
+    std::printf("  %-28s -> %s\n", req, resp.as_string().c_str());
+  }
+
+  std::printf(
+      "\nEntries in the enclave vault: %d (every PUT/GET crossed the "
+      "boundary via the proxy: %llu ecalls)\n",
+      u.invoke(vault.as_ref(), "size", {}).as_i32(),
+      static_cast<unsigned long long>(app.bridge().stats().ecalls));
+  std::printf(
+      "The untrusted frontend handled %d requests without ever holding the "
+      "store contents.\n",
+      u.invoke(frontend.as_ref(), "requestCount", {}).as_i32());
+  std::printf("Simulated time: %s\n", format_seconds(app.now_seconds()).c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "apps/graphchi/graph.h"
+
+#include "support/bytes.h"
+#include "support/error.h"
+
+namespace msv::apps::graphchi {
+
+std::vector<Edge> generate_rmat(Rng& rng, std::uint32_t nvertices,
+                                std::uint64_t nedges, double a, double b,
+                                double c) {
+  MSV_CHECK_MSG(nvertices >= 2, "graph needs at least two vertices");
+  MSV_CHECK_MSG(a + b + c < 1.0, "quadrant probabilities must sum below 1");
+  std::uint32_t scale = 1;
+  while ((1u << scale) < nvertices) ++scale;
+
+  std::vector<Edge> edges;
+  edges.reserve(nedges);
+  while (edges.size() < nedges) {
+    std::uint32_t x = 0, y = 0;
+    for (std::uint32_t level = 0; level < scale; ++level) {
+      const double p = rng.next_double();
+      const std::uint32_t bit = 1u << level;
+      if (p < a) {
+        // top-left: nothing
+      } else if (p < a + b) {
+        y |= bit;
+      } else if (p < a + b + c) {
+        x |= bit;
+      } else {
+        x |= bit;
+        y |= bit;
+      }
+    }
+    if (x == y || x >= nvertices || y >= nvertices) continue;
+    edges.push_back(Edge{x, y});
+  }
+  return edges;
+}
+
+void write_edge_list(shim::IoService& io, const std::string& path,
+                     std::uint32_t nvertices, const std::vector<Edge>& edges) {
+  const auto f = io.open(path, vfs::OpenMode::kWrite);
+  ByteBuffer header;
+  header.put_u32(nvertices);
+  header.put_u64(edges.size());
+  io.write(f, header.data(), header.size());
+  // Chunked writes, like a buffered Java output stream.
+  ByteBuffer chunk;
+  for (const auto& e : edges) {
+    chunk.put_u32(e.src);
+    chunk.put_u32(e.dst);
+    if (chunk.size() >= (64 << 10)) {
+      io.write(f, chunk.data(), chunk.size());
+      chunk.clear();
+    }
+  }
+  if (!chunk.empty()) io.write(f, chunk.data(), chunk.size());
+  io.flush(f);
+  io.close(f);
+}
+
+EdgeListHeader read_edge_list_header(shim::IoService& io,
+                                     const std::string& path) {
+  const auto f = io.open(path, vfs::OpenMode::kRead);
+  std::uint8_t raw[12];
+  const auto got = io.read(f, raw, sizeof(raw));
+  io.close(f);
+  MSV_CHECK_MSG(got == sizeof(raw), "edge list truncated: " + path);
+  ByteReader r(raw, sizeof(raw));
+  EdgeListHeader h;
+  h.nvertices = r.get_u32();
+  h.nedges = r.get_u64();
+  return h;
+}
+
+}  // namespace msv::apps::graphchi

@@ -1,0 +1,44 @@
+// Graph representation and RMAT generation for the GraphChi workload
+// (§6.5): the paper runs PageRank on synthetic directed graphs generated
+// with the R-MAT recursive model [11], varying |V| and |E|.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shim/io_service.h"
+#include "sim/env.h"
+#include "support/rng.h"
+
+namespace msv::apps::graphchi {
+
+struct Edge {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  bool operator==(const Edge&) const = default;
+};
+
+// R-MAT: recursively pick a quadrant with probabilities (a, b, c, d).
+// Self-loops are re-drawn; duplicate edges are allowed, as in the original
+// generator. `nvertices` is rounded up to a power of two internally but
+// emitted ids stay below the requested count.
+std::vector<Edge> generate_rmat(Rng& rng, std::uint32_t nvertices,
+                                std::uint64_t nedges, double a = 0.57,
+                                double b = 0.19, double c = 0.19);
+
+// Binary edge-list file: u32 vertex count, u64 edge count, then (u32 src,
+// u32 dst) pairs. This is the "input graph" of Fig. 8, written/read
+// through the I/O service so the costs land on the right side.
+void write_edge_list(shim::IoService& io, const std::string& path,
+                     std::uint32_t nvertices, const std::vector<Edge>& edges);
+
+struct EdgeListHeader {
+  std::uint32_t nvertices = 0;
+  std::uint64_t nedges = 0;
+};
+
+EdgeListHeader read_edge_list_header(shim::IoService& io,
+                                     const std::string& path);
+
+}  // namespace msv::apps::graphchi

@@ -1,0 +1,120 @@
+#include "apps/graphchi/model.h"
+
+#include <numeric>
+
+#include "apps/graphchi/engine.h"
+#include "apps/graphchi/graph.h"
+#include "apps/graphchi/sharder.h"
+#include "interp/exec_context.h"
+#include "model/ir.h"
+#include "runtime/churn.h"
+#include "runtime/isolate.h"
+#include "support/error.h"
+
+namespace msv::apps::graphchi {
+
+using model::Annotation;
+using model::IrBuilder;
+using rt::Value;
+
+model::AppModel build_graphchi_app(bool partitioned,
+                                   const GraphChiWorkload& workload,
+                                   std::shared_ptr<PhaseBreakdown> breakdown) {
+  MSV_CHECK_MSG(breakdown != nullptr, "breakdown sink required");
+  model::AppModel app;
+
+  auto& sharder_cls = app.add_class(
+      "FastSharder",
+      partitioned ? Annotation::kUntrusted : Annotation::kNeutral);
+  sharder_cls.add_field("unused");
+  sharder_cls.add_constructor(0).body_native(
+      [](model::NativeCall&) { return Value(); });
+  // long shard(long nshards) — phase 1 of Fig. 8.
+  sharder_cls.add_method("shard", 1)
+      .body_native([workload, breakdown](model::NativeCall& call) {
+        Env& env = call.ctx.env();
+        const double start = env.clock.seconds();
+        FastSharder sharder(env, call.isolate.domain(), call.ctx.io());
+        const auto nshards =
+            static_cast<std::uint32_t>(call.args[0].as_i64());
+        const ShardingResult result =
+            sharder.shard(workload.edge_file, nshards, workload.prefix);
+        // The Java sharder boxes edges while bucketing/sorting: real
+        // allocation churn on this runtime's heap (expensive inside the
+        // enclave: MEE on allocation and GC traffic).
+        rt::alloc_churn(call.isolate, result.nedges * 60, 2ull << 20);
+        breakdown->sharding_seconds += env.clock.seconds() - start;
+        return Value(static_cast<std::int64_t>(result.nedges));
+      })
+      .code_size(9 << 10);
+
+  auto& engine_cls = app.add_class(
+      "GraphChiEngine",
+      partitioned ? Annotation::kTrusted : Annotation::kNeutral);
+  engine_cls.add_field("unused");
+  engine_cls.add_constructor(0).body_native(
+      [](model::NativeCall&) { return Value(); });
+  // double pagerank(long nshards, long iterations) — phase 2 of Fig. 8;
+  // returns the rank mass (a correctness fingerprint).
+  engine_cls.add_method("pagerank", 2)
+      .body_native([workload, breakdown](model::NativeCall& call) {
+        Env& env = call.ctx.env();
+        const double start = env.clock.seconds();
+        // The engine re-derives the sharding metadata from the file
+        // layout, as the real engine does from the shard directory.
+        ShardingResult sharding;
+        sharding.nshards = static_cast<std::uint32_t>(call.args[0].as_i64());
+        const auto header =
+            read_edge_list_header(call.ctx.io(), workload.edge_file);
+        sharding.nvertices = header.nvertices;
+        sharding.nedges = header.nedges;
+        const std::uint32_t span =
+            (sharding.nvertices + sharding.nshards - 1) / sharding.nshards;
+        for (std::uint32_t s = 0; s < sharding.nshards; ++s) {
+          sharding.intervals.emplace_back(
+              s * span, std::min(sharding.nvertices, (s + 1) * span));
+          sharding.shard_paths.push_back(workload.prefix + ".shard" +
+                                         std::to_string(s));
+        }
+        sharding.degree_path = workload.prefix + ".deg";
+
+        GraphChiEngine engine(env, call.isolate.domain(), call.ctx.io());
+        PageRankProgram pagerank;
+        const auto ranks = engine.run(
+            sharding, pagerank,
+            static_cast<std::uint32_t>(call.args[1].as_i64()),
+            workload.prefix);
+        // The engine reuses flyweight edge objects; its churn is an order
+        // of magnitude lighter than the sharder's.
+        rt::alloc_churn(call.isolate,
+                        sharding.nedges * 8 *
+                            static_cast<std::uint64_t>(call.args[1].as_i64()),
+                        1ull << 20);
+        breakdown->engine_seconds += env.clock.seconds() - start;
+        breakdown->rank_sum =
+            std::accumulate(ranks.begin(), ranks.end(), 0.0);
+        return Value(breakdown->rank_sum);
+      })
+      .code_size(14 << 10);
+
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0)
+      .body(IrBuilder()
+                .new_object("FastSharder", 0)
+                .const_val(Value(static_cast<std::int64_t>(workload.nshards)))
+                .call("shard", 1)
+                .pop()
+                .new_object("GraphChiEngine", 0)
+                .const_val(Value(static_cast<std::int64_t>(workload.nshards)))
+                .const_val(Value(static_cast<std::int64_t>(
+                    workload.pagerank_iterations)))
+                .call("pagerank", 2)
+                .pop()
+                .ret_void()
+                .build());
+  app.set_main_class("Main");
+  app.validate();
+  return app;
+}
+
+}  // namespace msv::apps::graphchi

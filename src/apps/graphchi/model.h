@@ -1,0 +1,42 @@
+// The partitioned GraphChi application of §6.5 (Figs. 8, 9, 11).
+//
+// "A possible partitioning scheme for the application would be along the
+// FastSharder and GraphChiEngine classes. For this we make the
+// GraphChiEngine trusted and the FastSharder untrusted."
+//
+// main() runs the two-phase workflow of Fig. 8: FastSharder splits the
+// input graph into shards, then GraphChiEngine computes PageRank over
+// them. The phases record their virtual-time spans into a PhaseBreakdown
+// so benchmarks can reproduce Fig. 9's stacked bars.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "model/app_model.h"
+
+namespace msv::apps::graphchi {
+
+struct GraphChiWorkload {
+  std::string edge_file = "graph.bin";
+  std::string prefix = "pr";
+  std::uint32_t nshards = 2;
+  std::uint32_t pagerank_iterations = 4;
+};
+
+// Filled during main(): virtual seconds spent in each phase.
+struct PhaseBreakdown {
+  double sharding_seconds = 0;
+  double engine_seconds = 0;
+  double rank_sum = 0;  // sanity check across configurations
+};
+
+// `partitioned` selects the paper's scheme (engine @Trusted, sharder
+// @Untrusted); otherwise both classes are neutral (for the NoSGX / NoPart
+// runners). `breakdown` must outlive the application run.
+model::AppModel build_graphchi_app(bool partitioned,
+                                   const GraphChiWorkload& workload,
+                                   std::shared_ptr<PhaseBreakdown> breakdown);
+
+}  // namespace msv::apps::graphchi

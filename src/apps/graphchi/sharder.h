@@ -1,0 +1,56 @@
+// FastSharder — phase 1 of the GraphChi workflow (Fig. 8).
+//
+// The input edge list is split into `nshards` shards by destination-vertex
+// interval; within each shard, edges are sorted by source vertex so the
+// engine can stream them with its parallel sliding windows. Sharding is
+// I/O heavy (read the whole edge list, write every shard plus the degree
+// file), which is why moving the FastSharder out of the enclave is the
+// paper's partitioning win for GraphChi (§6.5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shim/io_service.h"
+#include "sim/domain.h"
+#include "sim/env.h"
+
+namespace msv::apps::graphchi {
+
+struct ShardingResult {
+  std::uint32_t nvertices = 0;
+  std::uint64_t nedges = 0;
+  std::uint32_t nshards = 0;
+  // Destination-vertex intervals, one [lo, hi) per shard.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+  std::vector<std::string> shard_paths;
+  std::string degree_path;  // u32 out-degree per vertex
+};
+
+struct SharderStats {
+  std::uint64_t edges_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class FastSharder {
+ public:
+  FastSharder(Env& env, MemoryDomain& domain, shim::IoService& io)
+      : env_(env), domain_(domain), io_(io) {}
+
+  // Shards `edge_file` into `nshards` files "<prefix>.shard<i>" plus
+  // "<prefix>.deg".
+  ShardingResult shard(const std::string& edge_file, std::uint32_t nshards,
+                       const std::string& prefix);
+
+  const SharderStats& stats() const { return stats_; }
+
+ private:
+  Env& env_;
+  MemoryDomain& domain_;
+  shim::IoService& io_;
+  SharderStats stats_;
+};
+
+}  // namespace msv::apps::graphchi

@@ -1,0 +1,250 @@
+#include "apps/illustrative/bank.h"
+
+#include "interp/exec_context.h"
+#include "model/ir.h"
+#include "runtime/isolate.h"
+#include "support/error.h"
+
+namespace msv::apps {
+
+using model::Annotation;
+using model::ClassDecl;
+using model::IrBuilder;
+using rt::Value;
+
+namespace {
+
+void add_account_class(model::AppModel& app) {
+  ClassDecl& account = app.add_class("Account", Annotation::kTrusted);
+  account.add_field("owner");
+  account.add_field("balance");
+  const std::int32_t owner_idx = account.field_index("owner");
+  const std::int32_t balance_idx = account.field_index("balance");
+
+  // Account(String s, int b) { this.owner = s; this.balance = b; }
+  account.add_constructor(2).body(IrBuilder()
+                                      .locals(3)
+                                      .load_local(0)
+                                      .load_local(1)
+                                      .put_field(owner_idx)
+                                      .load_local(0)
+                                      .load_local(2)
+                                      .put_field(balance_idx)
+                                      .ret_void()
+                                      .build());
+  // void updateBalance(int v) { this.balance += v; }
+  account.add_method("updateBalance", 1)
+      .body(IrBuilder()
+                .locals(2)
+                .load_local(0)
+                .load_local(0)
+                .get_field(balance_idx)
+                .load_local(1)
+                .add()
+                .put_field(balance_idx)
+                .ret_void()
+                .build());
+  // int getBalance() { return this.balance; }
+  account.add_method("getBalance", 0)
+      .body(IrBuilder()
+                .locals(1)
+                .load_local(0)
+                .get_field(balance_idx)
+                .ret()
+                .build());
+  // String getOwner() { return this.owner; }
+  account.add_method("getOwner", 0)
+      .body(IrBuilder()
+                .locals(1)
+                .load_local(0)
+                .get_field(owner_idx)
+                .ret()
+                .build());
+}
+
+void add_registry_class(model::AppModel& app) {
+  ClassDecl& registry = app.add_class("AccountRegistry", Annotation::kTrusted);
+  registry.add_field("reg");
+
+  // The registry manipulates its account list natively (the Java original
+  // uses ArrayList); the declared callees act as reflection config for the
+  // reachability analysis (§2.2).
+  registry.add_constructor(0).body_native([](model::NativeCall& call) {
+    call.isolate.set_field(call.self, 0, Value(rt::ValueList{}));
+    return Value();
+  });
+  registry.add_method("addAccount", 1)
+      .body_native([](model::NativeCall& call) {
+        Value list = call.isolate.get_field(call.self, 0);
+        rt::ValueList items = list.as_list();
+        items.push_back(call.args[0]);
+        call.isolate.set_field(call.self, 0, Value(std::move(items)));
+        return Value();
+      })
+      .calls("Account", "updateBalance");
+  registry.add_method("count", 0).body_native([](model::NativeCall& call) {
+    return Value(static_cast<std::int32_t>(
+        call.isolate.get_field(call.self, 0).as_list().size()));
+  });
+  // int totalBalance() — walks the accounts inside the enclave.
+  registry.add_method("totalBalance", 0)
+      .body_native([](model::NativeCall& call) {
+        std::int32_t total = 0;
+        const Value accounts = call.isolate.get_field(call.self, 0);
+        for (const auto& acct : accounts.as_list()) {
+          total += call.ctx.invoke(acct.as_ref(), "getBalance", {}).as_i32();
+        }
+        return Value(total);
+      })
+      .calls("Account", "getBalance");
+}
+
+void add_person_class(model::AppModel& app) {
+  ClassDecl& person = app.add_class("Person", Annotation::kUntrusted);
+  person.add_field("name");
+  const std::int32_t name_idx = person.field_index("name");
+  person.add_field("account");
+  const std::int32_t account_idx = person.field_index("account");
+
+  // Person(String s, int v) { this.name = s; this.account = new Account(s, v); }
+  person.add_constructor(2).body(IrBuilder()
+                                     .locals(3)
+                                     .load_local(0)
+                                     .load_local(1)
+                                     .put_field(name_idx)
+                                     .load_local(0)
+                                     .load_local(1)
+                                     .load_local(2)
+                                     .new_object("Account", 2)
+                                     .put_field(account_idx)
+                                     .ret_void()
+                                     .build());
+  // Account getAccount() { return this.account; }
+  person.add_method("getAccount", 0)
+      .body(IrBuilder()
+                .locals(1)
+                .load_local(0)
+                .get_field(account_idx)
+                .ret()
+                .build());
+  // void transfer(Person p, int v) {
+  //   p.getAccount().updateBalance(v);
+  //   this.account.updateBalance(-v);
+  // }
+  person.add_method("transfer", 2)
+      .body(IrBuilder()
+                .locals(3)
+                .load_local(1)
+                .call("getAccount", 0)
+                .load_local(2)
+                .call("updateBalance", 1)
+                .pop()
+                .load_local(0)
+                .get_field(account_idx)
+                .const_val(Value(std::int32_t{0}))
+                .load_local(2)
+                .sub()
+                .call("updateBalance", 1)
+                .pop()
+                .ret_void()
+                .build());
+}
+
+void add_main_class(model::AppModel& app) {
+  ClassDecl& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  // public static void main() — Listing 1, lines 40-47.
+  main_cls.add_static_method("main", 0)
+      .body(IrBuilder()
+                .locals(3)
+                .const_val(Value("Alice"))
+                .const_val(Value(std::int32_t{100}))
+                .new_object("Person", 2)
+                .store_local(0)
+                .const_val(Value("Bob"))
+                .const_val(Value(std::int32_t{25}))
+                .new_object("Person", 2)
+                .store_local(1)
+                .load_local(0)
+                .load_local(1)
+                .const_val(Value(std::int32_t{25}))
+                .call("transfer", 2)
+                .pop()
+                .new_object("AccountRegistry", 0)
+                .store_local(2)
+                .load_local(2)
+                .load_local(0)
+                .call("getAccount", 0)
+                .call("addAccount", 1)
+                .pop()
+                .ret_void()
+                .build());
+}
+
+void add_audit_classes(model::AppModel& app) {
+  // Untrusted Logger: system-related functionality kept out of the
+  // enclave (the §5.1 argument for @Untrusted).
+  ClassDecl& logger = app.add_class("Logger", Annotation::kUntrusted);
+  logger.add_field("lines");
+  logger.add_constructor(0).body_native([](model::NativeCall& call) {
+    call.isolate.set_field(call.self, 0, Value(std::int32_t{0}));
+    return Value();
+  });
+  logger.add_method("log", 1).body_native([](model::NativeCall& call) {
+    const std::string& msg = call.args[0].as_string();
+    const auto id = call.ctx.io().open("audit.log", vfs::OpenMode::kAppend);
+    call.ctx.io().write(id, msg.data(), msg.size());
+    call.ctx.io().write(id, "\n", 1);
+    call.ctx.io().close(id);
+    call.isolate.set_field(
+        call.self, 0,
+        Value(call.isolate.get_field(call.self, 0).as_i32() + 1));
+    return Value();
+  });
+  logger.add_method("lineCount", 0).body_native([](model::NativeCall& call) {
+    return call.isolate.get_field(call.self, 0);
+  });
+
+  // Trusted Vault: creates and drives the untrusted Logger from inside
+  // the enclave (proxy-in -> concrete-out direction).
+  ClassDecl& vault = app.add_class("Vault", Annotation::kTrusted);
+  vault.add_field("logger");
+  vault.add_constructor(0)
+      .body_native([](model::NativeCall& call) {
+        call.isolate.set_field(call.self, 0,
+                               call.ctx.construct("Logger", {}));
+        return Value();
+      })
+      .calls("Logger", model::kConstructorName);
+  vault.add_method("audit", 1)
+      .body_native([](model::NativeCall& call) {
+        const rt::GcRef logger =
+            call.isolate.get_field(call.self, 0).as_ref();
+        call.ctx.invoke(logger, "log",
+                        {Value("audit: " + call.args[0].as_string())});
+        return Value();
+      })
+      .calls("Logger", "log");
+  vault.add_method("auditCount", 0)
+      .body_native([](model::NativeCall& call) {
+        const rt::GcRef logger =
+            call.isolate.get_field(call.self, 0).as_ref();
+        return call.ctx.invoke(logger, "lineCount", {});
+      })
+      .calls("Logger", "lineCount");
+}
+
+}  // namespace
+
+model::AppModel build_bank_app(bool with_audit) {
+  model::AppModel app;
+  add_account_class(app);
+  add_registry_class(app);
+  add_person_class(app);
+  add_main_class(app);
+  if (with_audit) add_audit_classes(app);
+  app.set_main_class("Main");
+  app.validate();
+  return app;
+}
+
+}  // namespace msv::apps

@@ -1,0 +1,20 @@
+// The paper's illustrative application (Listing 1): trusted Account and
+// AccountRegistry classes, untrusted Person and Main classes.
+//
+// Used by the quickstart example, the end-to-end tests and as the base
+// shape for RMI micro-benchmarks. The model follows the listing, plus
+// getters (getBalance/getOwner/count) so tests and examples can observe
+// state through the public API (the encapsulation assumption of §5.1 —
+// fields are private and only reachable through methods).
+#pragma once
+
+#include "model/app_model.h"
+
+namespace msv::apps {
+
+// Builds the Listing-1 application model. When `with_audit` is set, a
+// trusted Vault class that constructs and calls an untrusted Logger is
+// added, exercising the enclave -> untrusted proxy direction as well.
+model::AppModel build_bank_app(bool with_audit = false);
+
+}  // namespace msv::apps

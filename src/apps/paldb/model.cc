@@ -1,0 +1,117 @@
+#include "apps/paldb/model.h"
+
+#include "apps/paldb/store.h"
+#include "interp/exec_context.h"
+#include "model/ir.h"
+#include "runtime/isolate.h"
+#include "support/rng.h"
+
+namespace msv::apps::paldb {
+
+using model::Annotation;
+using model::IrBuilder;
+using rt::Value;
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kUnpartitioned:
+      return "unpartitioned";
+    case Scheme::kReaderTrustedWriterUntrusted:
+      return "RTWU";
+    case Scheme::kReaderUntrustedWriterTrusted:
+      return "RUWT";
+  }
+  return "?";
+}
+
+std::string workload_key(const PaldbWorkload& w, std::uint64_t i) {
+  // "string values of randomly generated integers in [0, 2^31-1]" — drawn
+  // from a per-workload deterministic sequence; the index salt keeps keys
+  // distinct (the store is write-once).
+  Rng rng(w.seed ^ (i * 0x9e3779b97f4a7c15ull));
+  return std::to_string(rng.next_below(1ull << 31)) + "#" + std::to_string(i);
+}
+
+std::string workload_value(const PaldbWorkload& w, std::uint64_t i) {
+  Rng rng(~w.seed ^ (i * 0xc2b2ae3d27d4eb4full));
+  std::string v(w.value_length, ' ');
+  for (auto& c : v) {
+    c = static_cast<char>('a' + rng.next_below(26));
+  }
+  return v;
+}
+
+model::AppModel build_paldb_app(Scheme scheme, const PaldbWorkload& workload) {
+  model::AppModel app;
+
+  const Annotation reader_annotation =
+      scheme == Scheme::kReaderTrustedWriterUntrusted
+          ? Annotation::kTrusted
+          : (scheme == Scheme::kReaderUntrustedWriterTrusted
+                 ? Annotation::kUntrusted
+                 : Annotation::kNeutral);
+  const Annotation writer_annotation =
+      scheme == Scheme::kReaderTrustedWriterUntrusted
+          ? Annotation::kUntrusted
+          : (scheme == Scheme::kReaderUntrustedWriterTrusted
+                 ? Annotation::kTrusted
+                 : Annotation::kNeutral);
+
+  auto& writer = app.add_class("DBWriter", writer_annotation);
+  writer.add_field("unused");
+  writer.add_constructor(0).body_native(
+      [](model::NativeCall&) { return Value(); });
+  // long writeBatch(long n) — builds the store with n K/V pairs through
+  // PalDB's API; every put() is regular file I/O (§6.5).
+  writer.add_method("writeBatch", 1)
+      .body_native([workload](model::NativeCall& call) {
+        const auto n = static_cast<std::uint64_t>(call.args[0].as_i64());
+        StoreWriter store(call.ctx.env(), call.ctx.io(), workload.store_path);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          store.put(workload_key(workload, i), workload_value(workload, i));
+        }
+        store.close();
+        return Value(static_cast<std::int64_t>(n));
+      })
+      .code_size(6 << 10);
+
+  auto& reader = app.add_class("DBReader", reader_annotation);
+  reader.add_field("unused");
+  reader.add_constructor(0).body_native(
+      [](model::NativeCall&) { return Value(); });
+  // long readBatch(long n) — memory-maps the store and reads every pair
+  // back; returns the number of hits (must equal n).
+  reader.add_method("readBatch", 1)
+      .body_native([workload](model::NativeCall& call) {
+        const auto n = static_cast<std::uint64_t>(call.args[0].as_i64());
+        StoreReader store(call.ctx.env(), call.ctx.io(), workload.store_path);
+        std::uint64_t hits = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const auto v = store.get(workload_key(workload, i));
+          if (v.has_value() && v->size() == workload.value_length) ++hits;
+        }
+        MSV_CHECK_MSG(hits == n, "PalDB read-back lost keys");
+        return Value(static_cast<std::int64_t>(hits));
+      })
+      .code_size(5 << 10);
+
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0)
+      .body(IrBuilder()
+                .locals(1)
+                .new_object("DBWriter", 0)
+                .const_val(Value(static_cast<std::int64_t>(workload.n_keys)))
+                .call("writeBatch", 1)
+                .pop()
+                .new_object("DBReader", 0)
+                .const_val(Value(static_cast<std::int64_t>(workload.n_keys)))
+                .call("readBatch", 1)
+                .pop()
+                .ret_void()
+                .build());
+  app.set_main_class("Main");
+  app.validate();
+  return app;
+}
+
+}  // namespace msv::apps::paldb

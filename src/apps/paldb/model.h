@@ -1,0 +1,46 @@
+// The partitioned PalDB application of §6.5.
+//
+// "We consider a Java application based on PalDB which writes and reads a
+// list of key-value pairs in a store file. The keys are string values of
+// randomly generated integers, the values are randomly generated strings
+// of length 128. We introduced two classes: DBReader and DBWriter."
+//
+// The two partitioning schemes of Fig. 7 are expressed with the class
+// annotations: RTWU (DBReader @Trusted, DBWriter @Untrusted) and RUWT
+// (DBReader @Untrusted, DBWriter @Trusted).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/app_model.h"
+
+namespace msv::apps::paldb {
+
+enum class Scheme {
+  kUnpartitioned,  // both classes neutral (NoSGX / NoPart runners)
+  kReaderTrustedWriterUntrusted,  // RTWU
+  kReaderUntrustedWriterTrusted,  // RUWT
+};
+
+const char* scheme_name(Scheme s);
+
+struct PaldbWorkload {
+  std::uint64_t n_keys = 10'000;
+  std::uint32_t value_length = 128;  // §6.5
+  std::uint64_t seed = 7;
+  std::string store_path = "bench.paldb";
+};
+
+// Deterministic i-th key ("string values of randomly generated integers in
+// [0, 2^31-1]") and value for a given seed; writer and reader agree on
+// them.
+std::string workload_key(const PaldbWorkload& w, std::uint64_t i);
+std::string workload_value(const PaldbWorkload& w, std::uint64_t i);
+
+// Builds the application model. main() writes all pairs through DBWriter,
+// then reads them all back through DBReader ("time to read and write K/V
+// pairs"), failing loudly on a missing key.
+model::AppModel build_paldb_app(Scheme scheme, const PaldbWorkload& workload);
+
+}  // namespace msv::apps::paldb

@@ -1,0 +1,202 @@
+#include "apps/paldb/store.h"
+
+#include <cstring>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/error.h"
+#include "support/fnv.h"
+
+namespace msv::apps::paldb {
+namespace {
+
+// CPU cost of hashing + record bookkeeping per put/get.
+constexpr Cycles kRecordCpuCycles = 2'000;  // Java-side hashing,
+                                            // stream encoding, bookkeeping
+
+std::uint64_t key_hash(std::string_view key) {
+  std::uint64_t h = fnv1a64(key);
+  return h == 0 ? 1 : h;  // 0 marks an empty slot
+}
+
+}  // namespace
+
+StoreWriter::StoreWriter(Env& env, shim::IoService& io, std::string path)
+    : env_(env),
+      io_(io),
+      path_(std::move(path)),
+      keys_tmp_(io.open(path_ + ".keys.tmp", vfs::OpenMode::kWrite)),
+      values_tmp_(io.open(path_ + ".values.tmp", vfs::OpenMode::kWrite)) {}
+
+StoreWriter::~StoreWriter() {
+  // A store that was never closed leaves only the staging file behind;
+  // that is a usage bug but must not throw from a destructor.
+}
+
+void StoreWriter::put(std::string_view key, std::string_view value) {
+  MSV_CHECK_MSG(!closed_, "put() after close()");
+  env_.clock.advance(kRecordCpuCycles);
+  // PalDB stages keys and values in separate per-key-length streams; each
+  // put writes both. From inside an enclave that is two ocalls per record
+  // — the write amplification behind the RUWT scheme's ocall storm.
+  ByteBuffer key_rec;
+  key_rec.put_string(key);
+  io_.write(keys_tmp_, key_rec.data(), key_rec.size());
+  ByteBuffer value_rec;
+  value_rec.put_string(value);
+  io_.write(values_tmp_, value_rec.data(), value_rec.size());
+  ++stats_.puts;
+  stats_.bytes_staged += key_rec.size() + value_rec.size();
+}
+
+namespace {
+
+std::vector<std::uint8_t> read_back(shim::IoService& io,
+                                    const std::string& path) {
+  const std::uint64_t size = io.file_size(path);
+  std::vector<std::uint8_t> data(size);
+  const auto in = io.open(path, vfs::OpenMode::kRead);
+  std::uint64_t off = 0;
+  // Chunked reads, as the Java implementation would do through a buffered
+  // stream.
+  constexpr std::uint64_t kChunk = 64 << 10;
+  while (off < size) {
+    const std::uint64_t want = std::min(kChunk, size - off);
+    const std::uint64_t got = io.read(in, data.data() + off, want);
+    MSV_CHECK_MSG(got > 0, "staging file truncated");
+    off += got;
+  }
+  io.close(in);
+  return data;
+}
+
+}  // namespace
+
+void StoreWriter::close() {
+  MSV_CHECK_MSG(!closed_, "close() called twice");
+  closed_ = true;
+  io_.flush(keys_tmp_);
+  io_.close(keys_tmp_);
+  io_.flush(values_tmp_);
+  io_.close(values_tmp_);
+
+  // Read the staged streams back and merge them into the final file:
+  // header, data region (records in insertion order), index region.
+  const std::string keys_path = path_ + ".keys.tmp";
+  const std::string values_path = path_ + ".values.tmp";
+  const std::vector<std::uint8_t> staged_keys = read_back(io_, keys_path);
+  const std::vector<std::uint8_t> staged_values = read_back(io_, values_path);
+
+  struct Slot {
+    std::uint64_t hash;
+    std::uint64_t offset;
+  };
+  std::vector<Slot> records;
+  ByteBuffer data_buf;
+  {
+    ByteReader keys(staged_keys.data(), staged_keys.size());
+    ByteReader values(staged_values.data(), staged_values.size());
+    while (!keys.done()) {
+      MSV_CHECK_MSG(!values.done(), "staging streams out of sync");
+      const std::string key = keys.get_string();
+      const std::string value = values.get_string();
+      records.push_back(Slot{key_hash(key), data_buf.size()});
+      data_buf.put_string(key);
+      data_buf.put_string(value);
+    }
+    MSV_CHECK_MSG(values.done(), "staging streams out of sync");
+  }
+  const std::vector<std::uint8_t>& data = data_buf.bytes();
+  env_.clock.advance(records.size() * kRecordCpuCycles);
+
+  // Open-addressed index at load factor <= 0.5 (power-of-two slots).
+  std::uint64_t slot_count = 16;
+  while (slot_count < records.size() * 2) slot_count *= 2;
+  std::vector<std::uint64_t> index(slot_count * 2, 0);
+  for (const auto& rec : records) {
+    std::uint64_t s = rec.hash & (slot_count - 1);
+    while (index[s * 2] != 0) {
+      if (index[s * 2] == rec.hash) {
+        throw RuntimeFault("duplicate key in write-once store " + path_);
+      }
+      s = (s + 1) & (slot_count - 1);
+    }
+    index[s * 2] = rec.hash;
+    index[s * 2 + 1] = rec.offset + 1;
+  }
+
+  // Final file: header + data + index, written through regular I/O.
+  ByteBuffer header;
+  header.put_u32(kMagic);
+  header.put_u32(kVersion);
+  header.put_u64(records.size());
+  header.put_u64(kHeaderBytes + data.size());
+  header.put_u64(slot_count);
+  MSV_CHECK(header.size() == kHeaderBytes);
+
+  const auto out = io_.open(path_, vfs::OpenMode::kWrite);
+  io_.write(out, header.data(), header.size());
+  io_.write(out, data.data(), data.size());
+  ByteBuffer index_bytes;
+  for (const auto w : index) index_bytes.put_u64(w);
+  io_.write(out, index_bytes.data(), index_bytes.size());
+  io_.flush(out);
+  io_.close(out);
+  io_.remove(keys_path);
+  io_.remove(values_path);
+}
+
+StoreReader::StoreReader(Env& env, shim::IoService& io,
+                         const std::string& path)
+    : env_(env), map_(io.map(path)) {
+  MSV_CHECK_MSG(map_->size() >= kHeaderBytes, "store file too small: " + path);
+  if (map_->read_u32(0) != kMagic) {
+    throw RuntimeFault("not a PalDB store: " + path);
+  }
+  MSV_CHECK_MSG(map_->read_u32(4) == kVersion, "store version mismatch");
+  key_count_ = map_->read_u64(8);
+  index_offset_ = map_->read_u64(16);
+  slot_count_ = map_->read_u64(24);
+}
+
+std::optional<std::string> StoreReader::get(std::string_view key) {
+  env_.clock.advance(kRecordCpuCycles);
+  ++stats_.gets;
+  const std::uint64_t h = key_hash(key);
+  std::uint64_t s = h & (slot_count_ - 1);
+  for (std::uint64_t i = 0; i < slot_count_; ++i) {
+    ++stats_.probes;
+    const std::uint64_t slot_off = index_offset_ + s * kSlotBytes;
+    const std::uint64_t slot_hash = map_->read_u64(slot_off);
+    if (slot_hash == 0) return std::nullopt;
+    if (slot_hash == h) {
+      const std::uint64_t rec_off = map_->read_u64(slot_off + 8) - 1;
+      // Read the record: key (verify), then value. Records are usually
+      // small; pull a bounded window from the mapping and grow it if the
+      // record turns out to be larger.
+      const std::uint64_t data_start = kHeaderBytes + rec_off;
+      const std::uint64_t available = index_offset_ - data_start;
+      // Records are length-prefixed and usually small; PalDB reads just
+      // the record, not a page-sized window.
+      std::uint64_t window = std::min<std::uint64_t>(256, available);
+      while (true) {
+        std::vector<std::uint8_t> buf(window);
+        map_->read(data_start, buf.data(), window);
+        try {
+          ByteReader r(buf.data(), buf.size());
+          const std::string stored_key = r.get_string();
+          if (stored_key != key) break;  // hash collision: keep probing
+          ++stats_.hits;
+          return r.get_string();
+        } catch (const RuntimeFault&) {
+          MSV_CHECK_MSG(window < available, "corrupt record in store");
+          window = std::min(window * 2, available);
+        }
+      }
+    }
+    s = (s + 1) & (slot_count_ - 1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace msv::apps::paldb

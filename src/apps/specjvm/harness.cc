@@ -1,0 +1,182 @@
+#include "apps/specjvm/harness.h"
+
+#include "baselines/jvm.h"
+#include "core/app.h"
+#include "kernels/kernels.h"
+#include "runtime/churn.h"
+#include "support/error.h"
+
+namespace msv::apps::specjvm {
+
+const char* benchmark_name(Benchmark b) {
+  switch (b) {
+    case Benchmark::kMpegaudio:
+      return "mpegaudio";
+    case Benchmark::kFft:
+      return "fft";
+    case Benchmark::kMonteCarlo:
+      return "monte_carlo";
+    case Benchmark::kSor:
+      return "sor";
+    case Benchmark::kLu:
+      return "lu";
+    case Benchmark::kSparse:
+      return "sparse";
+  }
+  return "?";
+}
+
+WorkloadSpec WorkloadSpec::defaults(Benchmark b) {
+  WorkloadSpec spec;
+  switch (b) {
+    case Benchmark::kMpegaudio:
+      spec.iterations = 1;
+      spec.mpeg_frames = 800'000;
+      spec.jvm_compute_factor = 1.7;
+      break;
+    case Benchmark::kFft:
+      spec.iterations = 25;
+      spec.fft_doubles = 1 << 18;
+      spec.jvm_compute_factor = 2.0;
+      break;
+    case Benchmark::kMonteCarlo:
+      spec.iterations = 1;
+      spec.mc_samples = 8'000'000;
+      // The serial-GC pathology (Table 1, [28]): the live window nearly
+      // fills a semispace, so every few MB of allocation triggers a full
+      // copy of the window.
+      spec.heap_bytes = 48ull << 20;
+      spec.churn_live_bytes = 22ull << 20;
+      spec.jvm_compute_factor = 1.2;
+      break;
+    case Benchmark::kSor:
+      spec.iterations = 6;
+      spec.sor_grid = 384;
+      spec.sor_iters = 110;
+      spec.jvm_compute_factor = 1.05;
+      break;
+    case Benchmark::kLu:
+      spec.iterations = 30;
+      spec.lu_n = 320;
+      spec.jvm_compute_factor = 1.08;
+      break;
+    case Benchmark::kSparse:
+      spec.iterations = 4;
+      spec.sparse_n = 12'000;
+      spec.sparse_nz = 360'000;
+      spec.sparse_iters = 110;
+      spec.jvm_compute_factor = 1.05;
+      break;
+  }
+  return spec;
+}
+
+namespace {
+
+model::AppModel build_model(Benchmark b, const WorkloadSpec& spec) {
+  model::AppModel app;
+  auto& bench = app.add_class("Bench", model::Annotation::kNeutral);
+  bench.add_constructor(0).body_native(
+      [](model::NativeCall&) { return rt::Value(); });
+  bench.add_method("run", 0).body_native(
+      [b, spec](model::NativeCall& call) {
+        Env& env = call.ctx.env();
+        MemoryDomain& domain = call.isolate.domain();
+        Rng rng(0xbe7c5 + static_cast<std::uint64_t>(b));
+        double checksum = 0;
+        for (std::uint32_t it = 0; it < spec.iterations; ++it) {
+          kernels::KernelResult r;
+          switch (b) {
+            case Benchmark::kMpegaudio:
+              r = kernels::mpegaudio(env, domain, spec.mpeg_frames, rng);
+              break;
+            case Benchmark::kFft:
+              r = kernels::fft(env, domain, spec.fft_doubles, rng);
+              break;
+            case Benchmark::kMonteCarlo:
+              r = kernels::monte_carlo(env, domain, spec.mc_samples, rng);
+              break;
+            case Benchmark::kSor:
+              r = kernels::sor(env, domain, spec.sor_grid, spec.sor_iters,
+                               rng);
+              break;
+            case Benchmark::kLu:
+              r = kernels::lu(env, domain, spec.lu_n, rng);
+              break;
+            case Benchmark::kSparse:
+              r = kernels::sparse_matmult(env, domain, spec.sparse_n,
+                                          spec.sparse_nz, spec.sparse_iters,
+                                          rng);
+              break;
+          }
+          checksum += r.checksum;
+          if (r.alloc_bytes > 0) {
+            rt::alloc_churn(call.isolate, r.alloc_bytes,
+                            spec.churn_live_bytes);
+          }
+        }
+        return rt::Value(checksum);
+      });
+
+  auto& main_cls = app.add_class("Main", model::Annotation::kNeutral);
+  main_cls.add_static_method("main", 0)
+      .body(model::IrBuilder()
+                .new_object("Bench", 0)
+                .call("run", 0)
+                .ret()
+                .build());
+  app.set_main_class("Main");
+  return app;
+}
+
+}  // namespace
+
+NiRun run_native_image(Benchmark b, const WorkloadSpec& spec, bool in_sgx,
+                       const CostModel& cost) {
+  const model::AppModel app_model = build_model(b, spec);
+  core::AppConfig config;
+  config.cost = cost;
+  config.trusted_heap_bytes = spec.heap_bytes;
+  config.untrusted_heap_bytes = spec.heap_bytes;
+
+  NiRun run;
+  if (in_sgx) {
+    core::UnpartitionedApp app(app_model, config);
+    app.run_main();
+    run.total_cycles = app.env().clock.now();
+    run.gc_cycles = app.context().isolate().heap().stats().gc_cycles_total;
+    run.gc_count = app.context().isolate().heap().stats().gc_count;
+    run.seconds = app.now_seconds();
+  } else {
+    core::NativeApp app(app_model, config);
+    app.run_main();
+    run.total_cycles = app.env().clock.now();
+    run.gc_cycles = app.context().isolate().heap().stats().gc_cycles_total;
+    run.gc_count = app.context().isolate().heap().stats().gc_count;
+    run.seconds = app.now_seconds();
+  }
+  return run;
+}
+
+SpecRow run_all_modes(Benchmark b, const WorkloadSpec& spec,
+                      const CostModel& cost) {
+  const NiRun nosgx = run_native_image(b, spec, /*in_sgx=*/false, cost);
+  const NiRun sgx = run_native_image(b, spec, /*in_sgx=*/true, cost);
+
+  const baselines::JvmEstimator jvm(cost);
+  const auto nosgx_jvm =
+      jvm.estimate(kSpecJvmClassCount, nosgx.total_cycles, nosgx.gc_cycles,
+                   /*in_scone=*/false, spec.jvm_compute_factor);
+  const auto scone_jvm =
+      jvm.estimate(kSpecJvmClassCount, sgx.total_cycles, sgx.gc_cycles,
+                   /*in_scone=*/true, spec.jvm_compute_factor);
+
+  SpecRow row;
+  row.nosgx_ni = nosgx.seconds;
+  row.sgx_ni = sgx.seconds;
+  row.nosgx_jvm = nosgx_jvm.seconds(cost);
+  row.scone_jvm = scone_jvm.seconds(cost);
+  return row;
+}
+
+}  // namespace msv::apps::specjvm

@@ -1,0 +1,79 @@
+// SPECjvm2008 micro-benchmark harness (Fig. 12 / Table 1).
+//
+// Each benchmark runs the real kernel (src/kernels) inside a managed
+// runtime as a native image — outside SGX (NoSGX-NI) or inside an enclave
+// (SGX-NI) — and converts the kernel's allocation pressure into real
+// allocations on the isolate heap so the serial collector's behaviour is
+// measured, not assumed. The JVM columns (NoSGX+JVM, SCONE+JVM) come from
+// the baselines::JvmEstimator applied to the measured decomposition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/cost_model.h"
+
+namespace msv::apps::specjvm {
+
+enum class Benchmark { kMpegaudio, kFft, kMonteCarlo, kSor, kLu, kSparse };
+
+constexpr Benchmark kAllBenchmarks[] = {
+    Benchmark::kMpegaudio, Benchmark::kFft, Benchmark::kMonteCarlo,
+    Benchmark::kSor,       Benchmark::kLu,  Benchmark::kSparse};
+
+const char* benchmark_name(Benchmark b);
+
+// Workload sizes ("default workloads" of §6.6), chosen so the NoSGX-NI
+// runs land in the sub-second to few-second range of Fig. 12.
+struct WorkloadSpec {
+  std::uint32_t iterations = 1;
+  std::uint64_t fft_doubles = 1 << 19;
+  std::uint32_t sor_grid = 256;
+  std::uint32_t sor_iters = 60;
+  std::uint32_t lu_n = 180;
+  std::uint32_t sparse_n = 8000;
+  std::uint32_t sparse_nz = 120'000;
+  std::uint32_t sparse_iters = 80;
+  std::uint64_t mc_samples = 400'000;
+  std::uint32_t mpeg_frames = 40'000;
+  // Heap configuration for the native image (-Xmx analog) and the live
+  // window of the allocation churn.
+  std::uint64_t heap_bytes = 48ull << 20;
+  std::uint64_t churn_live_bytes = 6ull << 20;
+  // Measured JVM-vs-AOT throughput gap for this kernel (SPECjvm kernels
+  // differ widely: trig-heavy butterflies suffer under the JIT, plain
+  // array sweeps run at AOT speed).
+  double jvm_compute_factor = 1.35;
+
+  static WorkloadSpec defaults(Benchmark b);
+};
+
+struct NiRun {
+  double seconds = 0;
+  Cycles total_cycles = 0;
+  Cycles gc_cycles = 0;
+  std::uint64_t gc_count = 0;
+  double checksum = 0;
+};
+
+// Runs one benchmark as a native image; `in_sgx` selects the enclave.
+NiRun run_native_image(Benchmark b, const WorkloadSpec& spec, bool in_sgx,
+                       const CostModel& cost = CostModel::paper());
+
+// All four configurations of Fig. 12 (seconds).
+struct SpecRow {
+  double nosgx_jvm = 0;
+  double nosgx_ni = 0;
+  double sgx_ni = 0;
+  double scone_jvm = 0;
+  // Table 1: "latency gain over SCONE+JVM" of the in-enclave native image.
+  double table1_gain() const { return scone_jvm / sgx_ni; }
+};
+
+SpecRow run_all_modes(Benchmark b, const WorkloadSpec& spec,
+                      const CostModel& cost = CostModel::paper());
+
+// Class count the JVM would load for the SPECjvm harness + benchmark.
+constexpr std::uint64_t kSpecJvmClassCount = 420;
+
+}  // namespace msv::apps::specjvm

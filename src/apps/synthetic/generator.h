@@ -1,0 +1,45 @@
+// The synthetic Java program generator (§6.5).
+//
+// "We developed a Java program generator to create Java applications with
+// various numbers of classes annotated as trusted or untrusted. We
+// generated a Java application with 100 classes. Each class contains an
+// instance method which performs either CPU intensive operations (compute
+// a fast Fourier transform on a 1 MB double array) or I/O intensive
+// operations (writes 4 KB of data to a file). The main method instantiates
+// each class and invokes the associated instance method."
+//
+// The generator also builds the minimal trusted/untrusted object models
+// used by the §6.2–§6.3 micro-benchmarks (proxy creation, RMI,
+// serialization).
+#pragma once
+
+#include <cstdint>
+
+#include "model/app_model.h"
+
+namespace msv::apps::synthetic {
+
+enum class WorkKind { kCpu, kIo };
+
+struct SyntheticSpec {
+  std::uint32_t n_classes = 100;
+  // Fraction of classes annotated @Untrusted (the x-axis of Fig. 6); the
+  // rest are @Trusted.
+  double untrusted_fraction = 0.0;
+  WorkKind work = WorkKind::kCpu;
+  std::uint32_t fft_mb = 1;        // CPU variant: FFT over fft_mb MB
+  std::uint32_t io_bytes = 4096;   // I/O variant: bytes written per call
+  std::uint64_t seed = 42;         // which classes get which annotation
+};
+
+// Generates the application: classes C0..Cn-1 with an instance method
+// work(), plus an untrusted Main whose main() instantiates every class and
+// invokes work() on it.
+model::AppModel generate(const SyntheticSpec& spec);
+
+// Micro-benchmark model for Figs. 3–4: a trusted Worker and an untrusted
+// Sink, each with a no-arg constructor, a cheap setter set(v), and a
+// setter taking a serializable list set_list(values).
+model::AppModel build_micro_app();
+
+}  // namespace msv::apps::synthetic

@@ -1,0 +1,32 @@
+#include "baselines/jvm.h"
+
+#include "support/error.h"
+
+namespace msv::baselines {
+
+JvmEstimate JvmEstimator::estimate(std::uint64_t app_classes,
+                                   Cycles ni_total_cycles,
+                                   Cycles ni_gc_cycles, bool in_scone,
+                                   double compute_factor) const {
+  if (compute_factor <= 0) compute_factor = cost_.jvm_compute_factor;
+  MSV_CHECK_MSG(ni_gc_cycles <= ni_total_cycles,
+                "GC share exceeds the total run time");
+  JvmEstimate e;
+  e.startup = cost_.jvm_startup_cycles +
+              app_classes * cost_.jvm_class_load_cycles;
+  if (in_scone) {
+    // SCONE's shielded syscall layer slows the (syscall-heavy) boot path.
+    e.startup = static_cast<Cycles>(static_cast<double>(e.startup) *
+                                    cost_.scone_syscall_factor);
+  }
+
+  const double bloat = in_scone ? kSconeBloatFactor : 1.0;
+  e.compute = static_cast<Cycles>(
+      static_cast<double>(ni_total_cycles - ni_gc_cycles) * compute_factor *
+      bloat);
+  e.gc = static_cast<Cycles>(static_cast<double>(ni_gc_cycles) *
+                             cost_.jvm_gc_efficiency * bloat);
+  return e;
+}
+
+}  // namespace msv::baselines

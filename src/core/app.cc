@@ -1,0 +1,303 @@
+#include "core/app.h"
+
+#include "support/error.h"
+
+namespace msv::core {
+
+namespace {
+
+Env* make_env(AppConfig& config) {
+  return new Env(config.cost, config.fs);
+}
+
+void add_gc_edl_entries(sgx::EdlSpec& edl) {
+  sgx::EdlFunction evict_in;
+  evict_in.name = "ecall_gc_evict_mirrors";
+  evict_in.params = {{"const int64_t*", "hashes", sgx::EdlDirection::kIn, "n"},
+                     {"size_t", "n", sgx::EdlDirection::kIn, ""}};
+  edl.add_ecall(std::move(evict_in));
+
+  sgx::EdlFunction scan;
+  scan.name = "ecall_gc_scan_trusted";
+  edl.add_ecall(std::move(scan));
+
+  sgx::EdlFunction evict_out;
+  evict_out.name = "ocall_gc_evict_mirrors";
+  evict_out.params = {{"const int64_t*", "hashes", sgx::EdlDirection::kIn, "n"},
+                      {"size_t", "n", sgx::EdlDirection::kIn, ""}};
+  edl.add_ocall(std::move(evict_out));
+}
+
+// The final SGX-module link (§5.4): the enclave blob is the trusted image
+// plus the shim plus the generated trusted bridge routines; its SHA-256 is
+// MRENCLAVE.
+Sha256::Digest measure_enclave_blob(const xform::NativeImage& trusted,
+                                    const sgx::EdgeRoutines& edge) {
+  Sha256 h;
+  const ByteBuffer image_bytes = trusted.serialize();
+  h.update(image_bytes.data(), image_bytes.size());
+  h.update("montsalvat-shim-v1");
+  h.update(edge.trusted_source);
+  return h.finish();
+}
+
+// Agent mode: every public method of every class is a root.
+std::vector<xform::MethodRef> all_public_methods(const model::AppModel& set) {
+  std::vector<xform::MethodRef> eps;
+  for (const auto& cls : set.classes()) {
+    for (const auto& m : cls.methods()) {
+      if (m.is_public()) eps.push_back({cls.name(), m.name()});
+    }
+  }
+  return eps;
+}
+
+// Entry points for one image: the §5.3 rule plus any configured extra
+// roots whose class/method exist in this image's input set.
+std::vector<xform::MethodRef> image_entry_points(
+    const model::AppModel& set, bool is_trusted,
+    const std::vector<xform::MethodRef>& extras) {
+  std::vector<xform::MethodRef> eps =
+      is_trusted ? xform::trusted_image_entry_points(set)
+                 : xform::untrusted_image_entry_points(set);
+  for (const auto& [cls, method] : extras) {
+    // Proxies qualify too: rooting a proxy keeps the remote class callable
+    // from host-driven code even when no bytecode path reaches it.
+    const model::ClassDecl* c = set.find_class(cls);
+    if (c != nullptr && c->find_method(method) != nullptr) {
+      eps.push_back({cls, method});
+    }
+  }
+  return eps;
+}
+
+}  // namespace
+
+PartitionedApp::PartitionedApp(const model::AppModel& app, AppConfig config,
+                               interp::IntrinsicTable intrinsics)
+    : env_(make_env(config)), config_(std::move(config)) {
+  // 1. Bytecode transformation (§5.2).
+  xform::BytecodeTransformer transformer;
+  xform::TransformResult transformed = transformer.transform(app);
+
+  // 2. Native image generation with reachability pruning (§5.3).
+  xform::ImageBuilder builder(config_.image);
+  trusted_image_ = builder.build(
+      transformed.trusted, /*is_trusted=*/true,
+      image_entry_points(transformed.trusted, true,
+                         config_.extra_entry_points));
+  untrusted_image_ = builder.build(
+      transformed.untrusted, /*is_trusted=*/false,
+      image_entry_points(transformed.untrusted, false,
+                         config_.extra_entry_points));
+
+  // 3. EDL + Edger8r bridge generation (§5.3, §5.4): the relay
+  // transitions, the shim's libc relays and the GC-helper calls.
+  edl_ = std::move(transformed.edl);
+  shim::EnclaveShim::add_edl_entries(edl_);
+  add_gc_edl_entries(edl_);
+  if (config_.switchless_relays) {
+    for (auto& fn : edl_.trusted) fn.switchless = true;
+    for (auto& fn : edl_.untrusted) fn.switchless = true;
+  }
+  edge_ = sgx::edger8r_generate(edl_);
+
+  // 4. SGX application creation (§5.4): measured load + EINIT.
+  const Sha256::Digest measurement =
+      measure_enclave_blob(trusted_image_, edge_);
+  enclave_ = std::make_unique<sgx::Enclave>(
+      *env_, "montsalvat_enclave", measurement,
+      trusted_image_.total_bytes() + shim::EnclaveShim::shim_code_bytes(),
+      config_.enclave_heap_max_bytes, config_.enclave_stack_bytes);
+  enclave_->init(measurement);
+
+  // 5. Runtimes: one isolate per image (§2.2), the trusted one backed by
+  // EPC memory.
+  untrusted_domain_ = std::make_unique<UntrustedDomain>(*env_);
+  trusted_domain_ = std::make_unique<sgx::EnclaveDomain>(*env_, *enclave_);
+  trusted_iso_ = std::make_unique<rt::Isolate>(
+      *env_, *trusted_domain_,
+      rt::Isolate::Config{"trusted-isolate", config_.trusted_heap_bytes,
+                          trusted_image_.image_heap_bytes});
+  untrusted_iso_ = std::make_unique<rt::Isolate>(
+      *env_, *untrusted_domain_,
+      rt::Isolate::Config{"untrusted-isolate", config_.untrusted_heap_bytes,
+                          untrusted_image_.image_heap_bytes});
+
+  // 6. Bridge, shim and the two execution contexts.
+  bridge_ = std::make_unique<sgx::TransitionBridge>(*env_, *enclave_);
+  host_io_ = std::make_unique<shim::HostIo>(*env_, *untrusted_domain_);
+  enclave_shim_ = std::make_unique<shim::EnclaveShim>(
+      *env_, *bridge_, *host_io_, *trusted_domain_);
+  enclave_shim_->register_ocalls();
+  trusted_ctx_ = std::make_unique<interp::ExecContext>(
+      *env_, *trusted_iso_, trusted_image_.classes, *enclave_shim_,
+      intrinsics);
+  untrusted_ctx_ = std::make_unique<interp::ExecContext>(
+      *env_, *untrusted_iso_, untrusted_image_.classes, *host_io_,
+      std::move(intrinsics));
+
+  // 7. RMI machinery and GC helpers (§5.2, §5.5).
+  rmi_ = std::make_unique<rmi::ProxyRuntime>(
+      *env_, *bridge_, *trusted_ctx_, *untrusted_ctx_,
+      rmi::ProxyRuntime::Config{config_.hash_scheme,
+                                config_.gc_scan_period_seconds,
+                                /*gc_auto_pump=*/true,
+                                /*max_serialization_depth=*/64});
+  rmi_->register_handlers();
+  trusted_ctx_->set_remote(rmi_.get());
+  untrusted_ctx_->set_remote(rmi_.get());
+
+  if (config_.switchless_relays) {
+    for (const auto& fn : edl_.trusted) {
+      if (fn.name.rfind("ecall_relay_", 0) == 0) {
+        bridge_->set_switchless(fn.name, true);
+      }
+    }
+    for (const auto& fn : edl_.untrusted) {
+      if (fn.name.rfind("ocall_relay_", 0) == 0) {
+        bridge_->set_switchless(fn.name, true);
+      }
+    }
+  }
+}
+
+PartitionedApp::~PartitionedApp() = default;
+
+rt::Value PartitionedApp::run_main(std::vector<rt::Value> args) {
+  // SGX applications begin in the untrusted runtime (§5.3).
+  return untrusted_ctx_->run_main(std::move(args));
+}
+
+TcbReport PartitionedApp::tcb_report() const {
+  TcbReport r;
+  r.app_code_bytes = trusted_image_.code_bytes;
+  r.runtime_code_bytes = trusted_image_.runtime_code_bytes;
+  r.shim_bytes = shim::EnclaveShim::shim_code_bytes();
+  r.image_heap_bytes = trusted_image_.image_heap_bytes;
+  r.trusted_classes = trusted_image_.class_count();
+  r.trusted_methods = trusted_image_.method_count();
+  r.edl_functions = edl_.trusted.size() + edl_.untrusted.size();
+  return r;
+}
+
+UnpartitionedApp::UnpartitionedApp(const model::AppModel& app,
+                                   AppConfig config,
+                                   interp::IntrinsicTable intrinsics)
+    : env_(make_env(config)), config_(std::move(config)) {
+  app.validate();
+  MSV_CHECK_MSG(!app.main_class().empty(),
+                "unpartitioned app needs a main class");
+
+  // One image, rooted at main, linked entirely into the enclave (§5.6).
+  xform::ImageBuilder builder(config_.image);
+  std::vector<xform::MethodRef> eps{{app.main_class(), "main"}};
+  for (const auto& [cls, method] : config_.extra_entry_points) {
+    const model::ClassDecl* c = app.find_class(cls);
+    if (c != nullptr && c->find_method(method) != nullptr) {
+      eps.push_back({cls, method});
+    }
+  }
+  image_ = builder.build(app, /*is_trusted=*/true, eps);
+
+  sgx::EdlFunction main_fn;
+  main_fn.name = "ecall_main";
+  edl_.enclave_name = "montsalvat_enclave";
+  edl_.add_ecall(std::move(main_fn));
+  shim::EnclaveShim::add_edl_entries(edl_);
+
+  const sgx::EdgeRoutines edge = sgx::edger8r_generate(edl_);
+  Sha256 h;
+  const ByteBuffer image_bytes = image_.serialize();
+  h.update(image_bytes.data(), image_bytes.size());
+  h.update("montsalvat-shim-v1");
+  h.update(edge.trusted_source);
+  const Sha256::Digest measurement = h.finish();
+
+  enclave_ = std::make_unique<sgx::Enclave>(
+      *env_, "montsalvat_enclave", measurement,
+      image_.total_bytes() + shim::EnclaveShim::shim_code_bytes(),
+      config_.enclave_heap_max_bytes, config_.enclave_stack_bytes);
+  enclave_->init(measurement);
+
+  untrusted_domain_ = std::make_unique<UntrustedDomain>(*env_);
+  trusted_domain_ = std::make_unique<sgx::EnclaveDomain>(*env_, *enclave_);
+  iso_ = std::make_unique<rt::Isolate>(
+      *env_, *trusted_domain_,
+      rt::Isolate::Config{"enclave-isolate", config_.trusted_heap_bytes,
+                          image_.image_heap_bytes});
+  bridge_ = std::make_unique<sgx::TransitionBridge>(*env_, *enclave_);
+  host_io_ = std::make_unique<shim::HostIo>(*env_, *untrusted_domain_);
+  enclave_shim_ = std::make_unique<shim::EnclaveShim>(
+      *env_, *bridge_, *host_io_, *trusted_domain_);
+  enclave_shim_->register_ocalls();
+  ctx_ = std::make_unique<interp::ExecContext>(
+      *env_, *iso_, image_.classes, *enclave_shim_, std::move(intrinsics));
+
+  bridge_->register_ecall("ecall_main", [this](ByteReader&) {
+    env_->clock.advance(env_->cost.isolate_attach_trusted_cycles);
+    ctx_->run_main();
+    return ByteBuffer();
+  });
+  bridge_->register_ecall("ecall_invoke", [this](ByteReader&) {
+    env_->clock.advance(env_->cost.isolate_attach_trusted_cycles);
+    MSV_CHECK_MSG(pending_invoke_ != nullptr, "no pending enclave function");
+    pending_result_ = (*pending_invoke_)(*ctx_);
+    return ByteBuffer();
+  });
+}
+
+UnpartitionedApp::~UnpartitionedApp() = default;
+
+rt::Value UnpartitionedApp::run_main(std::vector<rt::Value> args) {
+  MSV_CHECK_MSG(args.empty(),
+                "ecall_main takes no arguments in the unpartitioned mode");
+  bridge_->ecall("ecall_main", ByteBuffer());
+  return rt::Value();
+}
+
+rt::Value UnpartitionedApp::run_in_enclave(
+    const std::function<rt::Value(interp::ExecContext&)>& fn) {
+  pending_invoke_ = &fn;
+  bridge_->ecall("ecall_invoke", ByteBuffer());
+  pending_invoke_ = nullptr;
+  rt::Value result = std::move(pending_result_);
+  pending_result_ = rt::Value();
+  return result;
+}
+
+NativeApp::NativeApp(const model::AppModel& app, AppConfig config,
+                     interp::IntrinsicTable intrinsics)
+    : env_(make_env(config)), config_(std::move(config)) {
+  app.validate();
+  MSV_CHECK_MSG(!app.main_class().empty(), "native app needs a main class");
+  xform::ImageBuilder builder(config_.image);
+  std::vector<xform::MethodRef> eps{{app.main_class(), "main"}};
+  if (config_.root_everything) {
+    eps = all_public_methods(app);
+  } else {
+    for (const auto& [cls, method] : config_.extra_entry_points) {
+      const model::ClassDecl* c = app.find_class(cls);
+      if (c != nullptr && c->find_method(method) != nullptr) {
+        eps.push_back({cls, method});
+      }
+    }
+  }
+  image_ = builder.build(app, /*is_trusted=*/false, eps);
+  domain_ = std::make_unique<UntrustedDomain>(*env_);
+  iso_ = std::make_unique<rt::Isolate>(
+      *env_, *domain_,
+      rt::Isolate::Config{"native-isolate", config_.untrusted_heap_bytes,
+                          image_.image_heap_bytes});
+  host_io_ = std::make_unique<shim::HostIo>(*env_, *domain_);
+  ctx_ = std::make_unique<interp::ExecContext>(
+      *env_, *iso_, image_.classes, *host_io_, std::move(intrinsics));
+}
+
+NativeApp::~NativeApp() = default;
+
+rt::Value NativeApp::run_main(std::vector<rt::Value> args) {
+  return ctx_->run_main(std::move(args));
+}
+
+}  // namespace msv::core

@@ -1,0 +1,22 @@
+// Umbrella header: the public API of the Montsalvat library.
+//
+// Typical use (see examples/quickstart.cpp for the full Listing-1 program):
+//
+//   msv::model::AppModel app;
+//   auto& account = app.add_class("Account", msv::model::Annotation::kTrusted);
+//   account.add_field("owner");
+//   ...
+//   app.set_main_class("Main");
+//
+//   msv::core::PartitionedApp sgx_app(app);
+//   sgx_app.run_main();
+//
+#pragma once
+
+#include "core/app.h"               // PartitionedApp / UnpartitionedApp / NativeApp
+#include "interp/exec_context.h"    // ExecContext, intrinsics
+#include "model/app_model.h"        // AppModel, ClassDecl, MethodDecl
+#include "model/ir.h"               // IrBuilder
+#include "rmi/proxy_runtime.h"      // ProxyRuntime introspection
+#include "sgx/attestation.h"        // remote attestation
+#include "sim/env.h"                // Env, CostModel

@@ -1,0 +1,155 @@
+#include "dsl/lexer.h"
+
+#include <cctype>
+
+namespace msv::dsl {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+
+  auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < source.size() ? source[i + ahead] : '\0';
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+
+    Token t;
+    t.line = line;
+
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < source.size() && ident_char(source[i])) ++i;
+      t.kind = TokenKind::kIdentifier;
+      t.text = source.substr(start, i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '@') {
+      ++i;
+      if (i >= source.size() || !ident_start(source[i])) {
+        throw ParseError("'@' must be followed by a name", line);
+      }
+      std::size_t start = i;
+      while (i < source.size() && ident_char(source[i])) ++i;
+      t.kind = TokenKind::kAnnotation;
+      t.text = source.substr(start, i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        ++i;
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[i]))) {
+          ++i;
+        }
+        t.kind = TokenKind::kFloatLiteral;
+        t.float_value = std::stod(source.substr(start, i - start));
+      } else {
+        t.kind = TokenKind::kIntLiteral;
+        t.int_value = std::stoll(source.substr(start, i - start));
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string value;
+      while (i < source.size() && source[i] != '"') {
+        if (source[i] == '\n') throw ParseError("unterminated string", line);
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          ++i;
+          switch (source[i]) {
+            case 'n':
+              value += '\n';
+              break;
+            case 't':
+              value += '\t';
+              break;
+            case '"':
+              value += '"';
+              break;
+            case '\\':
+              value += '\\';
+              break;
+            default:
+              throw ParseError("unknown escape sequence", line);
+          }
+          ++i;
+        } else {
+          value += source[i++];
+        }
+      }
+      if (i >= source.size()) throw ParseError("unterminated string", line);
+      ++i;  // closing quote
+      t.kind = TokenKind::kStringLiteral;
+      t.string_value = std::move(value);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Two-character operators first.
+    static const char* kTwoChar[] = {"==", "<=", ">=", "!="};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (c == op[0] && peek(1) == op[1]) {
+        t.kind = TokenKind::kPunct2;
+        t.text = op;
+        i += 2;
+        tokens.push_back(std::move(t));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    static const std::string kSingles = "{}();,.=+-*/<>!";
+    if (kSingles.find(c) != std::string::npos) {
+      t.kind = TokenKind::kPunct;
+      t.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line);
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.line = line;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace msv::dsl

@@ -1,0 +1,74 @@
+// Lexer for the Montsalvat source language.
+//
+// The paper's developers annotate Java sources; this repository's front
+// end is a small Java-like language whose compiler (src/dsl/parser.h)
+// produces the same AppModel the rest of the toolchain consumes:
+//
+//   class Account @Trusted {
+//     field owner;
+//     field balance;
+//     ctor(s, b) { this.owner = s; this.balance = b; }
+//     method updateBalance(v) { this.balance = this.balance + v; }
+//   }
+//   class Main @Untrusted {
+//     static method main() {
+//       a = new Account("Alice", 100);
+//       a.updateBalance(0 - 25);
+//       @print(a.getBalance());
+//     }
+//   }
+//   main Main;
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace msv::dsl {
+
+enum class TokenKind {
+  kIdentifier,   // foo
+  kAnnotation,   // @Trusted / @print — '@' + identifier
+  kIntLiteral,   // 42
+  kFloatLiteral, // 2.5
+  kStringLiteral,// "text"
+  kPunct,        // { } ( ) ; , . = + - * / < > !
+  kPunct2,       // == <= >= !=
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // identifier/annotation name, punct characters
+  std::int64_t int_value = 0;
+  double float_value = 0;
+  std::string string_value;
+  int line = 0;
+
+  bool is_punct(const char* p) const {
+    return (kind == TokenKind::kPunct || kind == TokenKind::kPunct2) &&
+           text == p;
+  }
+  bool is_identifier(const char* name) const {
+    return kind == TokenKind::kIdentifier && text == name;
+  }
+};
+
+// Thrown on lexical or syntax errors; carries the line number.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+// Tokenizes the whole input ('//' comments are skipped). Throws ParseError
+// on malformed input.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace msv::dsl

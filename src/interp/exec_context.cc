@@ -1,0 +1,374 @@
+#include "interp/exec_context.h"
+
+#include <map>
+
+#include "support/error.h"
+
+namespace msv::interp {
+
+using model::ClassDecl;
+using model::MethodDecl;
+using model::MethodKind;
+using model::Op;
+using rt::GcRef;
+using rt::Value;
+using rt::ValueType;
+
+ExecContext::ExecContext(Env& env, rt::Isolate& isolate,
+                         const model::AppModel& classes, shim::IoService& io,
+                         IntrinsicTable intrinsics)
+    : env_(env),
+      isolate_(isolate),
+      classes_(classes),
+      io_(io),
+      intrinsics_(std::move(intrinsics)) {
+  // Class ids are indices into the image's class table; they end up in
+  // object headers so class_of() can resolve a receiver.
+  for (const auto& c : classes_.classes()) {
+    class_ids_.emplace(c.name(),
+                       static_cast<std::uint32_t>(class_table_.size()));
+    class_table_.push_back(&c);
+  }
+}
+
+std::uint32_t ExecContext::class_id(const std::string& name) const {
+  const auto it = class_ids_.find(name);
+  if (it == class_ids_.end()) {
+    throw RuntimeFault("class " + name + " is not part of image '" +
+                       isolate_.name() + "' (pruned or never defined)");
+  }
+  return it->second;
+}
+
+const ClassDecl& ExecContext::class_by_id(std::uint32_t id) const {
+  MSV_CHECK_MSG(id < class_table_.size(), "bad class id");
+  return *class_table_[id];
+}
+
+const ClassDecl& ExecContext::class_of(const GcRef& obj) const {
+  MSV_CHECK_MSG(!obj.is_null(), "class_of(null)");
+  MSV_CHECK_MSG(obj.isolate() == &isolate_, "object from a foreign isolate");
+  return class_by_id(isolate_.heap().class_id(obj.address()));
+}
+
+rt::Value ExecContext::construct(const std::string& cls_name,
+                                 std::vector<Value> args) {
+  const ClassDecl& cls = classes_.cls(cls_name);
+  if (cls.is_proxy()) {
+    MSV_CHECK_MSG(remote_ != nullptr,
+                  "proxy construction without an RMI layer: " + cls_name);
+    ++stats_.proxy_constructions;
+    return remote_->construct_proxy(*this, cls, args);
+  }
+  ++stats_.objects_constructed;
+  const GcRef self = isolate_.new_instance(
+      class_id(cls_name), static_cast<std::uint32_t>(cls.fields().size()));
+  const MethodDecl* ctor = cls.find_method(model::kConstructorName);
+  if (ctor != nullptr) {
+    if (args.size() != ctor->param_count()) {
+      throw RuntimeFault("constructor of " + cls_name + " expects " +
+                         std::to_string(ctor->param_count()) + " args, got " +
+                         std::to_string(args.size()));
+    }
+    invoke_method(cls, *ctor, self, args);
+  } else if (!args.empty()) {
+    throw RuntimeFault("class " + cls_name +
+                       " has no constructor but got arguments");
+  }
+  return Value(self);
+}
+
+rt::Value ExecContext::invoke(const GcRef& receiver, const std::string& method,
+                              std::vector<Value> args) {
+  const ClassDecl& cls = class_of(receiver);
+  const MethodDecl* m = cls.find_method(method);
+  if (m == nullptr) {
+    throw RuntimeFault("no method " + cls.name() + "." + method);
+  }
+  MSV_CHECK_MSG(!m->is_static(), "instance call to static method " + method);
+  return invoke_method(cls, *m, receiver, args);
+}
+
+rt::Value ExecContext::invoke_static(const std::string& cls_name,
+                                     const std::string& method,
+                                     std::vector<Value> args) {
+  const ClassDecl& cls = classes_.cls(cls_name);
+  const MethodDecl* m = cls.find_method(method);
+  if (m == nullptr || !m->is_static()) {
+    throw RuntimeFault("no static method " + cls_name + "." + method);
+  }
+  return invoke_method(cls, *m, GcRef(), args);
+}
+
+rt::Value ExecContext::run_main(std::vector<Value> args) {
+  MSV_CHECK_MSG(!classes_.main_class().empty(),
+                "image '" + isolate_.name() + "' has no main class");
+  return invoke_static(classes_.main_class(), "main", std::move(args));
+}
+
+std::string ExecContext::trace_to_json() const {
+  // The shape of the GraalVM agent's reflect-config.json: one entry per
+  // class listing the methods observed at run time.
+  std::map<std::string, std::vector<std::string>> by_class;
+  for (const auto& [cls, method] : traced_) by_class[cls].push_back(method);
+
+  std::string out = "[\n";
+  bool first_class = true;
+  for (const auto& [cls, methods] : by_class) {
+    if (!first_class) out += ",\n";
+    first_class = false;
+    out += "  { \"name\": \"" + cls + "\", \"methods\": [";
+    for (std::size_t i = 0; i < methods.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{ \"name\": \"" + methods[i] + "\" }";
+    }
+    out += "] }";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+rt::Value ExecContext::invoke_method(const ClassDecl& cls,
+                                     const MethodDecl& method, GcRef self,
+                                     std::vector<Value>& args) {
+  if (args.size() != method.param_count()) {
+    throw RuntimeFault("method " + cls.name() + "." + method.name() +
+                       " expects " + std::to_string(method.param_count()) +
+                       " args, got " + std::to_string(args.size()));
+  }
+  ++stats_.method_calls;
+  env_.clock.advance(env_.cost.method_call_cycles);
+  if (tracing_) traced_.emplace(cls.name(), method.name());
+
+  switch (method.kind()) {
+    case MethodKind::kIr:
+      return exec_ir(cls, method, std::move(self), args);
+    case MethodKind::kNative: {
+      model::NativeCall call{*this, isolate_, std::move(self), args};
+      return method.native()(call);
+    }
+    case MethodKind::kProxyStub: {
+      MSV_CHECK_MSG(remote_ != nullptr,
+                    "proxy stub without an RMI layer: " + cls.name() + "." +
+                        method.name());
+      ++stats_.proxy_invocations;
+      return remote_->invoke_proxy(*this, self, cls, method, args);
+    }
+    case MethodKind::kRelay:
+      // Relay methods are bridge entry points; they are dispatched by the
+      // RMI layer (which resolves their target), never invoked as normal
+      // methods.
+      throw RuntimeFault("relay method " + cls.name() + "." + method.name() +
+                         " invoked locally");
+  }
+  return Value();
+}
+
+namespace {
+
+bool is_numeric(const Value& v) {
+  const ValueType t = v.type();
+  return t == ValueType::kI32 || t == ValueType::kI64 || t == ValueType::kF64;
+}
+
+Value arith(Op op, const Value& lhs, const Value& rhs) {
+  MSV_CHECK_MSG(is_numeric(lhs) && is_numeric(rhs),
+                "arithmetic on non-numeric values");
+  const bool f = lhs.type() == ValueType::kF64 || rhs.type() == ValueType::kF64;
+  const bool wide =
+      lhs.type() == ValueType::kI64 || rhs.type() == ValueType::kI64;
+  if (f) {
+    const double a = lhs.as_f64(), b = rhs.as_f64();
+    switch (op) {
+      case Op::kAdd:
+        return Value(a + b);
+      case Op::kSub:
+        return Value(a - b);
+      case Op::kMul:
+        return Value(a * b);
+      case Op::kDiv:
+        return Value(a / b);
+      case Op::kLt:
+        return Value(a < b);
+      case Op::kLe:
+        return Value(a <= b);
+      default:
+        return Value(a == b);
+    }
+  }
+  const std::int64_t a = lhs.as_i64(), b = rhs.as_i64();
+  auto narrow = [&](std::int64_t r) {
+    return wide ? Value(r) : Value(static_cast<std::int32_t>(r));
+  };
+  switch (op) {
+    case Op::kAdd:
+      return narrow(a + b);
+    case Op::kSub:
+      return narrow(a - b);
+    case Op::kMul:
+      return narrow(a * b);
+    case Op::kDiv:
+      if (b == 0) throw RuntimeFault("integer division by zero");
+      return narrow(a / b);
+    case Op::kLt:
+      return Value(a < b);
+    case Op::kLe:
+      return Value(a <= b);
+    default:
+      return Value(a == b);
+  }
+}
+
+bool value_equals(const Value& a, const Value& b) {
+  if (is_numeric(a) && is_numeric(b)) return a.as_f64() == b.as_f64();
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return a.as_bool() == b.as_bool();
+    case ValueType::kString:
+      return a.as_string() == b.as_string();
+    case ValueType::kRef:
+      return a.as_ref().same_object(b.as_ref());
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+rt::Value ExecContext::exec_ir(const ClassDecl& cls, const MethodDecl& method,
+                               GcRef self, std::vector<Value>& args) {
+  const model::IrBody& ir = method.ir();
+
+  // Locals: `this` at 0 for instance methods, then parameters.
+  std::vector<Value> locals(
+      std::max<std::size_t>(ir.local_count,
+                            args.size() + (method.is_static() ? 0 : 1)));
+  std::size_t next = 0;
+  if (!method.is_static()) locals[next++] = Value(self);
+  for (auto& a : args) locals[next++] = std::move(a);
+
+  std::vector<Value> stack;
+  auto pop = [&]() {
+    MSV_CHECK_MSG(!stack.empty(), "operand stack underflow in " + cls.name() +
+                                      "." + method.name());
+    Value v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+  auto pop_args = [&](std::int32_t argc) {
+    std::vector<Value> out(static_cast<std::size_t>(argc));
+    for (std::int32_t i = argc - 1; i >= 0; --i) out[i] = pop();
+    return out;
+  };
+  auto as_obj = [&](const Value& v) {
+    MSV_CHECK_MSG(v.type() == ValueType::kRef && !v.as_ref().is_null(),
+                  "object expected in " + cls.name() + "." + method.name());
+    return v.as_ref();
+  };
+
+  std::size_t pc = 0;
+  std::uint64_t ops = 0;
+  while (pc < ir.code.size()) {
+    const model::Instr instr = ir.code[pc];
+    ++ops;
+    bool jumped = false;
+    switch (instr.op) {
+      case Op::kNop:
+        break;
+      case Op::kConst:
+        stack.push_back(ir.consts[instr.a]);
+        break;
+      case Op::kLoadLocal:
+        stack.push_back(locals.at(instr.a));
+        break;
+      case Op::kStoreLocal:
+        locals.at(instr.a) = pop();
+        break;
+      case Op::kGetField: {
+        const GcRef obj = as_obj(pop());
+        stack.push_back(isolate_.get_field(obj, instr.a));
+        break;
+      }
+      case Op::kPutField: {
+        Value value = pop();
+        const GcRef obj = as_obj(pop());
+        isolate_.set_field(obj, instr.a, value);
+        break;
+      }
+      case Op::kNew: {
+        auto ctor_args = pop_args(instr.b);
+        stack.push_back(construct(ir.names[instr.a], std::move(ctor_args)));
+        break;
+      }
+      case Op::kCall: {
+        auto call_args = pop_args(instr.b);
+        const GcRef receiver = as_obj(pop());
+        stack.push_back(
+            invoke(receiver, ir.names[instr.a], std::move(call_args)));
+        break;
+      }
+      case Op::kIntrinsic: {
+        auto call_args = pop_args(instr.b);
+        const std::string& name = ir.names[instr.a];
+        if (!intrinsics_.contains(name)) {
+          throw RuntimeFault("unknown intrinsic " + name);
+        }
+        stack.push_back(intrinsics_.get(name)(*this, call_args));
+        break;
+      }
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kLt:
+      case Op::kLe: {
+        const Value rhs = pop();
+        const Value lhs = pop();
+        stack.push_back(arith(instr.op, lhs, rhs));
+        break;
+      }
+      case Op::kEq: {
+        const Value rhs = pop();
+        const Value lhs = pop();
+        stack.push_back(Value(value_equals(lhs, rhs)));
+        break;
+      }
+      case Op::kJump:
+        pc = static_cast<std::size_t>(instr.a);
+        jumped = true;
+        break;
+      case Op::kBranchFalse:
+        if (!pop().as_bool()) {
+          pc = static_cast<std::size_t>(instr.a);
+          jumped = true;
+        }
+        break;
+      case Op::kPop:
+        pop();
+        break;
+      case Op::kDup:
+        MSV_CHECK_MSG(!stack.empty(), "dup on empty stack");
+        stack.push_back(stack.back());
+        break;
+      case Op::kReturn: {
+        Value result = pop();
+        stats_.ir_ops += ops;
+        env_.clock.advance(ops * env_.cost.ir_op_cycles);
+        return result;
+      }
+      case Op::kReturnVoid:
+        stats_.ir_ops += ops;
+        env_.clock.advance(ops * env_.cost.ir_op_cycles);
+        return Value();
+    }
+    if (!jumped) ++pc;
+  }
+  stats_.ir_ops += ops;
+  env_.clock.advance(ops * env_.cost.ir_op_cycles);
+  return Value();  // fell off the end: implicit void return
+}
+
+}  // namespace msv::interp

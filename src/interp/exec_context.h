@@ -1,0 +1,113 @@
+// The execution engine of one runtime (one native image in one isolate).
+//
+// An ExecContext binds together the pruned class set of a native image, the
+// isolate it executes in, the I/O service visible on that side (HostIo or
+// the enclave shim) and the remote invoker used when execution crosses the
+// partition boundary. It interprets bytecode bodies, dispatches native
+// bodies, and constructs objects — routing proxy classes to the RMI layer.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "interp/intrinsics.h"
+#include "interp/remote.h"
+#include "model/app_model.h"
+#include "runtime/isolate.h"
+#include "shim/io_service.h"
+#include "sim/env.h"
+
+namespace msv::interp {
+
+struct ExecStats {
+  std::uint64_t method_calls = 0;
+  std::uint64_t ir_ops = 0;
+  std::uint64_t objects_constructed = 0;
+  std::uint64_t proxy_constructions = 0;
+  std::uint64_t proxy_invocations = 0;
+};
+
+class ExecContext {
+ public:
+  // `classes` must outlive the context (it is the image's class set).
+  ExecContext(Env& env, rt::Isolate& isolate, const model::AppModel& classes,
+              shim::IoService& io, IntrinsicTable intrinsics);
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  // Wires the RMI layer in; may stay null for unpartitioned images.
+  void set_remote(RemoteInvoker* remote) { remote_ = remote; }
+
+  // ---- Class table ----
+  std::uint32_t class_id(const std::string& name) const;
+  const model::ClassDecl& class_by_id(std::uint32_t id) const;
+  const model::ClassDecl& class_of(const rt::GcRef& obj) const;
+
+  // ---- Execution ----
+  // Allocates an instance of `cls` and runs its constructor (or builds a
+  // proxy + remote mirror if `cls` is a proxy class). Returns the ref.
+  rt::Value construct(const std::string& cls, std::vector<rt::Value> args);
+  rt::Value invoke(const rt::GcRef& receiver, const std::string& method,
+                   std::vector<rt::Value> args);
+  rt::Value invoke_static(const std::string& cls, const std::string& method,
+                          std::vector<rt::Value> args);
+  // Runs the image's main entry point.
+  rt::Value run_main(std::vector<rt::Value> args = {});
+
+  // Dispatches an already-resolved method (used by the RMI relay path).
+  rt::Value invoke_method(const model::ClassDecl& cls,
+                          const model::MethodDecl& method, rt::GcRef self,
+                          std::vector<rt::Value>& args);
+
+  // ---- Services for native method bodies ----
+  Env& env() { return env_; }
+  rt::Isolate& isolate() { return isolate_; }
+  shim::IoService& io() { return io_; }
+  const model::AppModel& classes() const { return classes_; }
+  const ExecStats& stats() const { return stats_; }
+
+  // Charges pure CPU work.
+  void charge(Cycles cycles) { env_.clock.advance(cycles); }
+  // Charges memory traffic through the isolate's domain (MEE-aware).
+  void charge_traffic(std::uint64_t bytes) {
+    isolate_.domain().charge_traffic(bytes);
+  }
+
+  // ---- Tracing agent (§2.2) ----
+  // GraalVM ships a tracing agent that records dynamically accessed
+  // program elements during a test run and emits the reflection
+  // configuration the closed-world analysis needs. This is that agent:
+  // enable it on an unpartitioned/native dry run, then feed
+  // traced_methods() into AppConfig::extra_entry_points (or persist
+  // trace_to_json(), the format the real agent writes).
+  void enable_tracing() { tracing_ = true; }
+  const std::set<std::pair<std::string, std::string>>& traced_methods()
+      const {
+    return traced_;
+  }
+  std::string trace_to_json() const;
+
+ private:
+  rt::Value exec_ir(const model::ClassDecl& cls,
+                    const model::MethodDecl& method, rt::GcRef self,
+                    std::vector<rt::Value>& args);
+
+  Env& env_;
+  rt::Isolate& isolate_;
+  const model::AppModel& classes_;
+  shim::IoService& io_;
+  IntrinsicTable intrinsics_;
+  RemoteInvoker* remote_ = nullptr;
+  std::unordered_map<std::string, std::uint32_t> class_ids_;
+  std::vector<const model::ClassDecl*> class_table_;
+  ExecStats stats_;
+  bool tracing_ = false;
+  std::set<std::pair<std::string, std::string>> traced_;
+};
+
+}  // namespace msv::interp

@@ -1,0 +1,38 @@
+// Interface between the execution engine and the RMI machinery.
+//
+// When the interpreter hits a proxy class — a `new` of a stripped class or
+// a call on a proxy object — the actual work lives in the opposite runtime.
+// The engine delegates to this interface; rmi::ProxyRuntime implements it
+// (§5.2). Keeping it abstract breaks the interp <-> rmi dependency cycle
+// and lets tests stub out the remote side.
+#pragma once
+
+#include <vector>
+
+#include "model/app_model.h"
+#include "runtime/value.h"
+
+namespace msv::interp {
+
+class ExecContext;
+
+class RemoteInvoker {
+ public:
+  virtual ~RemoteInvoker() = default;
+
+  // `new Proxy(args...)`: creates the local proxy object and the remote
+  // mirror, registers both in the GC-synchronisation structures, and
+  // returns the proxy reference.
+  virtual rt::Value construct_proxy(ExecContext& caller,
+                                    const model::ClassDecl& proxy_cls,
+                                    std::vector<rt::Value>& args) = 0;
+
+  // `proxy.method(args...)`: remote method invocation through the bridge.
+  // `proxy` is null for static proxy methods.
+  virtual rt::Value invoke_proxy(ExecContext& caller, const rt::GcRef& proxy,
+                                 const model::ClassDecl& proxy_cls,
+                                 const model::MethodDecl& stub,
+                                 std::vector<rt::Value>& args) = 0;
+};
+
+}  // namespace msv::interp

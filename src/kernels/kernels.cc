@@ -1,0 +1,244 @@
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace msv::kernels {
+namespace {
+
+// Calibration: cycles of CPU work per elementary kernel operation
+// (multiply-add plus loop/index overhead at JIT-compiled-Java density), and
+// the fraction of array bytes per pass that misses the cache and becomes
+// DRAM/MEE traffic.
+constexpr double kCyclesPerFlop = 10.0;
+constexpr double kMissFraction = 0.35;
+
+void charge(Env& env, MemoryDomain& domain, std::uint64_t ops,
+            std::uint64_t traffic_bytes) {
+  env.clock.advance(
+      static_cast<Cycles>(static_cast<double>(ops) * kCyclesPerFlop));
+  domain.charge_traffic(
+      static_cast<std::uint64_t>(static_cast<double>(traffic_bytes)));
+}
+
+}  // namespace
+
+KernelResult fft(Env& env, MemoryDomain& domain, std::uint64_t n_doubles,
+                 Rng& rng) {
+  MSV_CHECK_MSG(n_doubles >= 4 && (n_doubles & (n_doubles - 1)) == 0,
+                "FFT size must be a power of two");
+  const std::uint64_t n = n_doubles / 2;  // complex points
+  std::vector<double> re(n), im(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    re[i] = rng.next_double() - 0.5;
+    im[i] = 0.0;
+  }
+
+  // Bit reversal.
+  for (std::uint64_t i = 1, j = 0; i < n; ++i) {
+    std::uint64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  // Danielson-Lanczos passes.
+  std::uint64_t ops = 0;
+  for (std::uint64_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * M_PI / static_cast<double>(len);
+    const double wr = std::cos(ang), wi = std::sin(ang);
+    for (std::uint64_t i = 0; i < n; i += len) {
+      double cur_r = 1.0, cur_i = 0.0;
+      for (std::uint64_t k = 0; k < len / 2; ++k) {
+        const std::uint64_t a = i + k, b = i + k + len / 2;
+        const double tr = re[b] * cur_r - im[b] * cur_i;
+        const double ti = re[b] * cur_i + im[b] * cur_r;
+        re[b] = re[a] - tr;
+        im[b] = im[a] - ti;
+        re[a] += tr;
+        im[a] += ti;
+        const double nr = cur_r * wr - cur_i * wi;
+        cur_i = cur_r * wi + cur_i * wr;
+        cur_r = nr;
+        ops += 10;
+      }
+    }
+  }
+
+  const std::uint64_t passes = static_cast<std::uint64_t>(
+      std::llround(std::log2(static_cast<double>(n))));
+  const std::uint64_t array_bytes = n_doubles * sizeof(double);
+  charge(env, domain, ops,
+         static_cast<std::uint64_t>(static_cast<double>(array_bytes) *
+                                    static_cast<double>(passes) *
+                                    kMissFraction) +
+             2 * array_bytes);
+
+  double checksum = 0;
+  for (std::uint64_t i = 0; i < n; i += std::max<std::uint64_t>(1, n / 64)) {
+    checksum += re[i] + im[i];
+  }
+  return {checksum, ops, 0};
+}
+
+KernelResult sor(Env& env, MemoryDomain& domain, std::uint32_t grid,
+                 std::uint32_t iterations, Rng& rng) {
+  MSV_CHECK(grid >= 3);
+  std::vector<double> g(static_cast<std::size_t>(grid) * grid);
+  for (auto& v : g) v = rng.next_double();
+  const double omega = 1.25;
+  auto at = [&](std::uint32_t r, std::uint32_t c) -> double& {
+    return g[static_cast<std::size_t>(r) * grid + c];
+  };
+  std::uint64_t ops = 0;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    for (std::uint32_t r = 1; r + 1 < grid; ++r) {
+      for (std::uint32_t c = 1; c + 1 < grid; ++c) {
+        at(r, c) = omega * 0.25 *
+                       (at(r - 1, c) + at(r + 1, c) + at(r, c - 1) +
+                        at(r, c + 1)) +
+                   (1.0 - omega) * at(r, c);
+        ops += 6;
+      }
+    }
+  }
+  const std::uint64_t bytes = g.size() * sizeof(double);
+  charge(env, domain, ops,
+         static_cast<std::uint64_t>(static_cast<double>(bytes) * iterations *
+                                    kMissFraction));
+  return {at(grid / 2, grid / 2), ops, 0};
+}
+
+KernelResult lu(Env& env, MemoryDomain& domain, std::uint32_t n, Rng& rng) {
+  MSV_CHECK(n >= 2);
+  std::vector<double> m(static_cast<std::size_t>(n) * n);
+  for (auto& v : m) v = rng.next_double() + 0.5;
+  auto at = [&](std::uint32_t r, std::uint32_t c) -> double& {
+    return m[static_cast<std::size_t>(r) * n + c];
+  };
+  std::uint64_t ops = 0;
+  double pivot_product = 1.0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::uint32_t p = k;
+    for (std::uint32_t r = k + 1; r < n; ++r) {
+      if (std::fabs(at(r, k)) > std::fabs(at(p, k))) p = r;
+    }
+    if (p != k) {
+      for (std::uint32_t c = 0; c < n; ++c) std::swap(at(p, c), at(k, c));
+    }
+    pivot_product *= at(k, k);
+    for (std::uint32_t r = k + 1; r < n; ++r) {
+      const double f = at(r, k) / at(k, k);
+      at(r, k) = f;
+      for (std::uint32_t c = k + 1; c < n; ++c) {
+        at(r, c) -= f * at(k, c);
+        ops += 2;
+      }
+    }
+  }
+  const std::uint64_t bytes = m.size() * sizeof(double);
+  charge(env, domain, ops,
+         static_cast<std::uint64_t>(static_cast<double>(bytes) *
+                                    std::sqrt(static_cast<double>(n)) *
+                                    kMissFraction));
+  return {pivot_product, ops, 0};
+}
+
+KernelResult sparse_matmult(Env& env, MemoryDomain& domain, std::uint32_t n,
+                            std::uint32_t nz, std::uint32_t iterations,
+                            Rng& rng) {
+  MSV_CHECK(n >= 1 && nz >= n);
+  // CRS with nz/n entries per row at pseudo-random columns.
+  const std::uint32_t per_row = nz / n;
+  std::vector<double> val(static_cast<std::size_t>(per_row) * n);
+  std::vector<std::uint32_t> col(val.size());
+  for (std::size_t i = 0; i < val.size(); ++i) {
+    val[i] = rng.next_double();
+    col[i] = static_cast<std::uint32_t>(rng.next_below(n));
+  }
+  std::vector<double> x(n, 1.0), y(n, 0.0);
+  std::uint64_t ops = 0;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    for (std::uint32_t r = 0; r < n; ++r) {
+      double sum = 0;
+      const std::size_t base = static_cast<std::size_t>(r) * per_row;
+      for (std::uint32_t k = 0; k < per_row; ++k) {
+        sum += val[base + k] * x[col[base + k]];
+        ops += 2;
+      }
+      y[r] = sum;
+    }
+    std::swap(x, y);
+  }
+  // Scatter access: nearly every non-zero is a cache miss.
+  const std::uint64_t traffic =
+      static_cast<std::uint64_t>(val.size()) * iterations * 12;
+  charge(env, domain, ops, traffic);
+  return {x[n / 2], ops, 0};
+}
+
+KernelResult monte_carlo(Env& env, MemoryDomain& domain, std::uint64_t samples,
+                         Rng& rng) {
+  std::uint64_t inside = 0;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const double x = rng.next_double();
+    const double y = rng.next_double();
+    if (x * x + y * y <= 1.0) ++inside;
+  }
+  const std::uint64_t ops = samples * 6;
+  // The SPECjvm harness boxes each sample point; that allocation pressure
+  // is what thrashes the native image's serial collector (Table 1).
+  const std::uint64_t alloc_bytes = samples * 48;
+  charge(env, domain, ops, samples * 2);
+  return {4.0 * static_cast<double>(inside) / static_cast<double>(samples),
+          ops, alloc_bytes};
+}
+
+KernelResult mpegaudio(Env& env, MemoryDomain& domain, std::uint32_t frames,
+                       Rng& rng) {
+  // Subband synthesis: per frame, a 32-point DCT-like butterfly feeding a
+  // 512-tap windowed FIR, as in layer-3 decoding.
+  constexpr std::uint32_t kSubbands = 32;
+  constexpr std::uint32_t kWindow = 512;
+  std::vector<double> window(kWindow);
+  for (std::uint32_t i = 0; i < kWindow; ++i) {
+    window[i] = std::cos(static_cast<double>(i) * 0.013);
+  }
+  std::vector<double> fifo(kWindow, 0.0);
+  std::uint64_t ops = 0;
+  double checksum = 0;
+  for (std::uint32_t f = 0; f < frames; ++f) {
+    double bands[kSubbands];
+    for (auto& b : bands) b = rng.next_double() - 0.5;
+    // Butterfly stage.
+    for (std::uint32_t s = kSubbands / 2; s >= 1; s /= 2) {
+      for (std::uint32_t i = 0; i < kSubbands; i += 2 * s) {
+        for (std::uint32_t k = 0; k < s; ++k) {
+          const double a = bands[i + k], b = bands[i + k + s];
+          bands[i + k] = a + b;
+          bands[i + k + s] = (a - b) * window[(k * 7) % kWindow];
+          ops += 4;
+        }
+      }
+    }
+    // Windowed FIR over the FIFO.
+    std::rotate(fifo.begin(), fifo.end() - kSubbands, fifo.end());
+    for (std::uint32_t i = 0; i < kSubbands; ++i) fifo[i] = bands[i];
+    double sample = 0;
+    for (std::uint32_t i = 0; i < kWindow; i += 8) {
+      sample += fifo[i] * window[i];
+      ops += 2;
+    }
+    checksum += sample;
+  }
+  charge(env, domain, ops,
+         static_cast<std::uint64_t>(frames) * kWindow * sizeof(double) / 4);
+  return {checksum, ops, static_cast<std::uint64_t>(frames) * 96};
+}
+
+}  // namespace msv::kernels

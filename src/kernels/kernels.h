@@ -1,0 +1,59 @@
+// Compute kernels used by the evaluation workloads.
+//
+// These are real implementations — the FFT really transforms, SOR really
+// relaxes, PageRank's engine really converges — executed at the workload's
+// actual sizes, with their *simulated* cost charged to the virtual clock:
+// a CPU term (cycles per elementary operation, calibrated to JIT-compiled
+// Java throughput on the paper's 3.8 GHz machine) and a memory-traffic term
+// routed through the MemoryDomain so the MEE factor applies inside the
+// enclave. The set mirrors SPECjvm2008's SciMark group plus an
+// MPEG-audio-like filterbank (Fig. 12 / Table 1) and the 1 MB-array FFT of
+// the synthetic benchmark (§6.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/domain.h"
+#include "sim/env.h"
+#include "support/rng.h"
+
+namespace msv::kernels {
+
+struct KernelResult {
+  double checksum = 0;        // value derived from the real computation
+  std::uint64_t ops = 0;      // elementary operations performed
+  std::uint64_t alloc_bytes = 0;  // managed-allocation pressure generated
+};
+
+// Complex FFT (radix-2, in place) over n_doubles real values packed as
+// n_doubles/2 complex pairs; n_doubles must be a power of two.
+KernelResult fft(Env& env, MemoryDomain& domain, std::uint64_t n_doubles,
+                 Rng& rng);
+
+// Jacobi successive over-relaxation on a grid x grid lattice.
+KernelResult sor(Env& env, MemoryDomain& domain, std::uint32_t grid,
+                 std::uint32_t iterations, Rng& rng);
+
+// LU factorisation with partial pivoting of an n x n matrix.
+KernelResult lu(Env& env, MemoryDomain& domain, std::uint32_t n, Rng& rng);
+
+// Sparse matrix-vector multiplication, `iterations` passes over an n-row
+// matrix with nz non-zeros (CRS layout, SciMark-style scatter).
+KernelResult sparse_matmult(Env& env, MemoryDomain& domain, std::uint32_t n,
+                            std::uint32_t nz, std::uint32_t iterations,
+                            Rng& rng);
+
+// Monte-Carlo pi integration. Heavy on small, short-lived allocations —
+// the workload the native image's serial GC handles badly (Table 1's
+// 0.25x entry). alloc_bytes reports the pressure; callers that run on a
+// managed heap turn it into real allocations.
+KernelResult monte_carlo(Env& env, MemoryDomain& domain, std::uint64_t samples,
+                         Rng& rng);
+
+// MPEG-audio-like decode: windowed subband synthesis (IMDCT-ish butterfly
+// plus 32-tap filterbank) over `frames` frames.
+KernelResult mpegaudio(Env& env, MemoryDomain& domain, std::uint32_t frames,
+                       Rng& rng);
+
+}  // namespace msv::kernels

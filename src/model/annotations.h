@@ -1,0 +1,29 @@
+// The partitioning language (§5.1).
+//
+// Montsalvat annotates whole classes: @Trusted classes are instantiated and
+// executed only inside the enclave, @Untrusted classes only outside, and
+// unannotated classes are Neutral — copyable utility classes that exist on
+// both sides and may evolve independently.
+#pragma once
+
+namespace msv::model {
+
+enum class Annotation {
+  kNeutral,    // default: included in both images, instances are copies
+  kTrusted,    // @Trusted: lives in the enclave heap, methods run inside
+  kUntrusted,  // @Untrusted: lives in the untrusted heap, methods run outside
+};
+
+inline const char* annotation_name(Annotation a) {
+  switch (a) {
+    case Annotation::kNeutral:
+      return "@Neutral";
+    case Annotation::kTrusted:
+      return "@Trusted";
+    case Annotation::kUntrusted:
+      return "@Untrusted";
+  }
+  return "?";
+}
+
+}  // namespace msv::model

@@ -1,0 +1,187 @@
+#include "model/app_model.h"
+
+#include <unordered_set>
+
+#include "support/error.h"
+
+namespace msv::model {
+
+MethodDecl& MethodDecl::body(IrBody ir) {
+  kind_ = MethodKind::kIr;
+  ir_ = std::move(ir);
+  return *this;
+}
+
+MethodDecl& MethodDecl::body_native(NativeFn fn) {
+  kind_ = MethodKind::kNative;
+  native_ = std::move(fn);
+  return *this;
+}
+
+MethodDecl& MethodDecl::calls(const std::string& cls,
+                              const std::string& method) {
+  declared_callees_.emplace_back(cls, method);
+  return *this;
+}
+
+MethodDecl& MethodDecl::set_static() {
+  is_static_ = true;
+  return *this;
+}
+
+MethodDecl& MethodDecl::set_private() {
+  is_public_ = false;
+  return *this;
+}
+
+MethodDecl& MethodDecl::code_size(std::uint64_t bytes) {
+  native_code_bytes_ = bytes;
+  return *this;
+}
+
+std::uint64_t MethodDecl::code_bytes() const {
+  switch (kind_) {
+    case MethodKind::kIr:
+      // Rough AoT expansion: each bytecode compiles to a handful of machine
+      // instructions.
+      return 32 + ir_.code.size() * 16;
+    case MethodKind::kNative:
+      return native_code_bytes_;
+    case MethodKind::kProxyStub:
+      return 96;  // hash lookup + marshalling + transition call
+    case MethodKind::kRelay:
+      return 160;  // entry point prologue + unmarshal + dispatch
+  }
+  return 0;
+}
+
+void MethodDecl::make_proxy_stub(ProxyStubInfo info) {
+  kind_ = MethodKind::kProxyStub;
+  proxy_ = std::move(info);
+  ir_ = IrBody{};
+  native_ = nullptr;
+}
+
+void MethodDecl::set_relay(RelayInfo info) {
+  kind_ = MethodKind::kRelay;
+  relay_ = std::move(info);
+}
+
+FieldDecl& ClassDecl::add_field(const std::string& name, bool is_private) {
+  MSV_CHECK_MSG(field_index(name) < 0,
+                "duplicate field " + name_ + "." + name);
+  fields_.push_back(FieldDecl{name, is_private});
+  return fields_.back();
+}
+
+MethodDecl& ClassDecl::add_constructor(std::uint32_t param_count) {
+  return add_method(kConstructorName, param_count);
+}
+
+MethodDecl& ClassDecl::add_method(const std::string& name,
+                                  std::uint32_t param_count) {
+  if (find_method(name) != nullptr) {
+    throw ConfigError("duplicate method " + name_ + "." + name +
+                      " (overloading is not supported by the model)");
+  }
+  methods_.emplace_back(name, param_count);
+  return methods_.back();
+}
+
+MethodDecl& ClassDecl::add_static_method(const std::string& name,
+                                         std::uint32_t param_count) {
+  return add_method(name, param_count).set_static();
+}
+
+std::int32_t ClassDecl::field_index(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+const MethodDecl* ClassDecl::find_method(const std::string& name) const {
+  for (const auto& m : methods_) {
+    if (m.name() == name) return &m;
+  }
+  return nullptr;
+}
+
+MethodDecl* ClassDecl::find_method(const std::string& name) {
+  for (auto& m : methods_) {
+    if (m.name() == name) return &m;
+  }
+  return nullptr;
+}
+
+ClassDecl& AppModel::add_class(const std::string& name,
+                               Annotation annotation) {
+  if (find_class(name) != nullptr) {
+    throw ConfigError("duplicate class " + name);
+  }
+  classes_.emplace_back(name, annotation);
+  return classes_.back();
+}
+
+const ClassDecl* AppModel::find_class(const std::string& name) const {
+  for (const auto& c : classes_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+ClassDecl* AppModel::find_class(const std::string& name) {
+  for (auto& c : classes_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+const ClassDecl& AppModel::cls(const std::string& name) const {
+  const ClassDecl* c = find_class(name);
+  if (c == nullptr) throw ConfigError("unknown class " + name);
+  return *c;
+}
+
+ClassDecl& AppModel::cls(const std::string& name) {
+  ClassDecl* c = find_class(name);
+  if (c == nullptr) throw ConfigError("unknown class " + name);
+  return *c;
+}
+
+void AppModel::validate() const {
+  std::unordered_set<std::string> names;
+  for (const auto& c : classes_) {
+    MSV_CHECK_MSG(names.insert(c.name()).second,
+                  "duplicate class " + c.name());
+    if (c.annotation() != Annotation::kNeutral) {
+      for (const auto& f : c.fields()) {
+        if (!f.is_private) {
+          throw ConfigError(
+              "annotated class " + c.name() + " exposes public field '" +
+              f.name +
+              "': @Trusted/@Untrusted classes must be properly encapsulated "
+              "(§5.1)");
+        }
+      }
+    }
+  }
+  if (!main_class_.empty()) {
+    const ClassDecl* main_cls = find_class(main_class_);
+    if (main_cls == nullptr) {
+      throw ConfigError("main class " + main_class_ + " not found");
+    }
+    const MethodDecl* main = main_cls->find_method("main");
+    if (main == nullptr || !main->is_static() || !main->is_public()) {
+      throw ConfigError("main class " + main_class_ +
+                        " needs a public static main method");
+    }
+    if (main_cls->annotation() == Annotation::kTrusted) {
+      throw ConfigError(
+          "main class must not be @Trusted: SGX applications begin in the "
+          "untrusted runtime (§5.3)");
+    }
+  }
+}
+
+}  // namespace msv::model

@@ -1,0 +1,143 @@
+#include "model/ir.h"
+
+#include "support/error.h"
+
+namespace msv::model {
+
+std::int32_t IrBuilder::intern_name(const std::string& name) {
+  for (std::size_t i = 0; i < body_.names.size(); ++i) {
+    if (body_.names[i] == name) return static_cast<std::int32_t>(i);
+  }
+  body_.names.push_back(name);
+  return static_cast<std::int32_t>(body_.names.size() - 1);
+}
+
+IrBuilder& IrBuilder::const_val(rt::Value v) {
+  body_.consts.push_back(std::move(v));
+  body_.code.push_back(
+      {Op::kConst, static_cast<std::int32_t>(body_.consts.size() - 1), 0});
+  return *this;
+}
+
+IrBuilder& IrBuilder::load_local(std::int32_t idx) {
+  body_.code.push_back({Op::kLoadLocal, idx, 0});
+  return *this;
+}
+
+IrBuilder& IrBuilder::store_local(std::int32_t idx) {
+  body_.code.push_back({Op::kStoreLocal, idx, 0});
+  return *this;
+}
+
+IrBuilder& IrBuilder::get_field(std::int32_t field_idx) {
+  body_.code.push_back({Op::kGetField, field_idx, 0});
+  return *this;
+}
+
+IrBuilder& IrBuilder::put_field(std::int32_t field_idx) {
+  body_.code.push_back({Op::kPutField, field_idx, 0});
+  return *this;
+}
+
+IrBuilder& IrBuilder::new_object(const std::string& class_name,
+                                 std::int32_t argc) {
+  body_.code.push_back({Op::kNew, intern_name(class_name), argc});
+  return *this;
+}
+
+IrBuilder& IrBuilder::call(const std::string& method, std::int32_t argc) {
+  body_.code.push_back({Op::kCall, intern_name(method), argc});
+  return *this;
+}
+
+IrBuilder& IrBuilder::intrinsic(const std::string& name, std::int32_t argc) {
+  body_.code.push_back({Op::kIntrinsic, intern_name(name), argc});
+  return *this;
+}
+
+IrBuilder& IrBuilder::add() {
+  body_.code.push_back({Op::kAdd, 0, 0});
+  return *this;
+}
+IrBuilder& IrBuilder::sub() {
+  body_.code.push_back({Op::kSub, 0, 0});
+  return *this;
+}
+IrBuilder& IrBuilder::mul() {
+  body_.code.push_back({Op::kMul, 0, 0});
+  return *this;
+}
+IrBuilder& IrBuilder::div() {
+  body_.code.push_back({Op::kDiv, 0, 0});
+  return *this;
+}
+IrBuilder& IrBuilder::lt() {
+  body_.code.push_back({Op::kLt, 0, 0});
+  return *this;
+}
+IrBuilder& IrBuilder::le() {
+  body_.code.push_back({Op::kLe, 0, 0});
+  return *this;
+}
+IrBuilder& IrBuilder::eq() {
+  body_.code.push_back({Op::kEq, 0, 0});
+  return *this;
+}
+IrBuilder& IrBuilder::pop() {
+  body_.code.push_back({Op::kPop, 0, 0});
+  return *this;
+}
+IrBuilder& IrBuilder::dup() {
+  body_.code.push_back({Op::kDup, 0, 0});
+  return *this;
+}
+IrBuilder& IrBuilder::ret() {
+  body_.code.push_back({Op::kReturn, 0, 0});
+  return *this;
+}
+IrBuilder& IrBuilder::ret_void() {
+  body_.code.push_back({Op::kReturnVoid, 0, 0});
+  return *this;
+}
+
+std::int32_t IrBuilder::new_label() {
+  label_pcs_.push_back(-1);
+  return static_cast<std::int32_t>(label_pcs_.size() - 1);
+}
+
+IrBuilder& IrBuilder::bind(std::int32_t label) {
+  MSV_CHECK_MSG(label >= 0 &&
+                    label < static_cast<std::int32_t>(label_pcs_.size()),
+                "unknown label");
+  MSV_CHECK_MSG(label_pcs_[label] == -1, "label bound twice");
+  label_pcs_[label] = static_cast<std::int32_t>(body_.code.size());
+  return *this;
+}
+
+IrBuilder& IrBuilder::jump(std::int32_t label) {
+  fixups_.emplace_back(body_.code.size(), label);
+  body_.code.push_back({Op::kJump, -1, 0});
+  return *this;
+}
+
+IrBuilder& IrBuilder::branch_false(std::int32_t label) {
+  fixups_.emplace_back(body_.code.size(), label);
+  body_.code.push_back({Op::kBranchFalse, -1, 0});
+  return *this;
+}
+
+IrBuilder& IrBuilder::locals(std::uint32_t count) {
+  body_.local_count = count;
+  return *this;
+}
+
+IrBody IrBuilder::build() {
+  for (const auto& [pc, label] : fixups_) {
+    MSV_CHECK_MSG(label_pcs_[label] != -1, "unbound label in IR");
+    body_.code[pc].a = label_pcs_[label];
+  }
+  fixups_.clear();
+  return body_;
+}
+
+}  // namespace msv::model

@@ -1,0 +1,104 @@
+// A small stack-based bytecode, standing in for the Java bytecode that
+// Montsalvat's Javassist-based weaver transforms (§5.2).
+//
+// The instruction set is deliberately compact: enough for the paper's
+// illustrative programs (Listing 1), the synthetic benchmark generator
+// (§6.5) and the micro-benchmarks, while giving the reachability analysis
+// (§5.3) real call edges to walk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/value.h"
+
+namespace msv::model {
+
+enum class Op : std::uint8_t {
+  kNop,
+  kConst,       // a = constant pool index; push consts[a]
+  kLoadLocal,   // a = local index (arguments first, `this` is local 0 for
+                // instance methods); push locals[a]
+  kStoreLocal,  // a = local index; pop into locals[a]
+  kGetField,    // a = field index; pop obj, push obj.field[a]
+  kPutField,    // a = field index; pop value, pop obj, obj.field[a] = value
+  kNew,         // a = name pool index (class), b = argc; pop args, construct,
+                // push ref (a proxy-aware allocation: §5.2)
+  kCall,        // a = name pool index (method), b = argc; pop args, pop
+                // receiver, invoke, push result
+  kIntrinsic,   // a = name pool index, b = argc; pop args, invoke intrinsic
+                // (compute kernels, I/O — see interp/intrinsics)
+  kAdd,         // numeric add (i32/i64/f64, receiver-type driven)
+  kSub,
+  kMul,
+  kDiv,
+  kLt,          // push bool
+  kLe,
+  kEq,
+  kJump,        // a = target pc
+  kBranchFalse, // a = target pc; pop cond
+  kPop,
+  kDup,
+  kReturn,      // pop return value
+  kReturnVoid,
+};
+
+struct Instr {
+  Op op = Op::kNop;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+};
+
+// The body of a bytecode method.
+struct IrBody {
+  std::vector<Instr> code;
+  std::vector<rt::Value> consts;  // constant pool
+  std::vector<std::string> names; // class/method/intrinsic name pool
+  std::uint32_t local_count = 0;  // locals including parameters and `this`
+};
+
+// Convenience builder used by tests, examples and the synthetic program
+// generator.
+class IrBuilder {
+ public:
+  IrBuilder& const_val(rt::Value v);
+  IrBuilder& load_local(std::int32_t idx);
+  IrBuilder& store_local(std::int32_t idx);
+  IrBuilder& get_field(std::int32_t field_idx);
+  IrBuilder& put_field(std::int32_t field_idx);
+  IrBuilder& new_object(const std::string& class_name, std::int32_t argc);
+  IrBuilder& call(const std::string& method, std::int32_t argc);
+  IrBuilder& intrinsic(const std::string& name, std::int32_t argc);
+  IrBuilder& add();
+  IrBuilder& sub();
+  IrBuilder& mul();
+  IrBuilder& div();
+  IrBuilder& lt();
+  IrBuilder& le();
+  IrBuilder& eq();
+  IrBuilder& pop();
+  IrBuilder& dup();
+  IrBuilder& ret();
+  IrBuilder& ret_void();
+
+  // Control flow: label() marks the current pc; jump/branch take label ids
+  // created with new_label() and bound with bind().
+  std::int32_t new_label();
+  IrBuilder& bind(std::int32_t label);
+  IrBuilder& jump(std::int32_t label);
+  IrBuilder& branch_false(std::int32_t label);
+
+  IrBuilder& locals(std::uint32_t count);
+
+  IrBody build();
+
+ private:
+  std::int32_t intern_name(const std::string& name);
+
+  IrBody body_;
+  std::vector<std::int32_t> label_pcs_;
+  std::vector<std::pair<std::size_t, std::int32_t>> fixups_;  // (pc, label)
+};
+
+}  // namespace msv::model

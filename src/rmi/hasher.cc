@@ -1,0 +1,24 @@
+#include "rmi/hasher.h"
+
+#include <cstring>
+
+#include "support/md5.h"
+
+namespace msv::rmi {
+
+std::int64_t ProxyHasher::next(std::uint32_t identity_hash) {
+  ++counter_;
+  if (scheme_ == HashScheme::kIdentityHash) {
+    return static_cast<std::int64_t>(identity_hash);
+  }
+  Md5 h;
+  h.update(domain_);
+  h.update(&identity_hash, sizeof(identity_hash));
+  h.update(&counter_, sizeof(counter_));
+  const Md5::Digest d = h.finish();
+  std::int64_t out;
+  std::memcpy(&out, d.data(), sizeof(out));
+  return out;
+}
+
+}  // namespace msv::rmi

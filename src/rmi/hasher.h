@@ -1,0 +1,35 @@
+// Proxy hash generation (§5.2).
+//
+// The paper's prototype derives proxy hashes from Java identity hash
+// codes and notes that "to minimize hash collisions, a hashing algorithm
+// like MD5 should be used". Both schemes are implemented:
+//   * kIdentityHash — the 32-bit identity hash, as in the prototype;
+//   * kMd5          — MD5 over (runtime name, identity hash, counter),
+//                     folded to 64 bits (the recommended scheme, default).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msv::rmi {
+
+enum class HashScheme { kIdentityHash, kMd5 };
+
+class ProxyHasher {
+ public:
+  ProxyHasher(HashScheme scheme, std::string domain)
+      : scheme_(scheme), domain_(std::move(domain)) {}
+
+  // Hash for a freshly created proxy whose identity hash is
+  // `identity_hash`.
+  std::int64_t next(std::uint32_t identity_hash);
+
+  HashScheme scheme() const { return scheme_; }
+
+ private:
+  HashScheme scheme_;
+  std::string domain_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace msv::rmi

@@ -1,0 +1,117 @@
+// Multi-isolate proxy/mirror pairs — the paper's second future-work item
+// (§7): "extend our proxy-mirror system to permit creation and interaction
+// of proxy-mirror object pairs across multiple isolates".
+//
+// This extension hosts N trusted isolates inside one enclave (GraalVM
+// isolates: separate heaps, independently collected — §2.2), all running
+// the same trusted image, paired with a single untrusted runtime. Every
+// relayed call carries the target isolate id — exactly the `Isolate ctx`
+// parameter the paper's relay methods already take (Listing 4) — and the
+// untrusted runtime routes each proxy to the isolate that owns its mirror.
+//
+// Use case: multi-tenant enclave services. Each tenant's objects live in
+// their own isolate; a GC pause in one tenant's heap never stops another
+// (exercised by the MultiIsolate tests).
+//
+// Scope: untrusted <-> trusted-isolate-k pairs in both directions. Passing
+// a proxy of isolate A's object into a call on isolate B (a trusted-to-
+// trusted edge) is detected and rejected — full cross-isolate pairs would
+// need trusted-to-trusted transitions the paper also leaves as future
+// work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/exec_context.h"
+#include "interp/remote.h"
+#include "rmi/hasher.h"
+#include "rmi/registry.h"
+#include "rmi/wire.h"
+#include "sgx/bridge.h"
+
+namespace msv::rmi {
+
+class MultiIsolateRuntime final : public interp::RemoteInvoker {
+ public:
+  struct Config {
+    HashScheme hash_scheme = HashScheme::kMd5;
+  };
+
+  // `trusted` contexts all execute the same trusted image in their own
+  // isolates; `untrusted` is the single host-side runtime.
+  MultiIsolateRuntime(Env& env, sgx::TransitionBridge& bridge,
+                      std::vector<interp::ExecContext*> trusted,
+                      interp::ExecContext& untrusted, Config config);
+
+  void register_handlers();
+
+  std::uint32_t isolate_count() const {
+    return static_cast<std::uint32_t>(trusted_.size());
+  }
+
+  // Constructs a proxy in the untrusted runtime whose mirror lives in
+  // trusted isolate `isolate_index`.
+  rt::Value construct_in(std::uint32_t isolate_index, const std::string& cls,
+                         std::vector<rt::Value> args);
+
+  // ---- RemoteInvoker (plain `new Proxy(...)` defaults to isolate 0) ----
+  rt::Value construct_proxy(interp::ExecContext& caller,
+                            const model::ClassDecl& proxy_cls,
+                            std::vector<rt::Value>& args) override;
+  rt::Value invoke_proxy(interp::ExecContext& caller, const rt::GcRef& proxy,
+                         const model::ClassDecl& proxy_cls,
+                         const model::MethodDecl& stub,
+                         std::vector<rt::Value>& args) override;
+
+  // Scans every weak list and evicts dead mirrors across all pairs.
+  void force_gc_scan();
+
+  const MirrorProxyRegistry& trusted_registry(std::uint32_t index) const;
+  const MirrorProxyRegistry& untrusted_registry() const {
+    return untrusted_->registry;
+  }
+
+ private:
+  // Sentinel isolate id for the (single) untrusted runtime.
+  static constexpr std::uint32_t kUntrustedId = 0xffffffffu;
+
+  struct SideState {
+    SideState(interp::ExecContext& c, HashScheme scheme,
+              const std::string& domain)
+        : ctx(c), registry(c.isolate()), hasher(scheme, domain) {}
+
+    interp::ExecContext& ctx;
+    MirrorProxyRegistry registry;
+    ProxyHasher hasher;
+    std::unordered_map<std::int64_t, std::uint32_t> proxy_by_hash;
+  };
+
+  SideState& state_of(interp::ExecContext& ctx);
+  SideState& state_by_id(std::uint32_t id);
+  std::uint32_t id_of(const SideState& s) const;
+
+  RefEncoder make_ref_encoder(SideState& from, std::uint32_t callee_id);
+  RefDecoder make_ref_decoder(SideState& to, std::uint32_t peer_id);
+
+  rt::GcRef materialize_proxy(SideState& s, std::int64_t hash,
+                              const std::string& class_name,
+                              std::uint32_t owner_id);
+
+  rt::Value do_construct(SideState& from, std::uint32_t target_id,
+                         const model::ClassDecl& proxy_cls,
+                         std::vector<rt::Value>& args);
+
+  Env& env_;
+  sgx::TransitionBridge& bridge_;
+  Config config_;
+  std::vector<std::unique_ptr<SideState>> trusted_;
+  std::unique_ptr<SideState> untrusted_;
+  // Untrusted-side routing: proxy hash -> owning trusted isolate.
+  std::unordered_map<std::int64_t, std::uint32_t> hash_owner_;
+  bool handlers_registered_ = false;
+};
+
+}  // namespace msv::rmi

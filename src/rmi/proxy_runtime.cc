@@ -1,0 +1,438 @@
+#include "rmi/proxy_runtime.h"
+
+#include "support/error.h"
+#include "transform/transformer.h"
+
+namespace msv::rmi {
+
+using interp::ExecContext;
+using model::ClassDecl;
+using model::MethodDecl;
+using model::MethodKind;
+using rt::GcRef;
+using rt::Value;
+
+ProxyRuntime::ProxyRuntime(Env& env, sgx::TransitionBridge& bridge,
+                           ExecContext& trusted_ctx, ExecContext& untrusted_ctx,
+                           Config config)
+    : env_(env),
+      bridge_(bridge),
+      config_(config),
+      trusted_(trusted_ctx, config.hash_scheme),
+      untrusted_(untrusted_ctx, config.hash_scheme),
+      scan_period_(env.clock.seconds_to_cycles(config.gc_scan_period_seconds)) {
+  MSV_CHECK_MSG(trusted_ctx.isolate().trusted(),
+                "trusted context must run in an enclave-backed isolate");
+  MSV_CHECK_MSG(!untrusted_ctx.isolate().trusted(),
+                "untrusted context must not run inside the enclave");
+  trusted_.next_scan = scan_period_;
+  untrusted_.next_scan = scan_period_;
+}
+
+ProxyRuntime::ProxyRuntime(Env& env, sgx::TransitionBridge& bridge,
+                           ExecContext& trusted_ctx,
+                           ExecContext& untrusted_ctx)
+    : ProxyRuntime(env, bridge, trusted_ctx, untrusted_ctx, Config()) {}
+
+ProxyRuntime::SideState& ProxyRuntime::state(Side side) {
+  return side == Side::kTrusted ? trusted_ : untrusted_;
+}
+
+const ProxyRuntime::SideState& ProxyRuntime::state(Side side) const {
+  return side == Side::kTrusted ? trusted_ : untrusted_;
+}
+
+ProxyRuntime::SideState& ProxyRuntime::state_of(ExecContext& ctx) {
+  if (&ctx == &trusted_.ctx) return trusted_;
+  MSV_CHECK_MSG(&ctx == &untrusted_.ctx, "context unknown to this runtime");
+  return untrusted_;
+}
+
+ProxyRuntime::SideState& ProxyRuntime::other(SideState& s) {
+  return &s == &trusted_ ? untrusted_ : trusted_;
+}
+
+// ---------------------------------------------------------------------------
+// Wire helpers
+
+RefEncoder ProxyRuntime::make_ref_encoder(SideState& s, std::uint32_t depth) {
+  return [this, &s, depth](ByteBuffer& out, const GcRef& ref) {
+    const ClassDecl& cls = s.ctx.class_of(ref);
+    if (cls.is_proxy()) {
+      // Our proxy of an object owned by the decoder: its hash resolves in
+      // the decoder's registry.
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kRefOwnedByDecoder));
+      out.put_i64(s.ctx.isolate().get_field(ref, 0).as_i64());
+      return;
+    }
+    if (cls.annotation() != model::Annotation::kNeutral) {
+      // Our concrete annotated object: register it (if new) so the decoder
+      // side can call back through a materialized proxy.
+      std::int64_t hash;
+      if (const auto existing = s.registry.hash_for(ref)) {
+        hash = *existing;
+      } else {
+        hash = s.hasher.next(s.ctx.isolate().heap().identity_hash(ref.address()));
+        s.registry.add(hash, ref);
+        ++stats_.mirrors_registered;
+      }
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kRefOwnedByEncoder));
+      out.put_i64(hash);
+      out.put_string(cls.name());
+      return;
+    }
+    // Instance of a neutral class: serialized field by field — a copy
+    // "which may evolve independently" (§5.1).
+    if (depth >= config_.max_serialization_depth) {
+      throw RuntimeFault("neutral object graph too deep to serialize (cycle?)");
+    }
+    out.put_u8(static_cast<std::uint8_t>(WireTag::kNeutralObject));
+    out.put_string(cls.name());
+    const auto nfields = static_cast<std::uint32_t>(cls.fields().size());
+    out.put_varint(nfields);
+    for (std::uint32_t i = 0; i < nfields; ++i) {
+      encode_value(out, s.ctx.isolate().get_field(ref, i),
+                   make_ref_encoder(s, depth + 1));
+    }
+  };
+}
+
+RefDecoder ProxyRuntime::make_ref_decoder(SideState& s, std::uint32_t depth) {
+  return [this, &s, depth](ByteReader& in, WireTag tag) -> Value {
+    switch (tag) {
+      case WireTag::kRefOwnedByDecoder:
+        // One of our own objects coming home: resolve the mirror.
+        return Value(s.registry.get(in.get_i64()));
+      case WireTag::kRefOwnedByEncoder: {
+        const std::int64_t hash = in.get_i64();
+        const std::string cls = in.get_string();
+        return Value(materialize_proxy(s, hash, cls));
+      }
+      case WireTag::kNeutralObject: {
+        if (depth >= config_.max_serialization_depth) {
+          throw RuntimeFault("neutral object graph too deep to deserialize");
+        }
+        const std::string name = in.get_string();
+        const ClassDecl& cls = s.ctx.classes().cls(name);
+        MSV_CHECK_MSG(!cls.is_proxy() &&
+                          cls.annotation() == model::Annotation::kNeutral,
+                      "wire neutral object of non-neutral class " + name);
+        const auto nfields = static_cast<std::uint32_t>(in.get_varint());
+        MSV_CHECK_MSG(nfields == cls.fields().size(),
+                      "field count mismatch deserializing " + name);
+        const GcRef obj =
+            s.ctx.isolate().new_instance(s.ctx.class_id(name), nfields);
+        for (std::uint32_t i = 0; i < nfields; ++i) {
+          s.ctx.isolate().set_field(
+              obj, i, decode_value(in, make_ref_decoder(s, depth + 1)));
+        }
+        return Value(obj);
+      }
+      default:
+        throw RuntimeFault("corrupt wire ref tag");
+    }
+  };
+}
+
+GcRef ProxyRuntime::materialize_proxy(SideState& s, std::int64_t hash,
+                                      const std::string& class_name) {
+  // Reuse the live proxy for this hash if there is one: each mirror must
+  // have at most one proxy per runtime or mirror eviction would fire while
+  // a twin proxy is still alive.
+  const auto it = s.proxy_by_hash.find(hash);
+  if (it != s.proxy_by_hash.end()) {
+    const rt::WeakEntry& e = s.ctx.isolate().weak_refs().entry(it->second);
+    if (e.target != rt::kNullAddr &&
+        e.payload == static_cast<std::uint64_t>(hash)) {
+      return s.ctx.isolate().make_ref(e.target);
+    }
+  }
+  const ClassDecl& cls = s.ctx.classes().cls(class_name);
+  MSV_CHECK_MSG(cls.is_proxy(), "materializing a proxy of concrete class " +
+                                    class_name + " (image mix-up)");
+  const GcRef proxy = s.ctx.isolate().new_instance(s.ctx.class_id(class_name),
+                                                   /*field_count=*/1);
+  s.ctx.isolate().set_field(proxy, 0, Value(hash));
+  const std::uint32_t weak_index = s.ctx.isolate().weak_refs().add(
+      proxy.address(), static_cast<std::uint64_t>(hash));
+  s.proxy_by_hash[hash] = weak_index;
+  ++stats_.proxies_materialized;
+  return proxy;
+}
+
+ByteBuffer ProxyRuntime::encode_call(SideState& caller, std::int64_t self_hash,
+                                     std::vector<Value>& args) {
+  ByteBuffer buf;
+  buf.put_i64(self_hash);
+  buf.put_varint(args.size());
+  std::uint64_t elements = 0;
+  for (auto& a : args) {
+    elements += element_count(a);
+    encode_value(buf, a, make_ref_encoder(caller));
+  }
+  charge_serialize(env_, caller.ctx.isolate().domain(), elements, buf.size());
+  return buf;
+}
+
+ByteBuffer ProxyRuntime::transition(SideState& /*caller*/,
+                                    const std::string& name,
+                                    const ByteBuffer& payload, bool via_ecall) {
+  if (config_.gc_auto_pump) pump_gc();
+  return via_ecall ? bridge_.ecall(name, payload) : bridge_.ocall(name, payload);
+}
+
+// ---------------------------------------------------------------------------
+// RemoteInvoker
+
+Value ProxyRuntime::construct_proxy(ExecContext& caller,
+                                    const ClassDecl& proxy_cls,
+                                    std::vector<Value>& args) {
+  SideState& from = state_of(caller);
+  const MethodDecl* ctor_stub = proxy_cls.find_method(model::kConstructorName);
+  MSV_CHECK_MSG(ctor_stub != nullptr &&
+                    ctor_stub->kind() == MethodKind::kProxyStub,
+                "proxy class " + proxy_cls.name() + " has no constructor stub");
+
+  // The local proxy object: a single hash field (§5.2, Listing 2/3).
+  const GcRef proxy = caller.isolate().new_instance(
+      caller.class_id(proxy_cls.name()), /*field_count=*/1);
+  const std::int64_t hash =
+      from.hasher.next(caller.isolate().heap().identity_hash(proxy.address()));
+  caller.isolate().set_field(proxy, 0, Value(hash));
+
+  // GC helper bookkeeping: weak reference + hash (§5.5).
+  const std::uint32_t weak_index = caller.isolate().weak_refs().add(
+      proxy.address(), static_cast<std::uint64_t>(hash));
+  from.proxy_by_hash[hash] = weak_index;
+  ++stats_.proxies_created;
+
+  // Create the mirror in the opposite runtime.
+  ByteBuffer payload = encode_call(from, hash, args);
+  transition(from, ctor_stub->proxy().relay_name, payload,
+             ctor_stub->proxy().via_ecall);
+  return Value(proxy);
+}
+
+Value ProxyRuntime::invoke_proxy(ExecContext& caller, const GcRef& proxy,
+                                 const ClassDecl& proxy_cls,
+                                 const MethodDecl& stub,
+                                 std::vector<Value>& args) {
+  SideState& from = state_of(caller);
+  MSV_CHECK_MSG(stub.kind() == MethodKind::kProxyStub, "not a proxy stub");
+  std::int64_t self_hash = 0;
+  if (!stub.is_static()) {
+    MSV_CHECK_MSG(!proxy.is_null(),
+                  "instance RMI without a proxy object: " + proxy_cls.name() +
+                      "." + stub.name());
+    self_hash = caller.isolate().get_field(proxy, 0).as_i64();
+  }
+  ++stats_.remote_invocations;
+
+  ByteBuffer payload = encode_call(from, self_hash, args);
+  ByteBuffer response = transition(from, stub.proxy().relay_name, payload,
+                                   stub.proxy().via_ecall);
+  ByteReader r(response);
+  Value result = decode_value(r, make_ref_decoder(from));
+  charge_deserialize(env_, caller.isolate().domain(), element_count(result),
+                     response.size());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Relay dispatch (callee side)
+
+ByteBuffer ProxyRuntime::dispatch_relay(SideState& callee,
+                                        const std::string& cls_name,
+                                        const std::string& relay_name,
+                                        ByteReader& in) {
+  // Entering the callee's isolate: the relay method is a @CEntryPoint and
+  // the transition must attach the calling thread to the isolate (§5.2).
+  // Switchless calls are served by persistent worker threads that attach
+  // once at startup (§7 / HotCalls), so they skip this cost.
+  if (!bridge_.current_call_switchless()) {
+    env_.clock.advance(callee.ctx.isolate().trusted()
+                           ? env_.cost.isolate_attach_trusted_cycles
+                           : env_.cost.isolate_attach_untrusted_cycles);
+  }
+
+  const ClassDecl& cls = callee.ctx.classes().cls(cls_name);
+  const MethodDecl* relay = cls.find_method(relay_name);
+  MSV_CHECK_MSG(relay != nullptr && relay->kind() == MethodKind::kRelay,
+                "relay method " + cls_name + "." + relay_name + " missing");
+  const model::RelayInfo& info = relay->relay();
+
+  const std::size_t payload_bytes = in.remaining();
+  const std::int64_t self_hash = in.get_i64();
+  std::vector<Value> args(in.get_varint());
+  std::uint64_t elements = 0;
+  for (auto& a : args) {
+    a = decode_value(in, make_ref_decoder(callee));
+    elements += element_count(a);
+  }
+  charge_deserialize(env_, callee.ctx.isolate().domain(), elements,
+                     payload_bytes);
+
+  Value result;
+  if (info.is_constructor) {
+    // Instantiate the mirror and register it under the proxy's hash
+    // (Listing 4: relayAccount).
+    Value mirror = callee.ctx.construct(info.target_class, std::move(args));
+    callee.registry.add(self_hash, mirror.as_ref());
+    ++stats_.mirrors_registered;
+  } else {
+    const MethodDecl* target = cls.find_method(info.target_method);
+    MSV_CHECK_MSG(target != nullptr, "relay target missing");
+    if (target->is_static()) {
+      result = callee.ctx.invoke_static(info.target_class, info.target_method,
+                                        std::move(args));
+    } else {
+      const GcRef mirror = callee.registry.get(self_hash);
+      result = callee.ctx.invoke(mirror, info.target_method, std::move(args));
+    }
+  }
+
+  ByteBuffer out;
+  encode_value(out, result, make_ref_encoder(callee));
+  charge_serialize(env_, callee.ctx.isolate().domain(), element_count(result),
+                   out.size());
+  return out;
+}
+
+void ProxyRuntime::register_handlers() {
+  MSV_CHECK_MSG(!handlers_registered_, "handlers registered twice");
+  handlers_registered_ = true;
+
+  auto register_side = [this](SideState& callee, bool callee_is_trusted) {
+    for (const auto& cls : callee.ctx.classes().classes()) {
+      for (const auto& m : cls.methods()) {
+        if (m.kind() != MethodKind::kRelay) continue;
+        const std::string name = xform::transition_name(
+            cls.name(), m.relay().target_method, callee_is_trusted);
+        auto handler = [this, &callee, cls_name = cls.name(),
+                        relay_name = m.name()](ByteReader& in) {
+          return dispatch_relay(callee, cls_name, relay_name, in);
+        };
+        if (callee_is_trusted) {
+          bridge_.register_ecall(name, std::move(handler));
+        } else {
+          bridge_.register_ocall(name, std::move(handler));
+        }
+      }
+    }
+  };
+  register_side(trusted_, /*callee_is_trusted=*/true);
+  register_side(untrusted_, /*callee_is_trusted=*/false);
+
+  // GC-helper transitions (§5.5).
+  bridge_.register_ecall("ecall_gc_evict_mirrors", [this](ByteReader& in) {
+    const std::uint64_t n = in.get_varint();
+    for (std::uint64_t i = 0; i < n; ++i) trusted_.registry.remove(in.get_i64());
+    return ByteBuffer();
+  });
+  bridge_.register_ocall("ocall_gc_evict_mirrors", [this](ByteReader& in) {
+    const std::uint64_t n = in.get_varint();
+    for (std::uint64_t i = 0; i < n; ++i)
+      untrusted_.registry.remove(in.get_i64());
+    return ByteBuffer();
+  });
+  // The in-enclave helper's scan-and-evict, entered when the untrusted
+  // pump observes cleared entries in the trusted weak list.
+  bridge_.register_ecall("ecall_gc_scan_trusted", [this](ByteReader&) {
+    const auto dead = collect_dead_proxies(trusted_);
+    evict_remote(trusted_, dead);
+    return ByteBuffer();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// GC helpers
+
+std::vector<std::int64_t> ProxyRuntime::collect_dead_proxies(SideState& s) {
+  rt::WeakRefTable& weak = s.ctx.isolate().weak_refs();
+  env_.clock.advance(weak.size() * env_.cost.weakref_scan_entry_cycles);
+
+  std::vector<std::int64_t> dead;
+  weak.remove_if([&](const rt::WeakEntry& e) {
+    if (e.was_set && e.target == rt::kNullAddr) {
+      dead.push_back(static_cast<std::int64_t>(e.payload));
+      return true;
+    }
+    return false;
+  });
+  // The table was compacted: weak indices shifted, rebuild the cache.
+  s.proxy_by_hash.clear();
+  for (std::uint32_t i = 0; i < weak.size(); ++i) {
+    const rt::WeakEntry& e = weak.entry(i);
+    if (e.target != rt::kNullAddr) {
+      s.proxy_by_hash[static_cast<std::int64_t>(e.payload)] = i;
+    }
+  }
+  ++s.gc_stats.scans;
+  s.gc_stats.proxies_collected += dead.size();
+  return dead;
+}
+
+void ProxyRuntime::evict_remote(SideState& local,
+                                const std::vector<std::int64_t>& dead) {
+  if (dead.empty()) return;
+  ByteBuffer payload;
+  payload.put_varint(dead.size());
+  for (const auto h : dead) payload.put_i64(h);
+  ++local.gc_stats.eviction_calls;
+  if (side_of(local) == Side::kUntrusted) {
+    bridge_.ecall("ecall_gc_evict_mirrors", payload);
+  } else {
+    bridge_.ocall("ocall_gc_evict_mirrors", payload);
+  }
+}
+
+void ProxyRuntime::pump_gc() {
+  // Only at top level: a helper thread cannot run "inside" the call it is
+  // relaying, and the eviction transitions need the untrusted side.
+  if (pumping_ || bridge_.side() != Side::kUntrusted) return;
+  pumping_ = true;
+  const Cycles now = env_.clock.now();
+
+  if (untrusted_.next_scan <= now) {
+    untrusted_.next_scan = now + scan_period_;
+    const auto dead = collect_dead_proxies(untrusted_);
+    evict_remote(untrusted_, dead);
+  }
+  if (trusted_.next_scan <= now) {
+    trusted_.next_scan = now + scan_period_;
+    // The in-enclave helper scans its own list without leaving the
+    // enclave; it only transitions (ocall) when there is something to
+    // evict. We peek first and enter the enclave only when needed.
+    if (trusted_.ctx.isolate().weak_refs().cleared_count() > 0) {
+      bridge_.ecall("ecall_gc_scan_trusted", ByteBuffer());
+    } else {
+      // Idle scan: charge the in-enclave scan work.
+      env_.clock.advance(trusted_.ctx.isolate().weak_refs().size() *
+                         env_.cost.weakref_scan_entry_cycles);
+      ++trusted_.gc_stats.scans;
+    }
+  }
+  pumping_ = false;
+}
+
+void ProxyRuntime::force_gc_scan() {
+  trusted_.next_scan = 0;
+  untrusted_.next_scan = 0;
+  pump_gc();
+}
+
+const MirrorProxyRegistry& ProxyRuntime::registry(Side side) const {
+  return state(side).registry;
+}
+
+std::size_t ProxyRuntime::live_proxy_count(Side side) const {
+  const rt::WeakRefTable& weak =
+      const_cast<SideState&>(state(side)).ctx.isolate().weak_refs();
+  return weak.size() - weak.cleared_count();
+}
+
+const GcHelperStats& ProxyRuntime::gc_stats(Side side) const {
+  return state(side).gc_stats;
+}
+
+}  // namespace msv::rmi

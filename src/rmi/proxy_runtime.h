@@ -1,0 +1,160 @@
+// The proxy/mirror RMI machinery (§5.2) and the GC helpers (§5.5).
+//
+// ProxyRuntime connects the two ExecContexts (trusted and untrusted native
+// images) through the transition bridge:
+//
+//   * `new Proxy(args)` on one side creates the local proxy object (hash
+//     field only), serializes the constructor arguments, transitions to
+//     the relay entry point on the other side, constructs the mirror there
+//     and registers it (hash -> strong ref) in that side's mirror-proxy
+//     registry;
+//   * `proxy.m(args)` transitions to the relay of m, which looks the
+//     mirror up by hash and invokes the concrete method;
+//   * annotated objects passed as arguments or returned travel as hashes
+//     (kRefOwnedByEncoder/kRefOwnedByDecoder, see wire.h); proxies are
+//     materialized on demand and cached per hash so each object has at
+//     most one live proxy per runtime;
+//   * neutral values are serialized and copied.
+//
+// GC synchronisation: every proxy is also recorded in its isolate's weak
+// reference list together with its hash. The two GC helpers periodically
+// (default: every simulated second) scan their list for cleared entries
+// and evict the corresponding mirrors in the opposite registry — the
+// untrusted helper via an ecall, the in-enclave helper via an ocall. The
+// helpers are driven deterministically from pump_gc(), which the runtime
+// invokes before every top-level transition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/exec_context.h"
+#include "interp/remote.h"
+#include "rmi/hasher.h"
+#include "rmi/registry.h"
+#include "rmi/wire.h"
+#include "sgx/bridge.h"
+
+namespace msv::rmi {
+
+struct GcHelperStats {
+  std::uint64_t scans = 0;
+  std::uint64_t proxies_collected = 0;  // cleared weak entries processed
+  std::uint64_t eviction_calls = 0;     // cross-runtime eviction batches
+};
+
+struct RmiStats {
+  std::uint64_t proxies_created = 0;
+  std::uint64_t proxies_materialized = 0;  // from received hashes
+  std::uint64_t mirrors_registered = 0;
+  std::uint64_t remote_invocations = 0;
+};
+
+class ProxyRuntime final : public interp::RemoteInvoker {
+ public:
+  struct Config {
+    HashScheme hash_scheme = HashScheme::kMd5;
+    // §5.5: the helper threads scan "periodically (e.g., every second)".
+    double gc_scan_period_seconds = 1.0;
+    // Pump the GC helpers automatically before top-level transitions.
+    bool gc_auto_pump = true;
+    // Depth limit for serialized neutral object graphs.
+    std::uint32_t max_serialization_depth = 64;
+  };
+
+  ProxyRuntime(Env& env, sgx::TransitionBridge& bridge,
+               interp::ExecContext& trusted_ctx,
+               interp::ExecContext& untrusted_ctx, Config config);
+  // Default configuration.
+  ProxyRuntime(Env& env, sgx::TransitionBridge& bridge,
+               interp::ExecContext& trusted_ctx,
+               interp::ExecContext& untrusted_ctx);
+
+  // Registers the relay handlers (every kRelay method of both images) and
+  // the GC eviction transitions on the bridge. Call exactly once.
+  void register_handlers();
+
+  // ---- RemoteInvoker ----
+  rt::Value construct_proxy(interp::ExecContext& caller,
+                            const model::ClassDecl& proxy_cls,
+                            std::vector<rt::Value>& args) override;
+  rt::Value invoke_proxy(interp::ExecContext& caller, const rt::GcRef& proxy,
+                         const model::ClassDecl& proxy_cls,
+                         const model::MethodDecl& stub,
+                         std::vector<rt::Value>& args) override;
+
+  // ---- GC helpers (§5.5) ----
+  // Runs any helper whose scan period elapsed. Only effective at top level
+  // (untrusted side); nested invocations are skipped, like a helper thread
+  // that cannot preempt an enclave call it depends on.
+  void pump_gc();
+  // Makes both helpers scan immediately (tests and Fig. 5b sampling).
+  void force_gc_scan();
+
+  // ---- Introspection for tests and benchmarks ----
+  const MirrorProxyRegistry& registry(Side side) const;
+  std::size_t live_proxy_count(Side side) const;
+  const GcHelperStats& gc_stats(Side side) const;
+  const RmiStats& stats() const { return stats_; }
+
+ private:
+  struct SideState {
+    SideState(interp::ExecContext& c, HashScheme scheme)
+        : ctx(c),
+          registry(c.isolate()),
+          hasher(scheme, c.isolate().name()) {}
+
+    interp::ExecContext& ctx;
+    MirrorProxyRegistry registry;
+    ProxyHasher hasher;
+    // hash -> weak-table index of the live local proxy for that hash.
+    std::unordered_map<std::int64_t, std::uint32_t> proxy_by_hash;
+    Cycles next_scan = 0;
+    GcHelperStats gc_stats;
+  };
+
+  SideState& state(Side side);
+  const SideState& state(Side side) const;
+  SideState& state_of(interp::ExecContext& ctx);
+  SideState& other(SideState& s);
+
+  Side side_of(const SideState& s) const {
+    return s.ctx.isolate().trusted() ? Side::kTrusted : Side::kUntrusted;
+  }
+
+  // Creates (or reuses) the local proxy object for `hash` of class
+  // `class_name` in `s`.
+  rt::GcRef materialize_proxy(SideState& s, std::int64_t hash,
+                              const std::string& class_name);
+
+  RefEncoder make_ref_encoder(SideState& s, std::uint32_t depth = 0);
+  RefDecoder make_ref_decoder(SideState& s, std::uint32_t depth = 0);
+
+  ByteBuffer encode_call(SideState& caller, std::int64_t self_hash,
+                         std::vector<rt::Value>& args);
+  ByteBuffer transition(SideState& caller, const std::string& name,
+                        const ByteBuffer& payload, bool via_ecall);
+
+  // Bridge handler body for one relay method.
+  ByteBuffer dispatch_relay(SideState& callee, const std::string& cls_name,
+                            const std::string& relay_name, ByteReader& in);
+
+  // Scans `local`'s weak list; returns the hashes of collected proxies and
+  // compacts the list and the proxy cache.
+  std::vector<std::int64_t> collect_dead_proxies(SideState& local);
+  void evict_remote(SideState& local, const std::vector<std::int64_t>& dead);
+
+  Env& env_;
+  sgx::TransitionBridge& bridge_;
+  Config config_;
+  SideState trusted_;
+  SideState untrusted_;
+  Cycles scan_period_;
+  bool pumping_ = false;
+  bool handlers_registered_ = false;
+  RmiStats stats_;
+};
+
+}  // namespace msv::rmi

@@ -1,0 +1,65 @@
+#include "rmi/registry.h"
+
+#include "support/error.h"
+
+namespace msv::rmi {
+
+void MirrorProxyRegistry::charge() const {
+  isolate_.env().clock.advance(isolate_.env().cost.registry_op_cycles);
+}
+
+void MirrorProxyRegistry::add(std::int64_t hash, rt::GcRef mirror) {
+  charge();
+  MSV_CHECK_MSG(!mirror.is_null(), "registering a null mirror");
+  MSV_CHECK_MSG(mirror.isolate() == &isolate_,
+                "mirror from a foreign isolate");
+  const std::uint32_t identity =
+      isolate_.heap().identity_hash(mirror.address());
+  if (!by_hash_.emplace(hash, mirror).second) {
+    throw RuntimeFault(
+        "proxy hash collision in registry of " + isolate_.name() + ": " +
+        std::to_string(hash) + " (use HashScheme::kMd5, §5.2)");
+  }
+  by_identity_[identity] = hash;
+  ++stats_.adds;
+}
+
+rt::GcRef MirrorProxyRegistry::get(std::int64_t hash) const {
+  charge();
+  ++stats_.lookups;
+  const auto it = by_hash_.find(hash);
+  if (it == by_hash_.end()) {
+    throw RuntimeFault("no mirror for proxy hash " + std::to_string(hash) +
+                       " in registry of " + isolate_.name());
+  }
+  return it->second;
+}
+
+bool MirrorProxyRegistry::contains(std::int64_t hash) const {
+  charge();
+  return by_hash_.count(hash) != 0;
+}
+
+void MirrorProxyRegistry::remove(std::int64_t hash) {
+  charge();
+  const auto it = by_hash_.find(hash);
+  if (it == by_hash_.end()) return;
+  const std::uint32_t identity =
+      isolate_.heap().identity_hash(it->second.address());
+  by_identity_.erase(identity);
+  by_hash_.erase(it);
+  ++stats_.removes;
+}
+
+std::optional<std::int64_t> MirrorProxyRegistry::hash_for(
+    const rt::GcRef& mirror) const {
+  charge();
+  MSV_CHECK_MSG(!mirror.is_null() && mirror.isolate() == &isolate_,
+                "hash_for on a foreign or null mirror");
+  const auto it =
+      by_identity_.find(isolate_.heap().identity_hash(mirror.address()));
+  if (it == by_identity_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace msv::rmi

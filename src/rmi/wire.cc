@@ -1,0 +1,108 @@
+#include "rmi/wire.h"
+
+#include "support/error.h"
+
+namespace msv::rmi {
+
+using rt::Value;
+using rt::ValueType;
+
+void encode_value(ByteBuffer& out, const Value& v,
+                  const RefEncoder& ref_encoder) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kNull));
+      return;
+    case ValueType::kBool:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kBool));
+      out.put_u8(v.as_bool() ? 1 : 0);
+      return;
+    case ValueType::kI32:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kI32));
+      out.put_i32(v.as_i32());
+      return;
+    case ValueType::kI64:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kI64));
+      out.put_i64(v.as_i64());
+      return;
+    case ValueType::kF64:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kF64));
+      out.put_f64(v.as_f64());
+      return;
+    case ValueType::kString:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kString));
+      out.put_string(v.as_string());
+      return;
+    case ValueType::kList: {
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kList));
+      const auto& list = v.as_list();
+      out.put_varint(list.size());
+      for (const auto& e : list) encode_value(out, e, ref_encoder);
+      return;
+    }
+    case ValueType::kRef:
+      if (v.as_ref().is_null()) {
+        out.put_u8(static_cast<std::uint8_t>(WireTag::kNull));
+        return;
+      }
+      ref_encoder(out, v.as_ref());
+      return;
+  }
+}
+
+rt::Value decode_value(ByteReader& in, const RefDecoder& ref_decoder) {
+  const auto tag = static_cast<WireTag>(in.get_u8());
+  switch (tag) {
+    case WireTag::kNull:
+      return Value();
+    case WireTag::kBool:
+      return Value(in.get_u8() != 0);
+    case WireTag::kI32:
+      return Value(in.get_i32());
+    case WireTag::kI64:
+      return Value(in.get_i64());
+    case WireTag::kF64:
+      return Value(in.get_f64());
+    case WireTag::kString:
+      return Value(in.get_string());
+    case WireTag::kList: {
+      rt::ValueList list(in.get_varint());
+      for (auto& e : list) e = decode_value(in, ref_decoder);
+      return Value(std::move(list));
+    }
+    case WireTag::kRefOwnedByEncoder:
+    case WireTag::kRefOwnedByDecoder:
+    case WireTag::kNeutralObject:
+      return ref_decoder(in, tag);
+  }
+  throw RuntimeFault("corrupt wire value: unknown tag");
+}
+
+std::uint64_t element_count(const rt::Value& v) {
+  if (v.type() == ValueType::kList) {
+    std::uint64_t n = 1;
+    for (const auto& e : v.as_list()) n += element_count(e);
+    return n;
+  }
+  return 1;
+}
+
+void charge_serialize(Env& env, MemoryDomain& domain, std::uint64_t elements,
+                      std::uint64_t bytes) {
+  env.clock.advance(env.cost.serialize_base_cycles +
+                    elements * env.cost.serialize_element_cycles +
+                    static_cast<Cycles>(static_cast<double>(bytes) *
+                                        env.cost.serialize_cycles_per_byte));
+  domain.charge_traffic(bytes);
+}
+
+void charge_deserialize(Env& env, MemoryDomain& domain, std::uint64_t elements,
+                        std::uint64_t bytes) {
+  env.clock.advance(env.cost.deserialize_base_cycles +
+                    elements * env.cost.deserialize_element_cycles +
+                    static_cast<Cycles>(static_cast<double>(bytes) *
+                                        env.cost.deserialize_cycles_per_byte));
+  domain.charge_traffic(bytes);
+}
+
+}  // namespace msv::rmi

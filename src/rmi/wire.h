@@ -1,0 +1,64 @@
+// Wire encoding of relay-method parameters and return values (§5.2).
+//
+// A relayed call carries: primitives by value, *neutral* values (strings,
+// lists, instances of neutral classes) by serialization, and annotated
+// objects by proxy hash. References use two tags relative to the encoding
+// side:
+//   * kRefOwnedByEncoder — the encoder's concrete object; the decoder
+//     materializes (or reuses) a local proxy carrying the hash;
+//   * kRefOwnedByDecoder — the encoder's proxy of a decoder-owned object;
+//     the decoder resolves the hash in its mirror-proxy registry.
+//
+// The ref classification and materialization live in ProxyRuntime; this
+// module owns the byte format and the serialization cost accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/value.h"
+#include "sim/domain.h"
+#include "sim/env.h"
+#include "support/bytes.h"
+
+namespace msv::rmi {
+
+enum class WireTag : std::uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kI32 = 2,
+  kI64 = 3,
+  kF64 = 4,
+  kString = 5,
+  kList = 6,
+  kRefOwnedByEncoder = 7,   // payload: i64 hash, class name
+  kRefOwnedByDecoder = 8,   // payload: i64 hash
+  kNeutralObject = 9,       // payload: class name, field values
+};
+
+// Writes the tag and payload for a GcRef (classification done by caller).
+using RefEncoder = std::function<void(ByteBuffer&, const rt::GcRef&)>;
+// Reads a ref-tagged payload and produces the local Value.
+using RefDecoder =
+    std::function<rt::Value(ByteReader&, WireTag tag)>;
+
+// Encodes one value; refs are delegated to `ref_encoder`.
+void encode_value(ByteBuffer& out, const rt::Value& v,
+                  const RefEncoder& ref_encoder);
+
+// Decodes one value; ref tags are delegated to `ref_decoder`.
+rt::Value decode_value(ByteReader& in, const RefDecoder& ref_decoder);
+
+// Serialization cost accounting (§6.3): CPU work proportional to elements
+// and bytes, plus memory traffic through `domain` (so serializing inside
+// the enclave pays the MEE factor — Fig. 4b's in/out asymmetry).
+void charge_serialize(Env& env, MemoryDomain& domain, std::uint64_t elements,
+                      std::uint64_t bytes);
+void charge_deserialize(Env& env, MemoryDomain& domain, std::uint64_t elements,
+                        std::uint64_t bytes);
+
+// Number of "elements" a value contributes to serialization cost (lists
+// count their items recursively).
+std::uint64_t element_count(const rt::Value& v);
+
+}  // namespace msv::rmi

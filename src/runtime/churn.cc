@@ -1,0 +1,29 @@
+#include "runtime/churn.h"
+
+#include <deque>
+#include <string>
+
+namespace msv::rt {
+
+ChurnResult alloc_churn(Isolate& isolate, std::uint64_t total_bytes,
+                        std::uint64_t live_window_bytes,
+                        std::uint32_t box_payload_bytes) {
+  const std::string payload(box_payload_bytes, 's');
+  // Total footprint per box: header + padded payload.
+  const std::uint64_t box_total =
+      sizeof(ObjectHeader) + ((box_payload_bytes + 7ull) & ~7ull);
+  const std::uint64_t boxes = total_bytes / box_total;
+  const std::uint64_t live_boxes =
+      std::max<std::uint64_t>(1, live_window_bytes / box_total);
+
+  ChurnResult result;
+  std::deque<GcRef> window;
+  for (std::uint64_t i = 0; i < boxes; ++i) {
+    window.push_back(isolate.make_ref(isolate.heap().alloc_string(payload)));
+    if (window.size() > live_boxes) window.pop_front();
+    ++result.allocations;
+  }
+  return result;
+}
+
+}  // namespace msv::rt

@@ -1,0 +1,26 @@
+// Managed-allocation churn.
+//
+// Converts a workload's allocation pressure (bytes of short-lived Java
+// objects — boxed samples, per-edge objects, stream buffers) into *real*
+// allocations on an isolate heap, holding a FIFO window of live objects.
+// The window size controls how much every semispace collection copies,
+// which is the lever behind the serial-GC pathologies of §6.6/Table 1.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/isolate.h"
+
+namespace msv::rt {
+
+struct ChurnResult {
+  std::uint64_t allocations = 0;
+};
+
+// Allocates ~`total_bytes` of boxes (each `box_payload_bytes` of payload)
+// keeping at most `live_window_bytes` of them reachable.
+ChurnResult alloc_churn(Isolate& isolate, std::uint64_t total_bytes,
+                        std::uint64_t live_window_bytes,
+                        std::uint32_t box_payload_bytes = 56);
+
+}  // namespace msv::rt

@@ -1,0 +1,38 @@
+#include "runtime/handles.h"
+
+namespace msv::rt {
+
+std::uint32_t HandleTable::create(ObjAddr addr) {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    slots_[idx] = addr;
+    used_[idx] = true;
+    return idx;
+  }
+  slots_.push_back(addr);
+  used_.push_back(true);
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void HandleTable::release(std::uint32_t index) {
+  MSV_CHECK_MSG(index < slots_.size() && used_[index],
+                "releasing a dead handle");
+  used_[index] = false;
+  slots_[index] = kNullAddr;
+  free_.push_back(index);
+}
+
+ObjAddr HandleTable::get(std::uint32_t index) const {
+  MSV_CHECK_MSG(index < slots_.size() && used_[index],
+                "reading a dead handle");
+  return slots_[index];
+}
+
+void HandleTable::set(std::uint32_t index, ObjAddr addr) {
+  MSV_CHECK_MSG(index < slots_.size() && used_[index],
+                "writing a dead handle");
+  slots_[index] = addr;
+}
+
+}  // namespace msv::rt

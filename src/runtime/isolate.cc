@@ -1,0 +1,138 @@
+#include "runtime/isolate.h"
+
+#include "support/error.h"
+
+namespace msv::rt {
+
+Isolate::Isolate(Env& env, MemoryDomain& domain, Config config)
+    : env_(env), domain_(domain), config_(std::move(config)) {
+  heap_ = std::make_unique<Heap>(
+      env_, domain_, handles_, weak_refs_,
+      Heap::Config{config_.heap_max_bytes, config_.name});
+  // The image heap is memory-mapped into the application heap at startup
+  // (§2.2): charge the mapping plus first-touch of its pages.
+  if (config_.image_heap_bytes > 0) {
+    env_.clock.advance(env_.cost.mmap_base_cycles);
+    const std::uint64_t region = domain_.register_region(config_.name +
+                                                         "/image-heap");
+    const std::uint64_t pages =
+        (config_.image_heap_bytes + env_.cost.page_bytes - 1) /
+        env_.cost.page_bytes;
+    domain_.touch_pages(region, 0, pages);
+  }
+}
+
+SlotValue Isolate::to_slot(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return SlotValue::null();
+    case ValueType::kBool:
+      return SlotValue::from_bool(v.as_bool());
+    case ValueType::kI32:
+      return SlotValue::from_i32(v.as_i32());
+    case ValueType::kI64:
+      return SlotValue::from_i64(v.as_i64());
+    case ValueType::kF64:
+      return SlotValue::from_f64(v.as_f64());
+    case ValueType::kString:
+      return SlotValue::from_ref(heap_->alloc_string(v.as_string()));
+    case ValueType::kRef: {
+      const GcRef& r = v.as_ref();
+      if (r.is_null()) return SlotValue::null();
+      if (r.isolate() != this) {
+        throw SecurityFault(
+            "cross-isolate reference stored into heap of " + name() +
+            " — annotated objects must cross the boundary via proxies");
+      }
+      return SlotValue::from_ref(r.address());
+    }
+    case ValueType::kList: {
+      const ValueList& list = v.as_list();
+      // Convert elements first: each conversion may allocate and collect,
+      // so addresses are only taken while no further allocation happens.
+      // Element values are rooted via a temporary array object filled in a
+      // second pass; to keep element objects alive during the first pass we
+      // hold them as Values (GcRef roots / C++ copies).
+      std::vector<Value> rooted;
+      rooted.reserve(list.size());
+      for (const auto& e : list) {
+        if (e.type() == ValueType::kString) {
+          rooted.emplace_back(make_ref(heap_->alloc_string(e.as_string())));
+        } else if (e.type() == ValueType::kList) {
+          const SlotValue s = to_slot(e);
+          rooted.emplace_back(make_ref(s.as_ref()));
+        } else {
+          rooted.push_back(e);
+        }
+      }
+      const ObjAddr arr =
+          heap_->alloc_array(static_cast<std::uint32_t>(list.size()));
+      const GcRef arr_ref = make_ref(arr);
+      for (std::uint32_t i = 0; i < rooted.size(); ++i) {
+        heap_->set_slot(arr_ref.address(), i, to_slot(rooted[i]));
+      }
+      return SlotValue::from_ref(arr_ref.address());
+    }
+  }
+  return SlotValue::null();
+}
+
+Value Isolate::from_slot(SlotValue s) {
+  switch (s.tag) {
+    case SlotTag::kNull:
+      return Value();
+    case SlotTag::kBool:
+      return Value(s.as_bool());
+    case SlotTag::kI32:
+      return Value(s.as_i32());
+    case SlotTag::kI64:
+      return Value(s.as_i64());
+    case SlotTag::kF64:
+      return Value(s.as_f64());
+    case SlotTag::kRef: {
+      const ObjAddr addr = s.as_ref();
+      if (addr == kNullAddr) return Value();
+      switch (heap_->kind(addr)) {
+        case ObjectKind::kString:
+          return Value(std::string(heap_->string_at(addr)));
+        case ObjectKind::kArray: {
+          // Materialize a neutral copy. Root the array first: from_slot of
+          // elements cannot allocate (only strings/arrays do, and those are
+          // read, not written), but rooting is cheap and keeps this safe if
+          // that ever changes.
+          const GcRef arr = make_ref(addr);
+          ValueList list;
+          const std::uint32_t n = heap_->count(arr.address());
+          list.reserve(n);
+          for (std::uint32_t i = 0; i < n; ++i) {
+            list.push_back(from_slot(heap_->slot(arr.address(), i)));
+          }
+          return Value(std::move(list));
+        }
+        case ObjectKind::kInstance:
+          return Value(make_ref(addr));
+      }
+      return Value();
+    }
+  }
+  return Value();
+}
+
+GcRef Isolate::new_instance(std::uint32_t class_id,
+                            std::uint32_t field_count) {
+  return make_ref(heap_->alloc_instance(class_id, field_count));
+}
+
+Value Isolate::get_field(const GcRef& obj, std::uint32_t index) {
+  MSV_CHECK_MSG(obj.isolate() == this, "field access on a foreign object");
+  return from_slot(heap_->slot(obj.address(), index));
+}
+
+void Isolate::set_field(const GcRef& obj, std::uint32_t index,
+                        const Value& v) {
+  MSV_CHECK_MSG(obj.isolate() == this, "field access on a foreign object");
+  const SlotValue s = to_slot(v);  // may allocate and move `obj`
+  heap_->set_slot(obj.address(), index, s);
+}
+
+}  // namespace msv::rt

@@ -1,0 +1,68 @@
+// Isolates (§2.2).
+//
+// GraalVM native images can host multiple independent VM instances, each
+// with its own heap and independent garbage collection. Montsalvat creates
+// one isolate per runtime — trusted (heap in EPC memory) and untrusted —
+// and all cross-isolate object traffic goes through the proxy machinery.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/handles.h"
+#include "runtime/heap.h"
+#include "runtime/value.h"
+#include "runtime/weakref.h"
+#include "sim/domain.h"
+#include "sim/env.h"
+
+namespace msv::rt {
+
+class Isolate {
+ public:
+  struct Config {
+    std::string name = "isolate";
+    std::uint64_t heap_max_bytes = 64ull << 20;
+    std::uint64_t image_heap_bytes = 0;  // mapped at startup (§2.2)
+  };
+
+  Isolate(Env& env, MemoryDomain& domain, Config config);
+
+  Isolate(const Isolate&) = delete;
+  Isolate& operator=(const Isolate&) = delete;
+
+  const std::string& name() const { return config_.name; }
+  bool trusted() const { return domain_.trusted(); }
+  Env& env() { return env_; }
+  MemoryDomain& domain() { return domain_; }
+  Heap& heap() { return *heap_; }
+  HandleTable& handles() { return handles_; }
+  WeakRefTable& weak_refs() { return weak_refs_; }
+
+  GcRef make_ref(ObjAddr addr) { return GcRef(*this, addr); }
+
+  // ---- Value <-> heap conversion ----
+  // Stores a Value into slot form. Neutral values (strings, lists) are
+  // materialized as heap objects; refs must belong to this isolate
+  // (cross-isolate references are a partitioning violation and throw).
+  SlotValue to_slot(const Value& v);
+  // Loads a slot into a Value. Strings and arrays come back as neutral
+  // copies; instances come back as rooted refs.
+  Value from_slot(SlotValue s);
+
+  // Convenience for tests and native methods.
+  GcRef new_instance(std::uint32_t class_id, std::uint32_t field_count);
+  Value get_field(const GcRef& obj, std::uint32_t index);
+  void set_field(const GcRef& obj, std::uint32_t index, const Value& v);
+
+ private:
+  Env& env_;
+  MemoryDomain& domain_;
+  Config config_;
+  HandleTable handles_;
+  WeakRefTable weak_refs_;
+  std::unique_ptr<Heap> heap_;
+};
+
+}  // namespace msv::rt

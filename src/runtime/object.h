@@ -1,0 +1,64 @@
+// On-heap object layout.
+//
+// Three object kinds exist, mirroring what the partitioned applications
+// need: class instances (tagged field slots), arrays of tagged slots, and
+// byte strings. Every object starts with a fixed 32-byte header carrying
+// the class id, the slot/byte count, the Java-style identity hash (the
+// paper's default proxy hash, §5.2) and the forwarding word used by the
+// semispace collector.
+#pragma once
+
+#include <cstdint>
+
+namespace msv::rt {
+
+enum class ObjectKind : std::uint8_t { kInstance = 1, kArray = 2, kString = 3 };
+
+// Tag of one field/array slot.
+enum class SlotTag : std::uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kI32 = 2,
+  kI64 = 3,
+  kF64 = 4,
+  kRef = 5,  // payload is an ObjAddr into the same heap
+};
+
+struct ObjectHeader {
+  std::uint32_t class_id;    // index into the image's class table; 0 for
+                             // arrays/strings
+  std::uint32_t count;       // field/element count, or byte length
+  ObjectKind kind;
+  std::uint8_t flags;
+  std::uint16_t reserved;
+  std::uint32_t identity_hash;
+  std::uint32_t byte_size;   // total object size including header, 8-aligned
+  std::uint64_t forward;     // 0, or (new address + 1) during collection
+};
+
+static_assert(sizeof(ObjectHeader) == 32, "header layout is part of the ABI");
+
+// A tagged slot value as read from / written to an object.
+struct SlotValue {
+  SlotTag tag = SlotTag::kNull;
+  std::uint64_t bits = 0;
+
+  static SlotValue null() { return {}; }
+  static SlotValue from_bool(bool b) { return {SlotTag::kBool, b ? 1u : 0u}; }
+  static SlotValue from_i32(std::int32_t v) {
+    return {SlotTag::kI32, static_cast<std::uint32_t>(v)};
+  }
+  static SlotValue from_i64(std::int64_t v) {
+    return {SlotTag::kI64, static_cast<std::uint64_t>(v)};
+  }
+  static SlotValue from_f64(double v);
+  static SlotValue from_ref(std::uint64_t addr) { return {SlotTag::kRef, addr}; }
+
+  bool as_bool() const { return bits != 0; }
+  std::int32_t as_i32() const { return static_cast<std::int32_t>(bits); }
+  std::int64_t as_i64() const { return static_cast<std::int64_t>(bits); }
+  double as_f64() const;
+  std::uint64_t as_ref() const { return bits; }
+};
+
+}  // namespace msv::rt

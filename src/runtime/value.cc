@@ -1,0 +1,192 @@
+#include "runtime/value.h"
+
+#include "runtime/isolate.h"
+#include "support/error.h"
+
+namespace msv::rt {
+
+struct GcRef::Root {
+  Isolate* isolate;
+  std::uint32_t handle;
+
+  Root(Isolate* iso, std::uint32_t h) : isolate(iso), handle(h) {}
+  ~Root() { isolate->handles().release(handle); }
+  Root(const Root&) = delete;
+  Root& operator=(const Root&) = delete;
+};
+
+GcRef::GcRef(Isolate& isolate, ObjAddr addr) {
+  MSV_CHECK_MSG(addr != kNullAddr, "GcRef to null; use a default GcRef");
+  shared_ = std::make_shared<Root>(&isolate, isolate.handles().create(addr));
+}
+
+ObjAddr GcRef::address() const {
+  if (!shared_) return kNullAddr;
+  return shared_->isolate->handles().get(shared_->handle);
+}
+
+Isolate* GcRef::isolate() const {
+  return shared_ ? shared_->isolate : nullptr;
+}
+
+bool GcRef::same_object(const GcRef& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  return shared_->isolate == other.shared_->isolate &&
+         address() == other.address();
+}
+
+ValueType Value::type() const {
+  switch (v_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kBool;
+    case 2:
+      return ValueType::kI32;
+    case 3:
+      return ValueType::kI64;
+    case 4:
+      return ValueType::kF64;
+    case 5:
+      return ValueType::kString;
+    case 6:
+      return ValueType::kRef;
+    default:
+      return ValueType::kList;
+  }
+}
+
+const char* Value::type_name() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kI32:
+      return "i32";
+    case ValueType::kI64:
+      return "i64";
+    case ValueType::kF64:
+      return "f64";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kRef:
+      return "ref";
+    case ValueType::kList:
+      return "list";
+  }
+  return "?";
+}
+
+void Value::require(ValueType t) const {
+  if (type() != t) {
+    throw RuntimeFault(std::string("value type mismatch: have ") +
+                       type_name());
+  }
+}
+
+bool Value::as_bool() const {
+  require(ValueType::kBool);
+  return std::get<bool>(v_);
+}
+
+std::int32_t Value::as_i32() const {
+  require(ValueType::kI32);
+  return std::get<std::int32_t>(v_);
+}
+
+std::int64_t Value::as_i64() const {
+  if (type() == ValueType::kI32) return std::get<std::int32_t>(v_);
+  require(ValueType::kI64);
+  return std::get<std::int64_t>(v_);
+}
+
+double Value::as_f64() const {
+  switch (type()) {
+    case ValueType::kI32:
+      return std::get<std::int32_t>(v_);
+    case ValueType::kI64:
+      return static_cast<double>(std::get<std::int64_t>(v_));
+    case ValueType::kF64:
+      return std::get<double>(v_);
+    default:
+      require(ValueType::kF64);
+      return 0;
+  }
+}
+
+const std::string& Value::as_string() const {
+  require(ValueType::kString);
+  return std::get<std::string>(v_);
+}
+
+const GcRef& Value::as_ref() const {
+  require(ValueType::kRef);
+  return std::get<GcRef>(v_);
+}
+
+const ValueList& Value::as_list() const {
+  require(ValueType::kList);
+  return *std::get<std::shared_ptr<ValueList>>(v_);
+}
+
+std::shared_ptr<ValueList> Value::list_ptr() const {
+  require(ValueType::kList);
+  return std::get<std::shared_ptr<ValueList>>(v_);
+}
+
+std::uint64_t Value::payload_bytes() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kI32:
+      return 4;
+    case ValueType::kI64:
+    case ValueType::kF64:
+      return 8;
+    case ValueType::kString:
+      return 4 + as_string().size();
+    case ValueType::kRef:
+      return 8;  // the proxy hash travels instead of the object
+    case ValueType::kList: {
+      std::uint64_t total = 4;
+      for (const auto& v : as_list()) total += v.payload_bytes();
+      return total;
+    }
+  }
+  return 0;
+}
+
+std::string Value::to_debug_string() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return as_bool() ? "true" : "false";
+    case ValueType::kI32:
+      return std::to_string(as_i32());
+    case ValueType::kI64:
+      return std::to_string(std::get<std::int64_t>(v_)) + "L";
+    case ValueType::kF64:
+      return std::to_string(as_f64());
+    case ValueType::kString:
+      return "\"" + as_string() + "\"";
+    case ValueType::kRef:
+      return as_ref().is_null()
+                 ? "ref(null)"
+                 : "ref@" + std::to_string(as_ref().address());
+    case ValueType::kList: {
+      std::string s = "[";
+      for (std::size_t i = 0; i < as_list().size(); ++i) {
+        if (i) s += ", ";
+        s += as_list()[i].to_debug_string();
+      }
+      return s + "]";
+    }
+  }
+  return "?";
+}
+
+}  // namespace msv::rt

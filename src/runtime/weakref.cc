@@ -1,0 +1,31 @@
+#include "runtime/weakref.h"
+
+#include "support/error.h"
+
+namespace msv::rt {
+
+std::uint32_t WeakRefTable::add(ObjAddr addr, std::uint64_t payload) {
+  MSV_CHECK_MSG(addr != kNullAddr, "weak reference to null");
+  entries_.push_back(WeakEntry{addr, payload, true});
+  return static_cast<std::uint32_t>(entries_.size() - 1);
+}
+
+const WeakEntry& WeakRefTable::entry(std::uint32_t index) const {
+  MSV_CHECK_MSG(index < entries_.size(), "weak entry index out of range");
+  return entries_[index];
+}
+
+bool WeakRefTable::is_cleared(std::uint32_t index) const {
+  const WeakEntry& e = entry(index);
+  return e.was_set && e.target == kNullAddr;
+}
+
+std::size_t WeakRefTable::cleared_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.was_set && e.target == kNullAddr) ++n;
+  }
+  return n;
+}
+
+}  // namespace msv::rt

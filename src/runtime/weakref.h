@@ -1,0 +1,59 @@
+// Weak references (§5.5).
+//
+// Montsalvat's GC helper stores, for every proxy object, a weak reference
+// and the proxy's hash in a global list. The collector clears a weak entry
+// when its referent dies; the helper thread later scans the list for
+// cleared entries and evicts the corresponding mirror from the registry in
+// the opposite runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/handles.h"
+
+namespace msv::rt {
+
+struct WeakEntry {
+  ObjAddr target = kNullAddr;  // kNullAddr once the referent is collected
+  std::uint64_t payload = 0;   // the proxy hash in Montsalvat's usage
+  bool was_set = false;        // distinguishes "cleared" from "never set"
+};
+
+class WeakRefTable {
+ public:
+  // Registers a weak reference to `addr` carrying `payload`.
+  std::uint32_t add(ObjAddr addr, std::uint64_t payload);
+
+  std::size_t size() const { return entries_.size(); }
+  const WeakEntry& entry(std::uint32_t index) const;
+
+  bool is_cleared(std::uint32_t index) const;
+
+  // Removes entries for which `fn(entry)` returns true (used by the GC
+  // helper after it has processed cleared referents).
+  template <typename Fn>
+  void remove_if(Fn&& fn) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < entries_.size(); ++r) {
+      if (!fn(entries_[r])) entries_[w++] = entries_[r];
+    }
+    entries_.resize(w);
+  }
+
+  // Collector interface: visits every non-cleared entry so the collector
+  // can forward or clear it.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& e : entries_) {
+      if (e.target != kNullAddr) fn(e);
+    }
+  }
+
+  std::size_t cleared_count() const;
+
+ private:
+  std::vector<WeakEntry> entries_;
+};
+
+}  // namespace msv::rt

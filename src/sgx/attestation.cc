@@ -1,0 +1,44 @@
+#include "sgx/attestation.h"
+
+#include <cstring>
+
+namespace msv::sgx {
+namespace {
+
+Sha256::Digest hmac_like(const std::string& key, const Report& report) {
+  // HMAC-ish construction: H(key || report || key). Sufficient for a
+  // simulation where the "hardware" key never leaves this process.
+  Sha256 h;
+  h.update(key);
+  h.update(report.mr_enclave.data(), report.mr_enclave.size());
+  h.update(report.user_data.data(), report.user_data.size());
+  h.update(key);
+  return h.finish();
+}
+
+}  // namespace
+
+Report QuotingEnclave::create_report(const Enclave& enclave,
+                                     const std::string& user_data) {
+  Report r;
+  r.mr_enclave = enclave.measurement();
+  const std::size_t n = std::min(user_data.size(), r.user_data.size());
+  std::memcpy(r.user_data.data(), user_data.data(), n);
+  return r;
+}
+
+Quote QuotingEnclave::quote(const Report& report) const {
+  return Quote{report, mac_report(report)};
+}
+
+Sha256::Digest QuotingEnclave::mac_report(const Report& report) const {
+  return hmac_like(platform_key_, report);
+}
+
+bool QuotingEnclave::verify(const Quote& quote, const std::string& platform_key,
+                            const Sha256::Digest& expected_measurement) {
+  if (quote.report.mr_enclave != expected_measurement) return false;
+  return hmac_like(platform_key, quote.report) == quote.mac;
+}
+
+}  // namespace msv::sgx

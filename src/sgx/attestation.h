@@ -1,0 +1,53 @@
+// Remote attestation (simulated).
+//
+// The threat model (§4) relies on remote attestation to validate enclave
+// integrity at runtime. We model the EPID/DCAP flow minimally: the enclave
+// produces a REPORT (measurement + user data), the platform's quoting
+// enclave MACs it into a QUOTE with a platform key, and a verifier holding
+// that key checks the quote and the expected measurement.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sgx/enclave.h"
+#include "support/sha256.h"
+
+namespace msv::sgx {
+
+struct Report {
+  Sha256::Digest mr_enclave{};
+  std::array<std::uint8_t, 64> user_data{};
+};
+
+struct Quote {
+  Report report;
+  Sha256::Digest mac{};
+};
+
+// The platform's quoting enclave, holding the (simulated) attestation key.
+class QuotingEnclave {
+ public:
+  explicit QuotingEnclave(std::string platform_key)
+      : platform_key_(std::move(platform_key)) {}
+
+  // EREPORT: builds a report for `enclave` binding `user_data` (e.g. a
+  // channel public key) to its measurement.
+  static Report create_report(const Enclave& enclave,
+                              const std::string& user_data);
+
+  Quote quote(const Report& report) const;
+
+  // Verification as done by a relying party that trusts `platform_key`:
+  // checks the MAC and that the measurement matches the expected one.
+  static bool verify(const Quote& quote, const std::string& platform_key,
+                     const Sha256::Digest& expected_measurement);
+
+ private:
+  Sha256::Digest mac_report(const Report& report) const;
+
+  std::string platform_key_;
+};
+
+}  // namespace msv::sgx

@@ -1,0 +1,118 @@
+#include "sgx/bridge.h"
+
+#include "support/error.h"
+
+namespace msv::sgx {
+
+TransitionBridge::TransitionBridge(Env& env, Enclave& enclave)
+    : env_(env), enclave_(enclave) {}
+
+void TransitionBridge::register_ecall(const std::string& name,
+                                      Handler handler) {
+  MSV_CHECK_MSG(ecalls_.emplace(name, std::move(handler)).second,
+                "duplicate ecall registration: " + name);
+}
+
+void TransitionBridge::register_ocall(const std::string& name,
+                                      Handler handler) {
+  MSV_CHECK_MSG(ocalls_.emplace(name, std::move(handler)).second,
+                "duplicate ocall registration: " + name);
+}
+
+bool TransitionBridge::has_ecall(const std::string& name) const {
+  return ecalls_.count(name) != 0;
+}
+
+bool TransitionBridge::has_ocall(const std::string& name) const {
+  return ocalls_.count(name) != 0;
+}
+
+void TransitionBridge::set_switchless(const std::string& name, bool enabled) {
+  switchless_[name] = enabled;
+}
+
+ByteBuffer TransitionBridge::ecall(const std::string& name,
+                                   const ByteBuffer& request) {
+  if (side() != Side::kUntrusted) {
+    throw SecurityFault("ecall '" + name + "' issued from inside the enclave");
+  }
+  if (enclave_.state() != EnclaveState::kInitialized) {
+    throw SecurityFault("ecall into uninitialized enclave " + enclave_.name());
+  }
+  return call(name, request, /*is_ecall=*/true);
+}
+
+ByteBuffer TransitionBridge::ocall(const std::string& name,
+                                   const ByteBuffer& request) {
+  if (side() != Side::kTrusted) {
+    throw SecurityFault("ocall '" + name + "' issued from untrusted code");
+  }
+  return call(name, request, /*is_ecall=*/false);
+}
+
+ByteBuffer TransitionBridge::call(const std::string& name,
+                                  const ByteBuffer& request, bool is_ecall) {
+  const auto& table = is_ecall ? ecalls_ : ocalls_;
+  const auto it = table.find(name);
+  if (it == table.end()) {
+    throw RuntimeFault(std::string("no ") + (is_ecall ? "ecall" : "ocall") +
+                       " named '" + name + "' in the EDL");
+  }
+
+  const auto sw = switchless_.find(name);
+  const bool switchless = sw != switchless_.end() && sw->second;
+
+  // Transition cost: either the hardware EENTER/EEXIT pair or the
+  // switchless worker handshake, plus the bridge routine dispatch.
+  if (switchless) {
+    env_.clock.advance(env_.cost.switchless_call_cycles);
+    ++stats_.switchless_calls;
+  } else {
+    env_.clock.advance(is_ecall ? env_.cost.ecall_cycles
+                                : env_.cost.ocall_cycles);
+  }
+  env_.clock.advance(env_.cost.edge_call_cycles);
+
+  // Request marshalling: the bridge copies the payload across the boundary
+  // (into the enclave for ecalls, out of it for ocalls).
+  env_.clock.advance(static_cast<Cycles>(static_cast<double>(request.size()) *
+                                         env_.cost.edge_copy_cycles_per_byte));
+
+  if (is_ecall) {
+    ++stats_.ecalls;
+    stats_.bytes_in += request.size();
+  } else {
+    ++stats_.ocalls;
+    stats_.bytes_out += request.size();
+  }
+  auto& per_call = stats_.per_call[name];
+  ++per_call.calls;
+  per_call.bytes_in += request.size();
+
+  side_stack_.push_back(is_ecall ? Side::kTrusted : Side::kUntrusted);
+  switchless_stack_.push_back(switchless);
+  ByteBuffer response;
+  try {
+    ByteReader reader(request);
+    response = it->second(reader);
+  } catch (...) {
+    side_stack_.pop_back();
+    switchless_stack_.pop_back();
+    throw;
+  }
+  side_stack_.pop_back();
+  switchless_stack_.pop_back();
+
+  // Response marshalling back to the caller.
+  env_.clock.advance(static_cast<Cycles>(static_cast<double>(response.size()) *
+                                         env_.cost.edge_copy_cycles_per_byte));
+  if (is_ecall) {
+    stats_.bytes_out += response.size();
+  } else {
+    stats_.bytes_in += response.size();
+  }
+  per_call.bytes_out += response.size();
+  return response;
+}
+
+}  // namespace msv::sgx

@@ -1,0 +1,99 @@
+// ecall/ocall transition machinery (§2.1, §5.4).
+//
+// The bridge is the runtime counterpart of the Edger8r-generated edge
+// routines: named ecall handlers live on the trusted side, named ocall
+// handlers on the untrusted side, and every call marshals a byte payload
+// across the boundary while charging the hardware transition cost, the
+// bridge dispatch cost and a per-byte copy cost to the virtual clock.
+//
+// Re-entrancy follows the SGX programming model: ecalls may only be issued
+// from untrusted code, ocalls only from trusted code, and an ocall handler
+// may issue nested ecalls (the SDK's "nested calls"), which the side stack
+// tracks.
+//
+// The bridge also implements the paper's first future-work item (§7):
+// switchless calls in the style of HotCalls / the SDK's switchless mode. A
+// call marked switchless is serviced by a worker thread on the other side
+// through a shared-memory request queue, replacing the 13k-cycle hardware
+// transition with a much cheaper handshake.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sgx/enclave.h"
+#include "sim/env.h"
+#include "support/bytes.h"
+
+namespace msv::sgx {
+
+struct CallStats {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+struct BridgeStats {
+  std::uint64_t ecalls = 0;
+  std::uint64_t ocalls = 0;
+  std::uint64_t switchless_calls = 0;
+  std::uint64_t bytes_in = 0;   // payload bytes copied into the enclave
+  std::uint64_t bytes_out = 0;  // payload bytes copied out of the enclave
+  std::map<std::string, CallStats> per_call;
+};
+
+class TransitionBridge {
+ public:
+  // A handler consumes the marshalled request and produces the marshalled
+  // response. Handlers run on the side that registered them.
+  using Handler = std::function<ByteBuffer(ByteReader&)>;
+
+  TransitionBridge(Env& env, Enclave& enclave);
+
+  TransitionBridge(const TransitionBridge&) = delete;
+  TransitionBridge& operator=(const TransitionBridge&) = delete;
+
+  // Registration normally happens via Edger8r-generated tables
+  // (sgx/edl.h); direct registration is exposed for tests.
+  void register_ecall(const std::string& name, Handler handler);
+  void register_ocall(const std::string& name, Handler handler);
+  bool has_ecall(const std::string& name) const;
+  bool has_ocall(const std::string& name) const;
+
+  // Invokes trusted function `name`. Must be called from the untrusted
+  // side; throws SecurityFault otherwise (the hardware would fault).
+  ByteBuffer ecall(const std::string& name, const ByteBuffer& request);
+
+  // Invokes untrusted function `name` from inside the enclave.
+  ByteBuffer ocall(const std::string& name, const ByteBuffer& request);
+
+  // Marks `name` (ecall or ocall) as switchless: subsequent invocations
+  // pay the worker-handshake cost instead of a hardware transition.
+  void set_switchless(const std::string& name, bool enabled);
+
+  Side side() const { return side_stack_.back(); }
+  // True while executing a handler that was invoked switchlessly (the
+  // serving worker thread is persistent and stays attached to its isolate;
+  // relay dispatch uses this to skip the attach cost).
+  bool current_call_switchless() const { return switchless_stack_.back(); }
+  const BridgeStats& stats() const { return stats_; }
+  Enclave& enclave() { return enclave_; }
+
+ private:
+  ByteBuffer call(const std::string& name, const ByteBuffer& request,
+                  bool is_ecall);
+
+  Env& env_;
+  Enclave& enclave_;
+  std::map<std::string, Handler> ecalls_;
+  std::map<std::string, Handler> ocalls_;
+  std::map<std::string, bool> switchless_;
+  std::vector<Side> side_stack_{Side::kUntrusted};
+  std::vector<bool> switchless_stack_{false};
+  BridgeStats stats_;
+};
+
+}  // namespace msv::sgx

@@ -1,0 +1,64 @@
+// Enclave Definition Language model + Edger8r-style generation (§2.1, §5.3).
+//
+// Montsalvat's SGX code generator emits an EDL file describing every ecall
+// and ocall (the relay transitions plus the shim's libc relays), and the
+// Intel SDK's Edger8r turns that file into C bridge routines. This module
+// reproduces both artifacts: EdlSpec::to_edl_text() renders the .edl source,
+// and Edger8r renders the C stubs (as text, for inspection and the SGX
+// module's "link" step) and counts the generated routines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msv::sgx {
+
+enum class EdlDirection { kIn, kOut, kInOut, kUserCheck };
+
+struct EdlParam {
+  std::string c_type;  // e.g. "int", "const char*"
+  std::string name;
+  EdlDirection direction = EdlDirection::kIn;
+  // For pointer parameters: the name of the size expression, empty for
+  // value parameters.
+  std::string size_expr;
+
+  bool is_pointer() const { return c_type.find('*') != std::string::npos; }
+};
+
+struct EdlFunction {
+  std::string name;
+  std::string return_type = "void";
+  std::vector<EdlParam> params;
+  bool switchless = false;
+};
+
+// The interface of one enclave: trusted functions are ecalls, untrusted
+// functions are ocalls.
+struct EdlSpec {
+  std::string enclave_name;
+  std::vector<EdlFunction> trusted;
+  std::vector<EdlFunction> untrusted;
+
+  void add_ecall(EdlFunction fn) { trusted.push_back(std::move(fn)); }
+  void add_ocall(EdlFunction fn) { untrusted.push_back(std::move(fn)); }
+  bool has_ecall(const std::string& name) const;
+  bool has_ocall(const std::string& name) const;
+
+  // Renders the .edl source text.
+  std::string to_edl_text() const;
+};
+
+// Generated bridge code for one enclave interface.
+struct EdgeRoutines {
+  std::string trusted_source;    // <name>_t.c — ecall dispatch + ocall stubs
+  std::string untrusted_source;  // <name>_u.c — ecall stubs + ocall dispatch
+  std::string header;            // shared prototypes
+  std::uint64_t routine_count = 0;
+};
+
+// The Edger8r tool: EDL in, C bridge routines out.
+EdgeRoutines edger8r_generate(const EdlSpec& spec);
+
+}  // namespace msv::sgx

@@ -1,0 +1,58 @@
+#include "sgx/enclave.h"
+
+#include "support/error.h"
+
+namespace msv::sgx {
+
+Enclave::Enclave(Env& env, std::string name, Sha256::Digest measurement,
+                 std::uint64_t image_bytes, std::uint64_t heap_max_bytes,
+                 std::uint64_t stack_bytes)
+    : env_(env),
+      name_(std::move(name)),
+      measurement_(measurement),
+      image_bytes_(image_bytes),
+      heap_max_bytes_(heap_max_bytes),
+      stack_bytes_(stack_bytes),
+      epc_(env) {
+  // ECREATE + EADD/EEXTEND of every image page: the loader hashes the whole
+  // blob into MRENCLAVE before EINIT.
+  env_.clock.advance(env_.cost.enclave_create_base_cycles);
+  env_.clock.advance(static_cast<Cycles>(
+      static_cast<double>(image_bytes) *
+      env_.cost.enclave_measure_cycles_per_byte));
+}
+
+void Enclave::init(const Sha256::Digest& expected) {
+  MSV_CHECK_MSG(state_ == EnclaveState::kCreated,
+                "enclave already initialized or destroyed");
+  if (expected != measurement_) {
+    throw SecurityFault("EINIT: measurement mismatch for enclave " + name_);
+  }
+  state_ = EnclaveState::kInitialized;
+}
+
+void Enclave::destroy() {
+  MSV_CHECK_MSG(state_ != EnclaveState::kDestroyed, "enclave destroyed twice");
+  state_ = EnclaveState::kDestroyed;
+}
+
+std::uint64_t EnclaveDomain::register_region(const std::string&) {
+  return next_region_++;
+}
+
+void EnclaveDomain::charge_traffic(std::uint64_t bytes) {
+  // Same DRAM-level cost as outside, multiplied by the MEE factor: every
+  // cache line crossing the CPU boundary is encrypted/decrypted.
+  env_.clock.advance(static_cast<Cycles>(static_cast<double>(bytes) *
+                                         env_.cost.dram_cycles_per_byte *
+                                         env_.cost.mee_traffic_factor));
+}
+
+void EnclaveDomain::touch_pages(std::uint64_t region, std::uint64_t first_page,
+                                std::uint64_t n_pages) {
+  for (std::uint64_t i = 0; i < n_pages; ++i) {
+    enclave_.epc().access(region, first_page + i);
+  }
+}
+
+}  // namespace msv::sgx

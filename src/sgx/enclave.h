@@ -1,0 +1,87 @@
+// The simulated SGX enclave.
+//
+// An Enclave is created from a measured blob (the linked trusted image plus
+// shim, see sgx/sgx_module.h), owns the EPC model for its protected memory,
+// and exposes an EnclaveDomain that the trusted isolate's heap uses for
+// memory-cost accounting (MEE traffic factor + EPC paging).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sgx/epc.h"
+#include "sim/domain.h"
+#include "sim/env.h"
+#include "support/sha256.h"
+
+namespace msv::sgx {
+
+enum class EnclaveState { kCreated, kInitialized, kDestroyed };
+
+class Enclave {
+ public:
+  // `measurement` is MRENCLAVE: the SHA-256 accumulated over the pages
+  // EADDed by the loader. `heap_max_bytes`/`stack_bytes` mirror the
+  // enclave configuration XML of the SDK (the paper uses 4 GB / 8 MB).
+  Enclave(Env& env, std::string name, Sha256::Digest measurement,
+          std::uint64_t image_bytes,
+          std::uint64_t heap_max_bytes = 4ull << 30,
+          std::uint64_t stack_bytes = 8ull << 20);
+
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  // EINIT: verifies the launch measurement and makes the enclave callable.
+  // Throws SecurityFault when `expected` does not match MRENCLAVE —
+  // modelling the load-time verification of the signed enclave (§2.1).
+  void init(const Sha256::Digest& expected);
+
+  void destroy();
+
+  const std::string& name() const { return name_; }
+  const Sha256::Digest& measurement() const { return measurement_; }
+  EnclaveState state() const { return state_; }
+  std::uint64_t heap_max_bytes() const { return heap_max_bytes_; }
+  std::uint64_t stack_bytes() const { return stack_bytes_; }
+  std::uint64_t image_bytes() const { return image_bytes_; }
+
+  EpcModel& epc() { return epc_; }
+  const EpcModel& epc() const { return epc_; }
+  Env& env() { return env_; }
+
+ private:
+  Env& env_;
+  std::string name_;
+  Sha256::Digest measurement_;
+  std::uint64_t image_bytes_;
+  std::uint64_t heap_max_bytes_;
+  std::uint64_t stack_bytes_;
+  EpcModel epc_;
+  EnclaveState state_ = EnclaveState::kCreated;
+};
+
+// MemoryDomain implementation backed by an enclave: memory traffic pays the
+// MEE factor and page touches go through the EPC model.
+class EnclaveDomain final : public MemoryDomain {
+ public:
+  EnclaveDomain(Env& env, Enclave& enclave)
+      : MemoryDomain(env), enclave_(enclave) {}
+
+  bool trusted() const override { return true; }
+
+  std::uint64_t register_region(const std::string& name) override;
+
+  void charge_traffic(std::uint64_t bytes) override;
+
+  void touch_pages(std::uint64_t region, std::uint64_t first_page,
+                   std::uint64_t n_pages) override;
+
+  Enclave& enclave() { return enclave_; }
+
+ private:
+  Enclave& enclave_;
+  std::uint64_t next_region_ = 1;
+};
+
+}  // namespace msv::sgx

@@ -1,0 +1,50 @@
+#include "sgx/epc.h"
+
+#include "support/error.h"
+
+namespace msv::sgx {
+
+EpcModel::EpcModel(Env& env)
+    : env_(env),
+      capacity_pages_(env.cost.epc_usable_bytes / env.cost.page_bytes) {
+  MSV_CHECK_MSG(capacity_pages_ > 0, "EPC capacity must be at least a page");
+}
+
+EpcModel::Key EpcModel::make_key(std::uint64_t region, std::uint64_t page) {
+  MSV_CHECK_MSG(page < (1ull << 40), "EPC page index out of range");
+  return (region << 40) | page;
+}
+
+void EpcModel::access(std::uint64_t region, std::uint64_t page) {
+  ++stats_.accesses;
+  const Key key = make_key(region, page);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  // Miss: the driver pages the frame in, evicting the LRU page if full.
+  ++stats_.faults;
+  env_.clock.advance(env_.cost.epc_page_in_cycles);
+  if (lru_.size() >= capacity_pages_) {
+    ++stats_.evictions;
+    env_.clock.advance(env_.cost.epc_page_out_cycles);
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  index_[key] = lru_.begin();
+}
+
+void EpcModel::release_region(std::uint64_t region) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((*it >> 40) == region) {
+      index_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace msv::sgx

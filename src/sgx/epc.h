@@ -1,0 +1,53 @@
+// Enclave Page Cache model (§2.1).
+//
+// Recent SGX processors expose a small protected memory region (93.5 MB
+// usable on the paper's testbed). The kernel driver swaps pages between the
+// EPC and regular DRAM when an enclave's working set exceeds it; this
+// paging is very expensive (tens of thousands of cycles per page). The
+// model below tracks resident pages with an LRU policy and charges page-in
+// and page-out costs to the virtual clock on misses and evictions.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/env.h"
+
+namespace msv::sgx {
+
+struct EpcStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t faults = 0;     // page not resident, paged in
+  std::uint64_t evictions = 0;  // resident page pushed out to DRAM
+};
+
+class EpcModel {
+ public:
+  // Capacity is taken from env.cost (epc_usable_bytes / page_bytes).
+  explicit EpcModel(Env& env);
+
+  // Notes an access to `page` of `region`, charging fault/eviction costs.
+  void access(std::uint64_t region, std::uint64_t page);
+
+  // Drops all pages of `region` (e.g. a GC semispace that was released);
+  // no cost — the driver just reclaims the EPC pages.
+  void release_region(std::uint64_t region);
+
+  std::uint64_t capacity_pages() const { return capacity_pages_; }
+  std::uint64_t resident_pages() const { return lru_.size(); }
+  const EpcStats& stats() const { return stats_; }
+
+ private:
+  using Key = std::uint64_t;  // (region << 40) | page
+  static Key make_key(std::uint64_t region, std::uint64_t page);
+
+  Env& env_;
+  std::uint64_t capacity_pages_;
+  // Most-recently-used at the front.
+  std::list<Key> lru_;
+  std::unordered_map<Key, std::list<Key>::iterator> index_;
+  EpcStats stats_;
+};
+
+}  // namespace msv::sgx

@@ -1,0 +1,76 @@
+#include "sgx/profiler.h"
+
+#include <algorithm>
+
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace msv::sgx {
+
+TransitionProfile profile_transitions(const BridgeStats& stats,
+                                      const CostModel& cost,
+                                      std::uint64_t min_calls,
+                                      std::uint64_t small_payload_bytes) {
+  TransitionProfile profile;
+  for (const auto& [name, call] : stats.per_call) {
+    TransitionProfileEntry e;
+    e.name = name;
+    e.calls = call.calls;
+    e.avg_payload_bytes =
+        call.calls == 0
+            ? 0
+            : static_cast<double>(call.bytes_in + call.bytes_out) /
+                  static_cast<double>(call.calls);
+    const bool is_ecall = name.rfind("ecall", 0) == 0;
+    const Cycles per_call =
+        (is_ecall ? cost.ecall_cycles : cost.ocall_cycles) +
+        cost.edge_call_cycles;
+    e.transition_overhead_cycles = per_call * call.calls;
+    e.recommend_switchless =
+        call.calls >= min_calls &&
+        e.avg_payload_bytes < static_cast<double>(small_payload_bytes);
+    profile.total_overhead_cycles += e.transition_overhead_cycles;
+    if (!e.recommend_switchless) {
+      profile.overhead_after_switchless_cycles +=
+          e.transition_overhead_cycles;
+    } else {
+      profile.overhead_after_switchless_cycles +=
+          cost.switchless_call_cycles * call.calls;
+    }
+    profile.entries.push_back(std::move(e));
+  }
+  std::sort(profile.entries.begin(), profile.entries.end(),
+            [](const TransitionProfileEntry& a,
+               const TransitionProfileEntry& b) {
+              return a.transition_overhead_cycles >
+                     b.transition_overhead_cycles;
+            });
+  return profile;
+}
+
+std::string transition_report(const TransitionProfile& profile,
+                              const CostModel& cost) {
+  Table table({"transition", "calls", "avg payload", "overhead",
+               "switchless?"});
+  for (const auto& e : profile.entries) {
+    table.add_row({e.name, std::to_string(e.calls),
+                   format_bytes(e.avg_payload_bytes),
+                   format_seconds(static_cast<double>(
+                                      e.transition_overhead_cycles) /
+                                  cost.cpu_hz),
+                   e.recommend_switchless ? "recommend" : "-"});
+  }
+  std::string out = "Transition profile (sgx-perf style):\n";
+  out += table.to_string();
+  out += "Total transition overhead: " +
+         format_seconds(static_cast<double>(profile.total_overhead_cycles) /
+                        cost.cpu_hz) +
+         "; with recommended switchless serving: " +
+         format_seconds(
+             static_cast<double>(profile.overhead_after_switchless_cycles) /
+             cost.cpu_hz) +
+         "\n";
+  return out;
+}
+
+}  // namespace msv::sgx

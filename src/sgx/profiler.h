@@ -1,0 +1,48 @@
+// Transition profiling, in the spirit of sgx-perf [55].
+//
+// The paper cites sgx-perf for the cost of enclave transitions; the tool's
+// key feature is per-call-site transition statistics plus recommendations
+// (e.g. "this hot, small-payload call should be switchless"). The bridge
+// already collects per-call statistics; this module turns them into the
+// report and the recommendation list, which feeds the §7 switchless mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sgx/bridge.h"
+#include "support/cost_model.h"
+
+namespace msv::sgx {
+
+struct TransitionProfileEntry {
+  std::string name;
+  std::uint64_t calls = 0;
+  double avg_payload_bytes = 0;
+  // Estimated cycles spent on pure transition overhead (EENTER/EEXIT +
+  // bridge dispatch) for this call, over the whole run.
+  Cycles transition_overhead_cycles = 0;
+  bool recommend_switchless = false;
+};
+
+struct TransitionProfile {
+  std::vector<TransitionProfileEntry> entries;  // sorted by overhead, desc
+  Cycles total_overhead_cycles = 0;
+  // Overhead that would remain if every recommended call went switchless.
+  Cycles overhead_after_switchless_cycles = 0;
+};
+
+// Analyzes bridge statistics. A call is recommended for switchless
+// serving when it is hot (>= min_calls) and its payloads are small enough
+// that the transition dominates (< small_payload_bytes) — the sgx-perf
+// heuristic.
+TransitionProfile profile_transitions(const BridgeStats& stats,
+                                      const CostModel& cost,
+                                      std::uint64_t min_calls = 1000,
+                                      std::uint64_t small_payload_bytes = 512);
+
+// Renders the profile as the sgx-perf-style report table.
+std::string transition_report(const TransitionProfile& profile,
+                              const CostModel& cost);
+
+}  // namespace msv::sgx

@@ -1,0 +1,104 @@
+#include "sgx/sealing.h"
+
+#include "support/bytes.h"
+#include "support/error.h"
+
+namespace msv::sgx {
+
+std::vector<std::uint8_t> SealedBlob::serialize() const {
+  ByteBuffer buf;
+  buf.put_bytes(mr_enclave.data(), mr_enclave.size());
+  buf.put_varint(iv.size());
+  buf.put_bytes(iv.data(), iv.size());
+  buf.put_varint(ciphertext.size());
+  buf.put_bytes(ciphertext.data(), ciphertext.size());
+  buf.put_bytes(mac.data(), mac.size());
+  return buf.take();
+}
+
+SealedBlob SealedBlob::deserialize(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes.data(), bytes.size());
+  SealedBlob blob;
+  r.get_bytes(blob.mr_enclave.data(), blob.mr_enclave.size());
+  blob.iv.resize(r.get_varint());
+  r.get_bytes(blob.iv.data(), blob.iv.size());
+  blob.ciphertext.resize(r.get_varint());
+  r.get_bytes(blob.ciphertext.data(), blob.ciphertext.size());
+  r.get_bytes(blob.mac.data(), blob.mac.size());
+  MSV_CHECK_MSG(r.done(), "trailing bytes in sealed blob");
+  return blob;
+}
+
+Sha256::Digest SealingPlatform::derive_key(
+    const Sha256::Digest& mr_enclave) const {
+  // EGETKEY with KEYPOLICY.MRENCLAVE: key = KDF(fuse key, measurement).
+  Sha256 h;
+  h.update(platform_secret_);
+  h.update("seal-key-v1");
+  h.update(mr_enclave.data(), mr_enclave.size());
+  return h.finish();
+}
+
+void SealingPlatform::apply_keystream(const Sha256::Digest& key,
+                                      const std::vector<std::uint8_t>& iv,
+                                      std::vector<std::uint8_t>& data) {
+  // CTR-mode stream cipher over SHA-256 blocks.
+  Sha256::Digest block{};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % block.size() == 0) {
+      Sha256 h;
+      h.update(key.data(), key.size());
+      h.update(iv.data(), iv.size());
+      const std::uint64_t counter = i / block.size();
+      h.update(&counter, sizeof(counter));
+      block = h.finish();
+    }
+    data[i] ^= block[i % block.size()];
+  }
+}
+
+Sha256::Digest SealingPlatform::compute_mac(const Sha256::Digest& key,
+                                            const SealedBlob& blob) const {
+  Sha256 h;
+  h.update(key.data(), key.size());
+  h.update("seal-mac-v1");
+  h.update(blob.mr_enclave.data(), blob.mr_enclave.size());
+  h.update(blob.iv.data(), blob.iv.size());
+  h.update(blob.ciphertext.data(), blob.ciphertext.size());
+  h.update(key.data(), key.size());
+  return h.finish();
+}
+
+SealedBlob SealingPlatform::seal(const Enclave& enclave,
+                                 const std::vector<std::uint8_t>& plaintext,
+                                 std::uint64_t iv_seed) const {
+  SealedBlob blob;
+  blob.mr_enclave = enclave.measurement();
+  blob.iv.resize(16);
+  for (std::size_t i = 0; i < blob.iv.size(); ++i) {
+    blob.iv[i] = static_cast<std::uint8_t>(iv_seed >> ((i % 8) * 8)) ^
+                 static_cast<std::uint8_t>(i * 37);
+  }
+  blob.ciphertext = plaintext;
+  const Sha256::Digest key = derive_key(blob.mr_enclave);
+  apply_keystream(key, blob.iv, blob.ciphertext);
+  blob.mac = compute_mac(key, blob);
+  return blob;
+}
+
+std::vector<std::uint8_t> SealingPlatform::unseal(const Enclave& enclave,
+                                                  const SealedBlob& blob) const {
+  if (blob.mr_enclave != enclave.measurement()) {
+    throw SecurityFault(
+        "unseal: blob sealed to a different enclave identity");
+  }
+  const Sha256::Digest key = derive_key(blob.mr_enclave);
+  if (compute_mac(key, blob) != blob.mac) {
+    throw SecurityFault("unseal: sealed blob failed authentication");
+  }
+  std::vector<std::uint8_t> plaintext = blob.ciphertext;
+  apply_keystream(key, blob.iv, plaintext);
+  return plaintext;
+}
+
+}  // namespace msv::sgx

@@ -1,0 +1,232 @@
+#include "shim/enclave_shim.h"
+
+#include <cstring>
+
+#include "support/error.h"
+
+namespace msv::shim {
+namespace {
+
+constexpr const char* kOcallNames[] = {
+    "ocall_fopen",  "ocall_fwrite", "ocall_fread",  "ocall_fseek",
+    "ocall_fflush", "ocall_fclose", "ocall_access", "ocall_stat",
+    "ocall_unlink", "ocall_listdir", "ocall_mmap", "ocall_mmap_fetch",
+};
+
+}  // namespace
+
+EnclaveShim::EnclaveShim(Env& env, sgx::TransitionBridge& bridge, HostIo& host,
+                         MemoryDomain& enclave_domain)
+    : env_(env), bridge_(bridge), host_(host), enclave_domain_(enclave_domain) {}
+
+void EnclaveShim::add_edl_entries(sgx::EdlSpec& edl) {
+  for (const char* name : kOcallNames) {
+    sgx::EdlFunction fn;
+    fn.name = name;
+    fn.return_type = "long";
+    fn.params = {
+        {"const uint8_t*", "req", sgx::EdlDirection::kIn, "req_len"},
+        {"size_t", "req_len", sgx::EdlDirection::kIn, ""},
+        {"uint8_t*", "resp", sgx::EdlDirection::kOut, "resp_len"},
+        {"size_t", "resp_len", sgx::EdlDirection::kIn, ""},
+    };
+    edl.add_ocall(std::move(fn));
+  }
+}
+
+void EnclaveShim::register_ocalls() {
+  MSV_CHECK_MSG(!registered_, "shim ocalls registered twice");
+  registered_ = true;
+
+  bridge_.register_ocall("ocall_fopen", [this](ByteReader& r) {
+    const std::string path = r.get_string();
+    const auto mode = static_cast<vfs::OpenMode>(r.get_u8());
+    ByteBuffer out;
+    out.put_u64(host_.open(path, mode));
+    return out;
+  });
+  bridge_.register_ocall("ocall_fwrite", [this](ByteReader& r) {
+    const FileId id = r.get_u64();
+    const std::uint64_t len = r.get_varint();
+    std::vector<std::uint8_t> buf(len);
+    r.get_bytes(buf.data(), len);
+    host_.write(id, buf.data(), len);
+    return ByteBuffer();
+  });
+  bridge_.register_ocall("ocall_fread", [this](ByteReader& r) {
+    const FileId id = r.get_u64();
+    const std::uint64_t len = r.get_varint();
+    std::vector<std::uint8_t> buf(len);
+    const std::uint64_t got = host_.read(id, buf.data(), len);
+    ByteBuffer out;
+    out.put_varint(got);
+    out.put_bytes(buf.data(), got);
+    return out;
+  });
+  bridge_.register_ocall("ocall_fseek", [this](ByteReader& r) {
+    const FileId id = r.get_u64();
+    host_.seek(id, r.get_u64());
+    return ByteBuffer();
+  });
+  bridge_.register_ocall("ocall_fflush", [this](ByteReader& r) {
+    host_.flush(r.get_u64());
+    return ByteBuffer();
+  });
+  bridge_.register_ocall("ocall_fclose", [this](ByteReader& r) {
+    host_.close(r.get_u64());
+    return ByteBuffer();
+  });
+  bridge_.register_ocall("ocall_access", [this](ByteReader& r) {
+    ByteBuffer out;
+    out.put_u8(host_.exists(r.get_string()) ? 1 : 0);
+    return out;
+  });
+  bridge_.register_ocall("ocall_stat", [this](ByteReader& r) {
+    ByteBuffer out;
+    out.put_u64(host_.file_size(r.get_string()));
+    return out;
+  });
+  bridge_.register_ocall("ocall_unlink", [this](ByteReader& r) {
+    host_.remove(r.get_string());
+    return ByteBuffer();
+  });
+  bridge_.register_ocall("ocall_listdir", [this](ByteReader& r) {
+    const auto names = host_.list(r.get_string());
+    ByteBuffer out;
+    out.put_varint(names.size());
+    for (const auto& n : names) out.put_string(n);
+    return out;
+  });
+  bridge_.register_ocall("ocall_mmap", [this](ByteReader& r) {
+    // The helper validates the path; the enclave-side map() fetches pages
+    // on demand through ocall_mmap_fetch.
+    ByteBuffer out;
+    out.put_u64(host_.file_size(r.get_string()));
+    return out;
+  });
+  bridge_.register_ocall("ocall_mmap_fetch", [this](ByteReader& r) {
+    r.get_u64();  // page index; the helper reads it from its own mapping
+    env_.clock.advance(env_.cost.soft_page_fault_cycles);
+    // The page content travels back as the response payload; the bridge
+    // charges the boundary copy.
+    ByteBuffer out;
+    const std::vector<std::uint8_t> page(env_.cost.page_bytes, 0);
+    out.put_bytes(page.data(), page.size());
+    return out;
+  });
+}
+
+ByteBuffer EnclaveShim::relay(const std::string& ocall,
+                              const ByteBuffer& request) {
+  return bridge_.ocall(ocall, request);
+}
+
+FileId EnclaveShim::open(const std::string& path, vfs::OpenMode mode) {
+  ++stats_.opens;
+  ByteBuffer req;
+  req.put_string(path);
+  req.put_u8(static_cast<std::uint8_t>(mode));
+  ByteBuffer resp = relay("ocall_fopen", req);
+  ByteReader r(resp);
+  return r.get_u64();
+}
+
+void EnclaveShim::write(FileId file, const void* buf, std::uint64_t len) {
+  ++stats_.writes;
+  stats_.bytes_written += len;
+  ByteBuffer req;
+  req.put_u64(file);
+  req.put_varint(len);
+  req.put_bytes(buf, len);
+  relay("ocall_fwrite", req);
+}
+
+std::uint64_t EnclaveShim::read(FileId file, void* buf, std::uint64_t len) {
+  ++stats_.reads;
+  ByteBuffer req;
+  req.put_u64(file);
+  req.put_varint(len);
+  ByteBuffer resp = relay("ocall_fread", req);
+  ByteReader r(resp);
+  const std::uint64_t got = r.get_varint();
+  MSV_CHECK_MSG(got <= len, "shim helper returned too many bytes");
+  r.get_bytes(buf, got);
+  stats_.bytes_read += got;
+  return got;
+}
+
+void EnclaveShim::seek(FileId file, std::uint64_t pos) {
+  ++stats_.other_calls;
+  ByteBuffer req;
+  req.put_u64(file);
+  req.put_u64(pos);
+  relay("ocall_fseek", req);
+}
+
+void EnclaveShim::flush(FileId file) {
+  ++stats_.other_calls;
+  ByteBuffer req;
+  req.put_u64(file);
+  relay("ocall_fflush", req);
+}
+
+void EnclaveShim::close(FileId file) {
+  ++stats_.other_calls;
+  ByteBuffer req;
+  req.put_u64(file);
+  relay("ocall_fclose", req);
+}
+
+bool EnclaveShim::exists(const std::string& path) {
+  ++stats_.other_calls;
+  ByteBuffer req;
+  req.put_string(path);
+  ByteBuffer resp = relay("ocall_access", req);
+  ByteReader r(resp);
+  return r.get_u8() != 0;
+}
+
+std::uint64_t EnclaveShim::file_size(const std::string& path) {
+  ++stats_.other_calls;
+  ByteBuffer req;
+  req.put_string(path);
+  ByteBuffer resp = relay("ocall_stat", req);
+  ByteReader r(resp);
+  return r.get_u64();
+}
+
+void EnclaveShim::remove(const std::string& path) {
+  ++stats_.other_calls;
+  ByteBuffer req;
+  req.put_string(path);
+  relay("ocall_unlink", req);
+}
+
+std::vector<std::string> EnclaveShim::list(const std::string& prefix) {
+  ++stats_.other_calls;
+  ByteBuffer req;
+  req.put_string(prefix);
+  ByteBuffer resp = relay("ocall_listdir", req);
+  ByteReader r(resp);
+  std::vector<std::string> names(r.get_varint());
+  for (auto& n : names) n = r.get_string();
+  return names;
+}
+
+std::shared_ptr<MappedFile> EnclaveShim::map(const std::string& path) {
+  ++stats_.maps;
+  ByteBuffer req;
+  req.put_string(path);
+  relay("ocall_mmap", req);  // charges the ocall; validates existence
+  // The snapshot itself is pulled page by page on first touch through an
+  // ocall per page — the reader-side ocalls the paper counts in §6.5.
+  return std::make_shared<MappedFile>(
+      env_, enclave_domain_, env_.fs->map(path), path,
+      [this](std::uint64_t page) {
+        ByteBuffer req_page;
+        req_page.put_u64(page);
+        relay("ocall_mmap_fetch", req_page);
+      });
+}
+
+}  // namespace msv::shim

@@ -1,0 +1,42 @@
+// The shim helper / direct host I/O (§5.4).
+//
+// On the untrusted side this *is* libc: every call charges the syscall and
+// copy costs of the real thing against the virtual filesystem. The
+// enclave-side shim (enclave_shim.h) relays to an instance of this class.
+#pragma once
+
+#include <unordered_map>
+
+#include "shim/io_service.h"
+
+namespace msv::shim {
+
+class HostIo final : public IoService {
+ public:
+  HostIo(Env& env, MemoryDomain& domain);
+
+  FileId open(const std::string& path, vfs::OpenMode mode) override;
+  void write(FileId file, const void* buf, std::uint64_t len) override;
+  std::uint64_t read(FileId file, void* buf, std::uint64_t len) override;
+  void seek(FileId file, std::uint64_t pos) override;
+  void flush(FileId file) override;
+  void close(FileId file) override;
+  bool exists(const std::string& path) override;
+  std::uint64_t file_size(const std::string& path) override;
+  void remove(const std::string& path) override;
+  std::vector<std::string> list(const std::string& prefix) override;
+  std::shared_ptr<MappedFile> map(const std::string& path) override;
+
+  const IoStats& stats() const override { return stats_; }
+
+ private:
+  vfs::File& file(FileId id);
+
+  Env& env_;
+  MemoryDomain& domain_;
+  std::unordered_map<FileId, std::unique_ptr<vfs::File>> open_files_;
+  FileId next_id_ = 1;
+  IoStats stats_;
+};
+
+}  // namespace msv::shim

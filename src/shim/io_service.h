@@ -1,0 +1,100 @@
+// The I/O interface seen by application code (§5.4).
+//
+// Real-world applications call libc for files; enclaves cannot. Montsalvat
+// redefines unsupported libc routines inside the enclave as ocall wrappers
+// (the *shim library*) relayed to a *shim helper* outside that invokes the
+// real libc. Application code — native methods, PalDB, GraphChi — programs
+// against this interface and gets the right behaviour and the right costs
+// on both sides:
+//   * HostIo        (untrusted side): syscall costs + page-cache copies;
+//   * EnclaveShim   (trusted side):   ocall transition + boundary copies,
+//                                     then the host costs via the helper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/domain.h"
+#include "sim/env.h"
+#include "vfs/fs.h"
+
+namespace msv::shim {
+
+using FileId = std::uint64_t;
+
+// A file mapped for reading. Inside an enclave, mapped pages are copied in
+// on first touch (SGX cannot map untrusted files into EPC directly; library
+// OSes and shims copy through), then reads pay normal domain traffic. This
+// is what makes PalDB's mmap-optimised reads expensive in the enclave and
+// cheap outside (§6.5).
+class MappedFile {
+ public:
+  // `fetch_page`, when set, is invoked on the first touch of each page —
+  // the enclave shim wires it to an ocall that pulls the page through the
+  // boundary (this is where the reader-side ocalls of §6.5 come from).
+  // When unset, first touches charge a soft page fault locally.
+  MappedFile(Env& env, MemoryDomain& domain,
+             std::shared_ptr<const std::vector<std::uint8_t>> data,
+             std::string path,
+             std::function<void(std::uint64_t page)> fetch_page = nullptr);
+
+  std::uint64_t size() const { return data_->size(); }
+  const std::string& path() const { return path_; }
+
+  // Copies [offset, offset+len) into `dst`, charging first-touch and
+  // traffic costs. Throws RuntimeFault on out-of-range access.
+  void read(std::uint64_t offset, void* dst, std::uint64_t len);
+
+  // Reads a little-endian integer at `offset` (convenience for index
+  // probes).
+  std::uint32_t read_u32(std::uint64_t offset);
+  std::uint64_t read_u64(std::uint64_t offset);
+
+  std::uint64_t pages_touched() const { return touched_count_; }
+
+ private:
+  void touch_range(std::uint64_t offset, std::uint64_t len);
+
+  Env& env_;
+  MemoryDomain& domain_;
+  std::shared_ptr<const std::vector<std::uint8_t>> data_;
+  std::string path_;
+  std::function<void(std::uint64_t)> fetch_page_;
+  std::uint64_t region_;
+  std::vector<bool> touched_;
+  std::uint64_t touched_count_ = 0;
+};
+
+struct IoStats {
+  std::uint64_t opens = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t maps = 0;
+  std::uint64_t other_calls = 0;  // seek/close/flush/stat/...
+};
+
+class IoService {
+ public:
+  virtual ~IoService() = default;
+
+  virtual FileId open(const std::string& path, vfs::OpenMode mode) = 0;
+  virtual void write(FileId file, const void* buf, std::uint64_t len) = 0;
+  virtual std::uint64_t read(FileId file, void* buf, std::uint64_t len) = 0;
+  virtual void seek(FileId file, std::uint64_t pos) = 0;
+  virtual void flush(FileId file) = 0;
+  virtual void close(FileId file) = 0;
+  virtual bool exists(const std::string& path) = 0;
+  virtual std::uint64_t file_size(const std::string& path) = 0;
+  virtual void remove(const std::string& path) = 0;
+  virtual std::vector<std::string> list(const std::string& prefix) = 0;
+  virtual std::shared_ptr<MappedFile> map(const std::string& path) = 0;
+
+  virtual const IoStats& stats() const = 0;
+};
+
+}  // namespace msv::shim

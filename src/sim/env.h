@@ -1,0 +1,40 @@
+// The simulation environment shared by every component of a run: the
+// virtual clock, the cost model and the (virtual) host filesystem.
+//
+// One Env corresponds to one "machine". Everything that happens during a
+// simulated execution — enclave transitions, GC pauses, syscalls — charges
+// cycles to env.clock via the constants in env.cost.
+#pragma once
+
+#include <memory>
+
+#include "support/clock.h"
+#include "support/cost_model.h"
+#include "vfs/fs.h"
+
+namespace msv {
+
+// Which side of the enclave boundary code is currently executing on.
+enum class Side { kUntrusted, kTrusted };
+
+inline const char* side_name(Side s) {
+  return s == Side::kTrusted ? "trusted" : "untrusted";
+}
+
+struct Env {
+  explicit Env(CostModel cm = CostModel::paper(),
+               std::shared_ptr<vfs::FileSystem> filesystem = nullptr)
+      : clock(cm.cpu_hz),
+        cost(cm),
+        fs(filesystem ? std::move(filesystem)
+                      : std::make_shared<vfs::MemFs>()) {}
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  VirtualClock clock;
+  CostModel cost;
+  std::shared_ptr<vfs::FileSystem> fs;
+};
+
+}  // namespace msv

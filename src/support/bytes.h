@@ -1,0 +1,76 @@
+// Growable byte buffer with little-endian primitive encoding.
+//
+// Used by the neutral-object serializer (src/rmi), the PalDB store format
+// (src/apps/paldb) and the GraphChi shard files (src/apps/graphchi).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msv {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+
+  const std::uint8_t* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void clear() { data_.clear(); }
+  const std::vector<std::uint8_t>& bytes() const { return data_; }
+  std::vector<std::uint8_t> take() { return std::move(data_); }
+
+  void put_u8(std::uint8_t v) { data_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i32(std::int32_t v) { put_u32(static_cast<std::uint32_t>(v)); }
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_f64(double v);
+  // Unsigned LEB128; compact for small lengths and ids.
+  void put_varint(std::uint64_t v);
+  void put_bytes(const void* p, std::size_t n);
+  // Length-prefixed (varint) string.
+  void put_string(std::string_view s);
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+// Non-owning sequential reader over an encoded buffer. Throws RuntimeFault
+// on truncated input.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const ByteBuffer& b) : ByteReader(b.data(), b.size()) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t position() const { return pos_; }
+  bool done() const { return pos_ == size_; }
+  void seek(std::size_t pos);
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  double get_f64();
+  std::uint64_t get_varint();
+  void get_bytes(void* p, std::size_t n);
+  std::string get_string();
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+
+  void need(std::size_t n) const;
+};
+
+}  // namespace msv

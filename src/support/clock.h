@@ -1,0 +1,75 @@
+// Deterministic virtual time.
+//
+// All latencies reported by benchmarks in this repository are *simulated*:
+// a VirtualClock counts CPU cycles charged by the cost model (see
+// cost_model.h) and converts them to seconds at the frequency of the paper's
+// evaluation machine (3.8 GHz Xeon E3-1270). The clock also owns a timer
+// queue so periodic activities — most importantly the GC helper threads of
+// §5.5 — fire at exact simulated instants, which keeps every test and
+// benchmark reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace msv {
+
+using Cycles = std::uint64_t;
+
+class VirtualClock {
+ public:
+  explicit VirtualClock(double hz = 3.8e9) : hz_(hz) {}
+
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  Cycles now() const { return now_; }
+  double seconds() const { return static_cast<double>(now_) / hz_; }
+  double hz() const { return hz_; }
+
+  Cycles seconds_to_cycles(double s) const {
+    return static_cast<Cycles>(s * hz_);
+  }
+
+  // Advances time by `c` cycles, firing any timers that become due. Timer
+  // callbacks run with the clock set to their exact deadline, so a periodic
+  // timer observes evenly spaced instants regardless of advance granularity.
+  void advance(Cycles c);
+
+  // Schedules `fn` to run once when the clock reaches `deadline` (absolute).
+  // Returns an id usable with cancel().
+  std::uint64_t schedule_at(Cycles deadline, std::function<void()> fn);
+
+  // Schedules `fn` every `period` cycles, first firing at now()+period.
+  // The callback keeps firing until cancelled.
+  std::uint64_t schedule_every(Cycles period, std::function<void()> fn);
+
+  void cancel(std::uint64_t timer_id);
+
+  // Number of timers currently scheduled (periodic timers count once).
+  std::size_t pending_timers() const;
+
+ private:
+  struct Timer {
+    Cycles deadline;
+    std::uint64_t id;
+    Cycles period;  // 0 for one-shot
+    std::function<void()> fn;
+    bool operator>(const Timer& o) const {
+      return deadline != o.deadline ? deadline > o.deadline : id > o.id;
+    }
+  };
+
+  double hz_;
+  Cycles now_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::vector<std::uint64_t> cancelled_;
+  bool firing_ = false;
+
+  bool is_cancelled(std::uint64_t id) const;
+};
+
+}  // namespace msv

@@ -1,0 +1,60 @@
+// Error types shared across the Montsalvat library.
+//
+// Errors that indicate misuse of the public API or an invalid application
+// model throw ConfigError; violations of internal invariants detected at
+// run time throw RuntimeFault. Both derive from Error so callers can catch
+// everything from this library with one handler.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace msv {
+
+// Base class for all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// An invalid configuration, application model, or API misuse.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+// An internal invariant was violated during simulation.
+class RuntimeFault : public Error {
+ public:
+  explicit RuntimeFault(const std::string& what) : Error(what) {}
+};
+
+// A security violation detected by the simulated SGX substrate, e.g. code
+// outside the enclave touching enclave memory.
+class SecurityFault : public Error {
+ public:
+  explicit SecurityFault(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw RuntimeFault(std::string("check failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line) +
+                     (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace msv
+
+// Invariant check that throws RuntimeFault (never compiled out: the
+// simulation relies on these checks as part of its contract).
+#define MSV_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::msv::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MSV_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) ::msv::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,38 @@
+// FNV-1a hashing — the cheap hash used for identity hash codes (the paper's
+// default proxy hash, §5.2) and for bucket selection in the PalDB index.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace msv {
+
+constexpr std::uint64_t kFnvOffset64 = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ull;
+
+constexpr std::uint64_t fnv1a64(const void* data, std::size_t len,
+                                std::uint64_t seed = kFnvOffset64) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime64;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a64(std::string_view s,
+                                std::uint64_t seed = kFnvOffset64) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+constexpr std::uint32_t fnv1a32(std::string_view s) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+}  // namespace msv

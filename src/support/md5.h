@@ -1,0 +1,38 @@
+// MD5 (RFC 1321). The paper (§5.2) recommends an MD5-based proxy hash to
+// minimise collisions between proxy identities; ProxyHasher (src/rmi) uses
+// this implementation when configured for Md5 hashing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace msv {
+
+class Md5 {
+ public:
+  using Digest = std::array<std::uint8_t, 16>;
+
+  Md5();
+
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  // Finalises and returns the digest; the object must not be updated after.
+  Digest finish();
+
+  static Digest hash(std::string_view s);
+  static std::string hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace msv

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random numbers (xorshift64*).
+//
+// The standard library engines are avoided on purpose: their exact output is
+// implementation-defined for the distributions, and the benchmarks must be
+// reproducible across toolchains.
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace msv {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed ? seed : 1) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  // Uniform in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    MSV_CHECK(bound > 0);
+    return next_u64() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    MSV_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace msv

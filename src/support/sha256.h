@@ -1,0 +1,37 @@
+// SHA-256 (FIPS 180-4). Used by the SGX substrate for enclave measurement:
+// the image builder EADD/EEXTENDs every page of the trusted image into a
+// measurement that load-time verification checks (§2.1: "cryptographically
+// hashed for verification at runtime").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace msv {
+
+class Sha256 {
+ public:
+  using Digest = std::array<std::uint8_t, 32>;
+
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+  Digest finish();
+
+  static Digest hash(std::string_view s);
+  static std::string hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace msv

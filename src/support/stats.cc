@@ -1,0 +1,84 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace msv {
+
+double Samples::min() const {
+  MSV_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  MSV_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::mean() const {
+  MSV_CHECK(!values_.empty());
+  double sum = 0;
+  for (const double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  MSV_CHECK(!values_.empty());
+  if (values_.size() == 1) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (const double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  MSV_CHECK(!values_.empty());
+  MSV_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (s < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", s * 1e9);
+  } else if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  } else if (bytes < 1024.0 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", bytes / 1024);
+  } else if (bytes < 1024.0 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", bytes / (1024.0 * 1024));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", bytes / (1024.0 * 1024 * 1024));
+  }
+  return buf;
+}
+
+std::string format_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace msv

@@ -1,0 +1,38 @@
+// Small statistics helpers for benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace msv {
+
+// Accumulates samples and computes summary statistics.
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;  // sample standard deviation
+  // Linear-interpolation percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> values_;
+};
+
+// Formats a duration in seconds with an appropriate SI unit (ns/us/ms/s).
+std::string format_seconds(double s);
+
+// Formats a byte count with binary units (B/KiB/MiB/GiB).
+std::string format_bytes(double bytes);
+
+// Formats `v` with `digits` significant fraction digits.
+std::string format_fixed(double v, int digits);
+
+}  // namespace msv

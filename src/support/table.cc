@@ -1,0 +1,51 @@
+#include "support/table.h"
+
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace msv {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MSV_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MSV_CHECK_MSG(cells.size() == headers_.size(),
+                "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += c == 0 ? "| " : " | ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += c == 0 ? "|-" : "-|-";
+    rule.append(widths[c], '-');
+  }
+  rule += "-|\n";
+  out += rule;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace msv

@@ -1,0 +1,28 @@
+// Fixed-width console table used by the benchmark harnesses to print the
+// rows/series of each paper table and figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msv {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders the table with column separators and a header rule.
+  std::string to_string() const;
+
+  // Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace msv

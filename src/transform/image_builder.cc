@@ -1,0 +1,102 @@
+#include "transform/image_builder.h"
+
+#include "support/error.h"
+
+namespace msv::xform {
+
+using model::ClassDecl;
+using model::MethodDecl;
+
+std::size_t NativeImage::method_count() const {
+  std::size_t n = 0;
+  for (const auto& c : classes.classes()) n += c.methods().size();
+  return n;
+}
+
+ByteBuffer NativeImage::serialize() const {
+  ByteBuffer buf;
+  buf.put_string(name);
+  buf.put_u8(is_trusted ? 1 : 0);
+  buf.put_u64(code_bytes);
+  buf.put_u64(runtime_code_bytes);
+  buf.put_u64(image_heap_bytes);
+  buf.put_varint(classes.classes().size());
+  for (const auto& c : classes.classes()) {
+    buf.put_string(c.name());
+    buf.put_u8(static_cast<std::uint8_t>(c.annotation()));
+    buf.put_u8(c.is_proxy() ? 1 : 0);
+    buf.put_varint(c.fields().size());
+    for (const auto& f : c.fields()) buf.put_string(f.name);
+    buf.put_varint(c.methods().size());
+    for (const auto& m : c.methods()) {
+      buf.put_string(m.name());
+      buf.put_u8(static_cast<std::uint8_t>(m.kind()));
+      buf.put_u64(m.code_bytes());
+      // Bytecode bodies contribute their instruction stream: a change in
+      // any compiled method changes the measurement.
+      for (const auto& instr : m.ir().code) {
+        buf.put_u8(static_cast<std::uint8_t>(instr.op));
+        buf.put_i32(instr.a);
+        buf.put_i32(instr.b);
+      }
+    }
+  }
+  return buf;
+}
+
+Sha256::Digest NativeImage::measure() const {
+  const ByteBuffer buf = serialize();
+  Sha256 h;
+  h.update(buf.data(), buf.size());
+  return h.finish();
+}
+
+NativeImage ImageBuilder::build(const model::AppModel& input, bool is_trusted,
+                                std::vector<MethodRef> entry_override) const {
+  NativeImage image;
+  image.name = is_trusted ? "trusted" : "untrusted";
+  image.object_file = image.name + ".o";
+  image.is_trusted = is_trusted;
+  image.entry_points = !entry_override.empty()
+                           ? std::move(entry_override)
+                           : (is_trusted ? trusted_image_entry_points(input)
+                                         : untrusted_image_entry_points(input));
+  // An image can legitimately be empty, e.g. the trusted image of an
+  // application with no @Trusted classes.
+
+  ReachabilityAnalysis analysis(input);
+  image.reachable = analysis.analyze(image.entry_points);
+
+  // Prune: only reachable classes, and within them only reachable methods,
+  // survive into the image (§2.2: AoT compiles only reachable elements).
+  for (const auto& cls : input.classes()) {
+    if (!image.reachable.class_reachable(cls.name())) {
+      if (cls.is_proxy()) ++image.pruned_proxy_count;
+      continue;
+    }
+    ClassDecl& kept = image.classes.add_class(cls.name(), cls.annotation());
+    if (cls.is_proxy()) kept.mark_proxy();
+    for (const auto& f : cls.fields()) kept.add_field(f.name, f.is_private);
+    for (const auto& m : cls.methods()) {
+      // Proxy classes are pruned at class granularity only: a reachable
+      // proxy "exposes the same methods as the original class" (§5.2) so
+      // any of its stubs may be invoked through a received reference.
+      if (!cls.is_proxy() &&
+          !image.reachable.method_reachable(cls.name(), m.name())) {
+        continue;
+      }
+      kept.methods().push_back(m);
+      image.code_bytes += m.code_bytes();
+    }
+  }
+  image.classes.set_main_class(input.main_class());
+
+  image.runtime_code_bytes = config_.runtime_code_bytes;
+  image.image_heap_bytes =
+      config_.image_heap_base_bytes +
+      config_.image_heap_per_class_bytes * image.classes.classes().size();
+  image.max_heap_bytes = config_.max_heap_bytes;
+  return image;
+}
+
+}  // namespace msv::xform

@@ -1,0 +1,161 @@
+#include "transform/reachability.h"
+
+#include <deque>
+
+#include "support/error.h"
+
+namespace msv::xform {
+
+using model::Annotation;
+using model::ClassDecl;
+using model::MethodDecl;
+using model::MethodKind;
+using model::Op;
+
+namespace {
+
+struct Worklist {
+  std::deque<MethodRef> pending;
+  ReachabilityResult result;
+  // Method names invoked virtually somewhere reachable; re-examined when a
+  // new class becomes instantiated.
+  std::set<std::string> virtual_calls;
+
+  void mark_class(const std::string& cls) { result.classes.insert(cls); }
+
+  void mark_method(const std::string& cls, const std::string& method) {
+    if (result.methods.insert({cls, method}).second) {
+      pending.push_back({cls, method});
+    }
+    mark_class(cls);
+  }
+};
+
+}  // namespace
+
+ReachabilityResult ReachabilityAnalysis::analyze(
+    const std::vector<MethodRef>& entry_points) const {
+  Worklist wl;
+
+  auto instantiate = [&](const std::string& cls_name) {
+    if (!wl.result.instantiated.insert(cls_name).second) return;
+    wl.mark_class(cls_name);
+    // Newly instantiated class: any already-seen virtual call may now
+    // dispatch to it.
+    const ClassDecl* cls = app_.find_class(cls_name);
+    if (cls == nullptr) return;
+    for (const auto& name : wl.virtual_calls) {
+      if (cls->find_method(name) != nullptr) wl.mark_method(cls_name, name);
+    }
+  };
+
+  auto virtual_call = [&](const std::string& method_name) {
+    if (!wl.virtual_calls.insert(method_name).second) return;
+    for (const auto& cls : app_.classes()) {
+      if (wl.result.instantiated.count(cls.name()) != 0 &&
+          cls.find_method(method_name) != nullptr) {
+        wl.mark_method(cls.name(), method_name);
+      }
+    }
+  };
+
+  for (const auto& [cls, method] : entry_points) {
+    const ClassDecl* c = app_.find_class(cls);
+    if (c == nullptr || c->find_method(method) == nullptr) {
+      throw ConfigError("entry point " + cls + "." + method + " not found");
+    }
+    wl.mark_method(cls, method);
+  }
+
+  while (!wl.pending.empty()) {
+    const auto [cls_name, method_name] = wl.pending.front();
+    wl.pending.pop_front();
+    const ClassDecl& cls = app_.cls(cls_name);
+    const MethodDecl* m = cls.find_method(method_name);
+    MSV_CHECK_MSG(m != nullptr, "reachable method vanished");
+
+    // Instance methods imply an instance of the declaring class.
+    if (!m->is_static()) instantiate(cls_name);
+
+    switch (m->kind()) {
+      case MethodKind::kIr: {
+        const model::IrBody& ir = m->ir();
+        for (const auto& instr : ir.code) {
+          if (instr.op == Op::kNew) {
+            const std::string& target = ir.names[instr.a];
+            instantiate(target);
+            const ClassDecl* t = app_.find_class(target);
+            if (t != nullptr &&
+                t->find_method(model::kConstructorName) != nullptr) {
+              wl.mark_method(target, model::kConstructorName);
+            }
+          } else if (instr.op == Op::kCall) {
+            virtual_call(ir.names[instr.a]);
+          }
+        }
+        break;
+      }
+      case MethodKind::kNative:
+        // Opaque body: use the declared callees ("reflection config").
+        for (const auto& [tc, tm] : m->declared_callees()) {
+          const ClassDecl* t = app_.find_class(tc);
+          if (t == nullptr || t->find_method(tm) == nullptr) {
+            throw ConfigError("declared callee " + tc + "." + tm +
+                              " of native method " + cls_name + "." +
+                              method_name + " not found");
+          }
+          if (tm == model::kConstructorName) instantiate(tc);
+          wl.mark_method(tc, tm);
+        }
+        break;
+      case MethodKind::kRelay: {
+        const auto& info = m->relay();
+        const ClassDecl* target = app_.find_class(info.target_class);
+        MSV_CHECK_MSG(target != nullptr, "relay target class missing");
+        // Synthesized default-constructor relays have no concrete <init>;
+        // they still instantiate the class.
+        if (target->find_method(info.target_method) != nullptr) {
+          wl.mark_method(info.target_class, info.target_method);
+        }
+        if (info.is_constructor) instantiate(info.target_class);
+        break;
+      }
+      case MethodKind::kProxyStub:
+        // The stub's target lives in the opposite image; within this image
+        // it only needs the proxy class itself (plus the serializer and
+        // bridge, which are runtime components, not model classes).
+        instantiate(cls_name);
+        break;
+    }
+  }
+  return wl.result;
+}
+
+std::vector<MethodRef> trusted_image_entry_points(const model::AppModel& set) {
+  // All relay methods of concrete (non-proxy) classes in the trusted set
+  // are exported @CEntryPoints (§5.3).
+  std::vector<MethodRef> eps;
+  for (const auto& cls : set.classes()) {
+    if (cls.is_proxy() || cls.annotation() != Annotation::kTrusted) continue;
+    for (const auto& m : cls.methods()) {
+      if (m.kind() == MethodKind::kRelay) eps.push_back({cls.name(), m.name()});
+    }
+  }
+  return eps;
+}
+
+std::vector<MethodRef> untrusted_image_entry_points(
+    const model::AppModel& set) {
+  // main plus the relay methods of concrete untrusted classes (§5.3).
+  std::vector<MethodRef> eps;
+  if (!set.main_class().empty()) eps.push_back({set.main_class(), "main"});
+  for (const auto& cls : set.classes()) {
+    if (cls.is_proxy() || cls.annotation() != Annotation::kUntrusted) continue;
+    for (const auto& m : cls.methods()) {
+      if (m.kind() == MethodKind::kRelay) eps.push_back({cls.name(), m.name()});
+    }
+  }
+  return eps;
+}
+
+}  // namespace msv::xform

@@ -1,0 +1,61 @@
+// Closed-world reachability analysis (§5.3).
+//
+// GraalVM native-image runs a points-to analysis from the entry points and
+// compiles only reachable program elements. We implement the variant that
+// matters for partitioning: a rapid-type-analysis-style fixpoint over the
+// model's call edges.
+//
+//   * kNew edges are precise (the class name is in the instruction).
+//   * kCall edges are resolved against every *instantiated* class declaring
+//     the method (dynamic dispatch without receiver types — RTA).
+//   * Native bodies are opaque; their declared_callees() hints play the
+//     role of GraalVM's reflection configuration (§2.2).
+//   * Relay methods reach their target concrete method; proxy stubs have
+//     no same-image callees (their target lives in the other image).
+//
+// Entry points follow the paper: for the trusted image, every relay method
+// of a trusted class; for the untrusted image, main plus the relay methods
+// of untrusted classes.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/app_model.h"
+
+namespace msv::xform {
+
+// A method identified as "Class.method".
+using MethodRef = std::pair<std::string, std::string>;
+
+struct ReachabilityResult {
+  std::set<std::string> classes;
+  std::set<MethodRef> methods;
+  std::set<std::string> instantiated;
+
+  bool class_reachable(const std::string& cls) const {
+    return classes.count(cls) != 0;
+  }
+  bool method_reachable(const std::string& cls,
+                        const std::string& method) const {
+    return methods.count({cls, method}) != 0;
+  }
+};
+
+class ReachabilityAnalysis {
+ public:
+  explicit ReachabilityAnalysis(const model::AppModel& app) : app_(app) {}
+
+  ReachabilityResult analyze(const std::vector<MethodRef>& entry_points) const;
+
+ private:
+  const model::AppModel& app_;
+};
+
+// The entry points of an image per §5.3.
+std::vector<MethodRef> trusted_image_entry_points(const model::AppModel& set);
+std::vector<MethodRef> untrusted_image_entry_points(const model::AppModel& set);
+
+}  // namespace msv::xform

@@ -1,0 +1,159 @@
+#include "transform/transformer.h"
+
+#include "support/error.h"
+
+namespace msv::xform {
+
+using model::Annotation;
+using model::ClassDecl;
+using model::MethodDecl;
+
+namespace {
+
+// "<init>" is not a valid C identifier fragment; transitions use "init".
+std::string sanitize(const std::string& method) {
+  return method == model::kConstructorName ? "init" : method;
+}
+
+}  // namespace
+
+std::string relay_method_name(const std::string& method) {
+  return "relay$" + sanitize(method);
+}
+
+std::string transition_name(const std::string& cls, const std::string& method,
+                            bool concrete_is_trusted) {
+  return std::string(concrete_is_trusted ? "ecall" : "ocall") + "_relay_" +
+         cls + "_" + sanitize(method);
+}
+
+void BytecodeTransformer::add_concrete_class(model::AppModel& out,
+                                             const ClassDecl& concrete) const {
+  ClassDecl& copy = out.add_class(concrete.name(), concrete.annotation());
+  for (const auto& f : concrete.fields()) copy.add_field(f.name, f.is_private);
+  for (const auto& m : concrete.methods()) {
+    copy.methods().push_back(m);
+  }
+  // Relay methods: one static entry-point wrapper per public method,
+  // including constructors (Listing 4). Private methods stay internal, and
+  // neutral classes need no relays — they are serialized across the
+  // boundary, never remotely invoked.
+  if (concrete.annotation() == Annotation::kNeutral) return;
+  for (const auto& m : concrete.methods()) {
+    if (!m.is_public() || m.kind() == model::MethodKind::kRelay) continue;
+    MethodDecl& relay = copy.add_static_method(relay_method_name(m.name()),
+                                               m.param_count());
+    relay.set_relay(model::RelayInfo{concrete.name(), m.name(),
+                                     m.is_constructor()});
+  }
+  // A class without a declared constructor still needs a construction
+  // relay: its proxies must be able to create mirrors (default ctor).
+  if (concrete.find_method(model::kConstructorName) == nullptr) {
+    MethodDecl& relay = copy.add_static_method(
+        relay_method_name(model::kConstructorName), 0);
+    relay.set_relay(
+        model::RelayInfo{concrete.name(), model::kConstructorName, true});
+  }
+}
+
+void BytecodeTransformer::add_proxy_class(model::AppModel& out,
+                                          const ClassDecl& concrete,
+                                          bool concrete_is_trusted) const {
+  ClassDecl& proxy = out.add_class(concrete.name(), concrete.annotation());
+  proxy.mark_proxy();
+  // Stripping: all fields vanish; a single hash field identifies the proxy
+  // and its mirror across the boundary (§5.2).
+  proxy.add_field("hash");
+  for (const auto& m : concrete.methods()) {
+    if (!m.is_public()) continue;  // stripped entirely
+    MethodDecl& stub = proxy.add_method(m.name(), m.param_count());
+    if (m.is_static()) stub.set_static();
+    stub.make_proxy_stub(model::ProxyStubInfo{
+        transition_name(concrete.name(), m.name(), concrete_is_trusted),
+        /*via_ecall=*/concrete_is_trusted, concrete.name(), m.name(),
+        m.is_constructor()});
+  }
+  // Default-constructor stub when the concrete class declares none.
+  if (concrete.find_method(model::kConstructorName) == nullptr) {
+    MethodDecl& stub = proxy.add_method(model::kConstructorName, 0);
+    stub.make_proxy_stub(model::ProxyStubInfo{
+        transition_name(concrete.name(), model::kConstructorName,
+                        concrete_is_trusted),
+        /*via_ecall=*/concrete_is_trusted, concrete.name(),
+        model::kConstructorName, true});
+  }
+}
+
+void BytecodeTransformer::add_edl_entries(sgx::EdlSpec& edl,
+                                          const ClassDecl& concrete,
+                                          bool concrete_is_trusted) const {
+  for (const auto& m : concrete.methods()) {
+    if (!m.is_public()) continue;
+    sgx::EdlFunction fn;
+    fn.name = transition_name(concrete.name(), m.name(), concrete_is_trusted);
+    fn.return_type = "void";
+    // The relay calling convention (§5.2): the callee isolate, the caller
+    // proxy's hash, and a serialized buffer holding neutral parameters and
+    // the hashes standing in for proxy/mirror parameters.
+    fn.params = {
+        {"uint64_t", "isolate", sgx::EdlDirection::kIn, ""},
+        {"int64_t", "hash", sgx::EdlDirection::kIn, ""},
+        {"const uint8_t*", "buf", sgx::EdlDirection::kIn, "len"},
+        {"size_t", "len", sgx::EdlDirection::kIn, ""},
+        {"uint8_t*", "ret", sgx::EdlDirection::kOut, "ret_len"},
+        {"size_t", "ret_len", sgx::EdlDirection::kIn, ""},
+    };
+    if (concrete_is_trusted) {
+      edl.add_ecall(std::move(fn));
+    } else {
+      edl.add_ocall(std::move(fn));
+    }
+  }
+  if (concrete.find_method(model::kConstructorName) == nullptr) {
+    sgx::EdlFunction fn;
+    fn.name = transition_name(concrete.name(), model::kConstructorName,
+                              concrete_is_trusted);
+    fn.return_type = "void";
+    fn.params = {{"uint64_t", "isolate", sgx::EdlDirection::kIn, ""},
+                 {"int64_t", "hash", sgx::EdlDirection::kIn, ""}};
+    if (concrete_is_trusted) {
+      edl.add_ecall(std::move(fn));
+    } else {
+      edl.add_ocall(std::move(fn));
+    }
+  }
+}
+
+TransformResult BytecodeTransformer::transform(
+    const model::AppModel& app) const {
+  app.validate();
+  TransformResult result;
+  result.edl.enclave_name = "montsalvat_enclave";
+  result.trusted.set_main_class("");  // main lives in the untrusted image
+  result.untrusted.set_main_class(app.main_class());
+
+  for (const auto& c : app.classes()) {
+    MSV_CHECK_MSG(!c.is_proxy(), "transform() re-applied to transformed code");
+    switch (c.annotation()) {
+      case Annotation::kNeutral:
+        // Unchanged, present in both worlds; instances may evolve
+        // independently (§5.1).
+        add_concrete_class(result.trusted, c);
+        add_concrete_class(result.untrusted, c);
+        break;
+      case Annotation::kTrusted:
+        add_concrete_class(result.trusted, c);
+        add_proxy_class(result.untrusted, c, /*concrete_is_trusted=*/true);
+        add_edl_entries(result.edl, c, /*concrete_is_trusted=*/true);
+        break;
+      case Annotation::kUntrusted:
+        add_concrete_class(result.untrusted, c);
+        add_proxy_class(result.trusted, c, /*concrete_is_trusted=*/false);
+        add_edl_entries(result.edl, c, /*concrete_is_trusted=*/false);
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace msv::xform

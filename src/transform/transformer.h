@@ -1,0 +1,60 @@
+// The bytecode transformer (§5.2) — the Javassist weaver of the paper.
+//
+// Input: an annotated application model. Output: the two class sets used
+// for image generation (§5.3):
+//   * trusted set  (T ∪ N): concrete @Trusted classes extended with relay
+//     methods, proxy versions of @Untrusted classes, neutral classes;
+//   * untrusted set (U ∪ N): concrete @Untrusted classes extended with
+//     relay methods, proxy versions of @Trusted classes, neutral classes;
+// plus the EDL fragment describing every generated ecall/ocall transition.
+//
+// Proxy classes are produced by *stripping*: fields are removed and
+// replaced by a single `hash` field, public method bodies are replaced by
+// native transition stubs to the corresponding relay method, and private
+// methods are dropped (they are unreachable from the other runtime).
+// Relay methods are static @CEntryPoint-style wrappers added to concrete
+// classes; their restrictions (static, primitive/pointer parameters only)
+// are what forces the hash+serialized-buffer calling convention.
+#pragma once
+
+#include <string>
+
+#include "model/app_model.h"
+#include "sgx/edl.h"
+
+namespace msv::xform {
+
+struct TransformResult {
+  model::AppModel trusted;    // input set for the trusted image
+  model::AppModel untrusted;  // input set for the untrusted image
+  sgx::EdlSpec edl;           // relay transitions (ecalls + ocalls)
+};
+
+// Name of the relay method added to a concrete class for `method`.
+std::string relay_method_name(const std::string& method);
+
+// Name of the bridge transition invoked by a proxy stub for
+// `cls.method`: "ecall_relay_<cls>_<method>" when the concrete class is
+// trusted, "ocall_relay_<cls>_<method>" otherwise.
+std::string transition_name(const std::string& cls, const std::string& method,
+                            bool concrete_is_trusted);
+
+class BytecodeTransformer {
+ public:
+  // Validates `app` and produces the two transformed class sets. Only
+  // annotated classes are modified; neutral classes are copied verbatim
+  // into both sets. Unpartitioned builds (§5.6) skip this entirely.
+  TransformResult transform(const model::AppModel& app) const;
+
+ private:
+  // Appends a stripped proxy version of `concrete` to `out`.
+  void add_proxy_class(model::AppModel& out, const model::ClassDecl& concrete,
+                       bool concrete_is_trusted) const;
+  // Appends `concrete` plus relay methods for its public methods to `out`.
+  void add_concrete_class(model::AppModel& out,
+                          const model::ClassDecl& concrete) const;
+  void add_edl_entries(sgx::EdlSpec& edl, const model::ClassDecl& concrete,
+                       bool concrete_is_trusted) const;
+};
+
+}  // namespace msv::xform

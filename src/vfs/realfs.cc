@@ -1,0 +1,114 @@
+#include <cstdio>
+#include <filesystem>
+
+#include "support/error.h"
+#include "vfs/fs.h"
+
+namespace msv::vfs {
+namespace {
+
+class StdioFile final : public File {
+ public:
+  StdioFile(std::FILE* f, std::string path) : f_(f), path_(std::move(path)) {}
+  ~StdioFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  std::size_t read(void* buf, std::size_t n) override {
+    return std::fread(buf, 1, n, f_);
+  }
+
+  void write(const void* buf, std::size_t n) override {
+    if (std::fwrite(buf, 1, n, f_) != n)
+      throw RuntimeFault("RealFs: short write to " + path_);
+  }
+
+  void seek(std::uint64_t pos) override {
+    if (std::fseek(f_, static_cast<long>(pos), SEEK_SET) != 0)
+      throw RuntimeFault("RealFs: seek failed on " + path_);
+  }
+
+  std::uint64_t tell() const override {
+    return static_cast<std::uint64_t>(std::ftell(f_));
+  }
+
+  std::uint64_t size() const override {
+    const long pos = std::ftell(f_);
+    std::fseek(f_, 0, SEEK_END);
+    const long end = std::ftell(f_);
+    std::fseek(f_, pos, SEEK_SET);
+    return static_cast<std::uint64_t>(end);
+  }
+
+  void flush() override { std::fflush(f_); }
+
+ private:
+  std::FILE* f_;
+  std::string path_;
+};
+
+const char* mode_string(OpenMode mode) {
+  switch (mode) {
+    case OpenMode::kRead:
+      return "rb";
+    case OpenMode::kWrite:
+      return "wb";
+    case OpenMode::kAppend:
+      return "ab";
+    case OpenMode::kReadWrite:
+      return "w+b";
+  }
+  return "rb";
+}
+
+}  // namespace
+
+std::unique_ptr<File> RealFs::open(const std::string& path, OpenMode mode) {
+  std::FILE* f = std::fopen(path.c_str(), mode_string(mode));
+  if (f == nullptr) throw RuntimeFault("RealFs: cannot open " + path);
+  return std::make_unique<StdioFile>(f, path);
+}
+
+bool RealFs::exists(const std::string& path) const {
+  return std::filesystem::exists(path);
+}
+
+std::uint64_t RealFs::file_size(const std::string& path) const {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw RuntimeFault("RealFs: cannot stat " + path);
+  return size;
+}
+
+void RealFs::remove(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::remove(path, ec) || ec)
+    throw RuntimeFault("RealFs: cannot remove " + path);
+}
+
+std::vector<std::string> RealFs::list(const std::string& prefix) const {
+  namespace fs = std::filesystem;
+  const fs::path p(prefix);
+  const fs::path dir = p.has_parent_path() ? p.parent_path() : fs::path(".");
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string path = entry.path().string();
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> RealFs::map(
+    const std::string& path) {
+  auto f = open(path, OpenMode::kRead);
+  auto data = std::make_shared<std::vector<std::uint8_t>>(f->size());
+  if (!data->empty()) {
+    const std::size_t got = f->read(data->data(), data->size());
+    if (got != data->size())
+      throw RuntimeFault("RealFs: short read mapping " + path);
+  }
+  return data;
+}
+
+}  // namespace msv::vfs

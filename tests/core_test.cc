@@ -1,0 +1,168 @@
+// Tests for src/core: pipeline-level behaviours — determinism, tampering,
+// configuration, and the guarantees the runners make.
+#include <gtest/gtest.h>
+
+#include "apps/illustrative/bank.h"
+#include "apps/synthetic/generator.h"
+#include "core/montsalvat.h"
+
+namespace msv::core {
+namespace {
+
+using rt::Value;
+
+TEST(Determinism, IdenticalRunsProduceIdenticalClocks) {
+  auto run_once = [] {
+    PartitionedApp app(apps::build_bank_app());
+    app.run_main();
+    auto& u = app.untrusted_context();
+    const Value p =
+        u.construct("Person", {Value("x"), Value(std::int32_t{5})});
+    u.invoke(p.as_ref(), "transfer",
+             {u.construct("Person", {Value("y"), Value(std::int32_t{1})}),
+              Value(std::int32_t{2})});
+    u.isolate().heap().collect();
+    app.rmi().force_gc_scan();
+    return app.env().clock.now();
+  };
+  EXPECT_EQ(run_once(), run_once()) << "bit-for-bit reproducible simulation";
+}
+
+TEST(Determinism, MeasurementStableAcrossBuilds) {
+  PartitionedApp a(apps::build_bank_app());
+  PartitionedApp b(apps::build_bank_app());
+  EXPECT_EQ(a.enclave().measurement(), b.enclave().measurement());
+}
+
+TEST(Determinism, DifferentCodeDifferentMeasurement) {
+  PartitionedApp bank(apps::build_bank_app());
+  PartitionedApp micro(apps::synthetic::build_micro_app());
+  EXPECT_NE(bank.enclave().measurement(), micro.enclave().measurement());
+}
+
+TEST(Config, CostModelOverridesApply) {
+  AppConfig slow;
+  slow.cost.ecall_cycles *= 10;
+  slow.cost.isolate_attach_trusted_cycles *= 10;
+
+  auto measure = [](AppConfig config) {
+    PartitionedApp app(apps::synthetic::build_micro_app(), config);
+    auto& u = app.untrusted_context();
+    const Value w = u.construct("Worker", {});
+    const Cycles t0 = app.env().clock.now();
+    for (int i = 0; i < 50; ++i) {
+      u.invoke(w.as_ref(), "set", {Value(std::int32_t{1})});
+    }
+    return app.env().clock.now() - t0;
+  };
+  EXPECT_GT(measure(slow), measure(AppConfig{}) * 5);
+}
+
+TEST(Config, HeapSizesRespected) {
+  AppConfig config;
+  config.trusted_heap_bytes = 1 << 20;
+  config.untrusted_heap_bytes = 1 << 20;
+  PartitionedApp app(apps::build_bank_app(), config);
+  EXPECT_EQ(app.trusted_context().isolate().heap().semispace_bytes(),
+            (1u << 20) / 2);
+}
+
+TEST(Config, CustomFilesystemShared) {
+  auto fs = std::make_shared<vfs::MemFs>();
+  fs->open("preexisting.txt", vfs::OpenMode::kWrite)->write("hi", 2);
+  AppConfig config;
+  config.fs = fs;
+  PartitionedApp app(apps::build_bank_app(), config);
+  EXPECT_TRUE(app.env().fs->exists("preexisting.txt"));
+}
+
+TEST(Pipeline, ImageHeapsMappedAtIsolateStartup) {
+  PartitionedApp app(apps::build_bank_app());
+  // The trusted image heap was touched into the EPC during isolate
+  // creation (§2.2: the image heap is memory-mapped at startup).
+  EXPECT_GT(app.enclave().epc().stats().faults,
+            app.trusted_image().image_heap_bytes /
+                app.env().cost.page_bytes / 2);
+}
+
+TEST(Pipeline, EnclaveCreationChargedToStartup) {
+  PartitionedApp app(apps::build_bank_app());
+  EXPECT_GT(app.env().clock.now(), app.env().cost.enclave_create_base_cycles)
+      << "build-time work is free, load-time work is not";
+}
+
+TEST(Pipeline, EdlCoversRelaysShimAndGcHelpers) {
+  PartitionedApp app(apps::build_bank_app());
+  const auto& edl = app.edl();
+  EXPECT_TRUE(edl.has_ecall("ecall_relay_Account_updateBalance"));
+  EXPECT_TRUE(edl.has_ecall("ecall_gc_evict_mirrors"));
+  EXPECT_TRUE(edl.has_ecall("ecall_gc_scan_trusted"));
+  EXPECT_TRUE(edl.has_ocall("ocall_fwrite"));
+  EXPECT_TRUE(edl.has_ocall("ocall_mmap_fetch"));
+  EXPECT_TRUE(edl.has_ocall("ocall_gc_evict_mirrors"));
+}
+
+TEST(Pipeline, SwitchlessConfigMarksEdl) {
+  AppConfig config;
+  config.switchless_relays = true;
+  PartitionedApp app(apps::build_bank_app(), config);
+  bool any_marked = false;
+  for (const auto& fn : app.edl().trusted) any_marked |= fn.switchless;
+  EXPECT_TRUE(any_marked);
+  EXPECT_NE(app.edl().to_edl_text().find("transition_using_threads"),
+            std::string::npos);
+}
+
+TEST(Runners, UnpartitionedRunInEnclaveHelper) {
+  AppConfig config;
+  // getBalance is not reachable from main; root it for the host driver.
+  config.extra_entry_points = {{"Account", "getBalance"}};
+  UnpartitionedApp app(apps::build_bank_app(), config);
+  const Value result = app.run_in_enclave([](interp::ExecContext& ctx) {
+    const Value acct =
+        ctx.construct("Account", {Value("in"), Value(std::int32_t{9})});
+    return ctx.invoke(acct.as_ref(), "getBalance", {});
+  });
+  EXPECT_EQ(result.as_i32(), 9);
+  EXPECT_GE(app.bridge().stats().ecalls, 1u);
+}
+
+TEST(Runners, MainWithTrustedAnnotationRejectedEverywhere) {
+  model::AppModel bad;
+  bad.add_class("Main", model::Annotation::kTrusted)
+      .add_static_method("main", 0)
+      .body(model::IrBuilder().ret_void().build());
+  bad.set_main_class("Main");
+  EXPECT_THROW(PartitionedApp{bad}, ConfigError);
+  EXPECT_THROW(UnpartitionedApp{bad}, ConfigError);
+  EXPECT_THROW(NativeApp{bad}, ConfigError);
+}
+
+TEST(Runners, SimulatedTimeOrderingHolds) {
+  // The headline qualitative claim across the three runners.
+  const model::AppModel app = apps::build_bank_app();
+  NativeApp native(app);
+  native.run_main();
+  PartitionedApp part(app);
+  part.run_main();
+  UnpartitionedApp unpart(app);
+  unpart.run_main();
+  EXPECT_LT(native.now_seconds(), part.now_seconds());
+  // This workload is RMI-heavy with almost no I/O or memory pressure, so
+  // the unpartitioned variant (one ecall total) beats the partitioned one
+  // — partitioning pays off when real work can leave the enclave (Fig. 6).
+  EXPECT_LT(unpart.now_seconds(), part.now_seconds());
+}
+
+TEST(Tcb, ShimBeatsLibOsByOrdersOfMagnitude) {
+  PartitionedApp app(apps::build_bank_app());
+  const TcbReport tcb = app.tcb_report();
+  // Graphene/SGX-LKL-style LibOS TCBs are tens of MB of code; the §5.4
+  // argument is that the shim keeps the enclave two orders smaller.
+  constexpr std::uint64_t kLibOsCodeBytes = 40ull << 20;
+  EXPECT_LT(tcb.shim_bytes * 100, kLibOsCodeBytes);
+  EXPECT_LT(tcb.total_bytes(), kLibOsCodeBytes);
+}
+
+}  // namespace
+}  // namespace msv::core

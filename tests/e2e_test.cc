@@ -1,0 +1,292 @@
+// End-to-end tests: the full Montsalvat pipeline on the paper's
+// illustrative application (Listing 1), covering proxy construction in
+// both directions, remote method invocation, parameter passing by hash,
+// neutral-value serialization, GC synchronisation (§5.5), and the
+// unpartitioned/native modes (§5.6).
+#include <gtest/gtest.h>
+
+#include "apps/illustrative/bank.h"
+#include "core/montsalvat.h"
+
+namespace msv {
+namespace {
+
+using core::AppConfig;
+using core::NativeApp;
+using core::PartitionedApp;
+using core::UnpartitionedApp;
+using rt::Value;
+
+TEST(PartitionedBank, MainRunsListing1) {
+  PartitionedApp app(apps::build_bank_app());
+  app.run_main();
+  // main created: 2 Persons -> 2 Account mirrors + 1 AccountRegistry
+  // mirror in the enclave registry.
+  EXPECT_EQ(app.rmi().registry(Side::kTrusted).size(), 3u);
+  EXPECT_GT(app.bridge().stats().ecalls, 0u);
+}
+
+TEST(PartitionedBank, TransferUpdatesEnclaveState) {
+  PartitionedApp app(apps::build_bank_app());
+  auto& u = app.untrusted_context();
+
+  const Value alice = u.construct("Person", {Value("Alice"), Value(std::int32_t{100})});
+  const Value bob = u.construct("Person", {Value("Bob"), Value(std::int32_t{25})});
+  u.invoke(alice.as_ref(), "transfer", {bob, Value(std::int32_t{25})});
+
+  const Value alice_acct = u.invoke(alice.as_ref(), "getAccount", {});
+  const Value bob_acct = u.invoke(bob.as_ref(), "getAccount", {});
+  EXPECT_TRUE(u.class_of(alice_acct.as_ref()).is_proxy());
+  EXPECT_EQ(u.invoke(alice_acct.as_ref(), "getBalance", {}).as_i32(), 75);
+  EXPECT_EQ(u.invoke(bob_acct.as_ref(), "getBalance", {}).as_i32(), 50);
+  // The string crossed the boundary by serialization.
+  EXPECT_EQ(u.invoke(alice_acct.as_ref(), "getOwner", {}).as_string(), "Alice");
+}
+
+TEST(PartitionedBank, ProxyHashRoundTripPreservesIdentity) {
+  PartitionedApp app(apps::build_bank_app());
+  auto& u = app.untrusted_context();
+
+  const Value p = u.construct("Person", {Value("P"), Value(std::int32_t{10})});
+  // getAccount twice: the same mirror must come back as the same proxy
+  // object (materialization is cached per hash).
+  const Value a1 = u.invoke(p.as_ref(), "getAccount", {});
+  const Value a2 = u.invoke(p.as_ref(), "getAccount", {});
+  EXPECT_TRUE(a1.as_ref().same_object(a2.as_ref()));
+
+  // Passing the proxy back in: registry must not grow (the hash resolves
+  // to the existing mirror, §5.2's addAccount flow).
+  const Value reg = u.construct("AccountRegistry", {});
+  const std::size_t mirrors_before = app.rmi().registry(Side::kTrusted).size();
+  u.invoke(reg.as_ref(), "addAccount", {a1});
+  EXPECT_EQ(app.rmi().registry(Side::kTrusted).size(), mirrors_before);
+  EXPECT_EQ(u.invoke(reg.as_ref(), "count", {}).as_i32(), 1);
+  EXPECT_EQ(u.invoke(reg.as_ref(), "totalBalance", {}).as_i32(), 10);
+}
+
+AppConfig vault_config() {
+  // Vault is driven by the host directly (not from main): root its proxy
+  // in the untrusted image, GraalVM-reflection-config style.
+  AppConfig config;
+  config.extra_entry_points = {{"Vault", model::kConstructorName}};
+  return config;
+}
+
+TEST(PartitionedBank, EnclaveToUntrustedDirection) {
+  PartitionedApp app(apps::build_bank_app(/*with_audit=*/true),
+                     vault_config());
+  auto& u = app.untrusted_context();
+
+  // Vault is trusted; constructing it ecalls in. Its constructor builds an
+  // untrusted Logger (ocall back out), and audit() drives it remotely.
+  const Value vault = u.construct("Vault", {});
+  u.invoke(vault.as_ref(), "audit", {Value("key-rotation")});
+  u.invoke(vault.as_ref(), "audit", {Value("login")});
+  EXPECT_EQ(u.invoke(vault.as_ref(), "auditCount", {}).as_i32(), 2);
+
+  // The log file was written by the *untrusted* side's real libc.
+  EXPECT_TRUE(app.env().fs->exists("audit.log"));
+  EXPECT_EQ(app.rmi().registry(Side::kUntrusted).size(), 1u)
+      << "the Logger mirror lives in the untrusted registry";
+  EXPECT_GT(app.bridge().stats().ocalls, 0u);
+}
+
+TEST(PartitionedBank, GcEvictsMirrorsOfDeadProxies) {
+  AppConfig config;
+  config.gc_scan_period_seconds = 0.001;
+  PartitionedApp app(apps::build_bank_app(), config);
+  auto& u = app.untrusted_context();
+
+  {
+    std::vector<Value> persons;
+    for (int i = 0; i < 50; ++i) {
+      persons.push_back(u.construct(
+          "Person", {Value("p" + std::to_string(i)), Value(std::int32_t{i})}));
+    }
+    EXPECT_EQ(app.rmi().registry(Side::kTrusted).size(), 50u);
+  }
+  // Proxies are now unreferenced. Collect the untrusted heap, then let the
+  // GC helper scan and evict.
+  u.isolate().heap().collect();
+  app.rmi().force_gc_scan();
+  EXPECT_EQ(app.rmi().registry(Side::kTrusted).size(), 0u);
+  EXPECT_GT(app.rmi().gc_stats(Side::kUntrusted).proxies_collected, 0u);
+}
+
+TEST(PartitionedBank, LiveProxiesKeepTheirMirrors) {
+  PartitionedApp app(apps::build_bank_app());
+  auto& u = app.untrusted_context();
+
+  const Value keeper =
+      u.construct("Person", {Value("keeper"), Value(std::int32_t{1})});
+  {
+    const Value doomed =
+        u.construct("Person", {Value("doomed"), Value(std::int32_t{2})});
+    (void)doomed;
+  }
+  u.isolate().heap().collect();
+  app.rmi().force_gc_scan();
+  // keeper's Account mirror survives; doomed's is gone.
+  EXPECT_EQ(app.rmi().registry(Side::kTrusted).size(), 1u);
+  EXPECT_EQ(u.invoke(u.invoke(keeper.as_ref(), "getAccount", {}).as_ref(),
+                     "getBalance", {})
+                .as_i32(),
+            1);
+}
+
+TEST(PartitionedBank, GcHelperInTrustedRuntimeEvictsUntrustedMirrors) {
+  PartitionedApp app(apps::build_bank_app(/*with_audit=*/true),
+                     vault_config());
+  auto& u = app.untrusted_context();
+  auto& t = app.trusted_context();
+
+  {
+    const Value vault = u.construct("Vault", {});
+    u.invoke(vault.as_ref(), "audit", {Value("x")});
+    EXPECT_EQ(app.rmi().registry(Side::kUntrusted).size(), 1u);
+  }
+  // Drop the vault: its mirror (and the Logger proxy the mirror holds)
+  // die in the enclave after eviction + trusted GC.
+  u.isolate().heap().collect();
+  app.rmi().force_gc_scan();          // untrusted helper evicts Vault mirror
+  t.isolate().heap().collect();       // Logger proxy dies in the enclave
+  app.rmi().force_gc_scan();          // trusted helper evicts Logger mirror
+  EXPECT_EQ(app.rmi().registry(Side::kUntrusted).size(), 0u);
+  EXPECT_EQ(app.rmi().registry(Side::kTrusted).size(), 0u);
+}
+
+TEST(PartitionedBank, ProxyCreationCountsAndBridgeTraffic) {
+  PartitionedApp app(apps::build_bank_app());
+  auto& u = app.untrusted_context();
+  const auto ecalls_before = app.bridge().stats().ecalls;
+  u.construct("Person", {Value("A"), Value(std::int32_t{1})});
+  // Person is local; its constructor creates exactly one Account proxy ->
+  // one ecall (the constructor relay).
+  EXPECT_EQ(app.bridge().stats().ecalls, ecalls_before + 1);
+  EXPECT_EQ(app.rmi().stats().proxies_created, 1u);
+}
+
+TEST(PartitionedBank, TcbReportCountsOnlyTrustedSide) {
+  PartitionedApp app(apps::build_bank_app());
+  const core::TcbReport tcb = app.tcb_report();
+  EXPECT_GT(tcb.app_code_bytes, 0u);
+  EXPECT_GT(tcb.edl_functions, 10u);  // relays + shim + gc helpers
+  EXPECT_EQ(tcb.shim_bytes, shim::EnclaveShim::shim_code_bytes());
+  // The TCB is dominated by the embedded runtime, not a library OS.
+  EXPECT_LT(tcb.total_bytes(), 16ull << 20);
+}
+
+TEST(PartitionedBank, EdgeRoutinesGenerated) {
+  PartitionedApp app(apps::build_bank_app());
+  EXPECT_GT(app.edge_routines().routine_count, 20u);
+  EXPECT_NE(app.edge_routines().trusted_source.find(
+                "ecall_relay_Account_updateBalance"),
+            std::string::npos);
+  EXPECT_NE(app.edl().to_edl_text().find("ocall_fwrite"), std::string::npos);
+}
+
+TEST(PartitionedBank, SwitchlessRelaysReduceLatency) {
+  auto run = [](bool switchless) {
+    AppConfig config;
+    config.switchless_relays = switchless;
+    PartitionedApp app(apps::build_bank_app(), config);
+    auto& u = app.untrusted_context();
+    const Value p =
+        u.construct("Person", {Value("A"), Value(std::int32_t{0})});
+    const Value acct = u.invoke(p.as_ref(), "getAccount", {});
+    const Cycles before = app.env().clock.now();
+    for (int i = 0; i < 100; ++i) {
+      u.invoke(acct.as_ref(), "updateBalance", {Value(std::int32_t{1})});
+    }
+    return app.env().clock.now() - before;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(UnpartitionedBank, RunsEntirelyInTheEnclave) {
+  UnpartitionedApp app(apps::build_bank_app());
+  app.run_main();
+  // Everything is concrete inside one image: no proxies were involved.
+  EXPECT_EQ(app.image().pruned_proxy_count, 0u);
+  EXPECT_EQ(app.bridge().stats().ecalls, 1u) << "only ecall_main";
+  EXPECT_TRUE(app.context().isolate().trusted());
+}
+
+TEST(UnpartitionedBank, IoRelaysThroughShim) {
+  AppConfig config;
+  // Vault is not reachable from main; root it explicitly (the GraalVM
+  // reflection-config analog) so the test can drive it.
+  config.extra_entry_points = {{"Vault", model::kConstructorName},
+                               {"Vault", "audit"}};
+  UnpartitionedApp app(apps::build_bank_app(/*with_audit=*/true), config);
+  app.run_in_enclave([](interp::ExecContext& ctx) {
+    const Value vault = ctx.construct("Vault", {});
+    ctx.invoke(vault.as_ref(), "audit", {Value("inside")});
+    return Value();
+  });
+  EXPECT_GT(app.bridge().stats().ocalls, 0u) << "file writes left the enclave";
+  EXPECT_TRUE(app.env().fs->exists("audit.log"));
+}
+
+TEST(NativeBank, RunsWithoutSgx) {
+  NativeApp app(apps::build_bank_app());
+  app.run_main();
+  EXPECT_FALSE(app.context().isolate().trusted());
+  EXPECT_GT(app.now_seconds(), 0.0);
+}
+
+TEST(Comparison, PartitionedBeatsUnpartitionedOnUntrustedWork) {
+  // An app whose heavy work lives in untrusted classes should run faster
+  // partitioned (work outside) than unpartitioned (everything inside).
+  auto build = [] {
+    model::AppModel app;
+    auto& worker = app.add_class("Worker", model::Annotation::kUntrusted);
+    worker.add_field("dummy");
+    worker.add_constructor(0).body(model::IrBuilder().ret_void().build());
+    worker.add_method("crunch", 0)
+        .body(model::IrBuilder()
+                  .const_val(Value(std::int64_t{1}))
+                  .intrinsic("compute_fft", 1)
+                  .ret()
+                  .build());
+    auto& main_cls = app.add_class("Main", model::Annotation::kUntrusted);
+    main_cls.add_static_method("main", 0)
+        .body(model::IrBuilder()
+                  .new_object("Worker", 0)
+                  .call("crunch", 0)
+                  .pop()
+                  .ret_void()
+                  .build());
+    app.set_main_class("Main");
+    return app;
+  };
+
+  PartitionedApp part(build());
+  part.run_main();
+  const double part_seconds = part.now_seconds();
+
+  UnpartitionedApp unpart(build());
+  unpart.run_main();
+  const double unpart_seconds = unpart.now_seconds();
+
+  EXPECT_LT(part_seconds, unpart_seconds);
+}
+
+TEST(Comparison, NativeIsFastestConfiguration) {
+  const auto app_model = apps::build_bank_app();
+
+  NativeApp native(app_model);
+  native.run_main();
+
+  PartitionedApp part(app_model);
+  part.run_main();
+
+  UnpartitionedApp unpart(app_model);
+  unpart.run_main();
+
+  EXPECT_LT(native.now_seconds(), part.now_seconds());
+  EXPECT_LT(native.now_seconds(), unpart.now_seconds());
+}
+
+}  // namespace
+}  // namespace msv

@@ -1,0 +1,227 @@
+// Tests for the extension features: the tracing agent (§2.2), the
+// sgx-perf-style transition profiler, and the multi-isolate proxy/mirror
+// support (future work §7).
+#include <gtest/gtest.h>
+
+#include "apps/illustrative/bank.h"
+#include "apps/synthetic/generator.h"
+#include "core/montsalvat.h"
+#include "core/multi_app.h"
+#include "sgx/profiler.h"
+
+namespace msv {
+namespace {
+
+using rt::Value;
+
+// ---- Tracing agent ---------------------------------------------------------
+
+TEST(TracingAgent, RecordsDynamicallyInvokedMethods) {
+  core::NativeApp app(apps::build_bank_app());
+  app.context().enable_tracing();
+  app.run_main();
+  const auto& traced = app.context().traced_methods();
+  EXPECT_TRUE(traced.count({"Person", "transfer"}));
+  EXPECT_TRUE(traced.count({"Account", "updateBalance"}));
+  EXPECT_TRUE(traced.count({"Main", "main"}));
+  EXPECT_FALSE(traced.count({"Account", "getOwner"}))
+      << "never called by main";
+}
+
+TEST(TracingAgent, JsonFollowsReflectConfigShape) {
+  core::NativeApp app(apps::build_bank_app());
+  app.context().enable_tracing();
+  app.run_main();
+  const std::string json = app.context().trace_to_json();
+  EXPECT_NE(json.find("{ \"name\": \"Account\", \"methods\": ["),
+            std::string::npos);
+  EXPECT_NE(json.find("{ \"name\": \"updateBalance\" }"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(TracingAgent, TraceFeedsExtraEntryPoints) {
+  // The workflow the GraalVM agent exists for: a dry run discovers the
+  // host-driven methods, whose trace keeps them from being pruned.
+  model::AppModel app = apps::build_bank_app(/*with_audit=*/true);
+
+  // The dry run happens in agent mode — the open world of a JVM.
+  core::AppConfig agent_config;
+  agent_config.root_everything = true;
+  core::NativeApp dry_run(app, agent_config);
+  dry_run.context().enable_tracing();
+  dry_run.run_main();
+  auto& ctx = dry_run.context();
+  // The host also drives Vault during the dry run.
+  const Value vault = ctx.construct("Vault", {});
+  ctx.invoke(vault.as_ref(), "audit", {Value("x")});
+
+  core::AppConfig config;
+  for (const auto& m : ctx.traced_methods()) {
+    config.extra_entry_points.push_back(m);
+  }
+  core::PartitionedApp partitioned(app, config);
+  // Without the trace, Vault's proxy would be pruned and this would throw.
+  const Value v = partitioned.untrusted_context().construct("Vault", {});
+  partitioned.untrusted_context().invoke(v.as_ref(), "audit", {Value("y")});
+  SUCCEED();
+}
+
+// ---- Transition profiler ---------------------------------------------------
+
+TEST(Profiler, RanksCallsByOverheadAndRecommends) {
+  core::PartitionedApp app(apps::synthetic::build_micro_app());
+  auto& u = app.untrusted_context();
+  const Value w = u.construct("Worker", {});
+  for (int i = 0; i < 2000; ++i) {
+    u.invoke(w.as_ref(), "set", {Value(std::int32_t{i})});
+  }
+
+  const auto profile =
+      sgx::profile_transitions(app.bridge().stats(), app.env().cost,
+                               /*min_calls=*/1000, /*small_payload=*/512);
+  ASSERT_FALSE(profile.entries.empty());
+  EXPECT_EQ(profile.entries.front().name, "ecall_relay_Worker_set")
+      << "the hot call dominates the overhead ranking";
+  EXPECT_TRUE(profile.entries.front().recommend_switchless);
+  EXPECT_LT(profile.overhead_after_switchless_cycles,
+            profile.total_overhead_cycles / 2);
+
+  const std::string report =
+      sgx::transition_report(profile, app.env().cost);
+  EXPECT_NE(report.find("ecall_relay_Worker_set"), std::string::npos);
+  EXPECT_NE(report.find("recommend"), std::string::npos);
+}
+
+TEST(Profiler, ColdCallsNotRecommended) {
+  core::PartitionedApp app(apps::synthetic::build_micro_app());
+  auto& u = app.untrusted_context();
+  const Value w = u.construct("Worker", {});
+  u.invoke(w.as_ref(), "set", {Value(std::int32_t{1})});
+  const auto profile =
+      sgx::profile_transitions(app.bridge().stats(), app.env().cost, 1000);
+  for (const auto& e : profile.entries) {
+    EXPECT_FALSE(e.recommend_switchless) << e.name;
+  }
+}
+
+// ---- Multi-isolate pairs (future work §7) ----------------------------------
+
+class MultiIsolateTest : public ::testing::Test {
+ protected:
+  MultiIsolateTest() : app_(apps::build_bank_app(), 3) {}
+
+  core::MultiIsolateApp app_;
+};
+
+TEST_F(MultiIsolateTest, ProxiesBindToTheirIsolate) {
+  auto& u = app_.untrusted_context();
+  const Value a0 = app_.construct_in(
+      0, "Account", {Value("tenant0"), Value(std::int32_t{10})});
+  const Value a1 = app_.construct_in(
+      1, "Account", {Value("tenant1"), Value(std::int32_t{20})});
+  const Value a2 = app_.construct_in(
+      2, "Account", {Value("tenant2"), Value(std::int32_t{30})});
+
+  EXPECT_EQ(app_.rmi().trusted_registry(0).size(), 1u);
+  EXPECT_EQ(app_.rmi().trusted_registry(1).size(), 1u);
+  EXPECT_EQ(app_.rmi().trusted_registry(2).size(), 1u);
+
+  u.invoke(a1.as_ref(), "updateBalance", {Value(std::int32_t{5})});
+  EXPECT_EQ(u.invoke(a0.as_ref(), "getBalance", {}).as_i32(), 10);
+  EXPECT_EQ(u.invoke(a1.as_ref(), "getBalance", {}).as_i32(), 25);
+  EXPECT_EQ(u.invoke(a2.as_ref(), "getBalance", {}).as_i32(), 30);
+}
+
+TEST_F(MultiIsolateTest, HeapsAreIndependent) {
+  const Value a0 = app_.construct_in(
+      0, "Account", {Value("t0"), Value(std::int32_t{1})});
+  const Value a1 = app_.construct_in(
+      1, "Account", {Value("t1"), Value(std::int32_t{2})});
+  (void)a0;
+
+  const auto gc0_before =
+      app_.trusted_context(0).isolate().heap().stats().gc_count;
+  const auto gc1_before =
+      app_.trusted_context(1).isolate().heap().stats().gc_count;
+  app_.collect_isolate(0);
+  EXPECT_EQ(app_.trusted_context(0).isolate().heap().stats().gc_count,
+            gc0_before + 1);
+  EXPECT_EQ(app_.trusted_context(1).isolate().heap().stats().gc_count,
+            gc1_before)
+      << "collecting isolate 0 never pauses isolate 1 (§2.2)";
+
+  // Mirrors survive their isolate's collection (registry roots).
+  EXPECT_EQ(app_.untrusted_context()
+                .invoke(a1.as_ref(), "getBalance", {})
+                .as_i32(),
+            2);
+}
+
+TEST_F(MultiIsolateTest, PlainNewTargetsIsolateZero) {
+  auto& u = app_.untrusted_context();
+  const Value p = u.construct("Account", {Value("x"), Value(std::int32_t{7})});
+  EXPECT_EQ(app_.rmi().trusted_registry(0).size(), 1u);
+  EXPECT_EQ(u.invoke(p.as_ref(), "getBalance", {}).as_i32(), 7);
+}
+
+TEST_F(MultiIsolateTest, DefaultIsolateCountValidated) {
+  EXPECT_THROW(core::MultiIsolateApp(apps::build_bank_app(), 0), Error);
+  EXPECT_THROW(app_.construct_in(9, "Account", {}), RuntimeFault);
+  EXPECT_THROW(app_.trusted_context(9), RuntimeFault);
+}
+
+TEST_F(MultiIsolateTest, CrossIsolateProxyPassingRejected) {
+  auto& u = app_.untrusted_context();
+  const Value reg0 = app_.construct_in(0, "AccountRegistry", {});
+  const Value acct1 = app_.construct_in(
+      1, "Account", {Value("other"), Value(std::int32_t{1})});
+  // A proxy of isolate 1's Account cannot flow into isolate 0's registry.
+  EXPECT_THROW(u.invoke(reg0.as_ref(), "addAccount", {acct1}), SecurityFault);
+  // Same-isolate passing works.
+  const Value acct0 = app_.construct_in(
+      0, "Account", {Value("own"), Value(std::int32_t{2})});
+  u.invoke(reg0.as_ref(), "addAccount", {acct0});
+  EXPECT_EQ(u.invoke(reg0.as_ref(), "count", {}).as_i32(), 1);
+}
+
+TEST_F(MultiIsolateTest, GcEvictionRoutedPerIsolate) {
+  auto& u = app_.untrusted_context();
+  {
+    std::vector<Value> pool;
+    for (int i = 0; i < 20; ++i) {
+      pool.push_back(app_.construct_in(
+          i % 3, "Account", {Value("p"), Value(std::int32_t{i})}));
+    }
+  }
+  const Value keeper = app_.construct_in(
+      1, "Account", {Value("keeper"), Value(std::int32_t{42})});
+
+  u.isolate().heap().collect();
+  app_.rmi().force_gc_scan();
+  EXPECT_EQ(app_.rmi().trusted_registry(0).size(), 0u);
+  EXPECT_EQ(app_.rmi().trusted_registry(1).size(), 1u) << "keeper survives";
+  EXPECT_EQ(app_.rmi().trusted_registry(2).size(), 0u);
+  EXPECT_EQ(u.invoke(keeper.as_ref(), "getBalance", {}).as_i32(), 42);
+}
+
+TEST_F(MultiIsolateTest, TrustedToUntrustedDirectionWorksPerIsolate) {
+  // Each isolate's trusted code can reach out: Vault (trusted) builds an
+  // untrusted Logger through the shared untrusted runtime.
+  core::AppConfig config;
+  config.extra_entry_points = {{"Vault", model::kConstructorName}};
+  core::MultiIsolateApp app(apps::build_bank_app(/*with_audit=*/true), 2,
+                            config);
+  auto& u = app.untrusted_context();
+  const Value v0 = app.construct_in(0, "Vault", {});
+  const Value v1 = app.construct_in(1, "Vault", {});
+  u.invoke(v0.as_ref(), "audit", {Value("a")});
+  u.invoke(v1.as_ref(), "audit", {Value("b")});
+  u.invoke(v1.as_ref(), "audit", {Value("c")});
+  EXPECT_EQ(u.invoke(v0.as_ref(), "auditCount", {}).as_i32(), 1);
+  EXPECT_EQ(u.invoke(v1.as_ref(), "auditCount", {}).as_i32(), 2);
+  EXPECT_EQ(app.rmi().untrusted_registry().size(), 2u)
+      << "one Logger mirror per Vault";
+}
+
+}  // namespace
+}  // namespace msv

@@ -1,0 +1,143 @@
+// Failure-injection tests: exceptions and resource exhaustion in the
+// middle of cross-enclave operations must leave the system in a
+// consistent state (side stack unwound, registries coherent, later calls
+// unaffected).
+#include <gtest/gtest.h>
+
+#include "apps/illustrative/bank.h"
+#include "apps/synthetic/generator.h"
+#include "core/montsalvat.h"
+
+namespace msv {
+namespace {
+
+using core::AppConfig;
+using core::PartitionedApp;
+using rt::Value;
+
+model::AppModel faulty_app() {
+  model::AppModel app;
+  auto& svc = app.add_class("Service", model::Annotation::kTrusted);
+  svc.add_field("calls");
+  svc.add_constructor(0).body_native([](model::NativeCall& call) {
+    call.isolate.set_field(call.self, 0, Value(std::int32_t{0}));
+    return Value();
+  });
+  svc.add_method("work", 1).body_native([](model::NativeCall& call) {
+    call.isolate.set_field(
+        call.self, 0,
+        Value(call.isolate.get_field(call.self, 0).as_i32() + 1));
+    if (call.args[0].as_bool()) {
+      throw RuntimeFault("injected failure inside the enclave");
+    }
+    return call.isolate.get_field(call.self, 0);
+  });
+  svc.add_method("allocate", 1).body_native([](model::NativeCall& call) {
+    // Pins memory until OOM when asked for too much.
+    std::vector<rt::GcRef> pins;
+    const std::int64_t n = call.args[0].as_i64();
+    for (std::int64_t i = 0; i < n; ++i) {
+      pins.push_back(call.isolate.make_ref(
+          call.isolate.heap().alloc_string(std::string(1024, 'x'))));
+    }
+    return Value(static_cast<std::int64_t>(pins.size()));
+  });
+
+  auto& main_cls = app.add_class("Main", model::Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0)
+      .body(model::IrBuilder()
+                .new_object("Service", 0)
+                .const_val(Value(false))
+                .call("work", 1)
+                .pop()
+                .ret_void()
+                .build());
+  app.set_main_class("Main");
+  return app;
+}
+
+TEST(FailureInjection, ExceptionInsideRelayPropagatesToCaller) {
+  PartitionedApp app(faulty_app());
+  auto& u = app.untrusted_context();
+  const Value svc = u.construct("Service", {});
+  EXPECT_THROW(u.invoke(svc.as_ref(), "work", {Value(true)}), RuntimeFault);
+}
+
+TEST(FailureInjection, BridgeStateSurvivesEnclaveException) {
+  PartitionedApp app(faulty_app());
+  auto& u = app.untrusted_context();
+  const Value svc = u.construct("Service", {});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_THROW(u.invoke(svc.as_ref(), "work", {Value(true)}), RuntimeFault);
+  }
+  // The side stack unwound each time: normal calls still work, and the
+  // mirror observed every attempt (the failure happened after the bump).
+  EXPECT_EQ(u.invoke(svc.as_ref(), "work", {Value(false)}).as_i32(), 6);
+  EXPECT_EQ(app.bridge().side(), Side::kUntrusted);
+}
+
+TEST(FailureInjection, RegistryConsistentAfterFailedCalls) {
+  PartitionedApp app(faulty_app());
+  auto& u = app.untrusted_context();
+  const Value svc = u.construct("Service", {});
+  const std::size_t mirrors = app.rmi().registry(Side::kTrusted).size();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(u.invoke(svc.as_ref(), "work", {Value(true)}), RuntimeFault);
+  }
+  EXPECT_EQ(app.rmi().registry(Side::kTrusted).size(), mirrors)
+      << "failed invocations neither leak nor drop mirrors";
+  u.isolate().heap().collect();
+  app.rmi().force_gc_scan();
+  EXPECT_EQ(app.rmi().registry(Side::kTrusted).size(), mirrors)
+      << "svc is still alive; its mirror must survive the scan";
+}
+
+TEST(FailureInjection, EnclaveHeapExhaustionReportedNotFatal) {
+  AppConfig config;
+  config.trusted_heap_bytes = 1 << 20;  // 1 MB enclave heap
+  PartitionedApp app(faulty_app(), config);
+  auto& u = app.untrusted_context();
+  const Value svc = u.construct("Service", {});
+  // ~8 MB of pinned allocations cannot fit.
+  EXPECT_THROW(u.invoke(svc.as_ref(), "allocate", {Value(std::int64_t{8000})}),
+               rt::OutOfMemoryError);
+  // The enclave survives: unpinned allocations are collectable, so a
+  // normal call succeeds afterwards.
+  EXPECT_EQ(u.invoke(svc.as_ref(), "work", {Value(false)}).as_i32(), 1);
+}
+
+TEST(FailureInjection, MissingMirrorIsDiagnosed) {
+  // Simulates the §5.5 hazard the GC helper exists to prevent: an RMI on
+  // a proxy whose mirror was (wrongly) evicted must fail loudly, not
+  // corrupt state.
+  PartitionedApp app(apps::synthetic::build_micro_app());
+  auto& u = app.untrusted_context();
+  const Value w = u.construct("Worker", {});
+  // Force-evict the mirror behind the runtime's back.
+  const std::int64_t hash = u.isolate().get_field(w.as_ref(), 0).as_i64();
+  ByteBuffer payload;
+  payload.put_varint(1);
+  payload.put_i64(hash);
+  app.bridge().ecall("ecall_gc_evict_mirrors", payload);
+  EXPECT_THROW(u.invoke(w.as_ref(), "set", {Value(std::int32_t{1})}),
+               RuntimeFault);
+}
+
+TEST(FailureInjection, OcallFailurePropagatesThroughShim) {
+  // An in-enclave writer hitting a host-side I/O error (missing file) gets
+  // the fault through the ocall chain and can continue afterwards.
+  core::UnpartitionedApp app(apps::build_bank_app());
+  const Value ok = app.run_in_enclave([](interp::ExecContext& ctx) {
+    try {
+      ctx.io().open("no/such/dir/file", vfs::OpenMode::kRead);
+      return Value(false);
+    } catch (const RuntimeFault&) {
+      return Value(true);  // saw the failure, still alive
+    }
+  });
+  EXPECT_TRUE(ok.as_bool());
+  EXPECT_EQ(app.bridge().side(), Side::kUntrusted);
+}
+
+}  // namespace
+}  // namespace msv

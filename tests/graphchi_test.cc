@@ -1,0 +1,197 @@
+// Tests for src/apps/graphchi: RMAT generation, sharding invariants, and
+// PageRank correctness on the engine.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/graphchi/engine.h"
+#include "apps/graphchi/graph.h"
+#include "apps/graphchi/sharder.h"
+#include "shim/host_io.h"
+#include "support/bytes.h"
+
+namespace msv::apps::graphchi {
+namespace {
+
+class GraphchiTest : public ::testing::Test {
+ protected:
+  GraphchiTest() : domain_(env_), io_(env_, domain_) {}
+
+  std::vector<Edge> make_graph(std::uint32_t v, std::uint64_t e,
+                               std::uint64_t seed = 1) {
+    Rng rng(seed);
+    auto edges = generate_rmat(rng, v, e);
+    write_edge_list(io_, "graph.bin", v, edges);
+    return edges;
+  }
+
+  Env env_;
+  UntrustedDomain domain_;
+  shim::HostIo io_;
+};
+
+TEST_F(GraphchiTest, RmatRespectsBounds) {
+  Rng rng(3);
+  const auto edges = generate_rmat(rng, 1000, 5000);
+  EXPECT_EQ(edges.size(), 5000u);
+  for (const auto& e : edges) {
+    EXPECT_LT(e.src, 1000u);
+    EXPECT_LT(e.dst, 1000u);
+    EXPECT_NE(e.src, e.dst) << "self loops are re-drawn";
+  }
+}
+
+TEST_F(GraphchiTest, RmatIsSkewed) {
+  // R-MAT with a=0.57 concentrates edges on low-numbered vertices.
+  Rng rng(5);
+  const auto edges = generate_rmat(rng, 1024, 20'000);
+  std::uint64_t low = 0;
+  for (const auto& e : edges) {
+    if (e.src < 256) ++low;
+  }
+  EXPECT_GT(low, edges.size() / 3) << "first quarter gets >1/4 of sources";
+}
+
+TEST_F(GraphchiTest, EdgeListRoundTrip) {
+  const auto edges = make_graph(500, 2000);
+  const auto header = read_edge_list_header(io_, "graph.bin");
+  EXPECT_EQ(header.nvertices, 500u);
+  EXPECT_EQ(header.nedges, 2000u);
+}
+
+TEST_F(GraphchiTest, ShardingPartitionsAllEdges) {
+  make_graph(600, 3000);
+  FastSharder sharder(env_, domain_, io_);
+  const auto sharding = sharder.shard("graph.bin", 4, "g");
+  EXPECT_EQ(sharding.nshards, 4u);
+  EXPECT_EQ(sharding.shard_paths.size(), 4u);
+  EXPECT_EQ(sharder.stats().edges_read, 3000u);
+
+  // Every edge lands in exactly one shard; intervals cover [0, V).
+  std::uint64_t total = 0;
+  for (const auto& path : sharding.shard_paths) {
+    auto data = env_.fs->map(path);
+    ByteReader r(data->data(), data->size());
+    total += r.get_u64();
+  }
+  EXPECT_EQ(total, 3000u);
+  EXPECT_EQ(sharding.intervals.front().first, 0u);
+  EXPECT_EQ(sharding.intervals.back().second, 600u);
+  for (std::size_t i = 1; i < sharding.intervals.size(); ++i) {
+    EXPECT_EQ(sharding.intervals[i].first, sharding.intervals[i - 1].second);
+  }
+}
+
+TEST_F(GraphchiTest, ShardsSortedBySourceAndIntervalCorrect) {
+  make_graph(400, 2500);
+  FastSharder sharder(env_, domain_, io_);
+  const auto sharding = sharder.shard("graph.bin", 3, "g");
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    auto data = env_.fs->map(sharding.shard_paths[s]);
+    ByteReader r(data->data(), data->size());
+    const std::uint64_t count = r.get_u64();
+    std::uint32_t prev_src = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint32_t src = r.get_u32();
+      const std::uint32_t dst = r.get_u32();
+      EXPECT_GE(src, prev_src) << "shard ordered by source";
+      prev_src = src;
+      EXPECT_GE(dst, sharding.intervals[s].first);
+      EXPECT_LT(dst, sharding.intervals[s].second);
+    }
+  }
+}
+
+TEST_F(GraphchiTest, DegreeFileMatchesGraph) {
+  const auto edges = make_graph(300, 1500);
+  FastSharder sharder(env_, domain_, io_);
+  const auto sharding = sharder.shard("graph.bin", 2, "g");
+  std::vector<std::uint32_t> expected(300, 0);
+  for (const auto& e : edges) ++expected[e.src];
+  auto data = env_.fs->map(sharding.degree_path);
+  ByteReader r(data->data(), data->size());
+  for (std::uint32_t v = 0; v < 300; ++v) {
+    EXPECT_EQ(r.get_u32(), expected[v]) << "vertex " << v;
+  }
+}
+
+TEST_F(GraphchiTest, PageRankMassConserved) {
+  make_graph(500, 4000);
+  FastSharder sharder(env_, domain_, io_);
+  const auto sharding = sharder.shard("graph.bin", 3, "g");
+  GraphChiEngine engine(env_, domain_, io_);
+  PageRankProgram pagerank;
+  const auto ranks = engine.run(sharding, pagerank, 8, "g");
+
+  ASSERT_EQ(ranks.size(), 500u);
+  for (const auto r : ranks) EXPECT_GE(r, 0.15 - 1e-9);
+  // With damping d, total mass converges towards V when every vertex has
+  // out-degree > 0; dangling vertices leak mass, so allow a band.
+  const double total = std::accumulate(ranks.begin(), ranks.end(), 0.0);
+  EXPECT_GT(total, 500.0 * 0.2);
+  EXPECT_LT(total, 500.0 * 1.2);
+  EXPECT_EQ(engine.stats().edges_processed, 8u * 4000u);
+}
+
+TEST_F(GraphchiTest, PageRankMatchesInMemoryOracle) {
+  const auto edges = make_graph(120, 900, /*seed=*/9);
+  FastSharder sharder(env_, domain_, io_);
+  const auto sharding = sharder.shard("graph.bin", 4, "g");
+  GraphChiEngine engine(env_, domain_, io_);
+  PageRankProgram pagerank;
+  const auto ranks = engine.run(sharding, pagerank, 5, "g");
+
+  // Oracle: dense synchronous PageRank.
+  std::vector<std::uint32_t> outdeg(120, 0);
+  for (const auto& e : edges) ++outdeg[e.src];
+  std::vector<double> val(120, 1.0);
+  for (int it = 0; it < 5; ++it) {
+    std::vector<double> sum(120, 0.0);
+    for (const auto& e : edges) {
+      if (outdeg[e.src] > 0) sum[e.dst] += val[e.src] / outdeg[e.src];
+    }
+    for (std::size_t v = 0; v < 120; ++v) val[v] = 0.15 + 0.85 * sum[v];
+  }
+  for (std::size_t v = 0; v < 120; ++v) {
+    EXPECT_NEAR(ranks[v], val[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST_F(GraphchiTest, ShardCountDoesNotChangeResult) {
+  make_graph(200, 1200, /*seed=*/4);
+  PageRankProgram pagerank;
+  std::vector<double> base;
+  for (const std::uint32_t shards : {1u, 2u, 5u}) {
+    FastSharder sharder(env_, domain_, io_);
+    const auto sharding =
+        sharder.shard("graph.bin", shards, "g" + std::to_string(shards));
+    GraphChiEngine engine(env_, domain_, io_);
+    const auto ranks =
+        engine.run(sharding, pagerank, 4, "g" + std::to_string(shards));
+    if (base.empty()) {
+      base = ranks;
+    } else {
+      for (std::size_t v = 0; v < base.size(); ++v) {
+        EXPECT_NEAR(ranks[v], base[v], 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(GraphchiTest, VertexDataPersisted) {
+  make_graph(100, 500);
+  FastSharder sharder(env_, domain_, io_);
+  const auto sharding = sharder.shard("graph.bin", 2, "g");
+  GraphChiEngine engine(env_, domain_, io_);
+  PageRankProgram pagerank;
+  const auto ranks = engine.run(sharding, pagerank, 2, "g");
+  ASSERT_TRUE(env_.fs->exists("g.vdata"));
+  auto data = env_.fs->map("g.vdata");
+  ByteReader r(data->data(), data->size());
+  for (std::uint32_t v = 0; v < 100; ++v) {
+    EXPECT_DOUBLE_EQ(r.get_f64(), ranks[v]);
+  }
+}
+
+}  // namespace
+}  // namespace msv::apps::graphchi

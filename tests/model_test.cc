@@ -1,0 +1,153 @@
+// Tests for src/model: IR builder, app model construction and validation.
+#include <gtest/gtest.h>
+
+#include "apps/illustrative/bank.h"
+#include "model/app_model.h"
+#include "model/ir.h"
+#include "support/error.h"
+
+namespace msv::model {
+namespace {
+
+TEST(IrBuilder, EmitsInstructionsInOrder) {
+  IrBody body = IrBuilder()
+                    .locals(2)
+                    .load_local(1)
+                    .const_val(rt::Value(std::int32_t{5}))
+                    .add()
+                    .ret()
+                    .build();
+  ASSERT_EQ(body.code.size(), 4u);
+  EXPECT_EQ(body.code[0].op, Op::kLoadLocal);
+  EXPECT_EQ(body.code[0].a, 1);
+  EXPECT_EQ(body.code[1].op, Op::kConst);
+  EXPECT_EQ(body.consts.size(), 1u);
+  EXPECT_EQ(body.code[2].op, Op::kAdd);
+  EXPECT_EQ(body.code[3].op, Op::kReturn);
+  EXPECT_EQ(body.local_count, 2u);
+}
+
+TEST(IrBuilder, InternsNames) {
+  IrBody body = IrBuilder()
+                    .new_object("Account", 0)
+                    .call("getBalance", 0)
+                    .new_object("Account", 1)
+                    .build();
+  EXPECT_EQ(body.names.size(), 2u);
+  EXPECT_EQ(body.code[0].a, body.code[2].a) << "same class, same pool index";
+}
+
+TEST(IrBuilder, LabelsResolveForwardAndBackward) {
+  IrBuilder b;
+  const auto top = b.new_label();
+  const auto end = b.new_label();
+  b.bind(top)
+      .load_local(0)
+      .branch_false(end)
+      .jump(top)
+      .bind(end)
+      .ret_void();
+  IrBody body = b.build();
+  EXPECT_EQ(body.code[1].op, Op::kBranchFalse);
+  EXPECT_EQ(body.code[1].a, 3) << "forward label -> pc after jump";
+  EXPECT_EQ(body.code[2].op, Op::kJump);
+  EXPECT_EQ(body.code[2].a, 0) << "backward label -> loop head";
+}
+
+TEST(IrBuilder, UnboundLabelThrows) {
+  IrBuilder b;
+  const auto l = b.new_label();
+  b.jump(l);
+  EXPECT_THROW(b.build(), RuntimeFault);
+}
+
+TEST(AppModel, FieldAndMethodLookup) {
+  AppModel app;
+  ClassDecl& c = app.add_class("C");
+  c.add_field("x");
+  c.add_field("y");
+  EXPECT_EQ(c.field_index("x"), 0);
+  EXPECT_EQ(c.field_index("y"), 1);
+  EXPECT_EQ(c.field_index("z"), -1);
+  c.add_method("m", 2);
+  EXPECT_NE(c.find_method("m"), nullptr);
+  EXPECT_EQ(c.find_method("nope"), nullptr);
+  EXPECT_EQ(app.find_class("D"), nullptr);
+  EXPECT_THROW(app.cls("D"), ConfigError);
+}
+
+TEST(AppModel, DuplicatesRejected) {
+  AppModel app;
+  app.add_class("C");
+  EXPECT_THROW(app.add_class("C"), ConfigError);
+  ClassDecl& c = app.cls("C");
+  c.add_method("m", 0);
+  EXPECT_THROW(c.add_method("m", 1), ConfigError) << "no overloading";
+  c.add_field("f");
+  EXPECT_THROW(c.add_field("f"), RuntimeFault);
+}
+
+TEST(AppModel, EncapsulationEnforcedForAnnotatedClasses) {
+  AppModel app;
+  ClassDecl& t = app.add_class("T", Annotation::kTrusted);
+  t.add_field("leaky", /*is_private=*/false);
+  EXPECT_THROW(app.validate(), ConfigError);
+}
+
+TEST(AppModel, PublicFieldsFineOnNeutralClasses) {
+  AppModel app;
+  ClassDecl& n = app.add_class("N", Annotation::kNeutral);
+  n.add_field("shared", /*is_private=*/false);
+  app.validate();  // no throw
+}
+
+TEST(AppModel, MainMustBeStaticPublicAndNotTrusted) {
+  {
+    AppModel app;
+    app.add_class("Main").add_method("main", 0);  // not static
+    app.set_main_class("Main");
+    EXPECT_THROW(app.validate(), ConfigError);
+  }
+  {
+    AppModel app;
+    app.add_class("Main", Annotation::kTrusted).add_static_method("main", 0);
+    app.set_main_class("Main");
+    EXPECT_THROW(app.validate(), ConfigError)
+        << "SGX applications begin in the untrusted runtime";
+  }
+  {
+    AppModel app;
+    app.set_main_class("Ghost");
+    EXPECT_THROW(app.validate(), ConfigError);
+  }
+}
+
+TEST(AppModel, ConstructorConvenience) {
+  AppModel app;
+  ClassDecl& c = app.add_class("C");
+  MethodDecl& ctor = c.add_constructor(1);
+  EXPECT_TRUE(ctor.is_constructor());
+  EXPECT_EQ(ctor.name(), kConstructorName);
+}
+
+TEST(AppModel, CodeBytesReflectBodyKind) {
+  AppModel app;
+  ClassDecl& c = app.add_class("C");
+  MethodDecl& ir = c.add_method("ir_method", 0);
+  ir.body(IrBuilder().ret_void().build());
+  MethodDecl& native = c.add_method("native_method", 0);
+  native.body_native([](NativeCall&) { return rt::Value(); }).code_size(4096);
+  EXPECT_LT(ir.code_bytes(), native.code_bytes());
+  EXPECT_EQ(native.code_bytes(), 4096u);
+}
+
+TEST(BankApp, BuildsAndValidates) {
+  const AppModel app = apps::build_bank_app(/*with_audit=*/true);
+  EXPECT_EQ(app.classes().size(), 6u);
+  EXPECT_EQ(app.cls("Account").annotation(), Annotation::kTrusted);
+  EXPECT_EQ(app.cls("Person").annotation(), Annotation::kUntrusted);
+  EXPECT_EQ(app.main_class(), "Main");
+}
+
+}  // namespace
+}  // namespace msv::model

@@ -1,0 +1,101 @@
+// Tests for src/sgx/sealing: sealed storage bound to the enclave identity.
+#include <gtest/gtest.h>
+
+#include "sgx/sealing.h"
+#include "sim/env.h"
+#include "support/error.h"
+
+namespace msv::sgx {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+class SealingTest : public ::testing::Test {
+ protected:
+  SealingTest()
+      : enclave_(env_, "kv", Sha256::hash("kv-image"), 4096),
+        other_(env_, "other", Sha256::hash("other-image"), 4096),
+        platform_("fuse-key") {
+    enclave_.init(Sha256::hash("kv-image"));
+    other_.init(Sha256::hash("other-image"));
+  }
+
+  Env env_;
+  Enclave enclave_;
+  Enclave other_;
+  SealingPlatform platform_;
+};
+
+TEST_F(SealingTest, SealUnsealRoundTrip) {
+  const auto blob = platform_.seal(enclave_, bytes("api_key=sk-123"), 1);
+  EXPECT_EQ(platform_.unseal(enclave_, blob), bytes("api_key=sk-123"));
+}
+
+TEST_F(SealingTest, CiphertextHidesPlaintext) {
+  const auto plain = bytes("very secret value padded out to a sentence");
+  const auto blob = platform_.seal(enclave_, plain, 2);
+  EXPECT_NE(blob.ciphertext, plain);
+  // No obvious substring survives.
+  const std::string ct(blob.ciphertext.begin(), blob.ciphertext.end());
+  EXPECT_EQ(ct.find("secret"), std::string::npos);
+}
+
+TEST_F(SealingTest, DifferentIvsDifferentCiphertexts) {
+  const auto a = platform_.seal(enclave_, bytes("same"), 1);
+  const auto b = platform_.seal(enclave_, bytes("same"), 2);
+  EXPECT_NE(a.ciphertext, b.ciphertext);
+}
+
+TEST_F(SealingTest, OtherEnclaveCannotUnseal) {
+  const auto blob = platform_.seal(enclave_, bytes("mine"), 3);
+  EXPECT_THROW(platform_.unseal(other_, blob), SecurityFault);
+}
+
+TEST_F(SealingTest, OtherPlatformCannotUnseal) {
+  const auto blob = platform_.seal(enclave_, bytes("mine"), 4);
+  SealingPlatform other_platform("different-fuse-key");
+  EXPECT_THROW(other_platform.unseal(enclave_, blob), SecurityFault);
+}
+
+TEST_F(SealingTest, TamperedBlobRejected) {
+  auto blob = platform_.seal(enclave_, bytes("integrity matters"), 5);
+  blob.ciphertext[3] ^= 1;
+  EXPECT_THROW(platform_.unseal(enclave_, blob), SecurityFault);
+
+  auto blob2 = platform_.seal(enclave_, bytes("integrity matters"), 6);
+  blob2.iv[0] ^= 1;
+  EXPECT_THROW(platform_.unseal(enclave_, blob2), SecurityFault);
+}
+
+TEST_F(SealingTest, PolicySwapRejected) {
+  // Re-targeting the blob at another enclave must break the MAC.
+  auto blob = platform_.seal(enclave_, bytes("payload"), 7);
+  blob.mr_enclave = other_.measurement();
+  EXPECT_THROW(platform_.unseal(other_, blob), SecurityFault);
+}
+
+TEST_F(SealingTest, SerializationRoundTrip) {
+  const auto blob = platform_.seal(enclave_, bytes("persist me"), 8);
+  const auto wire = blob.serialize();
+  const SealedBlob restored = SealedBlob::deserialize(wire);
+  EXPECT_EQ(platform_.unseal(enclave_, restored), bytes("persist me"));
+}
+
+TEST_F(SealingTest, EmptyPlaintextSupported) {
+  const auto blob = platform_.seal(enclave_, {}, 9);
+  EXPECT_TRUE(platform_.unseal(enclave_, blob).empty());
+}
+
+TEST_F(SealingTest, LargePayloadRoundTrip) {
+  std::vector<std::uint8_t> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  const auto blob = platform_.seal(enclave_, big, 10);
+  EXPECT_EQ(platform_.unseal(enclave_, blob), big);
+}
+
+}  // namespace
+}  // namespace msv::sgx

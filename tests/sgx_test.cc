@@ -1,0 +1,315 @@
+// Tests for src/sgx: EPC paging, enclave lifecycle, transition bridge,
+// EDL/Edger8r generation and attestation.
+#include <gtest/gtest.h>
+
+#include "sgx/attestation.h"
+#include "sgx/bridge.h"
+#include "sgx/edl.h"
+#include "sgx/enclave.h"
+#include "sgx/epc.h"
+#include "sim/env.h"
+#include "support/error.h"
+
+namespace msv::sgx {
+namespace {
+
+Sha256::Digest test_measurement() { return Sha256::hash("trusted-image"); }
+
+std::unique_ptr<Enclave> make_enclave(Env& env) {
+  auto e = std::make_unique<Enclave>(env, "test", test_measurement(),
+                                     /*image_bytes=*/1 << 20);
+  e->init(test_measurement());
+  return e;
+}
+
+TEST(Epc, HitsAreFree) {
+  Env env;
+  EpcModel epc(env);
+  epc.access(1, 0);
+  const Cycles after_fault = env.clock.now();
+  epc.access(1, 0);
+  EXPECT_EQ(env.clock.now(), after_fault) << "resident page costs nothing";
+  EXPECT_EQ(epc.stats().faults, 1u);
+  EXPECT_EQ(epc.stats().accesses, 2u);
+}
+
+TEST(Epc, MissChargesPageIn) {
+  Env env;
+  EpcModel epc(env);
+  const Cycles before = env.clock.now();
+  epc.access(1, 7);
+  EXPECT_EQ(env.clock.now() - before, env.cost.epc_page_in_cycles);
+}
+
+TEST(Epc, EvictsLruWhenFull) {
+  Env env;
+  env.cost.epc_usable_bytes = 4 * env.cost.page_bytes;  // 4-page EPC
+  EpcModel epc(env);
+  ASSERT_EQ(epc.capacity_pages(), 4u);
+  for (std::uint64_t p = 0; p < 4; ++p) epc.access(1, p);
+  EXPECT_EQ(epc.resident_pages(), 4u);
+  // Touch page 0 to make it MRU, then fault a 5th page: page 1 must go.
+  epc.access(1, 0);
+  epc.access(1, 4);
+  EXPECT_EQ(epc.stats().evictions, 1u);
+  const auto faults_before = epc.stats().faults;
+  epc.access(1, 0);  // still resident
+  EXPECT_EQ(epc.stats().faults, faults_before);
+  epc.access(1, 1);  // was evicted -> faults again
+  EXPECT_EQ(epc.stats().faults, faults_before + 1);
+}
+
+TEST(Epc, ReleaseRegionDropsPages) {
+  Env env;
+  EpcModel epc(env);
+  epc.access(1, 0);
+  epc.access(2, 0);
+  epc.release_region(1);
+  EXPECT_EQ(epc.resident_pages(), 1u);
+}
+
+TEST(Epc, RegionsDoNotCollide) {
+  Env env;
+  EpcModel epc(env);
+  epc.access(1, 5);
+  const auto faults = epc.stats().faults;
+  epc.access(2, 5);
+  EXPECT_EQ(epc.stats().faults, faults + 1) << "same page id, other region";
+}
+
+TEST(Enclave, CreationChargesMeasurementTime) {
+  Env env;
+  const Cycles before = env.clock.now();
+  Enclave e(env, "e", test_measurement(), /*image_bytes=*/1 << 20);
+  const Cycles elapsed = env.clock.now() - before;
+  EXPECT_GE(elapsed, env.cost.enclave_create_base_cycles);
+}
+
+TEST(Enclave, InitVerifiesMeasurement) {
+  Env env;
+  Enclave e(env, "e", test_measurement(), 4096);
+  EXPECT_THROW(e.init(Sha256::hash("tampered-image")), SecurityFault);
+  EXPECT_EQ(e.state(), EnclaveState::kCreated);
+  e.init(test_measurement());
+  EXPECT_EQ(e.state(), EnclaveState::kInitialized);
+}
+
+TEST(Enclave, DomainAppliesMeeFactor) {
+  Env env;
+  auto enclave = make_enclave(env);
+  EnclaveDomain trusted(env, *enclave);
+  UntrustedDomain untrusted(env);
+
+  const Cycles t0 = env.clock.now();
+  untrusted.charge_traffic(1 << 20);
+  const Cycles plain = env.clock.now() - t0;
+
+  const Cycles t1 = env.clock.now();
+  trusted.charge_traffic(1 << 20);
+  const Cycles shielded = env.clock.now() - t1;
+
+  EXPECT_NEAR(static_cast<double>(shielded) / static_cast<double>(plain),
+              env.cost.mee_traffic_factor, 0.01);
+}
+
+TEST(Bridge, EcallRunsHandlerOnTrustedSide) {
+  Env env;
+  auto enclave = make_enclave(env);
+  TransitionBridge bridge(env, *enclave);
+  Side observed = Side::kUntrusted;
+  bridge.register_ecall("probe", [&](ByteReader&) {
+    observed = bridge.side();
+    return ByteBuffer();
+  });
+  EXPECT_EQ(bridge.side(), Side::kUntrusted);
+  bridge.ecall("probe", ByteBuffer());
+  EXPECT_EQ(observed, Side::kTrusted);
+  EXPECT_EQ(bridge.side(), Side::kUntrusted);
+}
+
+TEST(Bridge, OcallOnlyFromTrustedSide) {
+  Env env;
+  auto enclave = make_enclave(env);
+  TransitionBridge bridge(env, *enclave);
+  bridge.register_ocall("host_fn", [](ByteReader&) { return ByteBuffer(); });
+  EXPECT_THROW(bridge.ocall("host_fn", ByteBuffer()), SecurityFault);
+}
+
+TEST(Bridge, NestedOcallFromEcall) {
+  Env env;
+  auto enclave = make_enclave(env);
+  TransitionBridge bridge(env, *enclave);
+  bool ocall_ran = false;
+  bridge.register_ocall("host_fn", [&](ByteReader&) {
+    ocall_ran = true;
+    EXPECT_EQ(bridge.side(), Side::kUntrusted);
+    return ByteBuffer();
+  });
+  bridge.register_ecall("enter", [&](ByteReader&) {
+    bridge.ocall("host_fn", ByteBuffer());
+    return ByteBuffer();
+  });
+  bridge.ecall("enter", ByteBuffer());
+  EXPECT_TRUE(ocall_ran);
+  EXPECT_EQ(bridge.stats().ecalls, 1u);
+  EXPECT_EQ(bridge.stats().ocalls, 1u);
+}
+
+TEST(Bridge, EcallIntoUninitializedEnclaveFaults) {
+  Env env;
+  Enclave e(env, "e", test_measurement(), 4096);  // not init()ed
+  TransitionBridge bridge(env, e);
+  bridge.register_ecall("f", [](ByteReader&) { return ByteBuffer(); });
+  EXPECT_THROW(bridge.ecall("f", ByteBuffer()), SecurityFault);
+}
+
+TEST(Bridge, UnknownCallThrows) {
+  Env env;
+  auto enclave = make_enclave(env);
+  TransitionBridge bridge(env, *enclave);
+  EXPECT_THROW(bridge.ecall("nope", ByteBuffer()), RuntimeFault);
+}
+
+TEST(Bridge, DuplicateRegistrationThrows) {
+  Env env;
+  auto enclave = make_enclave(env);
+  TransitionBridge bridge(env, *enclave);
+  bridge.register_ecall("f", [](ByteReader&) { return ByteBuffer(); });
+  EXPECT_THROW(
+      bridge.register_ecall("f", [](ByteReader&) { return ByteBuffer(); }),
+      RuntimeFault);
+}
+
+TEST(Bridge, TransitionCostsCharged) {
+  Env env;
+  auto enclave = make_enclave(env);
+  TransitionBridge bridge(env, *enclave);
+  bridge.register_ecall("f", [](ByteReader&) { return ByteBuffer(); });
+
+  const Cycles before = env.clock.now();
+  bridge.ecall("f", ByteBuffer());
+  const Cycles cost = env.clock.now() - before;
+  EXPECT_GE(cost, env.cost.ecall_cycles);
+  EXPECT_LT(cost, env.cost.ecall_cycles + 10'000);
+}
+
+TEST(Bridge, PayloadBytesChargedAndCounted) {
+  Env env;
+  auto enclave = make_enclave(env);
+  TransitionBridge bridge(env, *enclave);
+  bridge.register_ecall("f", [](ByteReader& r) {
+    ByteBuffer out;
+    out.put_u32(r.get_u32() + 1);
+    return out;
+  });
+
+  ByteBuffer small;
+  small.put_u32(1);
+  bridge.ecall("f", small);
+
+  const Cycles t0 = env.clock.now();
+  bridge.ecall("f", small);
+  const Cycles small_cost = env.clock.now() - t0;
+
+  ByteBuffer big;
+  big.put_u32(1);
+  for (int i = 0; i < 100'000; ++i) big.put_u8(0);
+  const Cycles t1 = env.clock.now();
+  bridge.ecall("f", big);
+  const Cycles big_cost = env.clock.now() - t1;
+
+  EXPECT_GT(big_cost, small_cost + 30'000) << "per-byte marshalling cost";
+  EXPECT_EQ(bridge.stats().ecalls, 3u);
+  EXPECT_EQ(bridge.stats().per_call.at("f").calls, 3u);
+  EXPECT_GT(bridge.stats().bytes_in, 100'000u);
+}
+
+TEST(Bridge, SwitchlessSkipsTransitionCost) {
+  Env env;
+  auto enclave = make_enclave(env);
+  TransitionBridge bridge(env, *enclave);
+  bridge.register_ecall("f", [](ByteReader&) { return ByteBuffer(); });
+
+  const Cycles t0 = env.clock.now();
+  bridge.ecall("f", ByteBuffer());
+  const Cycles normal = env.clock.now() - t0;
+
+  bridge.set_switchless("f", true);
+  const Cycles t1 = env.clock.now();
+  bridge.ecall("f", ByteBuffer());
+  const Cycles switchless = env.clock.now() - t1;
+
+  EXPECT_LT(switchless, normal / 5);
+  EXPECT_EQ(bridge.stats().switchless_calls, 1u);
+}
+
+TEST(Bridge, HandlerExceptionRestoresSide) {
+  Env env;
+  auto enclave = make_enclave(env);
+  TransitionBridge bridge(env, *enclave);
+  bridge.register_ecall("boom", [](ByteReader&) -> ByteBuffer {
+    throw RuntimeFault("inside");
+  });
+  EXPECT_THROW(bridge.ecall("boom", ByteBuffer()), RuntimeFault);
+  EXPECT_EQ(bridge.side(), Side::kUntrusted);
+}
+
+TEST(Edl, RendersTrustedAndUntrustedSections) {
+  EdlSpec spec;
+  spec.enclave_name = "demo";
+  spec.add_ecall(EdlFunction{
+      "ecall_relayAccount",
+      "void",
+      {{"int", "hash", EdlDirection::kIn, ""},
+       {"const char*", "buf", EdlDirection::kIn, "len"},
+       {"size_t", "len", EdlDirection::kIn, ""}},
+      false});
+  spec.add_ocall(EdlFunction{"ocall_write", "long", {}, true});
+  const std::string text = spec.to_edl_text();
+  EXPECT_NE(text.find("trusted {"), std::string::npos);
+  EXPECT_NE(text.find("untrusted {"), std::string::npos);
+  EXPECT_NE(text.find("ecall_relayAccount"), std::string::npos);
+  EXPECT_NE(text.find("[in, size=len] const char* buf"), std::string::npos);
+  EXPECT_NE(text.find("transition_using_threads"), std::string::npos);
+  EXPECT_TRUE(spec.has_ecall("ecall_relayAccount"));
+  EXPECT_FALSE(spec.has_ocall("ecall_relayAccount"));
+}
+
+TEST(Edl, Edger8rGeneratesBothStubs) {
+  EdlSpec spec;
+  spec.enclave_name = "demo";
+  spec.add_ecall(EdlFunction{"ecall_f", "void", {}, false});
+  spec.add_ocall(EdlFunction{"ocall_g", "void", {}, false});
+  const EdgeRoutines gen = edger8r_generate(spec);
+  EXPECT_EQ(gen.routine_count, 4u);
+  EXPECT_NE(gen.trusted_source.find("ecall_f"), std::string::npos);
+  EXPECT_NE(gen.untrusted_source.find("ocall_g"), std::string::npos);
+  EXPECT_NE(gen.header.find("ecall_f"), std::string::npos);
+}
+
+TEST(Attestation, QuoteVerifies) {
+  Env env;
+  auto enclave = make_enclave(env);
+  QuotingEnclave qe("platform-key");
+  const Report report = QuotingEnclave::create_report(*enclave, "channel-pk");
+  const Quote quote = qe.quote(report);
+  EXPECT_TRUE(
+      QuotingEnclave::verify(quote, "platform-key", test_measurement()));
+}
+
+TEST(Attestation, WrongKeyOrMeasurementRejected) {
+  Env env;
+  auto enclave = make_enclave(env);
+  QuotingEnclave qe("platform-key");
+  Quote quote = qe.quote(QuotingEnclave::create_report(*enclave, "data"));
+  EXPECT_FALSE(QuotingEnclave::verify(quote, "other-key", test_measurement()));
+  EXPECT_FALSE(QuotingEnclave::verify(quote, "platform-key",
+                                      Sha256::hash("other-image")));
+  // Tampered user data breaks the MAC.
+  quote.report.user_data[0] ^= 1;
+  EXPECT_FALSE(
+      QuotingEnclave::verify(quote, "platform-key", test_measurement()));
+}
+
+}  // namespace
+}  // namespace msv::sgx

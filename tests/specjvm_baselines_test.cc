@@ -1,0 +1,107 @@
+// Tests for src/apps/specjvm and src/baselines: the JVM estimator model
+// and the benchmark harness behaviours Table 1 depends on.
+#include <gtest/gtest.h>
+
+#include "apps/specjvm/harness.h"
+#include "baselines/jvm.h"
+#include "support/error.h"
+
+namespace msv {
+namespace {
+
+using apps::specjvm::Benchmark;
+using apps::specjvm::WorkloadSpec;
+using baselines::JvmEstimator;
+
+TEST(JvmEstimator, StartupIncludesClassLoading) {
+  const CostModel cost;
+  JvmEstimator jvm(cost);
+  const auto few = jvm.estimate(10, 1'000'000, 0, false);
+  const auto many = jvm.estimate(1000, 1'000'000, 0, false);
+  EXPECT_EQ(many.startup - few.startup, 990 * cost.jvm_class_load_cycles);
+}
+
+TEST(JvmEstimator, SconeInflatesStartupAndCompute) {
+  const CostModel cost;
+  JvmEstimator jvm(cost);
+  const Cycles work = 10'000'000'000ull;
+  const auto plain = jvm.estimate(100, work, 0, false);
+  const auto scone = jvm.estimate(100, work, 0, true);
+  EXPECT_GT(scone.startup, plain.startup);
+  EXPECT_GT(scone.compute, plain.compute);
+}
+
+TEST(JvmEstimator, GenerationalGcBeatsSerialGc) {
+  const CostModel cost;
+  JvmEstimator jvm(cost);
+  const Cycles total = 20'000'000'000ull;
+  const Cycles gc = 15'000'000'000ull;  // GC-dominated (Monte Carlo shape)
+  const auto e = jvm.estimate(100, total, gc, false);
+  EXPECT_LT(e.gc, gc / 5) << "HotSpot GC models far below serial semispace";
+}
+
+TEST(JvmEstimator, GcShareAboveTotalRejected) {
+  JvmEstimator jvm(CostModel{});
+  EXPECT_THROW(jvm.estimate(10, 100, 200, false), RuntimeFault);
+}
+
+TEST(JvmEstimator, GcDominatedWorkloadFavoursJvmDespiteStartup) {
+  // The Table 1 Monte_Carlo inversion: when the NI run is dominated by
+  // serial-GC work, the JVM estimate lands *below* the NI time even after
+  // paying startup.
+  const CostModel cost;
+  JvmEstimator jvm(cost);
+  const Cycles total = cost.seconds_to_cycles(6.0);
+  const Cycles gc = cost.seconds_to_cycles(5.2);
+  const auto scone = jvm.estimate(420, total, gc, true);
+  EXPECT_LT(scone.total(), total);
+}
+
+TEST(SpecHarness, NamesAndDefaults) {
+  for (const auto b : apps::specjvm::kAllBenchmarks) {
+    EXPECT_STRNE(apps::specjvm::benchmark_name(b), "?");
+    const auto spec = WorkloadSpec::defaults(b);
+    EXPECT_GE(spec.iterations, 1u);
+  }
+}
+
+TEST(SpecHarness, SgxRunSlowerThanNative) {
+  WorkloadSpec spec = WorkloadSpec::defaults(Benchmark::kFft);
+  spec.iterations = 2;  // keep the test fast
+  const auto nosgx = run_native_image(Benchmark::kFft, spec, false);
+  const auto sgx = run_native_image(Benchmark::kFft, spec, true);
+  EXPECT_GT(sgx.seconds, nosgx.seconds);
+  EXPECT_NEAR(nosgx.checksum, sgx.checksum, 1e-9)
+      << "same real computation on both sides";
+}
+
+TEST(SpecHarness, MonteCarloTriggersManyCollections) {
+  WorkloadSpec spec = WorkloadSpec::defaults(Benchmark::kMonteCarlo);
+  spec.mc_samples = 400'000;  // scaled down for the test
+  spec.heap_bytes = 8ull << 20;
+  spec.churn_live_bytes = 3ull << 20;
+  const auto run = run_native_image(Benchmark::kMonteCarlo, spec, false);
+  EXPECT_GT(run.gc_count, 3u);
+  EXPECT_GT(run.gc_cycles, 0u);
+}
+
+TEST(SpecHarness, ComputeKernelsBarelyCollect) {
+  WorkloadSpec spec = WorkloadSpec::defaults(Benchmark::kSor);
+  spec.iterations = 1;
+  const auto run = run_native_image(Benchmark::kSor, spec, false);
+  EXPECT_EQ(run.gc_count, 0u);
+}
+
+TEST(SpecHarness, AllModesOrdering) {
+  WorkloadSpec spec = WorkloadSpec::defaults(Benchmark::kLu);
+  spec.iterations = 2;
+  const auto row = run_all_modes(Benchmark::kLu, spec);
+  // Compute-bound kernel: native image beats the JVM everywhere, and the
+  // in-enclave JVM is the slowest configuration (Fig. 12's shape).
+  EXPECT_LT(row.nosgx_ni, row.nosgx_jvm);
+  EXPECT_LT(row.sgx_ni, row.scone_jvm);
+  EXPECT_GT(row.table1_gain(), 1.0);
+}
+
+}  // namespace
+}  // namespace msv

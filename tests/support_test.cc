@@ -1,0 +1,284 @@
+// Tests for src/support: clock/timers, byte buffers, hashes, stats, tables.
+#include <gtest/gtest.h>
+
+#include "support/bytes.h"
+#include "support/clock.h"
+#include "support/error.h"
+#include "support/fnv.h"
+#include "support/md5.h"
+#include "support/rng.h"
+#include "support/sha256.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace msv {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.0);
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock clock(1e9);
+  clock.advance(500);
+  clock.advance(1500);
+  EXPECT_EQ(clock.now(), 2000u);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 2e-6);
+}
+
+TEST(VirtualClock, SecondsToCyclesUsesFrequency) {
+  VirtualClock clock(2e9);
+  EXPECT_EQ(clock.seconds_to_cycles(1.5), 3'000'000'000u);
+}
+
+TEST(VirtualClock, OneShotTimerFiresAtDeadline) {
+  VirtualClock clock(1e9);
+  Cycles fired_at = 0;
+  clock.schedule_at(1000, [&] { fired_at = clock.now(); });
+  clock.advance(999);
+  EXPECT_EQ(fired_at, 0u);
+  clock.advance(500);
+  EXPECT_EQ(fired_at, 1000u);
+  EXPECT_EQ(clock.now(), 1499u);
+}
+
+TEST(VirtualClock, PeriodicTimerFiresAtExactInstants) {
+  VirtualClock clock(1e9);
+  std::vector<Cycles> instants;
+  clock.schedule_every(100, [&] { instants.push_back(clock.now()); });
+  clock.advance(350);
+  ASSERT_EQ(instants.size(), 3u);
+  EXPECT_EQ(instants[0], 100u);
+  EXPECT_EQ(instants[1], 200u);
+  EXPECT_EQ(instants[2], 300u);
+}
+
+TEST(VirtualClock, CancelStopsPeriodicTimer) {
+  VirtualClock clock(1e9);
+  int fires = 0;
+  const auto id = clock.schedule_every(10, [&] { ++fires; });
+  clock.advance(25);
+  EXPECT_EQ(fires, 2);
+  clock.cancel(id);
+  clock.advance(100);
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(clock.pending_timers(), 0u);
+}
+
+TEST(VirtualClock, TimersOrderedByDeadlineThenId) {
+  VirtualClock clock(1e9);
+  std::vector<int> order;
+  clock.schedule_at(50, [&] { order.push_back(1); });
+  clock.schedule_at(50, [&] { order.push_back(2); });
+  clock.schedule_at(20, [&] { order.push_back(3); });
+  clock.advance(60);
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(VirtualClock, TimerCanScheduleAnotherTimer) {
+  VirtualClock clock(1e9);
+  bool second_fired = false;
+  clock.schedule_at(10, [&] {
+    clock.schedule_at(clock.now() + 10, [&] { second_fired = true; });
+  });
+  clock.advance(30);
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(VirtualClock, PastDeadlineThrows) {
+  VirtualClock clock(1e9);
+  clock.advance(100);
+  EXPECT_THROW(clock.schedule_at(50, [] {}), RuntimeFault);
+}
+
+TEST(ByteBuffer, PrimitivesRoundTrip) {
+  ByteBuffer buf;
+  buf.put_u8(0xab);
+  buf.put_u16(0x1234);
+  buf.put_u32(0xdeadbeef);
+  buf.put_u64(0x0123456789abcdefull);
+  buf.put_i32(-42);
+  buf.put_i64(-1'000'000'000'000ll);
+  buf.put_f64(3.14159);
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.get_i32(), -42);
+  EXPECT_EQ(r.get_i64(), -1'000'000'000'000ll);
+  EXPECT_DOUBLE_EQ(r.get_f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteBuffer, VarintRoundTrip) {
+  ByteBuffer buf;
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 16383, 16384,
+                                  0xffffffffull, 0xffffffffffffffffull};
+  for (const auto v : values) buf.put_varint(v);
+  ByteReader r(buf);
+  for (const auto v : values) EXPECT_EQ(r.get_varint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteBuffer, StringRoundTrip) {
+  ByteBuffer buf;
+  buf.put_string("hello");
+  buf.put_string("");
+  buf.put_string(std::string(1000, 'x'));
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), std::string(1000, 'x'));
+}
+
+TEST(ByteReader, TruncatedInputThrows) {
+  ByteBuffer buf;
+  buf.put_u16(7);
+  ByteReader r(buf);
+  EXPECT_THROW(r.get_u32(), RuntimeFault);
+}
+
+TEST(ByteReader, SeekAndPosition) {
+  ByteBuffer buf;
+  buf.put_u32(1);
+  buf.put_u32(2);
+  ByteReader r(buf);
+  r.seek(4);
+  EXPECT_EQ(r.get_u32(), 2u);
+  r.seek(0);
+  EXPECT_EQ(r.get_u32(), 1u);
+  EXPECT_THROW(r.seek(100), RuntimeFault);
+}
+
+// RFC 1321 test vectors.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::hex(Md5::hash("")), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::hex(Md5::hash("a")), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::hex(Md5::hash("abc")), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::hex(Md5::hash("message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::hex(Md5::hash("abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  Md5 h;
+  h.update("mess");
+  h.update("age ");
+  h.update("digest");
+  EXPECT_EQ(Md5::hex(h.finish()), "f96b697d7cb7938d525a2f31aaf161d0");
+}
+
+TEST(Md5, MultiBlockInput) {
+  const std::string input(1000, 'z');
+  Md5 one;
+  one.update(input);
+  Md5 chunked;
+  for (std::size_t i = 0; i < input.size(); i += 77) {
+    chunked.update(input.substr(i, 77));
+  }
+  EXPECT_EQ(one.finish(), chunked.finish());
+}
+
+// FIPS 180-4 test vectors.
+TEST(Sha256, FipsVectors) {
+  EXPECT_EQ(Sha256::hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256::hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      Sha256::hex(Sha256::hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.update("ab");
+  h.update("c");
+  EXPECT_EQ(Sha256::hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Fnv, KnownValues) {
+  // FNV-1a 64 of the empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), kFnvOffset64);
+  // Stability check (value computed once and frozen).
+  EXPECT_EQ(fnv1a64("hello"), 0xa430d84680aabd0bull);
+  EXPECT_NE(fnv1a64("hello"), fnv1a64("hellp"));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  EXPECT_NE(rng.next_u64(), rng.next_u64());
+}
+
+TEST(Samples, SummaryStatistics) {
+  Samples s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+}
+
+TEST(Samples, EmptyThrows) {
+  Samples s;
+  EXPECT_THROW(s.mean(), RuntimeFault);
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(5e-9), "5.0 ns");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.50 us");
+  EXPECT_EQ(format_seconds(3.2e-3), "3.20 ms");
+  EXPECT_EQ(format_seconds(1.5), "1.500 s");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.5 MiB");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), RuntimeFault);
+}
+
+}  // namespace
+}  // namespace msv

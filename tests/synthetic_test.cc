@@ -1,0 +1,128 @@
+// Tests for src/apps/synthetic: the §6.5 program generator and the
+// micro-benchmark models.
+#include <gtest/gtest.h>
+
+#include "apps/synthetic/generator.h"
+#include "core/montsalvat.h"
+
+namespace msv::apps::synthetic {
+namespace {
+
+TEST(Generator, ClassCountAndAnnotationSplit) {
+  SyntheticSpec spec;
+  spec.n_classes = 40;
+  spec.untrusted_fraction = 0.25;
+  const model::AppModel app = generate(spec);
+  // 40 generated classes + Main.
+  EXPECT_EQ(app.classes().size(), 41u);
+  std::uint32_t untrusted = 0;
+  for (const auto& c : app.classes()) {
+    if (c.name() == "Main") continue;
+    if (c.annotation() == model::Annotation::kUntrusted) ++untrusted;
+  }
+  EXPECT_EQ(untrusted, 10u);
+}
+
+TEST(Generator, FractionBoundsChecked) {
+  SyntheticSpec spec;
+  spec.untrusted_fraction = 1.5;
+  EXPECT_THROW(generate(spec), Error);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  SyntheticSpec spec;
+  spec.n_classes = 20;
+  spec.untrusted_fraction = 0.5;
+  const auto a = generate(spec);
+  const auto b = generate(spec);
+  for (std::size_t i = 0; i < a.classes().size(); ++i) {
+    EXPECT_EQ(a.classes()[i].annotation(), b.classes()[i].annotation());
+  }
+}
+
+TEST(Generator, CpuVariantRunsEndToEnd) {
+  SyntheticSpec spec;
+  spec.n_classes = 6;
+  spec.untrusted_fraction = 0.5;
+  spec.work = WorkKind::kCpu;
+  spec.fft_mb = 1;
+  core::PartitionedApp app(generate(spec));
+  app.run_main();
+  EXPECT_GT(app.now_seconds(), 0.0);
+  EXPECT_GT(app.bridge().stats().ecalls, 0u) << "trusted classes were driven";
+}
+
+TEST(Generator, IoVariantWritesFiles) {
+  SyntheticSpec spec;
+  spec.n_classes = 6;
+  spec.untrusted_fraction = 0.5;
+  spec.work = WorkKind::kIo;
+  core::PartitionedApp app(generate(spec));
+  app.run_main();
+  std::size_t files = 0;
+  for (const auto& path : app.env().fs->list("out_")) {
+    (void)path;
+    ++files;
+  }
+  EXPECT_EQ(files, 6u);
+  EXPECT_GT(app.bridge().stats().ocalls, 0u)
+      << "in-enclave writers relay through the shim";
+}
+
+TEST(Generator, MoreUntrustedClassesRunFaster) {
+  // The heart of Fig. 6: moving classes out of the enclave reduces total
+  // runtime for both workload kinds.
+  for (const WorkKind kind : {WorkKind::kCpu, WorkKind::kIo}) {
+    auto run = [&](double fraction) {
+      SyntheticSpec spec;
+      spec.n_classes = 10;
+      spec.untrusted_fraction = fraction;
+      spec.work = kind;
+      core::PartitionedApp app(generate(spec));
+      app.run_main();
+      return app.now_seconds();
+    };
+    const double all_trusted = run(0.0);
+    const double all_untrusted = run(1.0);
+    EXPECT_LT(all_untrusted, all_trusted)
+        << (kind == WorkKind::kCpu ? "cpu" : "io");
+  }
+}
+
+TEST(MicroApp, BuildsAndDrives) {
+  const model::AppModel app_model = build_micro_app();
+  core::PartitionedApp app(app_model);
+  auto& u = app.untrusted_context();
+  const rt::Value w = u.construct("Worker", {});
+  u.invoke(w.as_ref(), "set", {rt::Value(std::int32_t{41})});
+  EXPECT_EQ(u.invoke(w.as_ref(), "get", {}).as_i32(), 41);
+
+  rt::ValueList items;
+  for (int i = 0; i < 16; ++i) items.push_back(rt::Value(std::string(16, 'x')));
+  u.invoke(w.as_ref(), "set_list", {rt::Value(std::move(items))});
+}
+
+TEST(MicroApp, SerializedCallCostsMoreThanPlainCall) {
+  core::PartitionedApp app(build_micro_app());
+  auto& u = app.untrusted_context();
+  const rt::Value w = u.construct("Worker", {});
+
+  const Cycles t0 = app.env().clock.now();
+  for (int i = 0; i < 100; ++i) {
+    u.invoke(w.as_ref(), "set", {rt::Value(std::int32_t{i})});
+  }
+  const Cycles plain = app.env().clock.now() - t0;
+
+  rt::ValueList items;
+  for (int i = 0; i < 64; ++i) items.push_back(rt::Value(std::string(16, 'x')));
+  const rt::Value list(std::move(items));
+  const Cycles t1 = app.env().clock.now();
+  for (int i = 0; i < 100; ++i) {
+    u.invoke(w.as_ref(), "set_list", {list});
+  }
+  const Cycles serialized = app.env().clock.now() - t1;
+  EXPECT_GT(serialized, plain + plain / 10);
+}
+
+}  // namespace
+}  // namespace msv::apps::synthetic

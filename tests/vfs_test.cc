@@ -1,0 +1,148 @@
+// Tests for src/vfs: in-memory and real filesystems.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "support/error.h"
+#include "vfs/fs.h"
+
+namespace msv::vfs {
+namespace {
+
+TEST(MemFs, WriteThenRead) {
+  MemFs fs;
+  {
+    auto f = fs.open("a.bin", OpenMode::kWrite);
+    f->write("hello", 5);
+  }
+  EXPECT_TRUE(fs.exists("a.bin"));
+  EXPECT_EQ(fs.file_size("a.bin"), 5u);
+  auto f = fs.open("a.bin", OpenMode::kRead);
+  char buf[8] = {};
+  EXPECT_EQ(f->read(buf, 8), 5u);
+  EXPECT_STREQ(buf, "hello");
+  EXPECT_EQ(f->read(buf, 8), 0u) << "EOF reached";
+}
+
+TEST(MemFs, OpenMissingFileForReadThrows) {
+  MemFs fs;
+  EXPECT_THROW(fs.open("missing", OpenMode::kRead), RuntimeFault);
+  EXPECT_THROW(fs.file_size("missing"), RuntimeFault);
+  EXPECT_THROW(fs.remove("missing"), RuntimeFault);
+}
+
+TEST(MemFs, WriteTruncates) {
+  MemFs fs;
+  fs.open("f", OpenMode::kWrite)->write("0123456789", 10);
+  fs.open("f", OpenMode::kWrite)->write("ab", 2);
+  EXPECT_EQ(fs.file_size("f"), 2u);
+}
+
+TEST(MemFs, AppendPositionsAtEnd) {
+  MemFs fs;
+  fs.open("f", OpenMode::kWrite)->write("abc", 3);
+  fs.open("f", OpenMode::kAppend)->write("def", 3);
+  auto data = fs.map("f");
+  EXPECT_EQ(std::string(data->begin(), data->end()), "abcdef");
+}
+
+TEST(MemFs, SeekAndOverwrite) {
+  MemFs fs;
+  auto f = fs.open("f", OpenMode::kReadWrite);
+  f->write("aaaaaa", 6);
+  f->seek(2);
+  f->write("XX", 2);
+  f->seek(0);
+  char buf[7] = {};
+  f->read(buf, 6);
+  EXPECT_STREQ(buf, "aaXXaa");
+}
+
+TEST(MemFs, SparseWriteExtends) {
+  MemFs fs;
+  auto f = fs.open("f", OpenMode::kWrite);
+  f->seek(100);
+  f->write("x", 1);
+  EXPECT_EQ(f->size(), 101u);
+}
+
+TEST(MemFs, ListByPrefix) {
+  MemFs fs;
+  fs.open("shard.0", OpenMode::kWrite);
+  fs.open("shard.1", OpenMode::kWrite);
+  fs.open("other", OpenMode::kWrite);
+  const auto shards = fs.list("shard.");
+  EXPECT_EQ(shards.size(), 2u);
+}
+
+TEST(MemFs, MapSurvivesRemove) {
+  MemFs fs;
+  fs.open("f", OpenMode::kWrite)->write("data", 4);
+  auto snapshot = fs.map("f");
+  fs.remove("f");
+  EXPECT_FALSE(fs.exists("f"));
+  EXPECT_EQ(snapshot->size(), 4u);
+}
+
+TEST(MemFs, ReadOnlyHandleRejectsWrite) {
+  MemFs fs;
+  fs.open("f", OpenMode::kWrite)->write("x", 1);
+  auto f = fs.open("f", OpenMode::kRead);
+  EXPECT_THROW(f->write("y", 1), RuntimeFault);
+}
+
+TEST(MemFs, TotalBytes) {
+  MemFs fs;
+  fs.open("a", OpenMode::kWrite)->write("xx", 2);
+  fs.open("b", OpenMode::kWrite)->write("yyy", 3);
+  EXPECT_EQ(fs.total_bytes(), 5u);
+}
+
+class RealFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "msv_realfs_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(RealFsTest, WriteReadRoundTrip) {
+  RealFs fs;
+  {
+    auto f = fs.open(path("t.bin"), OpenMode::kWrite);
+    f->write("realdata", 8);
+  }
+  EXPECT_TRUE(fs.exists(path("t.bin")));
+  EXPECT_EQ(fs.file_size(path("t.bin")), 8u);
+  auto data = fs.map(path("t.bin"));
+  EXPECT_EQ(std::string(data->begin(), data->end()), "realdata");
+  fs.remove(path("t.bin"));
+  EXPECT_FALSE(fs.exists(path("t.bin")));
+}
+
+TEST_F(RealFsTest, SeekTellSize) {
+  RealFs fs;
+  auto f = fs.open(path("s.bin"), OpenMode::kWrite);
+  f->write("0123456789", 10);
+  EXPECT_EQ(f->tell(), 10u);
+  EXPECT_EQ(f->size(), 10u);
+  f->seek(4);
+  EXPECT_EQ(f->tell(), 4u);
+}
+
+TEST_F(RealFsTest, ListByPrefix) {
+  RealFs fs;
+  fs.open(path("pre.0"), OpenMode::kWrite)->write("a", 1);
+  fs.open(path("pre.1"), OpenMode::kWrite)->write("b", 1);
+  fs.open(path("zzz"), OpenMode::kWrite)->write("c", 1);
+  EXPECT_EQ(fs.list(path("pre.")).size(), 2u);
+}
+
+}  // namespace
+}  // namespace msv::vfs
