@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_epc"
+  "../bench/abl_epc.pdb"
+  "CMakeFiles/abl_epc.dir/abl_epc.cc.o"
+  "CMakeFiles/abl_epc.dir/abl_epc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_epc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

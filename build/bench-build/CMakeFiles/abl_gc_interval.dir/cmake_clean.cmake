@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_gc_interval"
+  "../bench/abl_gc_interval.pdb"
+  "CMakeFiles/abl_gc_interval.dir/abl_gc_interval.cc.o"
+  "CMakeFiles/abl_gc_interval.dir/abl_gc_interval.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gc_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_profile_guided"
+  "../bench/abl_profile_guided.pdb"
+  "CMakeFiles/abl_profile_guided.dir/abl_profile_guided.cc.o"
+  "CMakeFiles/abl_profile_guided.dir/abl_profile_guided.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_profile_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_switchless"
+  "../bench/abl_switchless.pdb"
+  "CMakeFiles/abl_switchless.dir/abl_switchless.cc.o"
+  "CMakeFiles/abl_switchless.dir/abl_switchless.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_switchless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

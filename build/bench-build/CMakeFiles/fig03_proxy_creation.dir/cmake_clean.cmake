@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_proxy_creation"
+  "../bench/fig03_proxy_creation.pdb"
+  "CMakeFiles/fig03_proxy_creation.dir/fig03_proxy_creation.cc.o"
+  "CMakeFiles/fig03_proxy_creation.dir/fig03_proxy_creation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_proxy_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_rmi"
+  "../bench/fig04_rmi.pdb"
+  "CMakeFiles/fig04_rmi.dir/fig04_rmi.cc.o"
+  "CMakeFiles/fig04_rmi.dir/fig04_rmi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_rmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_gc"
+  "../bench/fig05_gc.pdb"
+  "CMakeFiles/fig05_gc.dir/fig05_gc.cc.o"
+  "CMakeFiles/fig05_gc.dir/fig05_gc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_synthetic"
+  "../bench/fig06_synthetic.pdb"
+  "CMakeFiles/fig06_synthetic.dir/fig06_synthetic.cc.o"
+  "CMakeFiles/fig06_synthetic.dir/fig06_synthetic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

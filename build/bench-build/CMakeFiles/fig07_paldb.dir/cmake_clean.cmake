@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_paldb"
+  "../bench/fig07_paldb.pdb"
+  "CMakeFiles/fig07_paldb.dir/fig07_paldb.cc.o"
+  "CMakeFiles/fig07_paldb.dir/fig07_paldb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_paldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_graphchi"
+  "../bench/fig09_graphchi.pdb"
+  "CMakeFiles/fig09_graphchi.dir/fig09_graphchi.cc.o"
+  "CMakeFiles/fig09_graphchi.dir/fig09_graphchi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_graphchi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_paldb_scone"
+  "../bench/fig10_paldb_scone.pdb"
+  "CMakeFiles/fig10_paldb_scone.dir/fig10_paldb_scone.cc.o"
+  "CMakeFiles/fig10_paldb_scone.dir/fig10_paldb_scone.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_paldb_scone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

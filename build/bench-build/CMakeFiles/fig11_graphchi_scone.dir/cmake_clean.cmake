@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_graphchi_scone"
+  "../bench/fig11_graphchi_scone.pdb"
+  "CMakeFiles/fig11_graphchi_scone.dir/fig11_graphchi_scone.cc.o"
+  "CMakeFiles/fig11_graphchi_scone.dir/fig11_graphchi_scone.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_graphchi_scone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

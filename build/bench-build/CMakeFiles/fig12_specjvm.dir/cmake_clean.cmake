@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_specjvm"
+  "../bench/fig12_specjvm.pdb"
+  "CMakeFiles/fig12_specjvm.dir/fig12_specjvm.cc.o"
+  "CMakeFiles/fig12_specjvm.dir/fig12_specjvm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_specjvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graphchi_pagerank.dir/graphchi_pagerank.cpp.o"
+  "CMakeFiles/example_graphchi_pagerank.dir/graphchi_pagerank.cpp.o.d"
+  "example_graphchi_pagerank"
+  "example_graphchi_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graphchi_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paldb_partitioned.dir/paldb_partitioned.cpp.o"
+  "CMakeFiles/example_paldb_partitioned.dir/paldb_partitioned.cpp.o.d"
+  "example_paldb_partitioned"
+  "example_paldb_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paldb_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sealed_vault.dir/sealed_vault.cpp.o"
+  "CMakeFiles/example_sealed_vault.dir/sealed_vault.cpp.o.d"
+  "example_sealed_vault"
+  "example_sealed_vault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sealed_vault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

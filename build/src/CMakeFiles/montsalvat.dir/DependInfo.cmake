@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/graphchi/engine.cc" "src/CMakeFiles/montsalvat.dir/apps/graphchi/engine.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/apps/graphchi/engine.cc.o.d"
+  "/root/repo/src/apps/graphchi/graph.cc" "src/CMakeFiles/montsalvat.dir/apps/graphchi/graph.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/apps/graphchi/graph.cc.o.d"
+  "/root/repo/src/apps/graphchi/model.cc" "src/CMakeFiles/montsalvat.dir/apps/graphchi/model.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/apps/graphchi/model.cc.o.d"
+  "/root/repo/src/apps/graphchi/sharder.cc" "src/CMakeFiles/montsalvat.dir/apps/graphchi/sharder.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/apps/graphchi/sharder.cc.o.d"
+  "/root/repo/src/apps/illustrative/bank.cc" "src/CMakeFiles/montsalvat.dir/apps/illustrative/bank.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/apps/illustrative/bank.cc.o.d"
+  "/root/repo/src/apps/paldb/model.cc" "src/CMakeFiles/montsalvat.dir/apps/paldb/model.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/apps/paldb/model.cc.o.d"
+  "/root/repo/src/apps/paldb/store.cc" "src/CMakeFiles/montsalvat.dir/apps/paldb/store.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/apps/paldb/store.cc.o.d"
+  "/root/repo/src/apps/specjvm/harness.cc" "src/CMakeFiles/montsalvat.dir/apps/specjvm/harness.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/apps/specjvm/harness.cc.o.d"
+  "/root/repo/src/apps/synthetic/generator.cc" "src/CMakeFiles/montsalvat.dir/apps/synthetic/generator.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/apps/synthetic/generator.cc.o.d"
+  "/root/repo/src/baselines/jvm.cc" "src/CMakeFiles/montsalvat.dir/baselines/jvm.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/baselines/jvm.cc.o.d"
+  "/root/repo/src/core/app.cc" "src/CMakeFiles/montsalvat.dir/core/app.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/core/app.cc.o.d"
+  "/root/repo/src/core/multi_app.cc" "src/CMakeFiles/montsalvat.dir/core/multi_app.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/core/multi_app.cc.o.d"
+  "/root/repo/src/dsl/lexer.cc" "src/CMakeFiles/montsalvat.dir/dsl/lexer.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/dsl/lexer.cc.o.d"
+  "/root/repo/src/dsl/parser.cc" "src/CMakeFiles/montsalvat.dir/dsl/parser.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/dsl/parser.cc.o.d"
+  "/root/repo/src/interp/exec_context.cc" "src/CMakeFiles/montsalvat.dir/interp/exec_context.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/interp/exec_context.cc.o.d"
+  "/root/repo/src/interp/intrinsics.cc" "src/CMakeFiles/montsalvat.dir/interp/intrinsics.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/interp/intrinsics.cc.o.d"
+  "/root/repo/src/kernels/kernels.cc" "src/CMakeFiles/montsalvat.dir/kernels/kernels.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/kernels/kernels.cc.o.d"
+  "/root/repo/src/model/app_model.cc" "src/CMakeFiles/montsalvat.dir/model/app_model.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/model/app_model.cc.o.d"
+  "/root/repo/src/model/ir.cc" "src/CMakeFiles/montsalvat.dir/model/ir.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/model/ir.cc.o.d"
+  "/root/repo/src/rmi/hasher.cc" "src/CMakeFiles/montsalvat.dir/rmi/hasher.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/rmi/hasher.cc.o.d"
+  "/root/repo/src/rmi/multi_isolate.cc" "src/CMakeFiles/montsalvat.dir/rmi/multi_isolate.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/rmi/multi_isolate.cc.o.d"
+  "/root/repo/src/rmi/proxy_runtime.cc" "src/CMakeFiles/montsalvat.dir/rmi/proxy_runtime.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/rmi/proxy_runtime.cc.o.d"
+  "/root/repo/src/rmi/registry.cc" "src/CMakeFiles/montsalvat.dir/rmi/registry.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/rmi/registry.cc.o.d"
+  "/root/repo/src/rmi/wire.cc" "src/CMakeFiles/montsalvat.dir/rmi/wire.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/rmi/wire.cc.o.d"
+  "/root/repo/src/runtime/churn.cc" "src/CMakeFiles/montsalvat.dir/runtime/churn.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/runtime/churn.cc.o.d"
+  "/root/repo/src/runtime/handles.cc" "src/CMakeFiles/montsalvat.dir/runtime/handles.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/runtime/handles.cc.o.d"
+  "/root/repo/src/runtime/heap.cc" "src/CMakeFiles/montsalvat.dir/runtime/heap.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/runtime/heap.cc.o.d"
+  "/root/repo/src/runtime/isolate.cc" "src/CMakeFiles/montsalvat.dir/runtime/isolate.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/runtime/isolate.cc.o.d"
+  "/root/repo/src/runtime/value.cc" "src/CMakeFiles/montsalvat.dir/runtime/value.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/runtime/value.cc.o.d"
+  "/root/repo/src/runtime/weakref.cc" "src/CMakeFiles/montsalvat.dir/runtime/weakref.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/runtime/weakref.cc.o.d"
+  "/root/repo/src/sgx/attestation.cc" "src/CMakeFiles/montsalvat.dir/sgx/attestation.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/sgx/attestation.cc.o.d"
+  "/root/repo/src/sgx/bridge.cc" "src/CMakeFiles/montsalvat.dir/sgx/bridge.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/sgx/bridge.cc.o.d"
+  "/root/repo/src/sgx/edl.cc" "src/CMakeFiles/montsalvat.dir/sgx/edl.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/sgx/edl.cc.o.d"
+  "/root/repo/src/sgx/enclave.cc" "src/CMakeFiles/montsalvat.dir/sgx/enclave.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/sgx/enclave.cc.o.d"
+  "/root/repo/src/sgx/epc.cc" "src/CMakeFiles/montsalvat.dir/sgx/epc.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/sgx/epc.cc.o.d"
+  "/root/repo/src/sgx/profiler.cc" "src/CMakeFiles/montsalvat.dir/sgx/profiler.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/sgx/profiler.cc.o.d"
+  "/root/repo/src/sgx/sealing.cc" "src/CMakeFiles/montsalvat.dir/sgx/sealing.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/sgx/sealing.cc.o.d"
+  "/root/repo/src/shim/enclave_shim.cc" "src/CMakeFiles/montsalvat.dir/shim/enclave_shim.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/shim/enclave_shim.cc.o.d"
+  "/root/repo/src/shim/host_io.cc" "src/CMakeFiles/montsalvat.dir/shim/host_io.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/shim/host_io.cc.o.d"
+  "/root/repo/src/support/bytes.cc" "src/CMakeFiles/montsalvat.dir/support/bytes.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/support/bytes.cc.o.d"
+  "/root/repo/src/support/clock.cc" "src/CMakeFiles/montsalvat.dir/support/clock.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/support/clock.cc.o.d"
+  "/root/repo/src/support/md5.cc" "src/CMakeFiles/montsalvat.dir/support/md5.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/support/md5.cc.o.d"
+  "/root/repo/src/support/sha256.cc" "src/CMakeFiles/montsalvat.dir/support/sha256.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/support/sha256.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/montsalvat.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/support/stats.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/CMakeFiles/montsalvat.dir/support/table.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/support/table.cc.o.d"
+  "/root/repo/src/transform/image_builder.cc" "src/CMakeFiles/montsalvat.dir/transform/image_builder.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/transform/image_builder.cc.o.d"
+  "/root/repo/src/transform/reachability.cc" "src/CMakeFiles/montsalvat.dir/transform/reachability.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/transform/reachability.cc.o.d"
+  "/root/repo/src/transform/transformer.cc" "src/CMakeFiles/montsalvat.dir/transform/transformer.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/transform/transformer.cc.o.d"
+  "/root/repo/src/vfs/memfs.cc" "src/CMakeFiles/montsalvat.dir/vfs/memfs.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/vfs/memfs.cc.o.d"
+  "/root/repo/src/vfs/realfs.cc" "src/CMakeFiles/montsalvat.dir/vfs/realfs.cc.o" "gcc" "src/CMakeFiles/montsalvat.dir/vfs/realfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

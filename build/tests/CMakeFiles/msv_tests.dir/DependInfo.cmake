@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/msv_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/dsl_test.cc" "tests/CMakeFiles/msv_tests.dir/dsl_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/dsl_test.cc.o.d"
+  "/root/repo/tests/e2e_test.cc" "tests/CMakeFiles/msv_tests.dir/e2e_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/e2e_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/msv_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/failure_injection_test.cc" "tests/CMakeFiles/msv_tests.dir/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/failure_injection_test.cc.o.d"
+  "/root/repo/tests/graphchi_test.cc" "tests/CMakeFiles/msv_tests.dir/graphchi_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/graphchi_test.cc.o.d"
+  "/root/repo/tests/interp_shim_test.cc" "tests/CMakeFiles/msv_tests.dir/interp_shim_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/interp_shim_test.cc.o.d"
+  "/root/repo/tests/kernels_test.cc" "tests/CMakeFiles/msv_tests.dir/kernels_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/kernels_test.cc.o.d"
+  "/root/repo/tests/model_test.cc" "tests/CMakeFiles/msv_tests.dir/model_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/model_test.cc.o.d"
+  "/root/repo/tests/paldb_test.cc" "tests/CMakeFiles/msv_tests.dir/paldb_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/paldb_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/msv_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rmi_test.cc" "tests/CMakeFiles/msv_tests.dir/rmi_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/rmi_test.cc.o.d"
+  "/root/repo/tests/runtime_test.cc" "tests/CMakeFiles/msv_tests.dir/runtime_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/runtime_test.cc.o.d"
+  "/root/repo/tests/sealing_test.cc" "tests/CMakeFiles/msv_tests.dir/sealing_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/sealing_test.cc.o.d"
+  "/root/repo/tests/sgx_test.cc" "tests/CMakeFiles/msv_tests.dir/sgx_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/sgx_test.cc.o.d"
+  "/root/repo/tests/specjvm_baselines_test.cc" "tests/CMakeFiles/msv_tests.dir/specjvm_baselines_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/specjvm_baselines_test.cc.o.d"
+  "/root/repo/tests/support_test.cc" "tests/CMakeFiles/msv_tests.dir/support_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/support_test.cc.o.d"
+  "/root/repo/tests/synthetic_test.cc" "tests/CMakeFiles/msv_tests.dir/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/synthetic_test.cc.o.d"
+  "/root/repo/tests/transform_test.cc" "tests/CMakeFiles/msv_tests.dir/transform_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/transform_test.cc.o.d"
+  "/root/repo/tests/vfs_test.cc" "tests/CMakeFiles/msv_tests.dir/vfs_test.cc.o" "gcc" "tests/CMakeFiles/msv_tests.dir/vfs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/montsalvat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

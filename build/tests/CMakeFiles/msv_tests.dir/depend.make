@@ -1,0 +1,2 @@
+# Empty dependencies file for msv_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montsalvatc.dir/montsalvatc.cc.o"
+  "CMakeFiles/montsalvatc.dir/montsalvatc.cc.o.d"
+  "montsalvatc"
+  "montsalvatc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montsalvatc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
