@@ -1,10 +1,21 @@
 // Shared helpers for the benchmark binaries. Each binary reproduces one
 // table or figure of the paper (see DESIGN.md §3 for the index) and prints
 // the same rows/series the paper reports, in simulated seconds.
+//
+// Every binary accepts two optional flags:
+//   --smoke         shrink iteration counts so the binary finishes in
+//                   well under a second (used by tools/tier1.sh)
+//   --json=<path>   additionally write the printed tables and any raw
+//                   metrics as JSON to <path> (tools/bench_to_json wraps
+//                   this; BENCH_*.json artifacts are produced this way)
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/stats.h"
 #include "support/table.h"
@@ -23,5 +34,111 @@ inline std::string fmt_s(double seconds) { return format_seconds(seconds); }
 inline std::string fmt_x(double ratio) {
   return format_fixed(ratio, 2) + "x";
 }
+
+struct BenchOptions {
+  bool smoke = false;
+  std::string json_path;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--smoke") == 0) {
+        opt.smoke = true;
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        opt.json_path = a + 7;
+      } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
+        opt.json_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", a);
+      }
+    }
+    return opt;
+  }
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Collects the printed tables plus raw (unformatted) metrics and writes
+// them as one JSON document:
+//   { "benchmark": ..., "tables": {name: [{col: cell, ...}, ...]},
+//     "metrics": {key: number, ...} }
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  void add_table(const std::string& name, const Table& t) {
+    std::string rows = "[";
+    bool first_row = true;
+    for (const auto& row : t.rows()) {
+      rows += first_row ? "\n" : ",\n";
+      first_row = false;
+      rows += "      {";
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) rows += ", ";
+        rows += "\"" + json_escape(t.headers()[i]) + "\": \"" +
+                json_escape(row[i]) + "\"";
+      }
+      rows += "}";
+    }
+    rows += "\n    ]";
+    tables_.emplace_back(name, std::move(rows));
+  }
+
+  void add_metric(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    metrics_.emplace_back(key, std::string(buf));
+  }
+  void add_metric(const std::string& key, std::uint64_t v) {
+    metrics_.emplace_back(key, std::to_string(v));
+  }
+
+  // Returns false (after a perror) when the file cannot be written.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::perror(("bench: cannot write " + path).c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n",
+                 json_escape(benchmark_).c_str());
+    std::fprintf(f, "  \"tables\": {");
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %s", i > 0 ? "," : "",
+                   json_escape(tables_[i].first).c_str(),
+                   tables_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  },\n  \"metrics\": {");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %s", i > 0 ? "," : "",
+                   json_escape(metrics_[i].first).c_str(),
+                   metrics_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("\nJSON written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string benchmark_;
+  std::vector<std::pair<std::string, std::string>> tables_;  // name -> rows
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
 
 }  // namespace msv::bench

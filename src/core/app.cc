@@ -136,6 +136,8 @@ PartitionedApp::PartitionedApp(const model::AppModel& app, AppConfig config,
   untrusted_ctx_ = std::make_unique<interp::ExecContext>(
       *env_, *untrusted_iso_, untrusted_image_.classes, *host_io_,
       std::move(intrinsics));
+  trusted_ctx_->set_fast_paths(config_.fast_rmi);
+  untrusted_ctx_->set_fast_paths(config_.fast_rmi);
 
   // 7. RMI machinery and GC helpers (§5.2, §5.5).
   rmi_ = std::make_unique<rmi::ProxyRuntime>(
@@ -143,7 +145,8 @@ PartitionedApp::PartitionedApp(const model::AppModel& app, AppConfig config,
       rmi::ProxyRuntime::Config{config_.hash_scheme,
                                 config_.gc_scan_period_seconds,
                                 /*gc_auto_pump=*/true,
-                                /*max_serialization_depth=*/64});
+                                /*max_serialization_depth=*/64,
+                                config_.fast_rmi});
   rmi_->register_handlers();
   trusted_ctx_->set_remote(rmi_.get());
   untrusted_ctx_->set_remote(rmi_.get());

@@ -51,6 +51,21 @@ const ClassDecl& ExecContext::class_of(const GcRef& obj) const {
   return class_by_id(isolate_.heap().class_id(obj.address()));
 }
 
+const MethodDecl* ExecContext::resolve_method(const ClassDecl& cls,
+                                              const std::string& method) const {
+  // Legacy mode reproduces the pre-overhaul linear name scan.
+  if (!fast_paths_) return cls.find_method(method);
+  auto it = method_index_.find(&cls);
+  if (it == method_index_.end()) {
+    MethodIndex index;
+    index.reserve(cls.methods().size());
+    for (const auto& m : cls.methods()) index.emplace(m.name(), &m);
+    it = method_index_.emplace(&cls, std::move(index)).first;
+  }
+  const auto mit = it->second.find(std::string_view(method));
+  return mit == it->second.end() ? nullptr : mit->second;
+}
+
 rt::Value ExecContext::construct(const std::string& cls_name,
                                  std::vector<Value> args) {
   const ClassDecl& cls = classes_.cls(cls_name);
@@ -63,7 +78,7 @@ rt::Value ExecContext::construct(const std::string& cls_name,
   ++stats_.objects_constructed;
   const GcRef self = isolate_.new_instance(
       class_id(cls_name), static_cast<std::uint32_t>(cls.fields().size()));
-  const MethodDecl* ctor = cls.find_method(model::kConstructorName);
+  const MethodDecl* ctor = resolve_method(cls, model::kConstructorName);
   if (ctor != nullptr) {
     if (args.size() != ctor->param_count()) {
       throw RuntimeFault("constructor of " + cls_name + " expects " +
@@ -81,7 +96,7 @@ rt::Value ExecContext::construct(const std::string& cls_name,
 rt::Value ExecContext::invoke(const GcRef& receiver, const std::string& method,
                               std::vector<Value> args) {
   const ClassDecl& cls = class_of(receiver);
-  const MethodDecl* m = cls.find_method(method);
+  const MethodDecl* m = resolve_method(cls, method);
   if (m == nullptr) {
     throw RuntimeFault("no method " + cls.name() + "." + method);
   }
@@ -93,7 +108,7 @@ rt::Value ExecContext::invoke_static(const std::string& cls_name,
                                      const std::string& method,
                                      std::vector<Value> args) {
   const ClassDecl& cls = classes_.cls(cls_name);
-  const MethodDecl* m = cls.find_method(method);
+  const MethodDecl* m = resolve_method(cls, method);
   if (m == nullptr || !m->is_static()) {
     throw RuntimeFault("no static method " + cls_name + "." + method);
   }
@@ -129,7 +144,8 @@ std::string ExecContext::trace_to_json() const {
 }
 
 rt::Value ExecContext::invoke_method(const ClassDecl& cls,
-                                     const MethodDecl& method, GcRef self,
+                                     const MethodDecl& method,
+                                     const GcRef& self,
                                      std::vector<Value>& args) {
   if (args.size() != method.param_count()) {
     throw RuntimeFault("method " + cls.name() + "." + method.name() +
@@ -141,10 +157,27 @@ rt::Value ExecContext::invoke_method(const ClassDecl& cls,
   if (tracing_) traced_.emplace(cls.name(), method.name());
 
   switch (method.kind()) {
-    case MethodKind::kIr:
-      return exec_ir(cls, method, std::move(self), args);
+    case MethodKind::kIr: {
+      if (fast_paths_ && !self.is_null()) {
+        // Quickened bodies replicate exec_ir's op count and charges; null
+        // receivers fall through so the generic loop raises its errors.
+        const QuickInfo q = quick_info(method);
+        if (q.kind == QuickKind::kSetter) {
+          stats_.ir_ops += 4;
+          env_.clock.advance(4 * env_.cost.ir_op_cycles);
+          isolate_.set_field(self, q.field, args[0]);
+          return Value();
+        }
+        if (q.kind == QuickKind::kGetter) {
+          stats_.ir_ops += 3;
+          env_.clock.advance(3 * env_.cost.ir_op_cycles);
+          return Value(isolate_.get_field(self, q.field));
+        }
+      }
+      return exec_ir(cls, method, self, args);
+    }
     case MethodKind::kNative: {
-      model::NativeCall call{*this, isolate_, std::move(self), args};
+      model::NativeCall call{*this, isolate_, self, args};
       return method.native()(call);
     }
     case MethodKind::kProxyStub: {
@@ -162,6 +195,32 @@ rt::Value ExecContext::invoke_method(const ClassDecl& cls,
                          " invoked locally");
   }
   return Value();
+}
+
+rt::Value ExecContext::invoke_quick(const ClassDecl& cls,
+                                    const MethodDecl& method,
+                                    const QuickInfo& q, const GcRef& self,
+                                    std::vector<Value>& args) {
+  // Charges and stats replicate invoke_method's quickened kIr case exactly
+  // (one method call plus the body's op count); only the per-call
+  // classifier lookup is gone.
+  if (args.size() != method.param_count()) {
+    throw RuntimeFault("method " + cls.name() + "." + method.name() +
+                       " expects " + std::to_string(method.param_count()) +
+                       " args, got " + std::to_string(args.size()));
+  }
+  ++stats_.method_calls;
+  if (tracing_) traced_.emplace(cls.name(), method.name());
+  if (q.kind == QuickKind::kSetter) {
+    stats_.ir_ops += 4;
+    env_.clock.advance(env_.cost.method_call_cycles +
+                       4 * env_.cost.ir_op_cycles);
+    isolate_.set_field(self, q.field, args[0]);
+    return Value();
+  }
+  stats_.ir_ops += 3;
+  env_.clock.advance(env_.cost.method_call_cycles + 3 * env_.cost.ir_op_cycles);
+  return Value(isolate_.get_field(self, q.field));
 }
 
 namespace {
@@ -238,19 +297,53 @@ bool value_equals(const Value& a, const Value& b) {
 
 }  // namespace
 
+ExecContext::QuickInfo ExecContext::quick_info(
+    const model::MethodDecl& method) const {
+  const auto it = quick_.find(&method);
+  if (it != quick_.end()) return it->second;
+  QuickInfo info;
+  const auto& code = method.ir().code;
+  if (!method.is_static()) {
+    if (method.param_count() == 1 && code.size() == 4 &&
+        code[0].op == Op::kLoadLocal && code[0].a == 0 &&
+        code[1].op == Op::kLoadLocal && code[1].a == 1 &&
+        code[2].op == Op::kPutField && code[3].op == Op::kReturnVoid) {
+      info = {QuickKind::kSetter, static_cast<std::uint32_t>(code[2].a)};
+    } else if (method.param_count() == 0 && code.size() == 3 &&
+               code[0].op == Op::kLoadLocal && code[0].a == 0 &&
+               code[1].op == Op::kGetField && code[2].op == Op::kReturn) {
+      info = {QuickKind::kGetter, static_cast<std::uint32_t>(code[1].a)};
+    }
+  }
+  quick_.emplace(&method, info);
+  return info;
+}
+
 rt::Value ExecContext::exec_ir(const ClassDecl& cls, const MethodDecl& method,
                                GcRef self, std::vector<Value>& args) {
   const model::IrBody& ir = method.ir();
 
-  // Locals: `this` at 0 for instance methods, then parameters.
-  std::vector<Value> locals(
+  // Locals: `this` at 0 for instance methods, then parameters. Both frame
+  // vectors come from the pool and go back on every exit path (legacy mode
+  // allocates fresh ones, like the pre-overhaul interpreter).
+  std::vector<Value> locals = fast_paths_ ? frame_take() : std::vector<Value>();
+  std::vector<Value> stack = fast_paths_ ? frame_take() : std::vector<Value>();
+  struct FrameGuard {
+    ExecContext* ctx;  // null: pooling disabled
+    std::vector<Value>* locals;
+    std::vector<Value>* stack;
+    ~FrameGuard() {
+      if (ctx == nullptr) return;
+      ctx->frame_put(std::move(*locals));
+      ctx->frame_put(std::move(*stack));
+    }
+  } frame_guard{fast_paths_ ? this : nullptr, &locals, &stack};
+  locals.resize(
       std::max<std::size_t>(ir.local_count,
                             args.size() + (method.is_static() ? 0 : 1)));
   std::size_t next = 0;
   if (!method.is_static()) locals[next++] = Value(self);
   for (auto& a : args) locals[next++] = std::move(a);
-
-  std::vector<Value> stack;
   auto pop = [&]() {
     MSV_CHECK_MSG(!stack.empty(), "operand stack underflow in " + cls.name() +
                                       "." + method.name());

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -43,10 +44,23 @@ class ExecContext {
   // Wires the RMI layer in; may stay null for unpartitioned images.
   void set_remote(RemoteInvoker* remote) { remote_ = remote; }
 
+  // Hot-path machinery (cached method resolution, pooled frame vectors).
+  // On by default; disabled by AppConfig::fast_rmi = false so the RMI
+  // benchmark can compare against the legacy allocate-and-scan shape.
+  // Simulated cycle charges are identical either way.
+  void set_fast_paths(bool v) { fast_paths_ = v; }
+
   // ---- Class table ----
   std::uint32_t class_id(const std::string& name) const;
   const model::ClassDecl& class_by_id(std::uint32_t id) const;
   const model::ClassDecl& class_of(const rt::GcRef& obj) const;
+
+  // Cached method resolution: ClassDecl::find_method is a linear string
+  // scan, too slow for the invoke/RMI hot path. The per-class index is
+  // built on first use (after which the class is assumed frozen, like a
+  // loaded image). Returns nullptr when absent.
+  const model::MethodDecl* resolve_method(const model::ClassDecl& cls,
+                                          const std::string& method) const;
 
   // ---- Execution ----
   // Allocates an instance of `cls` and runs its constructor (or builds a
@@ -61,8 +75,29 @@ class ExecContext {
 
   // Dispatches an already-resolved method (used by the RMI relay path).
   rt::Value invoke_method(const model::ClassDecl& cls,
-                          const model::MethodDecl& method, rt::GcRef self,
-                          std::vector<rt::Value>& args);
+                          const model::MethodDecl& method,
+                          const rt::GcRef& self, std::vector<rt::Value>& args);
+
+  // Quickening (fast mode): trivial setter/getter bodies — the dominant
+  // RMI relay targets (§6.3 measures "setter methods updating an object
+  // field") — execute directly instead of through the generic IR loop.
+  // Op counts and cycle charges replicate exec_ir exactly.
+  enum class QuickKind : std::uint8_t { kNone, kSetter, kGetter };
+  struct QuickInfo {
+    QuickKind kind = QuickKind::kNone;
+    std::uint32_t field = 0;
+  };
+  // Classifies a kIr method (cached per decl; the image is frozen after
+  // load, so registration-time classification is sound).
+  QuickInfo quick_info(const model::MethodDecl& method) const;
+
+  // Invokes a pre-classified quickened method (`q.kind != kNone`, `self`
+  // non-null). Charges are identical to invoke_method on the same decl;
+  // the only difference is that the per-call classifier lookup is hoisted
+  // to the caller (the RMI relay resolves it once at registration).
+  rt::Value invoke_quick(const model::ClassDecl& cls,
+                         const model::MethodDecl& method, const QuickInfo& q,
+                         const rt::GcRef& self, std::vector<rt::Value>& args);
 
   // ---- Services for native method bodies ----
   Env& env() { return env_; }
@@ -97,6 +132,25 @@ class ExecContext {
                     const model::MethodDecl& method, rt::GcRef self,
                     std::vector<rt::Value>& args);
 
+  // Frame-vector pool: locals and operand stacks are acquired here instead
+  // of freshly allocated, so steady-state interpretation performs no heap
+  // allocation per call (nested calls pull additional vectors).
+  std::vector<rt::Value> frame_take() {
+    if (frame_pool_.empty()) return {};
+    std::vector<rt::Value> v = std::move(frame_pool_.back());
+    frame_pool_.pop_back();
+    return v;
+  }
+  void frame_put(std::vector<rt::Value>&& v) {
+    // Clear before pooling: a parked Value would keep its GcRef rooted and
+    // its referent alive across collections.
+    v.clear();
+    if (frame_pool_.size() < kMaxPooledFrames) {
+      frame_pool_.push_back(std::move(v));
+    }
+  }
+  static constexpr std::size_t kMaxPooledFrames = 64;
+
   Env& env_;
   rt::Isolate& isolate_;
   const model::AppModel& classes_;
@@ -105,6 +159,15 @@ class ExecContext {
   RemoteInvoker* remote_ = nullptr;
   std::unordered_map<std::string, std::uint32_t> class_ids_;
   std::vector<const model::ClassDecl*> class_table_;
+  // Lazily built name -> decl index per class (string_views point into the
+  // stable MethodDecl names, methods live in a deque).
+  using MethodIndex =
+      std::unordered_map<std::string_view, const model::MethodDecl*>;
+  mutable std::unordered_map<const model::ClassDecl*, MethodIndex>
+      method_index_;
+  std::vector<std::vector<rt::Value>> frame_pool_;
+  mutable std::unordered_map<const model::MethodDecl*, QuickInfo> quick_;
+  bool fast_paths_ = true;
   ExecStats stats_;
   bool tracing_ = false;
   std::set<std::pair<std::string, std::string>> traced_;

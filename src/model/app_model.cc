@@ -39,6 +39,11 @@ MethodDecl& MethodDecl::code_size(std::uint64_t bytes) {
   return *this;
 }
 
+MethodDecl& MethodDecl::primitive_signature(bool v) {
+  primitive_sig_ = v;
+  return *this;
+}
+
 std::uint64_t MethodDecl::code_bytes() const {
   switch (kind_) {
     case MethodKind::kIr:

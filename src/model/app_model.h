@@ -87,6 +87,12 @@ class MethodDecl {
   MethodDecl& set_private();
   // Code-size estimate for native bodies, used for image/TCB accounting.
   MethodDecl& code_size(std::uint64_t bytes);
+  // Declares that every parameter and the return value are primitives
+  // (null/bool/i32/i64/f64). The analog of a Java signature like
+  // `void set(int)`: the transformer copies the flag onto the generated
+  // proxy stub and relay, and the RMI layer uses it to pick the
+  // fixed-layout wire fast path without inspecting arguments per call.
+  MethodDecl& primitive_signature(bool v = true);
 
   // ---- Accessors ----
   const std::string& name() const { return name_; }
@@ -94,6 +100,7 @@ class MethodDecl {
   bool is_static() const { return is_static_; }
   bool is_public() const { return is_public_; }
   bool is_constructor() const { return name_ == kConstructorName; }
+  bool has_primitive_signature() const { return primitive_sig_; }
   MethodKind kind() const { return kind_; }
   const IrBody& ir() const { return ir_; }
   const NativeFn& native() const { return native_; }
@@ -116,6 +123,7 @@ class MethodDecl {
   std::uint32_t param_count_;
   bool is_static_ = false;
   bool is_public_ = true;
+  bool primitive_sig_ = false;
   MethodKind kind_ = MethodKind::kIr;
   IrBody ir_;
   NativeFn native_;

@@ -160,15 +160,60 @@ GcRef ProxyRuntime::materialize_proxy(SideState& s, std::int64_t hash,
   return proxy;
 }
 
-ByteBuffer ProxyRuntime::encode_call(SideState& caller, std::int64_t self_hash,
-                                     std::vector<Value>& args) {
-  ByteBuffer buf;
+const ProxyRuntime::RelayPlan& ProxyRuntime::plan_for(const MethodDecl& stub) {
+  // Monomorphic fast case: the same stub invoked back-to-back.
+  if (&stub == last_plan_stub_) return *last_plan_;
+  const auto it = plans_.find(&stub);
+  const RelayPlan* plan;
+  if (it != plans_.end()) {
+    plan = &it->second;
+  } else {
+    const model::ProxyStubInfo& info = stub.proxy();
+    const sgx::CallId id = info.via_ecall ? bridge_.ecall_id(info.relay_name)
+                                          : bridge_.ocall_id(info.relay_name);
+    plan = &plans_
+                .emplace(&stub, RelayPlan{id, info.via_ecall,
+                                          stub.has_primitive_signature()})
+                .first->second;
+  }
+  last_plan_stub_ = &stub;
+  last_plan_ = plan;
+  return *plan;
+}
+
+void ProxyRuntime::encode_call_into(ByteBuffer& buf, SideState& caller,
+                                    std::int64_t self_hash,
+                                    std::vector<Value>& args) {
   buf.put_i64(self_hash);
   buf.put_varint(args.size());
   std::uint64_t elements = 0;
+  RefEncoder enc;  // built lazily, only if a non-primitive argument shows up
+  bool all_primitive = true;
+  for (auto& a : args) {
+    if (encode_primitive(buf, a)) {
+      ++elements;  // element_count() of a primitive is 1
+      continue;
+    }
+    all_primitive = false;
+    elements += element_count(a);
+    if (!enc) enc = make_ref_encoder(caller);
+    encode_value(buf, a, enc);
+  }
+  if (all_primitive) ++stats_.fast_path_calls;
+  charge_serialize(env_, caller.ctx.isolate().domain(), elements, buf.size());
+}
+
+// Legacy (pre-fast-path) encoder: fresh buffer, seed-shape byte ops,
+// ref-encoder closure built up front whether or not any argument needs it.
+ByteBuffer ProxyRuntime::encode_call(SideState& caller, std::int64_t self_hash,
+                                     std::vector<Value>& args) {
+  ByteBuffer buf;
+  compat::put_i64(buf, self_hash);
+  compat::put_varint(buf, args.size());
+  std::uint64_t elements = 0;
   for (auto& a : args) {
     elements += element_count(a);
-    encode_value(buf, a, make_ref_encoder(caller));
+    encode_value_compat(buf, a, make_ref_encoder(caller));
   }
   charge_serialize(env_, caller.ctx.isolate().domain(), elements, buf.size());
   return buf;
@@ -179,6 +224,17 @@ ByteBuffer ProxyRuntime::transition(SideState& /*caller*/,
                                     const ByteBuffer& payload, bool via_ecall) {
   if (config_.gc_auto_pump) pump_gc();
   return via_ecall ? bridge_.ecall(name, payload) : bridge_.ocall(name, payload);
+}
+
+void ProxyRuntime::transition_fast(const RelayPlan& plan,
+                                   const ByteBuffer& payload,
+                                   ByteBuffer& response) {
+  if (config_.gc_auto_pump) pump_gc();
+  if (plan.via_ecall) {
+    bridge_.ecall(plan.id, payload, response);
+  } else {
+    bridge_.ocall(plan.id, payload, response);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -207,9 +263,17 @@ Value ProxyRuntime::construct_proxy(ExecContext& caller,
   ++stats_.proxies_created;
 
   // Create the mirror in the opposite runtime.
-  ByteBuffer payload = encode_call(from, hash, args);
-  transition(from, ctor_stub->proxy().relay_name, payload,
-             ctor_stub->proxy().via_ecall);
+  if (config_.fast_paths) {
+    const RelayPlan& plan = plan_for(*ctor_stub);
+    ArenaLease payload(arena_);
+    encode_call_into(*payload, from, hash, args);
+    ArenaLease response(arena_);
+    transition_fast(plan, *payload, *response);
+  } else {
+    ByteBuffer payload = encode_call(from, hash, args);
+    transition(from, ctor_stub->proxy().relay_name, payload,
+               ctor_stub->proxy().via_ecall);
+  }
   return Value(proxy);
 }
 
@@ -228,11 +292,27 @@ Value ProxyRuntime::invoke_proxy(ExecContext& caller, const GcRef& proxy,
   }
   ++stats_.remote_invocations;
 
+  if (config_.fast_paths) {
+    const RelayPlan& plan = plan_for(stub);
+    ArenaLease payload(arena_);
+    encode_call_into(*payload, from, self_hash, args);
+    ArenaLease response(arena_);
+    transition_fast(plan, *payload, *response);
+    ByteReader r(*response);
+    Value result;
+    if (!decode_primitive(r, result)) {
+      result = decode_value(r, make_ref_decoder(from));
+    }
+    charge_deserialize(env_, caller.isolate().domain(), element_count(result),
+                       response->size());
+    return result;
+  }
+
   ByteBuffer payload = encode_call(from, self_hash, args);
   ByteBuffer response = transition(from, stub.proxy().relay_name, payload,
                                    stub.proxy().via_ecall);
   ByteReader r(response);
-  Value result = decode_value(r, make_ref_decoder(from));
+  Value result = decode_value_compat(r, make_ref_decoder(from));
   charge_deserialize(env_, caller.isolate().domain(), element_count(result),
                      response.size());
   return result;
@@ -241,10 +321,11 @@ Value ProxyRuntime::invoke_proxy(ExecContext& caller, const GcRef& proxy,
 // ---------------------------------------------------------------------------
 // Relay dispatch (callee side)
 
-ByteBuffer ProxyRuntime::dispatch_relay(SideState& callee,
-                                        const std::string& cls_name,
-                                        const std::string& relay_name,
-                                        ByteReader& in) {
+void ProxyRuntime::dispatch_relay(SideState& callee, const ClassDecl& cls,
+                                  const MethodDecl& relay,
+                                  const MethodDecl* target,
+                                  const interp::ExecContext::QuickInfo* quick,
+                                  ByteReader& in, ByteBuffer& out) {
   // Entering the callee's isolate: the relay method is a @CEntryPoint and
   // the transition must attach the calling thread to the isolate (§5.2).
   // Switchless calls are served by persistent worker threads that attach
@@ -254,19 +335,27 @@ ByteBuffer ProxyRuntime::dispatch_relay(SideState& callee,
                            ? env_.cost.isolate_attach_trusted_cycles
                            : env_.cost.isolate_attach_untrusted_cycles);
   }
-
-  const ClassDecl& cls = callee.ctx.classes().cls(cls_name);
-  const MethodDecl* relay = cls.find_method(relay_name);
-  MSV_CHECK_MSG(relay != nullptr && relay->kind() == MethodKind::kRelay,
-                "relay method " + cls_name + "." + relay_name + " missing");
-  const model::RelayInfo& info = relay->relay();
+  const model::RelayInfo& info = relay.relay();
 
   const std::size_t payload_bytes = in.remaining();
-  const std::int64_t self_hash = in.get_i64();
-  std::vector<Value> args(in.get_varint());
+  const std::int64_t self_hash =
+      config_.fast_paths ? in.get_i64() : compat::get_i64(in);
+  std::vector<Value> args =
+      config_.fast_paths ? args_take() : std::vector<Value>();
+  args.resize(config_.fast_paths ? in.get_varint() : compat::get_varint(in));
   std::uint64_t elements = 0;
+  RefDecoder dec;
   for (auto& a : args) {
-    a = decode_value(in, make_ref_decoder(callee));
+    if (config_.fast_paths) {
+      if (decode_primitive(in, a)) {
+        ++elements;
+        continue;
+      }
+      if (!dec) dec = make_ref_decoder(callee);
+      a = decode_value(in, dec);
+    } else {
+      a = decode_value_compat(in, make_ref_decoder(callee));
+    }
     elements += element_count(a);
   }
   charge_deserialize(env_, callee.ctx.isolate().domain(), elements,
@@ -280,9 +369,24 @@ ByteBuffer ProxyRuntime::dispatch_relay(SideState& callee,
     callee.registry.add(self_hash, mirror.as_ref());
     ++stats_.mirrors_registered;
   } else {
-    const MethodDecl* target = cls.find_method(info.target_method);
     MSV_CHECK_MSG(target != nullptr, "relay target missing");
-    if (target->is_static()) {
+    if (config_.fast_paths) {
+      // invoke/invoke_static are resolve-then-invoke_method wrappers; with
+      // the target pre-resolved the direct call charges identical cycles.
+      if (quick != nullptr &&
+          quick->kind != interp::ExecContext::QuickKind::kNone &&
+          !target->is_static()) {
+        // Quickened bodies cannot nest relays, so holding the registry
+        // reference across the invocation is safe (see get_ref).
+        result = callee.ctx.invoke_quick(
+            cls, *target, *quick, callee.registry.get_ref(self_hash), args);
+      } else {
+        const GcRef self =
+            target->is_static() ? GcRef() : callee.registry.get(self_hash);
+        result = callee.ctx.invoke_method(cls, *target, self, args);
+      }
+      args_put(std::move(args));
+    } else if (target->is_static()) {
       result = callee.ctx.invoke_static(info.target_class, info.target_method,
                                         std::move(args));
     } else {
@@ -291,11 +395,15 @@ ByteBuffer ProxyRuntime::dispatch_relay(SideState& callee,
     }
   }
 
-  ByteBuffer out;
-  encode_value(out, result, make_ref_encoder(callee));
+  if (config_.fast_paths) {
+    if (!encode_primitive(out, result)) {
+      encode_value(out, result, make_ref_encoder(callee));
+    }
+  } else {
+    encode_value_compat(out, result, make_ref_encoder(callee));
+  }
   charge_serialize(env_, callee.ctx.isolate().domain(), element_count(result),
                    out.size());
-  return out;
 }
 
 void ProxyRuntime::register_handlers() {
@@ -303,19 +411,66 @@ void ProxyRuntime::register_handlers() {
   handlers_registered_ = true;
 
   auto register_side = [this](SideState& callee, bool callee_is_trusted) {
+    // ClassDecls and MethodDecls live in deques: the captured references
+    // stay valid for the runtime's lifetime.
     for (const auto& cls : callee.ctx.classes().classes()) {
       for (const auto& m : cls.methods()) {
         if (m.kind() != MethodKind::kRelay) continue;
         const std::string name = xform::transition_name(
             cls.name(), m.relay().target_method, callee_is_trusted);
-        auto handler = [this, &callee, cls_name = cls.name(),
-                        relay_name = m.name()](ByteReader& in) {
-          return dispatch_relay(callee, cls_name, relay_name, in);
-        };
-        if (callee_is_trusted) {
-          bridge_.register_ecall(name, std::move(handler));
+        if (config_.fast_paths) {
+          // Pre-resolve the relay target once; per-call work is pure
+          // dispatch.
+          const MethodDecl* target =
+              m.relay().is_constructor
+                  ? nullptr
+                  : cls.find_method(m.relay().target_method);
+          MSV_CHECK_MSG(m.relay().is_constructor || target != nullptr,
+                        "relay target " + cls.name() + "." +
+                            m.relay().target_method + " missing");
+          // Classify the target for quickening once, here; per-call
+          // dispatch then skips the classifier cache lookup entirely.
+          interp::ExecContext::QuickInfo quick{};
+          if (target != nullptr && target->kind() == MethodKind::kIr) {
+            quick = callee.ctx.quick_info(*target);
+          }
+          // One-pointer capture: see RelaySite.
+          RelaySite& site = relay_sites_.emplace_back(
+              RelaySite{this, &callee, &cls, &m, target, quick});
+          auto handler = [site = &site](ByteReader& in, ByteBuffer& out) {
+            site->rt->dispatch_relay(*site->callee, *site->cls, *site->relay,
+                                     site->target, &site->quick, in, out);
+          };
+          if (callee_is_trusted) {
+            bridge_.register_ecall_raw(name, std::move(handler));
+          } else {
+            bridge_.register_ocall_raw(name, std::move(handler));
+          }
         } else {
-          bridge_.register_ocall(name, std::move(handler));
+          // Legacy string-dispatch shape: class and methods re-resolved on
+          // every call, response in a fresh buffer.
+          auto handler = [this, &callee, cls_name = cls.name(),
+                          relay_name = m.name()](ByteReader& in) {
+            const ClassDecl& cls = callee.ctx.classes().cls(cls_name);
+            const MethodDecl* relay = cls.find_method(relay_name);
+            MSV_CHECK_MSG(relay != nullptr &&
+                              relay->kind() == MethodKind::kRelay,
+                          "relay method " + cls_name + "." + relay_name +
+                              " missing");
+            const MethodDecl* target =
+                relay->relay().is_constructor
+                    ? nullptr
+                    : cls.find_method(relay->relay().target_method);
+            ByteBuffer out;
+            dispatch_relay(callee, cls, *relay, target, /*quick=*/nullptr, in,
+                           out);
+            return out;
+          };
+          if (callee_is_trusted) {
+            bridge_.register_ecall(name, std::move(handler));
+          } else {
+            bridge_.register_ocall(name, std::move(handler));
+          }
         }
       }
     }

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,6 +51,9 @@ struct RmiStats {
   std::uint64_t proxies_materialized = 0;  // from received hashes
   std::uint64_t mirrors_registered = 0;
   std::uint64_t remote_invocations = 0;
+  // Calls whose request marshalling stayed entirely on the primitive
+  // fixed-layout path (no ref-encoder indirection).
+  std::uint64_t fast_path_calls = 0;
 };
 
 class ProxyRuntime final : public interp::RemoteInvoker {
@@ -62,6 +66,12 @@ class ProxyRuntime final : public interp::RemoteInvoker {
     bool gc_auto_pump = true;
     // Depth limit for serialized neutral object graphs.
     std::uint32_t max_serialization_depth = 64;
+    // Hot-path machinery: interned call-ID dispatch, arena-pooled wire
+    // buffers and the primitive fixed-layout encoder. Simulated cycle
+    // charges are identical either way (the wire bytes are the same);
+    // disabling reverts to the pre-optimisation string-dispatch path and
+    // exists for the before/after benchmark (bench/abl_rmi_fastpath).
+    bool fast_paths = true;
   };
 
   ProxyRuntime(Env& env, sgx::TransitionBridge& bridge,
@@ -132,14 +142,52 @@ class ProxyRuntime final : public interp::RemoteInvoker {
   RefEncoder make_ref_encoder(SideState& s, std::uint32_t depth = 0);
   RefDecoder make_ref_decoder(SideState& s, std::uint32_t depth = 0);
 
+  // Per-stub dispatch plan, resolved once per proxy-stub MethodDecl: the
+  // interned bridge call ID plus the primitive-signature flag. Subsequent
+  // invocations dispatch by ID through the bridge's flat tables instead of
+  // re-hashing the relay name.
+  struct RelayPlan {
+    sgx::CallId id;
+    bool via_ecall;
+    bool primitive;  // declared all-primitive signature (app model hint)
+  };
+  const RelayPlan& plan_for(const model::MethodDecl& stub);
+
+  // Everything one registered relay handler needs, resolved at
+  // registration. The bridge closure captures a single pointer to its
+  // site, so the std::function fits its small-object buffer (a fat
+  // capture would heap-allocate and indirect every dispatch).
+  struct RelaySite {
+    ProxyRuntime* rt;
+    SideState* callee;
+    const model::ClassDecl* cls;
+    const model::MethodDecl* relay;
+    const model::MethodDecl* target;  // null for constructor relays
+    interp::ExecContext::QuickInfo quick;
+  };
+
+  // Encodes self-hash + args into `buf` (arena-backed on the fast path),
+  // taking the fixed-layout shortcut per primitive argument. Byte-for-byte
+  // identical to the generic encoder; charges charge_serialize the same.
+  void encode_call_into(ByteBuffer& buf, SideState& caller,
+                        std::int64_t self_hash, std::vector<rt::Value>& args);
   ByteBuffer encode_call(SideState& caller, std::int64_t self_hash,
                          std::vector<rt::Value>& args);
   ByteBuffer transition(SideState& caller, const std::string& name,
                         const ByteBuffer& payload, bool via_ecall);
+  // Hot path: ID dispatch, response written into `response`.
+  void transition_fast(const RelayPlan& plan, const ByteBuffer& payload,
+                       ByteBuffer& response);
 
-  // Bridge handler body for one relay method.
-  ByteBuffer dispatch_relay(SideState& callee, const std::string& cls_name,
-                            const std::string& relay_name, ByteReader& in);
+  // Bridge handler body for one relay method (`target` pre-resolved at
+  // registration; null for constructor relays). `quick` is the target's
+  // registration-time quickening classification (null in legacy mode).
+  // Writes the marshalled result into `out`.
+  void dispatch_relay(SideState& callee, const model::ClassDecl& cls,
+                      const model::MethodDecl& relay,
+                      const model::MethodDecl* target,
+                      const interp::ExecContext::QuickInfo* quick,
+                      ByteReader& in, ByteBuffer& out);
 
   // Scans `local`'s weak list; returns the hashes of collected proxies and
   // compacts the list and the proxy cache.
@@ -155,6 +203,31 @@ class ProxyRuntime final : public interp::RemoteInvoker {
   bool pumping_ = false;
   bool handlers_registered_ = false;
   RmiStats stats_;
+  // Request/response wire buffers, reused across calls (nested chains pull
+  // additional buffers; steady state allocates nothing).
+  BufferArena arena_;
+  std::unordered_map<const model::MethodDecl*, RelayPlan> plans_;
+  // Monomorphic plan cache: a hot loop invokes one stub repeatedly, so
+  // remembering the last resolution skips the map probe entirely.
+  const model::MethodDecl* last_plan_stub_ = nullptr;
+  const RelayPlan* last_plan_ = nullptr;
+  // Relay dispatch sites (deque: handlers capture stable pointers).
+  std::deque<RelaySite> relay_sites_;
+
+  // Argument-vector pool for relay dispatch (fast mode only; constructor
+  // relays consume their vector and simply don't return it).
+  std::vector<rt::Value> args_take() {
+    if (args_pool_.empty()) return {};
+    std::vector<rt::Value> v = std::move(args_pool_.back());
+    args_pool_.pop_back();
+    return v;
+  }
+  void args_put(std::vector<rt::Value>&& v) {
+    // Clear before pooling: a parked Value would keep its GcRef rooted.
+    v.clear();
+    if (args_pool_.size() < 16) args_pool_.push_back(std::move(v));
+  }
+  std::vector<std::vector<rt::Value>> args_pool_;
 };
 
 }  // namespace msv::rmi

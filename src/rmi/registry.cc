@@ -24,7 +24,7 @@ void MirrorProxyRegistry::add(std::int64_t hash, rt::GcRef mirror) {
   ++stats_.adds;
 }
 
-rt::GcRef MirrorProxyRegistry::get(std::int64_t hash) const {
+const rt::GcRef& MirrorProxyRegistry::get_ref(std::int64_t hash) const {
   charge();
   ++stats_.lookups;
   const auto it = by_hash_.find(hash);

@@ -11,6 +11,7 @@
 // object.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -27,7 +28,20 @@ struct RegistryStats {
 
 class MirrorProxyRegistry {
  public:
-  explicit MirrorProxyRegistry(rt::Isolate& isolate) : isolate_(isolate) {}
+  explicit MirrorProxyRegistry(rt::Isolate& isolate) : isolate_(isolate) {
+    // by_hash_ is the hottest RMI lookup (one get() per relayed instance
+    // call): reserve well ahead and keep the load factor low so lookups
+    // stay at one probe and steady-state adds never rehash.
+    by_hash_.max_load_factor(0.7f);
+    by_identity_.max_load_factor(0.7f);
+    reserve(kDefaultReserve);
+  }
+
+  // Pre-sizes both indices for `n` expected mirrors.
+  void reserve(std::size_t n) {
+    by_hash_.reserve(n);
+    by_identity_.reserve(n);
+  }
 
   // Registers `mirror` under `hash`. Throws RuntimeFault on a hash
   // collision — the paper's motivation for MD5-based hashing (§5.2).
@@ -35,7 +49,13 @@ class MirrorProxyRegistry {
 
   // Strong lookup; throws RuntimeFault when absent (a consistency
   // violation: an RMI arrived for a mirror that was already evicted).
-  rt::GcRef get(std::int64_t hash) const;
+  rt::GcRef get(std::int64_t hash) const { return get_ref(hash); }
+
+  // Reference-returning lookup for the relay hot path: same charge and
+  // lookup counter, no refcount churn. The reference is invalidated by the
+  // next add() (rehash), so callers must not hold it across a nested
+  // relay that could register mirrors on this side.
+  const rt::GcRef& get_ref(std::int64_t hash) const;
 
   bool contains(std::int64_t hash) const;
 
@@ -51,6 +71,8 @@ class MirrorProxyRegistry {
   const RegistryStats& stats() const { return stats_; }
 
  private:
+  static constexpr std::size_t kDefaultReserve = 1024;
+
   void charge() const;
 
   rt::Isolate& isolate_;

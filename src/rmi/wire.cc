@@ -1,5 +1,7 @@
 #include "rmi/wire.h"
 
+#include <cstring>
+
 #include "support/error.h"
 
 namespace msv::rmi {
@@ -78,13 +80,158 @@ rt::Value decode_value(ByteReader& in, const RefDecoder& ref_decoder) {
   throw RuntimeFault("corrupt wire value: unknown tag");
 }
 
-std::uint64_t element_count(const rt::Value& v) {
-  if (v.type() == ValueType::kList) {
-    std::uint64_t n = 1;
-    for (const auto& e : v.as_list()) n += element_count(e);
-    return n;
+
+
+namespace compat {
+
+void put_u32(ByteBuffer& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(ByteBuffer& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(ByteBuffer& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_varint(ByteBuffer& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.put_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
   }
-  return 1;
+  out.put_u8(static_cast<std::uint8_t>(v));
+}
+
+void put_string(ByteBuffer& out, std::string_view s) {
+  // The seed's put_string already used a bulk copy for the payload.
+  put_varint(out, s.size());
+  out.put_bytes(s.data(), s.size());
+}
+
+std::uint32_t get_u32(ByteReader& in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in.get_u8()) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(ByteReader& in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in.get_u8()) << (8 * i);
+  }
+  return v;
+}
+
+double get_f64(ByteReader& in) {
+  const std::uint64_t bits = get_u64(in);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t get_varint(ByteReader& in) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint8_t b = in.get_u8();
+    if (shift >= 64) throw RuntimeFault("ByteReader: varint too long");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::string get_string(ByteReader& in) {
+  const std::uint64_t n = get_varint(in);
+  std::string s(n, '\0');
+  in.get_bytes(s.data(), n);
+  return s;
+}
+
+}  // namespace compat
+
+void encode_value_compat(ByteBuffer& out, const Value& v,
+                         const RefEncoder& ref_encoder) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kNull));
+      return;
+    case ValueType::kBool:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kBool));
+      out.put_u8(v.as_bool() ? 1 : 0);
+      return;
+    case ValueType::kI32:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kI32));
+      compat::put_i32(out, v.as_i32());
+      return;
+    case ValueType::kI64:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kI64));
+      compat::put_i64(out, v.as_i64());
+      return;
+    case ValueType::kF64:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kF64));
+      compat::put_f64(out, v.as_f64());
+      return;
+    case ValueType::kString:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kString));
+      compat::put_string(out, v.as_string());
+      return;
+    case ValueType::kList: {
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kList));
+      const auto& list = v.as_list();
+      compat::put_varint(out, list.size());
+      for (const auto& e : list) encode_value_compat(out, e, ref_encoder);
+      return;
+    }
+    case ValueType::kRef:
+      if (v.as_ref().is_null()) {
+        out.put_u8(static_cast<std::uint8_t>(WireTag::kNull));
+        return;
+      }
+      ref_encoder(out, v.as_ref());
+      return;
+  }
+}
+
+rt::Value decode_value_compat(ByteReader& in, const RefDecoder& ref_decoder) {
+  const auto tag = static_cast<WireTag>(in.get_u8());
+  switch (tag) {
+    case WireTag::kNull:
+      return Value();
+    case WireTag::kBool:
+      return Value(in.get_u8() != 0);
+    case WireTag::kI32:
+      return Value(compat::get_i32(in));
+    case WireTag::kI64:
+      return Value(compat::get_i64(in));
+    case WireTag::kF64:
+      return Value(compat::get_f64(in));
+    case WireTag::kString:
+      return Value(compat::get_string(in));
+    case WireTag::kList: {
+      rt::ValueList list(compat::get_varint(in));
+      for (auto& e : list) e = decode_value_compat(in, ref_decoder);
+      return Value(std::move(list));
+    }
+    case WireTag::kRefOwnedByEncoder:
+    case WireTag::kRefOwnedByDecoder:
+    case WireTag::kNeutralObject:
+      return ref_decoder(in, tag);
+  }
+  throw RuntimeFault("corrupt wire value: unknown tag");
+}
+
+std::uint64_t element_count_list(const rt::Value& v) {
+  std::uint64_t n = 1;
+  for (const auto& e : v.as_list()) n += element_count(e);
+  return n;
 }
 
 void charge_serialize(Env& env, MemoryDomain& domain, std::uint64_t elements,

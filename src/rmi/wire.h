@@ -49,6 +49,131 @@ void encode_value(ByteBuffer& out, const rt::Value& v,
 // Decodes one value; ref tags are delegated to `ref_decoder`.
 rt::Value decode_value(ByteReader& in, const RefDecoder& ref_decoder);
 
+// ---- Primitive fast path -------------------------------------------------
+//
+// Null, bool, i32, i64 and f64 have a fixed-layout wire form (tag byte +
+// fixed payload) and can never contain references, so relay signatures made
+// of them need neither the tagged-encoder switch nor the std::function
+// ref-encoder/decoder indirection. These helpers write/read EXACTLY the
+// bytes encode_value/decode_value would: payload sizes — and therefore
+// every simulated serialize/copy charge — are identical on both paths.
+
+// True for values the fast path covers (kNull/kBool/kI32/kI64/kF64).
+// Defined inline: these three sit directly on the per-argument hot loop.
+inline bool is_primitive(const rt::Value& v) {
+  switch (v.type()) {
+    case rt::ValueType::kNull:
+    case rt::ValueType::kBool:
+    case rt::ValueType::kI32:
+    case rt::ValueType::kI64:
+    case rt::ValueType::kF64:
+      return true;
+    case rt::ValueType::kString:
+    case rt::ValueType::kRef:
+    case rt::ValueType::kList:
+      return false;
+  }
+  return false;
+}
+
+// Encodes `v` if primitive and returns true; writes nothing otherwise.
+inline bool encode_primitive(ByteBuffer& out, const rt::Value& v) {
+  switch (v.type()) {
+    case rt::ValueType::kNull:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kNull));
+      return true;
+    case rt::ValueType::kBool:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kBool));
+      out.put_u8(v.as_bool() ? 1 : 0);
+      return true;
+    case rt::ValueType::kI32:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kI32));
+      out.put_i32(v.as_i32());
+      return true;
+    case rt::ValueType::kI64:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kI64));
+      out.put_i64(v.as_i64());
+      return true;
+    case rt::ValueType::kF64:
+      out.put_u8(static_cast<std::uint8_t>(WireTag::kF64));
+      out.put_f64(v.as_f64());
+      return true;
+    case rt::ValueType::kString:
+    case rt::ValueType::kRef:
+    case rt::ValueType::kList:
+      return false;
+  }
+  return false;
+}
+
+// Decodes the next value if its tag is primitive and returns true; leaves
+// the reader position untouched otherwise so the generic decoder can take
+// over.
+inline bool decode_primitive(ByteReader& in, rt::Value& out) {
+  const std::size_t start = in.position();
+  switch (static_cast<WireTag>(in.get_u8())) {
+    case WireTag::kNull:
+      out = rt::Value();
+      return true;
+    case WireTag::kBool:
+      out = rt::Value(in.get_u8() != 0);
+      return true;
+    case WireTag::kI32:
+      out = rt::Value(in.get_i32());
+      return true;
+    case WireTag::kI64:
+      out = rt::Value(in.get_i64());
+      return true;
+    case WireTag::kF64:
+      out = rt::Value(in.get_f64());
+      return true;
+    default:
+      in.seek(start);
+      return false;
+  }
+}
+
+// ---- Seed-shape (pre-overhaul) codec -------------------------------------
+//
+// The legacy benchmark baseline (ProxyRuntime::Config::fast_paths = false)
+// must reproduce the marshalling host-cost shape from before this
+// overhaul: out-of-line byte ops that assemble multi-byte values one
+// checked byte at a time, exactly as the original ByteBuffer did before
+// the fixed-width ops were bulked and inlined. The wire bytes — and
+// therefore every simulated charge — are identical to the normal codec;
+// only the host-CPU shape differs. Never use these outside the legacy
+// path.
+namespace compat {
+void put_u32(ByteBuffer& out, std::uint32_t v);
+void put_u64(ByteBuffer& out, std::uint64_t v);
+void put_f64(ByteBuffer& out, double v);
+void put_varint(ByteBuffer& out, std::uint64_t v);
+void put_string(ByteBuffer& out, std::string_view s);
+inline void put_i32(ByteBuffer& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+inline void put_i64(ByteBuffer& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+std::uint32_t get_u32(ByteReader& in);
+std::uint64_t get_u64(ByteReader& in);
+double get_f64(ByteReader& in);
+std::uint64_t get_varint(ByteReader& in);
+std::string get_string(ByteReader& in);
+inline std::int32_t get_i32(ByteReader& in) {
+  return static_cast<std::int32_t>(get_u32(in));
+}
+inline std::int64_t get_i64(ByteReader& in) {
+  return static_cast<std::int64_t>(get_u64(in));
+}
+}  // namespace compat
+
+// encode_value/decode_value through the seed-shape byte ops (recursively,
+// for lists). Byte-identical output; legacy-path only.
+void encode_value_compat(ByteBuffer& out, const rt::Value& v,
+                         const RefEncoder& ref_encoder);
+rt::Value decode_value_compat(ByteReader& in, const RefDecoder& ref_decoder);
+
 // Serialization cost accounting (§6.3): CPU work proportional to elements
 // and bytes, plus memory traffic through `domain` (so serializing inside
 // the enclave pays the MEE factor — Fig. 4b's in/out asymmetry).
@@ -58,7 +183,11 @@ void charge_deserialize(Env& env, MemoryDomain& domain, std::uint64_t elements,
                         std::uint64_t bytes);
 
 // Number of "elements" a value contributes to serialization cost (lists
-// count their items recursively).
-std::uint64_t element_count(const rt::Value& v);
+// count their items recursively). Scalar case inline: it runs once per
+// relayed call on the result-charging path.
+std::uint64_t element_count_list(const rt::Value& v);
+inline std::uint64_t element_count(const rt::Value& v) {
+  return v.type() == rt::ValueType::kList ? element_count_list(v) : 1;
+}
 
 }  // namespace msv::rmi

@@ -5,41 +5,124 @@
 namespace msv::sgx {
 
 TransitionBridge::TransitionBridge(Env& env, Enclave& enclave)
-    : env_(env), enclave_(enclave) {}
-
-void TransitionBridge::register_ecall(const std::string& name,
-                                      Handler handler) {
-  MSV_CHECK_MSG(ecalls_.emplace(name, std::move(handler)).second,
-                "duplicate ecall registration: " + name);
+    : env_(env), enclave_(enclave) {
+  // Typical interfaces are a few dozen entries (relays + shim + GC);
+  // reserving ahead keeps registration from rehashing the interner.
+  ids_.reserve(64);
+  names_.reserve(64);
 }
 
-void TransitionBridge::register_ocall(const std::string& name,
-                                      Handler handler) {
-  MSV_CHECK_MSG(ocalls_.emplace(name, std::move(handler)).second,
-                "duplicate ocall registration: " + name);
+CallId TransitionBridge::intern(const std::string& name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<CallId>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  slots_.emplace_back();
+  return id;
+}
+
+CallId TransitionBridge::register_raw(const std::string& name,
+                                      RawHandler handler, bool is_ecall) {
+  const CallId id = intern(name);
+  RawHandler& slot = is_ecall ? slots_[id].ecall : slots_[id].ocall;
+  MSV_CHECK_MSG(!slot, std::string("duplicate ") +
+                           (is_ecall ? "ecall" : "ocall") +
+                           " registration: " + name);
+  slot = std::move(handler);
+  return id;
+}
+
+CallId TransitionBridge::register_ecall(const std::string& name,
+                                        Handler handler) {
+  return register_raw(
+      name,
+      [h = std::move(handler)](ByteReader& in, ByteBuffer& out) {
+        out = h(in);
+      },
+      /*is_ecall=*/true);
+}
+
+CallId TransitionBridge::register_ocall(const std::string& name,
+                                        Handler handler) {
+  return register_raw(
+      name,
+      [h = std::move(handler)](ByteReader& in, ByteBuffer& out) {
+        out = h(in);
+      },
+      /*is_ecall=*/false);
+}
+
+CallId TransitionBridge::register_ecall_raw(const std::string& name,
+                                            RawHandler handler) {
+  return register_raw(name, std::move(handler), /*is_ecall=*/true);
+}
+
+CallId TransitionBridge::register_ocall_raw(const std::string& name,
+                                            RawHandler handler) {
+  return register_raw(name, std::move(handler), /*is_ecall=*/false);
 }
 
 bool TransitionBridge::has_ecall(const std::string& name) const {
-  return ecalls_.count(name) != 0;
+  const auto it = ids_.find(name);
+  return it != ids_.end() && static_cast<bool>(slots_[it->second].ecall);
 }
 
 bool TransitionBridge::has_ocall(const std::string& name) const {
-  return ocalls_.count(name) != 0;
+  const auto it = ids_.find(name);
+  return it != ids_.end() && static_cast<bool>(slots_[it->second].ocall);
+}
+
+CallId TransitionBridge::find_call(const std::string& name) const {
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? kNoCallId : it->second;
+}
+
+CallId TransitionBridge::ecall_id(const std::string& name) const {
+  const CallId id = find_call(name);
+  if (id == kNoCallId || !slots_[id].ecall) {
+    throw RuntimeFault("no ecall named '" + name + "' in the EDL");
+  }
+  return id;
+}
+
+CallId TransitionBridge::ocall_id(const std::string& name) const {
+  const CallId id = find_call(name);
+  if (id == kNoCallId || !slots_[id].ocall) {
+    throw RuntimeFault("no ocall named '" + name + "' in the EDL");
+  }
+  return id;
+}
+
+const std::string& TransitionBridge::call_name(CallId id) const {
+  MSV_CHECK_MSG(id < names_.size(), "bad call id");
+  return names_[id];
 }
 
 void TransitionBridge::set_switchless(const std::string& name, bool enabled) {
-  switchless_[name] = enabled;
+  slots_[intern(name)].switchless = enabled;
 }
 
-ByteBuffer TransitionBridge::ecall(const std::string& name,
-                                   const ByteBuffer& request) {
+void TransitionBridge::set_switchless(CallId id, bool enabled) {
+  MSV_CHECK_MSG(id < slots_.size(), "bad call id");
+  slots_[id].switchless = enabled;
+}
+
+void TransitionBridge::check_ecall_entry(const std::string& name) const {
   if (side() != Side::kUntrusted) {
     throw SecurityFault("ecall '" + name + "' issued from inside the enclave");
   }
   if (enclave_.state() != EnclaveState::kInitialized) {
     throw SecurityFault("ecall into uninitialized enclave " + enclave_.name());
   }
-  return call(name, request, /*is_ecall=*/true);
+}
+
+ByteBuffer TransitionBridge::ecall(const std::string& name,
+                                   const ByteBuffer& request) {
+  check_ecall_entry(name);
+  ByteBuffer response;
+  call(ecall_id(name), request, response, /*is_ecall=*/true);
+  return response;
 }
 
 ByteBuffer TransitionBridge::ocall(const std::string& name,
@@ -47,20 +130,38 @@ ByteBuffer TransitionBridge::ocall(const std::string& name,
   if (side() != Side::kTrusted) {
     throw SecurityFault("ocall '" + name + "' issued from untrusted code");
   }
-  return call(name, request, /*is_ecall=*/false);
+  ByteBuffer response;
+  call(ocall_id(name), request, response, /*is_ecall=*/false);
+  return response;
 }
 
-ByteBuffer TransitionBridge::call(const std::string& name,
-                                  const ByteBuffer& request, bool is_ecall) {
-  const auto& table = is_ecall ? ecalls_ : ocalls_;
-  const auto it = table.find(name);
-  if (it == table.end()) {
-    throw RuntimeFault(std::string("no ") + (is_ecall ? "ecall" : "ocall") +
-                       " named '" + name + "' in the EDL");
+void TransitionBridge::ecall(CallId id, const ByteBuffer& request,
+                             ByteBuffer& response) {
+  MSV_CHECK_MSG(id < slots_.size(), "bad call id");
+  check_ecall_entry(names_[id]);
+  if (!slots_[id].ecall) {
+    throw RuntimeFault("no ecall named '" + names_[id] + "' in the EDL");
   }
+  call(id, request, response, /*is_ecall=*/true);
+}
 
-  const auto sw = switchless_.find(name);
-  const bool switchless = sw != switchless_.end() && sw->second;
+void TransitionBridge::ocall(CallId id, const ByteBuffer& request,
+                             ByteBuffer& response) {
+  MSV_CHECK_MSG(id < slots_.size(), "bad call id");
+  if (side() != Side::kTrusted) {
+    throw SecurityFault("ocall '" + names_[id] +
+                        "' issued from untrusted code");
+  }
+  if (!slots_[id].ocall) {
+    throw RuntimeFault("no ocall named '" + names_[id] + "' in the EDL");
+  }
+  call(id, request, response, /*is_ecall=*/false);
+}
+
+void TransitionBridge::call(CallId id, const ByteBuffer& request,
+                            ByteBuffer& response, bool is_ecall) {
+  Slot& slot = slots_[id];
+  const bool switchless = slot.switchless;
 
   // Transition cost: either the hardware EENTER/EEXIT pair or the
   // switchless worker handshake, plus the bridge routine dispatch.
@@ -85,16 +186,15 @@ ByteBuffer TransitionBridge::call(const std::string& name,
     ++stats_.ocalls;
     stats_.bytes_out += request.size();
   }
-  auto& per_call = stats_.per_call[name];
-  ++per_call.calls;
-  per_call.bytes_in += request.size();
+  ++slot.stats.calls;
+  slot.stats.bytes_in += request.size();
 
   side_stack_.push_back(is_ecall ? Side::kTrusted : Side::kUntrusted);
   switchless_stack_.push_back(switchless);
-  ByteBuffer response;
+  response.clear();
   try {
     ByteReader reader(request);
-    response = it->second(reader);
+    (is_ecall ? slot.ecall : slot.ocall)(reader, response);
   } catch (...) {
     side_stack_.pop_back();
     switchless_stack_.pop_back();
@@ -111,8 +211,16 @@ ByteBuffer TransitionBridge::call(const std::string& name,
   } else {
     stats_.bytes_in += response.size();
   }
-  per_call.bytes_out += response.size();
-  return response;
+  slot.stats.bytes_out += response.size();
+}
+
+const BridgeStats& TransitionBridge::stats() const {
+  stats_.per_call.clear();
+  for (CallId id = 0; id < slots_.size(); ++id) {
+    const CallStats& s = slots_[id].stats;
+    if (s.calls != 0) stats_.per_call.emplace(names_[id], s);
+  }
+  return stats_;
 }
 
 }  // namespace msv::sgx

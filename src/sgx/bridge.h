@@ -16,12 +16,22 @@
 // call marked switchless is serviced by a worker thread on the other side
 // through a shared-memory request queue, replacing the 13k-cycle hardware
 // transition with a much cheaper handshake.
+//
+// Hot-path dispatch works on interned call IDs: registration assigns every
+// call name a dense uint32_t, and handlers, switchless flags and per-call
+// stats live in one flat table indexed by that ID — no string hashing or
+// tree walks per call. The real Edger8r does the same thing: generated
+// stubs invoke sgx_ecall(eid, ordinal, ...) with the function's table
+// index, never its name. The string-keyed API remains as a thin shim (one
+// interner lookup) for registration-time code and tests.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sgx/enclave.h"
@@ -29,6 +39,10 @@
 #include "support/bytes.h"
 
 namespace msv::sgx {
+
+// Dense index assigned at registration; the ordinal of the Edger8r table.
+using CallId = std::uint32_t;
+inline constexpr CallId kNoCallId = 0xffffffffu;
 
 struct CallStats {
   std::uint64_t calls = 0;
@@ -42,6 +56,8 @@ struct BridgeStats {
   std::uint64_t switchless_calls = 0;
   std::uint64_t bytes_in = 0;   // payload bytes copied into the enclave
   std::uint64_t bytes_out = 0;  // payload bytes copied out of the enclave
+  // Name-keyed view, rebuilt from the flat per-ID table on access (the
+  // table itself is ID-indexed; names only matter for reporting).
   std::map<std::string, CallStats> per_call;
 };
 
@@ -50,6 +66,9 @@ class TransitionBridge {
   // A handler consumes the marshalled request and produces the marshalled
   // response. Handlers run on the side that registered them.
   using Handler = std::function<ByteBuffer(ByteReader&)>;
+  // Hot-path variant: writes the response into a caller-provided buffer
+  // (normally arena-backed) instead of returning a fresh allocation.
+  using RawHandler = std::function<void(ByteReader&, ByteBuffer&)>;
 
   TransitionBridge(Env& env, Enclave& enclave);
 
@@ -57,11 +76,22 @@ class TransitionBridge {
   TransitionBridge& operator=(const TransitionBridge&) = delete;
 
   // Registration normally happens via Edger8r-generated tables
-  // (sgx/edl.h); direct registration is exposed for tests.
-  void register_ecall(const std::string& name, Handler handler);
-  void register_ocall(const std::string& name, Handler handler);
+  // (sgx/edl.h); direct registration is exposed for tests. Returns the
+  // interned ID callers can dispatch by.
+  CallId register_ecall(const std::string& name, Handler handler);
+  CallId register_ocall(const std::string& name, Handler handler);
+  CallId register_ecall_raw(const std::string& name, RawHandler handler);
+  CallId register_ocall_raw(const std::string& name, RawHandler handler);
   bool has_ecall(const std::string& name) const;
   bool has_ocall(const std::string& name) const;
+
+  // Interner lookups. find_call returns kNoCallId for unknown names;
+  // ecall_id/ocall_id additionally require a registered handler and throw
+  // RuntimeFault otherwise.
+  CallId find_call(const std::string& name) const;
+  CallId ecall_id(const std::string& name) const;
+  CallId ocall_id(const std::string& name) const;
+  const std::string& call_name(CallId id) const;
 
   // Invokes trusted function `name`. Must be called from the untrusted
   // side; throws SecurityFault otherwise (the hardware would fault).
@@ -70,30 +100,51 @@ class TransitionBridge {
   // Invokes untrusted function `name` from inside the enclave.
   ByteBuffer ocall(const std::string& name, const ByteBuffer& request);
 
+  // Hot path: dispatch by interned ID; the response is written into
+  // `response` (cleared first). Identical cycle charges to the string API.
+  void ecall(CallId id, const ByteBuffer& request, ByteBuffer& response);
+  void ocall(CallId id, const ByteBuffer& request, ByteBuffer& response);
+
   // Marks `name` (ecall or ocall) as switchless: subsequent invocations
   // pay the worker-handshake cost instead of a hardware transition.
   void set_switchless(const std::string& name, bool enabled);
+  void set_switchless(CallId id, bool enabled);
 
   Side side() const { return side_stack_.back(); }
   // True while executing a handler that was invoked switchlessly (the
   // serving worker thread is persistent and stays attached to its isolate;
   // relay dispatch uses this to skip the attach cost).
   bool current_call_switchless() const { return switchless_stack_.back(); }
-  const BridgeStats& stats() const { return stats_; }
+  const BridgeStats& stats() const;
   Enclave& enclave() { return enclave_; }
 
  private:
-  ByteBuffer call(const std::string& name, const ByteBuffer& request,
-                  bool is_ecall);
+  // One row of the flat dispatch table. ecall and ocall handlers share the
+  // interner namespace but not the slot fields (names are disjoint in
+  // practice; a name registered on both sides simply fills both).
+  struct Slot {
+    RawHandler ecall;
+    RawHandler ocall;
+    bool switchless = false;
+    CallStats stats;
+  };
+
+  CallId intern(const std::string& name);
+  CallId register_raw(const std::string& name, RawHandler handler,
+                      bool is_ecall);
+  void check_ecall_entry(const std::string& name) const;
+  void call(CallId id, const ByteBuffer& request, ByteBuffer& response,
+            bool is_ecall);
 
   Env& env_;
   Enclave& enclave_;
-  std::map<std::string, Handler> ecalls_;
-  std::map<std::string, Handler> ocalls_;
-  std::map<std::string, bool> switchless_;
+  std::unordered_map<std::string, CallId> ids_;
+  std::vector<std::string> names_;
+  // Deque: slot references stay valid if a handler registers new calls.
+  std::deque<Slot> slots_;
   std::vector<Side> side_stack_{Side::kUntrusted};
   std::vector<bool> switchless_stack_{false};
-  BridgeStats stats_;
+  mutable BridgeStats stats_;
 };
 
 }  // namespace msv::sgx

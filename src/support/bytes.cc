@@ -6,36 +6,10 @@
 
 namespace msv {
 
-void ByteBuffer::put_u16(std::uint16_t v) {
-  put_u8(static_cast<std::uint8_t>(v));
-  put_u8(static_cast<std::uint8_t>(v >> 8));
-}
-
-void ByteBuffer::put_u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void ByteBuffer::put_u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
 void ByteBuffer::put_f64(double v) {
   std::uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
   put_u64(bits);
-}
-
-void ByteBuffer::put_varint(std::uint64_t v) {
-  while (v >= 0x80) {
-    put_u8(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  put_u8(static_cast<std::uint8_t>(v));
-}
-
-void ByteBuffer::put_bytes(const void* p, std::size_t n) {
-  const auto* b = static_cast<const std::uint8_t*>(p);
-  data_.insert(data_.end(), b, b + n);
 }
 
 void ByteBuffer::put_string(std::string_view s) {
@@ -43,8 +17,12 @@ void ByteBuffer::put_string(std::string_view s) {
   put_bytes(s.data(), s.size());
 }
 
-void ByteReader::need(std::size_t n) const {
-  if (remaining() < n) throw RuntimeFault("ByteReader: truncated input");
+void ByteReader::fail_truncated() {
+  throw RuntimeFault("ByteReader: truncated input");
+}
+
+void ByteReader::fail_varint() {
+  throw RuntimeFault("ByteReader: varint too long");
 }
 
 void ByteReader::seek(std::size_t pos) {
@@ -52,46 +30,10 @@ void ByteReader::seek(std::size_t pos) {
   pos_ = pos;
 }
 
-std::uint8_t ByteReader::get_u8() {
-  need(1);
-  return data_[pos_++];
-}
-
-std::uint16_t ByteReader::get_u16() {
-  std::uint16_t v = get_u8();
-  v |= static_cast<std::uint16_t>(get_u8()) << 8;
-  return v;
-}
-
-std::uint32_t ByteReader::get_u32() {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(get_u8()) << (8 * i);
-  return v;
-}
-
-std::uint64_t ByteReader::get_u64() {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(get_u8()) << (8 * i);
-  return v;
-}
-
 double ByteReader::get_f64() {
   const std::uint64_t bits = get_u64();
   double v;
   std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
-
-std::uint64_t ByteReader::get_varint() {
-  std::uint64_t v = 0;
-  int shift = 0;
-  while (true) {
-    const std::uint8_t b = get_u8();
-    if (shift >= 64) throw RuntimeFault("ByteReader: varint too long");
-    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-    if (!(b & 0x80)) break;
-    shift += 7;
-  }
   return v;
 }
 

@@ -20,6 +20,10 @@ class Table {
   // Renders and writes to stdout.
   void print() const;
 
+  // Raw cells, for machine-readable exports (bench --json).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

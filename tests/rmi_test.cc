@@ -2,6 +2,10 @@
 // ProxyRuntime details not already covered end-to-end.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
+#include <set>
+
 #include "apps/synthetic/generator.h"
 #include "core/montsalvat.h"
 #include "rmi/hasher.h"
@@ -147,6 +151,135 @@ TEST(Wire, SerializationChargesScaleWithSize) {
   charge_serialize(env, domain, 1000, 10'000);
   const Cycles big = env.clock.now() - t1;
   EXPECT_GT(big, small * 20);
+}
+
+TEST(Wire, AllTagsByteIdenticalAcrossCodecs) {
+  // Every WireTag through all three codec paths: the generic tagged codec,
+  // the seed-shape compat codec (legacy benchmark baseline) and — where it
+  // applies — the primitive fixed-layout fast path. The buffers must be
+  // byte-identical; since every serialize charge is a function of
+  // (elements, bytes) only, byte identity is what guarantees identical
+  // simulated cycles on the fast and legacy paths.
+  Env env;
+  UntrustedDomain domain(env);
+  rt::Isolate iso(env, domain, rt::Isolate::Config{"w", 1 << 20});
+  const rt::GcRef obj = iso.new_instance(1, 0);
+
+  const std::vector<Value> values = {
+      Value(),
+      Value(true),
+      Value(std::int32_t{-7}),
+      Value(std::int64_t{1} << 40),
+      Value(2.5),
+      Value("wire"),
+      Value(rt::ValueList{Value(std::int32_t{1}), Value("x"),
+                          Value(rt::ValueList{Value(false)})}),
+      Value(obj),  // rotates through the three ref tags below
+      Value(obj),
+      Value(obj),
+  };
+
+  // The runtime's classifier picks the ref tag; here a counter stands in
+  // for it so all three ref forms appear. Both codecs delegate refs to
+  // this same closure shape, so their ref bytes must match too.
+  const std::array<WireTag, 3> ref_tags = {WireTag::kRefOwnedByEncoder,
+                                           WireTag::kRefOwnedByDecoder,
+                                           WireTag::kNeutralObject};
+  auto ref_encoder_with = [&ref_tags](int* counter) {
+    return RefEncoder([&ref_tags, counter](ByteBuffer& out, const rt::GcRef&) {
+      out.put_u8(static_cast<std::uint8_t>(ref_tags[*counter % 3]));
+      out.put_i64(42);
+      ++*counter;
+    });
+  };
+  int generic_refs = 0;
+  int compat_refs = 0;
+  const RefEncoder generic_enc = ref_encoder_with(&generic_refs);
+  const RefEncoder compat_enc = ref_encoder_with(&compat_refs);
+  const RefDecoder ref_dec = [](ByteReader& in, WireTag) -> Value {
+    return Value(in.get_i64());
+  };
+
+  std::set<WireTag> seen;
+  for (const Value& v : values) {
+    ByteBuffer generic;
+    ByteBuffer compat_b;
+    encode_value(generic, v, generic_enc);
+    encode_value_compat(compat_b, v, compat_enc);
+    ASSERT_EQ(generic.size(), compat_b.size());
+    EXPECT_EQ(std::memcmp(generic.data(), compat_b.data(), generic.size()), 0);
+    seen.insert(static_cast<WireTag>(generic.data()[0]));
+
+    const bool prim = is_primitive(v);
+    ByteBuffer fixed;
+    EXPECT_EQ(encode_primitive(fixed, v), prim);
+    if (prim) {
+      ASSERT_EQ(fixed.size(), generic.size());
+      EXPECT_EQ(std::memcmp(fixed.data(), generic.data(), fixed.size()), 0);
+    } else {
+      EXPECT_TRUE(fixed.empty()) << "fast encoder must write nothing";
+    }
+
+    ByteReader rg(generic);
+    ByteReader rc(compat_b);
+    ByteReader rp(generic);
+    const Value dg = decode_value(rg, ref_dec);
+    const Value dc = decode_value_compat(rc, ref_dec);
+    EXPECT_TRUE(rg.done());
+    EXPECT_TRUE(rc.done());
+    EXPECT_EQ(dg.type(), dc.type());
+    Value dp;
+    EXPECT_EQ(decode_primitive(rp, dp), prim);
+    if (prim) {
+      EXPECT_EQ(dp.type(), dg.type());
+    } else {
+      EXPECT_EQ(rp.position(), 0u) << "reader untouched for generic takeover";
+    }
+
+    // Identical bytes + elements => identical simulated charge.
+    const std::uint64_t elems = element_count(v);
+    const Cycles t0 = env.clock.now();
+    charge_serialize(env, domain, elems, generic.size());
+    const Cycles fast_charge = env.clock.now() - t0;
+    const Cycles t1 = env.clock.now();
+    charge_serialize(env, domain, elems, compat_b.size());
+    EXPECT_EQ(env.clock.now() - t1, fast_charge);
+  }
+  EXPECT_EQ(seen.size(), 10u) << "every WireTag must lead some encoding";
+}
+
+TEST(ProxyRuntimeTest, FastAndLegacyPathsChargeIdenticalCycles) {
+  // End-to-end cycle-identity check behind the abl_rmi_fastpath gate: the
+  // same mixed primitive/generic call sequence under fast_rmi on and off
+  // must land on the same simulated clock and the same transition stats.
+  std::array<std::uint64_t, 2> total_cycles{};
+  std::array<std::uint64_t, 2> fast_calls{};
+  std::array<sgx::BridgeStats, 2> bridge_stats;
+  for (const bool fast : {false, true}) {
+    core::AppConfig config;
+    config.fast_rmi = fast;
+    core::PartitionedApp app(apps::synthetic::build_micro_app(), config);
+    auto& u = app.untrusted_context();
+    const Value w = u.construct("Worker", {});
+    for (int i = 0; i < 25; ++i) {
+      u.invoke(w.as_ref(), "set", {Value(std::int32_t{i})});
+      u.invoke(w.as_ref(), "get", {});
+      u.invoke(w.as_ref(), "set_list",
+               {Value(rt::ValueList{Value(std::int32_t{i}), Value("s")})});
+    }
+    total_cycles[fast] = app.env().clock.now();
+    fast_calls[fast] = app.rmi().stats().fast_path_calls;
+    bridge_stats[fast] = app.bridge().stats();
+  }
+  EXPECT_EQ(total_cycles[0], total_cycles[1]);
+  EXPECT_EQ(fast_calls[0], 0u) << "legacy mode must not take the fast path";
+  // 25 sets + 25 gets + the zero-arg construct relay: all-primitive
+  // signatures every one.
+  EXPECT_EQ(fast_calls[1], 51u);
+  EXPECT_EQ(bridge_stats[0].ecalls, bridge_stats[1].ecalls);
+  EXPECT_EQ(bridge_stats[0].ocalls, bridge_stats[1].ocalls);
+  EXPECT_EQ(bridge_stats[0].bytes_in, bridge_stats[1].bytes_in);
+  EXPECT_EQ(bridge_stats[0].bytes_out, bridge_stats[1].bytes_out);
 }
 
 // --- ProxyRuntime behaviours through the public pipeline -------------------

@@ -254,6 +254,91 @@ TEST(Bridge, HandlerExceptionRestoresSide) {
   EXPECT_EQ(bridge.side(), Side::kUntrusted);
 }
 
+TEST(Bridge, CallIdDispatchMatchesStringApi) {
+  Env env;
+  auto enclave = make_enclave(env);
+  TransitionBridge bridge(env, *enclave);
+  const CallId id = bridge.register_ecall("f", [](ByteReader& r) {
+    ByteBuffer out;
+    out.put_u32(r.get_u32() + 1);
+    return out;
+  });
+  ASSERT_NE(id, kNoCallId);
+  EXPECT_EQ(bridge.ecall_id("f"), id);
+  EXPECT_EQ(bridge.find_call("f"), id);
+  EXPECT_EQ(bridge.call_name(id), "f");
+  EXPECT_EQ(bridge.find_call("nope"), kNoCallId);
+  EXPECT_THROW(bridge.ocall_id("f"), RuntimeFault) << "no ocall slot filled";
+
+  ByteBuffer req;
+  req.put_u32(41);
+  bridge.ecall("f", req);  // warm-up: EPC faults settle
+
+  const Cycles t0 = env.clock.now();
+  const ByteBuffer by_name = bridge.ecall("f", req);
+  const Cycles name_cost = env.clock.now() - t0;
+
+  ByteBuffer by_id;
+  const Cycles t1 = env.clock.now();
+  bridge.ecall(id, req, by_id);
+  const Cycles id_cost = env.clock.now() - t1;
+
+  // Same handler, same payload: identical bytes and identical simulated
+  // charge — the interned-ID path is a host-only optimisation.
+  ASSERT_EQ(by_name.size(), by_id.size());
+  EXPECT_EQ(ByteReader(by_name).get_u32(), 42u);
+  EXPECT_EQ(ByteReader(by_id).get_u32(), 42u);
+  EXPECT_EQ(name_cost, id_cost);
+}
+
+TEST(Bridge, PerCallStatsSurviveIdTableMixedTraffic) {
+  // Regression for the string-table -> flat-ID-table migration: per_call
+  // must stay name-keyed and correct under mixed ecall / nested-ocall /
+  // switchless traffic driven through both the string and the ID API.
+  Env env;
+  auto enclave = make_enclave(env);
+  TransitionBridge bridge(env, *enclave);
+
+  bridge.register_ocall("log", [](ByteReader& r) {
+    r.get_u32();
+    return ByteBuffer();
+  });
+  const CallId work_id =
+      bridge.register_ecall("work", [&bridge](ByteReader& r) {
+        ByteBuffer msg;
+        msg.put_u32(r.get_u32());
+        bridge.ocall("log", msg);  // nested ocall from trusted side
+        ByteBuffer out;
+        out.put_u32(1);
+        return out;
+      });
+  const CallId ping_id =
+      bridge.register_ecall("ping", [](ByteReader&) { return ByteBuffer(); });
+  bridge.set_switchless(ping_id, true);
+
+  ByteBuffer req;
+  req.put_u32(9);
+  bridge.ecall("work", req);  // string path
+  ByteBuffer resp;
+  bridge.ecall(work_id, req, resp);  // ID path
+  bridge.ecall(work_id, req, resp);
+  for (int i = 0; i < 4; ++i) bridge.ecall(ping_id, ByteBuffer(), resp);
+
+  const BridgeStats& s = bridge.stats();
+  EXPECT_EQ(s.ecalls, 7u);
+  EXPECT_EQ(s.ocalls, 3u);
+  EXPECT_EQ(s.switchless_calls, 4u);
+  ASSERT_TRUE(s.per_call.count("work"));
+  ASSERT_TRUE(s.per_call.count("log"));
+  ASSERT_TRUE(s.per_call.count("ping"));
+  EXPECT_EQ(s.per_call.at("work").calls, 3u);
+  EXPECT_EQ(s.per_call.at("log").calls, 3u);
+  EXPECT_EQ(s.per_call.at("ping").calls, 4u);
+  EXPECT_EQ(s.per_call.at("work").bytes_in, 3 * req.size());
+  EXPECT_EQ(s.per_call.at("work").bytes_out, 12u);  // 3 x put_u32 response
+  EXPECT_EQ(s.per_call.at("ping").bytes_in, 0u);
+}
+
 TEST(Edl, RendersTrustedAndUntrustedSections) {
   EdlSpec spec;
   spec.enclave_name = "demo";

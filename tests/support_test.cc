@@ -153,6 +153,51 @@ TEST(ByteReader, SeekAndPosition) {
   EXPECT_THROW(r.seek(100), RuntimeFault);
 }
 
+TEST(BufferArena, ReusesReleasedCapacity) {
+  BufferArena arena;
+  ByteBuffer b = arena.acquire();
+  for (int i = 0; i < 64; ++i) b.put_u32(i);
+  const std::uint8_t* storage = b.data();
+  arena.release(std::move(b));
+  EXPECT_EQ(arena.pooled(), 1u);
+
+  ByteBuffer c = arena.acquire();
+  EXPECT_EQ(arena.pooled(), 0u);
+  EXPECT_EQ(c.size(), 0u) << "recycled buffers come back empty";
+  c.put_u8(1);
+  EXPECT_EQ(c.data(), storage) << "same allocation, no fresh malloc";
+  EXPECT_EQ(arena.stats().acquires, 2u);
+  EXPECT_EQ(arena.stats().reuses, 1u);
+}
+
+TEST(BufferArena, OversizedAndEmptyBuffersNotPooled) {
+  BufferArena arena;
+  arena.release(ByteBuffer());  // no storage to keep
+  EXPECT_EQ(arena.pooled(), 0u);
+
+  ByteBuffer huge = arena.acquire();
+  for (int i = 0; i < (2 << 20); ++i) huge.put_u8(0);  // > 1 MiB cap
+  arena.release(std::move(huge));
+  EXPECT_EQ(arena.pooled(), 0u) << "huge payloads must not pin their storage";
+}
+
+TEST(BufferArena, LeaseReturnsBufferOnDestruction) {
+  BufferArena arena;
+  {
+    ArenaLease lease(arena);
+    lease->put_u32(7);
+    EXPECT_EQ(arena.pooled(), 0u);
+  }
+  EXPECT_EQ(arena.pooled(), 1u);
+  {
+    ArenaLease lease(arena);
+    EXPECT_EQ(arena.stats().reuses, 1u);
+    ArenaLease moved(std::move(lease));
+    moved->put_u8(1);
+  }
+  EXPECT_EQ(arena.pooled(), 1u) << "moved-from lease must not double-release";
+}
+
 // RFC 1321 test vectors.
 TEST(Md5, Rfc1321Vectors) {
   EXPECT_EQ(Md5::hex(Md5::hash("")), "d41d8cd98f00b204e9800998ecf8427e");

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + full test suite (ROADMAP.md), then a
+# smoke pass of the RMI fast-path ablation so hot-path regressions that
+# only show up as cycle divergence or a dead fast path fail fast too.
+#
+# Usage: tools/tier1.sh [build-dir]   (default: build)
+# Also wired as the CMake `check` target: cmake --build build --target check
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+"$BUILD_DIR"/bench/abl_rmi_fastpath --smoke > /dev/null
+echo "tier1: tests + rmi fast-path smoke OK"
