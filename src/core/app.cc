@@ -108,7 +108,8 @@ PartitionedApp::PartitionedApp(const model::AppModel& app, AppConfig config,
   enclave_ = std::make_unique<sgx::Enclave>(
       *env_, "montsalvat_enclave", measurement,
       trusted_image_.total_bytes() + shim::EnclaveShim::shim_code_bytes(),
-      config_.enclave_heap_max_bytes, config_.enclave_stack_bytes);
+      config_.enclave_heap_max_bytes, config_.enclave_stack_bytes,
+      config_.tcs);
   enclave_->init(measurement);
 
   // 5. Runtimes: one isolate per image (§2.2), the trusted one backed by
@@ -220,7 +221,8 @@ UnpartitionedApp::UnpartitionedApp(const model::AppModel& app,
   enclave_ = std::make_unique<sgx::Enclave>(
       *env_, "montsalvat_enclave", measurement,
       image_.total_bytes() + shim::EnclaveShim::shim_code_bytes(),
-      config_.enclave_heap_max_bytes, config_.enclave_stack_bytes);
+      config_.enclave_heap_max_bytes, config_.enclave_stack_bytes,
+      config_.tcs);
   enclave_->init(measurement);
 
   untrusted_domain_ = std::make_unique<UntrustedDomain>(*env_);
@@ -237,17 +239,19 @@ UnpartitionedApp::UnpartitionedApp(const model::AppModel& app,
   ctx_ = std::make_unique<interp::ExecContext>(
       *env_, *iso_, image_.classes, *enclave_shim_, std::move(intrinsics));
 
-  bridge_->register_ecall("ecall_main", [this](ByteReader&) {
+  ecall_main_id_ = bridge_->register_ecall("ecall_main", [this](ByteReader&) {
     env_->clock.advance(env_->cost.isolate_attach_trusted_cycles);
     ctx_->run_main();
     return ByteBuffer();
   });
-  bridge_->register_ecall("ecall_invoke", [this](ByteReader&) {
-    env_->clock.advance(env_->cost.isolate_attach_trusted_cycles);
-    MSV_CHECK_MSG(pending_invoke_ != nullptr, "no pending enclave function");
-    pending_result_ = (*pending_invoke_)(*ctx_);
-    return ByteBuffer();
-  });
+  ecall_invoke_id_ =
+      bridge_->register_ecall("ecall_invoke", [this](ByteReader&) {
+        env_->clock.advance(env_->cost.isolate_attach_trusted_cycles);
+        MSV_CHECK_MSG(pending_invoke_ != nullptr,
+                      "no pending enclave function");
+        pending_result_ = (*pending_invoke_)(*ctx_);
+        return ByteBuffer();
+      });
 }
 
 UnpartitionedApp::~UnpartitionedApp() = default;
@@ -255,14 +259,16 @@ UnpartitionedApp::~UnpartitionedApp() = default;
 rt::Value UnpartitionedApp::run_main(std::vector<rt::Value> args) {
   MSV_CHECK_MSG(args.empty(),
                 "ecall_main takes no arguments in the unpartitioned mode");
-  bridge_->ecall("ecall_main", ByteBuffer());
+  ByteBuffer empty, response;
+  bridge_->ecall(ecall_main_id_, empty, response);
   return rt::Value();
 }
 
 rt::Value UnpartitionedApp::run_in_enclave(
     const std::function<rt::Value(interp::ExecContext&)>& fn) {
   pending_invoke_ = &fn;
-  bridge_->ecall("ecall_invoke", ByteBuffer());
+  ByteBuffer empty, response;
+  bridge_->ecall(ecall_invoke_id_, empty, response);
   pending_invoke_ = nullptr;
   rt::Value result = std::move(pending_result_);
   pending_result_ = rt::Value();

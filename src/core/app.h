@@ -41,6 +41,8 @@ struct AppConfig {
   std::uint64_t enclave_stack_bytes = 8ull << 20;     // §6.1
   rmi::HashScheme hash_scheme = rmi::HashScheme::kMd5;
   double gc_scan_period_seconds = 1.0;
+  // TCS pool of the enclave (TCSNum + exhaustion policy; DESIGN.md §8).
+  sgx::TcsConfig tcs;
   // Future work (§7): serve relay transitions switchlessly.
   bool switchless_relays = false;
   // RMI hot path (interned-ID dispatch, buffer arena, primitive encoder).
@@ -170,6 +172,8 @@ class UnpartitionedApp {
   std::unique_ptr<shim::HostIo> host_io_;
   std::unique_ptr<shim::EnclaveShim> enclave_shim_;
   std::unique_ptr<interp::ExecContext> ctx_;
+  sgx::CallId ecall_main_id_ = sgx::kNoCallId;
+  sgx::CallId ecall_invoke_id_ = sgx::kNoCallId;
   const std::function<rt::Value(interp::ExecContext&)>* pending_invoke_ =
       nullptr;
   rt::Value pending_result_;

@@ -37,7 +37,8 @@ MultiIsolateApp::MultiIsolateApp(const model::AppModel& app,
   enclave_ = std::make_unique<sgx::Enclave>(
       *env_, "montsalvat_multi_enclave", measurement,
       trusted_image_.total_bytes() + shim::EnclaveShim::shim_code_bytes(),
-      config_.enclave_heap_max_bytes, config_.enclave_stack_bytes);
+      config_.enclave_heap_max_bytes, config_.enclave_stack_bytes,
+      config_.tcs);
   enclave_->init(measurement);
 
   untrusted_domain_ = std::make_unique<UntrustedDomain>(*env_);

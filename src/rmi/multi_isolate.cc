@@ -208,11 +208,12 @@ rt::Value MultiIsolateRuntime::do_construct(SideState& from,
   charge_serialize(env_, from.ctx.isolate().domain(), elements,
                    payload.size());
 
-  const std::string& relay = ctor_stub->proxy().relay_name;
+  const sgx::CallId relay = relay_id(*ctor_stub);
+  ByteBuffer response;
   if (target_id == kUntrustedId) {
-    bridge_.ocall(relay, payload);
+    bridge_.ocall(relay, payload, response);
   } else {
-    bridge_.ecall(relay, payload);
+    bridge_.ecall(relay, payload, response);
   }
   return Value(proxy);
 }
@@ -248,10 +249,13 @@ rt::Value MultiIsolateRuntime::invoke_proxy(ExecContext& caller,
   charge_serialize(env_, from.ctx.isolate().domain(), elements,
                    payload.size());
 
-  ByteBuffer response =
-      target_id == kUntrustedId
-          ? bridge_.ocall(stub.proxy().relay_name, payload)
-          : bridge_.ecall(stub.proxy().relay_name, payload);
+  const sgx::CallId relay = relay_id(stub);
+  ByteBuffer response;
+  if (target_id == kUntrustedId) {
+    bridge_.ocall(relay, payload, response);
+  } else {
+    bridge_.ecall(relay, payload, response);
+  }
   ByteReader r(response);
   Value result = decode_value(r, make_ref_decoder(from, target_id));
   charge_deserialize(env_, caller.isolate().domain(), element_count(result),
@@ -338,13 +342,15 @@ void MultiIsolateRuntime::register_handlers() {
     }
   }
 
-  bridge_.register_ecall("ecall_multi_gc_evict", [this](ByteReader& in) {
-    SideState& s = state_by_id(in.get_u32());
-    const std::uint64_t n = in.get_varint();
-    for (std::uint64_t i = 0; i < n; ++i) s.registry.remove(in.get_i64());
-    return ByteBuffer();
-  });
-  bridge_.register_ecall("ecall_multi_gc_scan", [this](ByteReader& in) {
+  gc_evict_ecall_id_ =
+      bridge_.register_ecall("ecall_multi_gc_evict", [this](ByteReader& in) {
+        SideState& s = state_by_id(in.get_u32());
+        const std::uint64_t n = in.get_varint();
+        for (std::uint64_t i = 0; i < n; ++i) s.registry.remove(in.get_i64());
+        return ByteBuffer();
+      });
+  gc_scan_ecall_id_ =
+      bridge_.register_ecall("ecall_multi_gc_scan", [this](ByteReader& in) {
     // The in-enclave helper of one isolate scans and evicts outward.
     SideState& s = state_by_id(in.get_u32());
     std::vector<std::int64_t> dead;
@@ -366,17 +372,29 @@ void MultiIsolateRuntime::register_handlers() {
       ByteBuffer payload;
       payload.put_varint(dead.size());
       for (const auto h : dead) payload.put_i64(h);
-      bridge_.ocall("ocall_multi_gc_evict", payload);
+      ByteBuffer response;
+      bridge_.ocall(gc_evict_ocall_id_, payload, response);
     }
     return ByteBuffer();
   });
-  bridge_.register_ocall("ocall_multi_gc_evict", [this](ByteReader& in) {
-    const std::uint64_t n = in.get_varint();
-    for (std::uint64_t i = 0; i < n; ++i) {
-      untrusted_->registry.remove(in.get_i64());
-    }
-    return ByteBuffer();
-  });
+  gc_evict_ocall_id_ =
+      bridge_.register_ocall("ocall_multi_gc_evict", [this](ByteReader& in) {
+        const std::uint64_t n = in.get_varint();
+        for (std::uint64_t i = 0; i < n; ++i) {
+          untrusted_->registry.remove(in.get_i64());
+        }
+        return ByteBuffer();
+      });
+}
+
+sgx::CallId MultiIsolateRuntime::relay_id(const model::MethodDecl& stub) {
+  const auto it = relay_ids_.find(&stub);
+  if (it != relay_ids_.end()) return it->second;
+  const sgx::CallId id = bridge_.find_call(stub.proxy().relay_name);
+  MSV_CHECK_MSG(id != sgx::kNoCallId,
+                "relay not registered: " + stub.proxy().relay_name);
+  relay_ids_.emplace(&stub, id);
+  return id;
 }
 
 void MultiIsolateRuntime::force_gc_scan() {
@@ -407,7 +425,8 @@ void MultiIsolateRuntime::force_gc_scan() {
     payload.put_u32(owner);
     payload.put_varint(hashes.size());
     for (const auto h : hashes) payload.put_i64(h);
-    bridge_.ecall("ecall_multi_gc_evict", payload);
+    ByteBuffer response;
+    bridge_.ecall(gc_evict_ecall_id_, payload, response);
   }
 
   // Each in-enclave helper scans its own isolate.
@@ -415,7 +434,8 @@ void MultiIsolateRuntime::force_gc_scan() {
     if (trusted_[k]->ctx.isolate().weak_refs().cleared_count() > 0) {
       ByteBuffer payload;
       payload.put_u32(k);
-      bridge_.ecall("ecall_multi_gc_scan", payload);
+      ByteBuffer response;
+      bridge_.ecall(gc_scan_ecall_id_, payload, response);
     }
   }
 }

@@ -112,6 +112,14 @@ class MultiIsolateRuntime final : public interp::RemoteInvoker {
   // Untrusted-side routing: proxy hash -> owning trusted isolate.
   std::unordered_map<std::int64_t, std::uint32_t> hash_owner_;
   bool handlers_registered_ = false;
+  // Relay-stub dispatch IDs, memoized per proxy-stub decl (ecall and ocall
+  // registrations of one relay name share the interned ID).
+  sgx::CallId relay_id(const model::MethodDecl& stub);
+  std::unordered_map<const model::MethodDecl*, sgx::CallId> relay_ids_;
+  // GC-helper transition IDs, interned at registration.
+  sgx::CallId gc_evict_ecall_id_ = sgx::kNoCallId;
+  sgx::CallId gc_scan_ecall_id_ = sgx::kNoCallId;
+  sgx::CallId gc_evict_ocall_id_ = sgx::kNoCallId;
 };
 
 }  // namespace msv::rmi

@@ -223,7 +223,16 @@ ByteBuffer ProxyRuntime::transition(SideState& /*caller*/,
                                     const std::string& name,
                                     const ByteBuffer& payload, bool via_ecall) {
   if (config_.gc_auto_pump) pump_gc();
-  return via_ecall ? bridge_.ecall(name, payload) : bridge_.ocall(name, payload);
+  // Legacy shape: the name is resolved on every call (what the PR-1 shim
+  // did), but dispatch goes through the ID overload — the deprecated
+  // string entry points have no callers left in the library.
+  ByteBuffer response;
+  if (via_ecall) {
+    bridge_.ecall(bridge_.ecall_id(name), payload, response);
+  } else {
+    bridge_.ocall(bridge_.ocall_id(name), payload, response);
+  }
+  return response;
 }
 
 void ProxyRuntime::transition_fast(const RelayPlan& plan,
@@ -478,25 +487,30 @@ void ProxyRuntime::register_handlers() {
   register_side(trusted_, /*callee_is_trusted=*/true);
   register_side(untrusted_, /*callee_is_trusted=*/false);
 
-  // GC-helper transitions (§5.5).
-  bridge_.register_ecall("ecall_gc_evict_mirrors", [this](ByteReader& in) {
-    const std::uint64_t n = in.get_varint();
-    for (std::uint64_t i = 0; i < n; ++i) trusted_.registry.remove(in.get_i64());
-    return ByteBuffer();
-  });
-  bridge_.register_ocall("ocall_gc_evict_mirrors", [this](ByteReader& in) {
-    const std::uint64_t n = in.get_varint();
-    for (std::uint64_t i = 0; i < n; ++i)
-      untrusted_.registry.remove(in.get_i64());
-    return ByteBuffer();
-  });
+  // GC-helper transitions (§5.5); the interned IDs are kept for the
+  // eviction/scan dispatch sites.
+  gc_evict_ecall_id_ =
+      bridge_.register_ecall("ecall_gc_evict_mirrors", [this](ByteReader& in) {
+        const std::uint64_t n = in.get_varint();
+        for (std::uint64_t i = 0; i < n; ++i)
+          trusted_.registry.remove(in.get_i64());
+        return ByteBuffer();
+      });
+  gc_evict_ocall_id_ =
+      bridge_.register_ocall("ocall_gc_evict_mirrors", [this](ByteReader& in) {
+        const std::uint64_t n = in.get_varint();
+        for (std::uint64_t i = 0; i < n; ++i)
+          untrusted_.registry.remove(in.get_i64());
+        return ByteBuffer();
+      });
   // The in-enclave helper's scan-and-evict, entered when the untrusted
   // pump observes cleared entries in the trusted weak list.
-  bridge_.register_ecall("ecall_gc_scan_trusted", [this](ByteReader&) {
-    const auto dead = collect_dead_proxies(trusted_);
-    evict_remote(trusted_, dead);
-    return ByteBuffer();
-  });
+  gc_scan_ecall_id_ =
+      bridge_.register_ecall("ecall_gc_scan_trusted", [this](ByteReader&) {
+        const auto dead = collect_dead_proxies(trusted_);
+        evict_remote(trusted_, dead);
+        return ByteBuffer();
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -534,10 +548,11 @@ void ProxyRuntime::evict_remote(SideState& local,
   payload.put_varint(dead.size());
   for (const auto h : dead) payload.put_i64(h);
   ++local.gc_stats.eviction_calls;
+  ByteBuffer response;
   if (side_of(local) == Side::kUntrusted) {
-    bridge_.ecall("ecall_gc_evict_mirrors", payload);
+    bridge_.ecall(gc_evict_ecall_id_, payload, response);
   } else {
-    bridge_.ocall("ocall_gc_evict_mirrors", payload);
+    bridge_.ocall(gc_evict_ocall_id_, payload, response);
   }
 }
 
@@ -559,7 +574,8 @@ void ProxyRuntime::pump_gc() {
     // enclave; it only transitions (ocall) when there is something to
     // evict. We peek first and enter the enclave only when needed.
     if (trusted_.ctx.isolate().weak_refs().cleared_count() > 0) {
-      bridge_.ecall("ecall_gc_scan_trusted", ByteBuffer());
+      ByteBuffer empty, response;
+      bridge_.ecall(gc_scan_ecall_id_, empty, response);
     } else {
       // Idle scan: charge the in-enclave scan work.
       env_.clock.advance(trusted_.ctx.isolate().weak_refs().size() *

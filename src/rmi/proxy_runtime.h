@@ -202,6 +202,10 @@ class ProxyRuntime final : public interp::RemoteInvoker {
   Cycles scan_period_;
   bool pumping_ = false;
   bool handlers_registered_ = false;
+  // GC-helper transition IDs, interned once at registration.
+  sgx::CallId gc_evict_ecall_id_ = sgx::kNoCallId;
+  sgx::CallId gc_evict_ocall_id_ = sgx::kNoCallId;
+  sgx::CallId gc_scan_ecall_id_ = sgx::kNoCallId;
   RmiStats stats_;
   // Request/response wire buffers, reused across calls (nested chains pull
   // additional buffers; steady state allocates nothing).

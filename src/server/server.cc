@@ -1,0 +1,243 @@
+#include "server/server.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace msv::server {
+
+RequestServer::RequestServer(sched::Scheduler& sched,
+                             core::MultiIsolateApp& app, ServerConfig config)
+    : env_(app.env()), sched_(sched), app_(app), config_(config) {
+  MSV_CHECK_MSG(config_.max_queue_depth > 0, "queue depth must be positive");
+  MSV_CHECK_MSG(config_.workers_per_tenant > 0, "need at least one worker");
+  for (std::uint32_t t = 0; t < app_.isolate_count(); ++t) {
+    tenants_.push_back(std::make_unique<Tenant>(sched_));
+  }
+}
+
+RequestServer::~RequestServer() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructor teardown of a half-wedged simulation must not terminate.
+  }
+}
+
+RequestServer::Tenant& RequestServer::tenant(std::uint32_t t) {
+  MSV_CHECK_MSG(t < tenants_.size(), "no such tenant");
+  return *tenants_[t];
+}
+
+const RequestServer::Tenant& RequestServer::tenant(std::uint32_t t) const {
+  MSV_CHECK_MSG(t < tenants_.size(), "no such tenant");
+  return *tenants_[t];
+}
+
+void RequestServer::start() {
+  if (started_) return;
+  MSV_CHECK_MSG(!sched_.in_task(), "start() must be called outside tasks");
+  app_.bridge().attach_scheduler(sched_);
+  if (config_.switchless) {
+    // Flag the relay transitions switchless by prefix, the way
+    // PartitionedApp walks its EDL spec, then bring up the rings.
+    const auto& names = app_.bridge().call_names();
+    for (sgx::CallId id = 0; id < names.size(); ++id) {
+      if (names[id].rfind("ecall_relay_", 0) == 0 ||
+          names[id].rfind("ocall_relay_", 0) == 0) {
+        app_.bridge().set_switchless(id, true);
+      }
+    }
+    app_.bridge().start_switchless_workers(config_.ecall_ring,
+                                           config_.ocall_ring);
+  }
+  for (std::uint32_t t = 0; t < tenants_.size(); ++t) {
+    tenants_[t]->session = app_.construct_in(
+        t, "Account",
+        {rt::Value("tenant-" + std::to_string(t)),
+         rt::Value(config_.initial_balance)});
+  }
+  for (std::uint32_t t = 0; t < tenants_.size(); ++t) {
+    for (std::uint32_t w = 0; w < config_.workers_per_tenant; ++w) {
+      sched_.spawn_daemon(
+          "srv-t" + std::to_string(t) + "-w" + std::to_string(w),
+          [this, t] { worker_loop(t); });
+    }
+  }
+  started_ = true;
+}
+
+void RequestServer::stop() {
+  if (!started_) return;
+  MSV_CHECK_MSG(!sched_.in_task(), "stop() must be called outside tasks");
+  stopping_ = true;
+  for (auto& ten : tenants_) ten->work.notify_all();
+  // Workers drain their queues, observe the stop flag and retire; run()
+  // returns once only parked daemons (none of ours) remain.
+  sched_.run();
+  if (app_.bridge().switchless_workers_running()) {
+    app_.bridge().stop_switchless_workers();
+  }
+  stopping_ = false;
+  started_ = false;
+}
+
+void RequestServer::enqueue(Tenant& ten, Pending* p) {
+  ten.queue.push_back(p);
+  ten.stats.max_queue_depth =
+      std::max(ten.stats.max_queue_depth, ten.queue.size());
+  ++ten.stats.accepted;
+  ten.work.notify_one();
+}
+
+bool RequestServer::submit(std::uint32_t tenant_id, Request r) {
+  MSV_CHECK_MSG(started_, "server not started");
+  Tenant& ten = tenant(tenant_id);
+  if (queue_full(ten)) {
+    if (config_.shed_on_full) {
+      ++ten.stats.shed;
+      return false;
+    }
+    MSV_CHECK_MSG(sched_.in_task(),
+                  "blocking admission requires a scheduler task");
+    while (queue_full(ten)) ten.space.wait();
+  }
+  if (r.arrival == 0) r.arrival = env_.clock.now();
+  auto* p = new Pending;
+  p->req = r;
+  p->owned = true;
+  enqueue(ten, p);
+  return true;
+}
+
+std::int64_t RequestServer::submit_and_wait(std::uint32_t tenant_id,
+                                            Request r) {
+  MSV_CHECK_MSG(started_, "server not started");
+  MSV_CHECK_MSG(sched_.in_task(), "submit_and_wait must run inside a task");
+  Tenant& ten = tenant(tenant_id);
+  // Closed-loop clients are synchronous; they block for space, never shed.
+  while (queue_full(ten)) ten.space.wait();
+  if (r.arrival == 0) r.arrival = env_.clock.now();
+  Pending p;
+  p.req = r;
+  p.waiter = sched_.current();
+  enqueue(ten, &p);
+  try {
+    while (!p.done) sched_.suspend();
+  } catch (...) {
+    // Cancellation while queued: withdraw the stack descriptor. Once a
+    // worker has popped it, the worker is guaranteed never to touch it
+    // again on a cancelled timeline (every suspension point throws).
+    auto it = std::find(ten.queue.begin(), ten.queue.end(), &p);
+    if (it != ten.queue.end()) ten.queue.erase(it);
+    throw;
+  }
+  if (p.error) std::rethrow_exception(p.error);
+  return p.result;
+}
+
+void RequestServer::worker_loop(std::uint32_t t) {
+  Tenant& ten = *tenants_[t];
+  auto& u = app_.untrusted_context();
+  for (;;) {
+    while (ten.queue.empty()) {
+      if (stopping_) return;
+      ten.work.wait();
+    }
+    Pending* p = ten.queue.front();
+    ten.queue.pop_front();
+    ten.space.notify_one();
+    ++ten.in_flight;
+    // GC gate: this tenant's isolate is paused while its heap is
+    // collected; the request waits out the pause. Other tenants' workers
+    // never pass through this gate (§2.2 isolate independence).
+    while (ten.gc_active) {
+      const Cycles gate_start = env_.clock.now();
+      ten.gc_done.wait();
+      ten.stats.gc_gate_wait_cycles += env_.clock.now() - gate_start;
+    }
+    try {
+      const rt::Value result =
+          p->req.op == RequestOp::kDeposit
+              ? u.invoke(ten.session.as_ref(), "updateBalance",
+                         {rt::Value(p->req.amount)})
+              : u.invoke(ten.session.as_ref(), "getBalance", {});
+      p->result =
+          result.type() == rt::ValueType::kI32 ? result.as_i32() : 0;
+    } catch (const sched::TaskCancelled&) {
+      // Teardown: unwind without touching the descriptor — its owner (a
+      // cancelled submit_and_wait frame) may already be gone.
+      throw;
+    } catch (...) {
+      p->error = std::current_exception();
+    }
+    const Cycles done_at = env_.clock.now();
+    ten.latencies.push_back(done_at - p->req.arrival);
+    ten.completion_times.push_back(done_at);
+    ++ten.stats.completed;
+    --ten.in_flight;
+    p->done = true;
+    if (p->waiter != sched::kNoTask) sched_.wake(p->waiter);
+    if (p->owned) delete p;
+  }
+}
+
+void RequestServer::collect_tenant_async(std::uint32_t tenant_id) {
+  MSV_CHECK_MSG(started_, "server not started");
+  MSV_CHECK_MSG(tenant_id < tenants_.size(), "no such tenant");
+  sched_.spawn("gc-tenant-" + std::to_string(tenant_id), [this, tenant_id] {
+    Tenant& ten = *tenants_[tenant_id];
+    // One collection of a heap at a time; a second request queues behind
+    // the gate like any worker.
+    while (ten.gc_active) ten.gc_done.wait();
+    ten.gc_active = true;
+    const Cycles pause_start = env_.clock.now();
+    // The collection itself runs on the §5.5 GC helper thread — its own
+    // core — so its cycles never advance the shared serving timeline;
+    // they are realized as a sleep (pause) of this isolate only.
+    const Cycles cost =
+        env_.clock.measure_detached([&] { app_.collect_isolate(tenant_id); });
+    sched_.sleep_for(cost);
+    ten.gc_active = false;
+    ++ten.stats.gc_runs;
+    ten.stats.gc_pause_cycles += cost;
+    ten.gc_windows.emplace_back(pause_start, env_.clock.now());
+    ten.gc_done.notify_all();
+  });
+}
+
+std::size_t RequestServer::pending() const {
+  std::size_t n = 0;
+  for (const auto& ten : tenants_) n += ten->queue.size() + ten->in_flight;
+  return n;
+}
+
+const TenantStats& RequestServer::tenant_stats(std::uint32_t t) const {
+  return tenant(t).stats;
+}
+
+ServerStats RequestServer::stats() const {
+  ServerStats s;
+  for (const auto& ten : tenants_) {
+    s.accepted += ten->stats.accepted;
+    s.shed += ten->stats.shed;
+    s.completed += ten->stats.completed;
+  }
+  return s;
+}
+
+const std::vector<Cycles>& RequestServer::latencies(std::uint32_t t) const {
+  return tenant(t).latencies;
+}
+
+const std::vector<Cycles>& RequestServer::completion_times(
+    std::uint32_t t) const {
+  return tenant(t).completion_times;
+}
+
+const std::vector<std::pair<Cycles, Cycles>>& RequestServer::gc_windows(
+    std::uint32_t t) const {
+  return tenant(t).gc_windows;
+}
+
+}  // namespace msv::server

@@ -1,0 +1,181 @@
+// Multi-tenant enclave request server (serving layer, DESIGN.md §8).
+//
+// Wraps a MultiIsolateApp — one trusted isolate per tenant behind one
+// measured enclave — in the shape of an actual enclave service: requests
+// are admitted into bounded per-tenant queues, worker tasks (fibers on the
+// deterministic scheduler, src/sched) drain each queue and execute the
+// tenant's operation through the proxy/RMI machinery, and GC runs per
+// isolate on the §5.5 helper-thread model without stopping other tenants.
+//
+// Concurrency and cost accounting:
+//   * Workers contend for the enclave's TCS pool through the bridge; with
+//     fewer slots than concurrently-entering tasks the queueing delay
+//     shows up in BridgeStats::tcs_wait_cycles (the starvation signal the
+//     acceptance test asserts).
+//   * With `switchless` enabled the relay transitions are served by the
+//     bridge's per-direction worker rings instead of hardware transitions.
+//   * A tenant GC measures the collection cost with the clock detached
+//     (VirtualClock::measure_detached — the helper thread runs on its own
+//     core) and realizes it as a pause gate on that tenant only; workers
+//     of other tenants keep serving, which is the multi-isolate property
+//     (§2.2) the serving layer exists to demonstrate.
+//
+// Destruction order: the scheduler must outlive the server (declare the
+// app, then the scheduler, then the server — C++ destroys in reverse, so
+// the server's cooperative stop() runs while the scheduler is still
+// alive, and the scheduler's cancel_all() runs before the bridge dies).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/multi_app.h"
+#include "sched/scheduler.h"
+
+namespace msv::server {
+
+enum class RequestOp : std::uint8_t {
+  kDeposit,  // Account.updateBalance(amount)
+  kBalance,  // Account.getBalance()
+};
+
+struct Request {
+  RequestOp op = RequestOp::kDeposit;
+  std::int32_t amount = 1;
+  // Intended arrival instant (absolute simulated cycles). Latency is
+  // measured from here, which keeps open-loop results honest under
+  // coordinated omission: a request delayed behind a backlog accrues the
+  // full delay since it *should* have arrived. 0 = stamp at submission.
+  Cycles arrival = 0;
+};
+
+struct ServerConfig {
+  // Per-tenant admission queue bound; submissions beyond it shed or block.
+  std::size_t max_queue_depth = 64;
+  bool shed_on_full = true;  // false: submitter task blocks for queue space
+  std::uint32_t workers_per_tenant = 1;
+  std::int32_t initial_balance = 0;
+  // Serve relay transitions through the bridge's switchless worker rings.
+  bool switchless = false;
+  sgx::SwitchlessConfig ecall_ring;
+  sgx::SwitchlessConfig ocall_ring;
+};
+
+struct TenantStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t gc_runs = 0;
+  Cycles gc_pause_cycles = 0;      // detached collection cost, realized
+  Cycles gc_gate_wait_cycles = 0;  // worker time spent waiting out a pause
+  std::size_t max_queue_depth = 0;
+};
+
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+};
+
+class RequestServer {
+ public:
+  RequestServer(sched::Scheduler& sched, core::MultiIsolateApp& app,
+                ServerConfig config);
+  ~RequestServer();
+
+  RequestServer(const RequestServer&) = delete;
+  RequestServer& operator=(const RequestServer&) = delete;
+
+  // Attaches the scheduler to the bridge, constructs one session object
+  // ("Account") per tenant isolate and spawns the worker daemons. Must be
+  // called from outside tasks.
+  void start();
+  // Cooperative drain: workers finish queued requests, then retire. Must
+  // be called from outside tasks; idempotent. The destructor calls it.
+  void stop();
+  bool started() const { return started_; }
+
+  // Fire-and-forget admission. Returns false when the tenant queue is
+  // full and the server sheds; with shed_on_full=false a task blocks for
+  // space (callers outside tasks cannot block and fault instead).
+  bool submit(std::uint32_t tenant, Request r);
+
+  // Closed-loop admission: blocks for queue space (never sheds), waits
+  // for completion and returns the operation result. Task-only.
+  std::int64_t submit_and_wait(std::uint32_t tenant, Request r);
+
+  // Spawns a task that collects tenant `t`'s isolate on the GC helper
+  // thread model: cost measured detached, realized as a pause gate on
+  // this tenant only.
+  void collect_tenant_async(std::uint32_t tenant);
+
+  std::uint32_t tenant_count() const {
+    return static_cast<std::uint32_t>(tenants_.size());
+  }
+  // Queued + in-flight requests across all tenants (0 = fully drained).
+  std::size_t pending() const;
+
+  const TenantStats& tenant_stats(std::uint32_t t) const;
+  ServerStats stats() const;  // aggregated over tenants
+  // Completed-request latencies (cycles from Request::arrival), in
+  // completion order.
+  const std::vector<Cycles>& latencies(std::uint32_t t) const;
+  // Completion instants, parallel to latencies().
+  const std::vector<Cycles>& completion_times(std::uint32_t t) const;
+  // [start, end) of every realized GC pause of tenant `t`.
+  const std::vector<std::pair<Cycles, Cycles>>& gc_windows(
+      std::uint32_t t) const;
+
+  core::MultiIsolateApp& app() { return app_; }
+  sched::Scheduler& scheduler() { return sched_; }
+
+ private:
+  // One queued request. Fire-and-forget descriptors are heap-owned and
+  // freed by the worker; submit_and_wait descriptors live on the waiting
+  // task's fiber stack.
+  struct Pending {
+    Request req;
+    bool owned = false;
+    bool done = false;
+    sched::TaskId waiter = sched::kNoTask;
+    std::int64_t result = 0;
+    std::exception_ptr error;
+  };
+
+  struct Tenant {
+    explicit Tenant(sched::Scheduler& s) : work(s), space(s), gc_done(s) {}
+    rt::Value session;
+    std::deque<Pending*> queue;
+    sched::WaitQueue work;     // workers park here when the queue is empty
+    sched::WaitQueue space;    // submitters park here when the queue is full
+    sched::WaitQueue gc_done;  // workers park here during a GC pause
+    bool gc_active = false;
+    std::size_t in_flight = 0;
+    TenantStats stats;
+    std::vector<Cycles> latencies;
+    std::vector<Cycles> completion_times;
+    std::vector<std::pair<Cycles, Cycles>> gc_windows;
+  };
+
+  Tenant& tenant(std::uint32_t t);
+  const Tenant& tenant(std::uint32_t t) const;
+  bool queue_full(const Tenant& ten) const {
+    return ten.queue.size() >= config_.max_queue_depth;
+  }
+  void enqueue(Tenant& ten, Pending* p);
+  void worker_loop(std::uint32_t t);
+
+  Env& env_;
+  sched::Scheduler& sched_;
+  core::MultiIsolateApp& app_;
+  ServerConfig config_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace msv::server

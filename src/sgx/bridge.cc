@@ -1,5 +1,6 @@
 #include "sgx/bridge.h"
 
+#include "sched/scheduler.h"
 #include "support/error.h"
 
 namespace msv::sgx {
@@ -117,6 +118,10 @@ void TransitionBridge::check_ecall_entry(const std::string& name) const {
   }
 }
 
+// The string-dispatch shim is deprecated in the header; its definitions
+// (and nothing else here) still refer to it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 ByteBuffer TransitionBridge::ecall(const std::string& name,
                                    const ByteBuffer& request) {
   check_ecall_entry(name);
@@ -134,6 +139,7 @@ ByteBuffer TransitionBridge::ocall(const std::string& name,
   call(ocall_id(name), request, response, /*is_ecall=*/false);
   return response;
 }
+#pragma GCC diagnostic pop
 
 void TransitionBridge::ecall(CallId id, const ByteBuffer& request,
                              ByteBuffer& response) {
@@ -158,20 +164,78 @@ void TransitionBridge::ocall(CallId id, const ByteBuffer& request,
   call(id, request, response, /*is_ecall=*/false);
 }
 
+TransitionBridge::CallCtx& TransitionBridge::ctx() const {
+  if (sched_ != nullptr && sched_->in_task()) {
+    return task_ctxs_[sched_->current()];
+  }
+  return main_ctx_;
+}
+
 void TransitionBridge::call(CallId id, const ByteBuffer& request,
                             ByteBuffer& response, bool is_ecall) {
   Slot& slot = slots_[id];
-  const bool switchless = slot.switchless;
 
-  // Transition cost: either the hardware EENTER/EEXIT pair or the
-  // switchless worker handshake, plus the bridge routine dispatch.
-  if (switchless) {
+  if (slot.switchless) {
+    // Ring path: with workers running and a task to park, the request is
+    // queued to a persistent worker on the other side. Otherwise — the
+    // single-caller shape — the handshake plus inline execution models
+    // the dedicated worker responding instantly, with identical charges.
+    SwitchlessRing* ring = is_ecall ? ecall_ring_.get() : ocall_ring_.get();
+    if (workers_running_ && ring != nullptr && sched_ != nullptr &&
+        sched_->in_task()) {
+      call_via_ring(*ring, id, request, response);
+      return;
+    }
     env_.clock.advance(env_.cost.switchless_call_cycles);
-    ++stats_.switchless_calls;
-  } else {
-    env_.clock.advance(is_ecall ? env_.cost.ecall_cycles
-                                : env_.cost.ocall_cycles);
+    execute_call(slot, request, response, is_ecall, /*switchless=*/true);
+    return;
   }
+
+  if (is_ecall) {
+    // EENTER binds a TCS for the whole ecall — held across nested ocalls,
+    // which re-enter through the same one; a nested ecall from an ocall
+    // handler takes a second slot, as on hardware. A free slot costs zero
+    // cycles (the binding is part of the EENTER cost below), so the
+    // uncontended path is cycle-identical to the pre-pool bridge.
+    TcsPool& tcs = enclave_.tcs();
+    tcs.acquire();
+    try {
+      charge_transition(env_.cost.ecall_cycles);
+      execute_call(slot, request, response, /*is_ecall=*/true,
+                   /*switchless=*/false);
+    } catch (...) {
+      tcs.release();
+      throw;
+    }
+    tcs.release();
+    return;
+  }
+
+  charge_transition(env_.cost.ocall_cycles);
+  execute_call(slot, request, response, /*is_ecall=*/false,
+               /*switchless=*/false);
+}
+
+// Charges a hardware transition window. Outside tasks this advances the
+// shared clock — the pre-scheduler behaviour, cycle-exact with the seed.
+// Inside a task the EENTER/EEXIT microcode spin occupies only the calling
+// thread's core, so it is realized as a sleep on the scheduler: work of
+// other tasks overlaps the window, and a TCS held across it is genuinely
+// contended — which is what makes slot starvation observable under load
+// (DESIGN.md §8). For a lone task the sleep advances the clock by exactly
+// the same cycles, so single-caller totals are unchanged.
+void TransitionBridge::charge_transition(Cycles cycles) {
+  if (sched_ != nullptr && sched_->in_task()) {
+    sched_->sleep_for(cycles);
+  } else {
+    env_.clock.advance(cycles);
+  }
+}
+
+void TransitionBridge::execute_call(Slot& slot, const ByteBuffer& request,
+                                    ByteBuffer& response, bool is_ecall,
+                                    bool switchless) {
+  if (switchless) ++stats_.switchless_calls;
   env_.clock.advance(env_.cost.edge_call_cycles);
 
   // Request marshalling: the bridge copies the payload across the boundary
@@ -189,19 +253,22 @@ void TransitionBridge::call(CallId id, const ByteBuffer& request,
   ++slot.stats.calls;
   slot.stats.bytes_in += request.size();
 
-  side_stack_.push_back(is_ecall ? Side::kTrusted : Side::kUntrusted);
-  switchless_stack_.push_back(switchless);
+  // Per-task call context: stable reference (node-based map), valid even
+  // if the handler suspends and other tasks create contexts meanwhile.
+  CallCtx& c = ctx();
+  c.side_stack.push_back(is_ecall ? Side::kTrusted : Side::kUntrusted);
+  c.switchless_stack.push_back(switchless);
   response.clear();
   try {
     ByteReader reader(request);
     (is_ecall ? slot.ecall : slot.ocall)(reader, response);
   } catch (...) {
-    side_stack_.pop_back();
-    switchless_stack_.pop_back();
+    c.side_stack.pop_back();
+    c.switchless_stack.pop_back();
     throw;
   }
-  side_stack_.pop_back();
-  switchless_stack_.pop_back();
+  c.side_stack.pop_back();
+  c.switchless_stack.pop_back();
 
   // Response marshalling back to the caller.
   env_.clock.advance(static_cast<Cycles>(static_cast<double>(response.size()) *
@@ -214,7 +281,139 @@ void TransitionBridge::call(CallId id, const ByteBuffer& request,
   slot.stats.bytes_out += response.size();
 }
 
+void TransitionBridge::call_via_ring(SwitchlessRing& ring, CallId id,
+                                     const ByteBuffer& request,
+                                     ByteBuffer& response) {
+  // Caller half of the handshake: write the descriptor, signal, park.
+  env_.clock.advance(env_.cost.switchless_call_cycles);
+  SwitchlessRing::Request r;
+  r.call_id = id;
+  r.request = &request;
+  r.response = &response;
+  r.caller = sched_->current();
+  ring.push(&r);
+  try {
+    while (!r.done) sched_->suspend();
+  } catch (...) {
+    // Cancelled while parked: withdraw the stack descriptor. If a worker
+    // already popped it, the worker is on the same cancelled timeline and
+    // unwinds without ever touching it again.
+    ring.withdraw(&r);
+    throw;
+  }
+  if (r.error != nullptr) std::rethrow_exception(r.error);
+}
+
+void TransitionBridge::run_switchless_worker(SwitchlessRing& ring,
+                                             bool is_ecall_ring) {
+  for (;;) {
+    if (ring.empty()) {
+      if (workers_stop_) return;
+      ring.wait_for_work();
+      continue;
+    }
+    SwitchlessRing::Request* r = ring.pop();
+    if (r == nullptr) continue;
+    Slot& slot = slots_[r->call_id];
+    try {
+      // The worker runs in its own call context: baseline untrusted, so
+      // an ecall-ring worker pushing kTrusted mirrors the persistent
+      // in-enclave thread executing the request.
+      execute_call(slot, *r->request, *r->response, is_ecall_ring,
+                   /*switchless=*/true);
+    } catch (const sched::TaskCancelled&) {
+      // Teardown: the descriptor's owner may already be unwound — exit
+      // without touching it.
+      throw;
+    } catch (...) {
+      r->error = std::current_exception();
+    }
+    r->done = true;
+    sched_->wake(r->caller);
+  }
+}
+
+void TransitionBridge::attach_scheduler(sched::Scheduler& sched) {
+  sched_ = &sched;
+  enclave_.tcs().attach_scheduler(&sched);
+}
+
+void TransitionBridge::start_switchless_workers(
+    const SwitchlessConfig& ecall_ring, const SwitchlessConfig& ocall_ring) {
+  MSV_CHECK_MSG(sched_ != nullptr,
+                "start_switchless_workers needs an attached scheduler");
+  MSV_CHECK_MSG(!workers_running_, "switchless workers already running");
+  workers_stop_ = false;
+  ecall_ring_ = std::make_unique<SwitchlessRing>(env_, *sched_, ecall_ring);
+  ocall_ring_ = std::make_unique<SwitchlessRing>(env_, *sched_, ocall_ring);
+  for (std::uint32_t i = 0; i < ecall_ring.workers; ++i) {
+    sched_->spawn_daemon(
+        "swl-ecall-worker-" + std::to_string(i),
+        [this] { run_switchless_worker(*ecall_ring_, /*is_ecall_ring=*/true); });
+  }
+  for (std::uint32_t i = 0; i < ocall_ring.workers; ++i) {
+    sched_->spawn_daemon(
+        "swl-ocall-worker-" + std::to_string(i),
+        [this] { run_switchless_worker(*ocall_ring_, /*is_ecall_ring=*/false); });
+  }
+  workers_running_ = true;
+}
+
+void TransitionBridge::stop_switchless_workers() {
+  if (!workers_running_) return;
+  MSV_CHECK_MSG(!sched_->in_task(),
+                "stop_switchless_workers from inside a task");
+  workers_stop_ = true;
+  ecall_ring_->shutdown_kick();
+  ocall_ring_->shutdown_kick();
+  // Workers are daemons: this drains any queued requests and retires them.
+  sched_->run();
+  // Fold the retired rings' stats into the persistent accumulators, then
+  // drop the rings so switchless calls fall back to the inline path.
+  for (const SwitchlessRing* ring : {ecall_ring_.get(), ocall_ring_.get()}) {
+    const SwitchlessRingStats& s = ring->stats();
+    ring_accum_.enqueued += s.enqueued;
+    ring_accum_.served += s.served;
+    ring_accum_.queue_wait_cycles += s.queue_wait_cycles;
+    ring_accum_.worker_wakeups += s.worker_wakeups;
+    ring_accum_.idle_spin_cycles += s.idle_spin_cycles;
+    ring_accum_.wake_charge_cycles += s.wake_charge_cycles;
+    ring_accum_.full_stalls += s.full_stalls;
+  }
+  ecall_ring_.reset();
+  ocall_ring_.reset();
+  workers_running_ = false;
+  workers_stop_ = false;
+}
+
+const SwitchlessRingStats* TransitionBridge::ecall_ring_stats() const {
+  return ecall_ring_ == nullptr ? nullptr : &ecall_ring_->stats();
+}
+
+const SwitchlessRingStats* TransitionBridge::ocall_ring_stats() const {
+  return ocall_ring_ == nullptr ? nullptr : &ocall_ring_->stats();
+}
+
 const BridgeStats& TransitionBridge::stats() const {
+  const TcsStats& t = enclave_.tcs().stats();
+  stats_.tcs_waits = t.waits;
+  stats_.tcs_wait_cycles = t.wait_cycles;
+  stats_.out_of_tcs_errors = t.out_of_tcs_failures;
+  SwitchlessRingStats merged = ring_accum_;
+  for (const SwitchlessRing* ring : {ecall_ring_.get(), ocall_ring_.get()}) {
+    if (ring == nullptr) continue;
+    const SwitchlessRingStats& s = ring->stats();
+    merged.enqueued += s.enqueued;
+    merged.queue_wait_cycles += s.queue_wait_cycles;
+    merged.worker_wakeups += s.worker_wakeups;
+    merged.idle_spin_cycles += s.idle_spin_cycles;
+    merged.wake_charge_cycles += s.wake_charge_cycles;
+  }
+  stats_.switchless_enqueued = merged.enqueued;
+  stats_.switchless_queue_wait_cycles = merged.queue_wait_cycles;
+  stats_.switchless_worker_wakeups = merged.worker_wakeups;
+  stats_.switchless_idle_spin_cycles = merged.idle_spin_cycles;
+  stats_.switchless_wake_charge_cycles = merged.wake_charge_cycles;
   stats_.per_call.clear();
   for (CallId id = 0; id < slots_.size(); ++id) {
     const CallStats& s = slots_[id].stats;

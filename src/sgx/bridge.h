@@ -30,13 +30,19 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "sgx/enclave.h"
+#include "sgx/tcs.h"
 #include "sim/env.h"
 #include "support/bytes.h"
+
+namespace msv::sched {
+class Scheduler;
+}
 
 namespace msv::sgx {
 
@@ -56,6 +62,15 @@ struct BridgeStats {
   std::uint64_t switchless_calls = 0;
   std::uint64_t bytes_in = 0;   // payload bytes copied into the enclave
   std::uint64_t bytes_out = 0;  // payload bytes copied out of the enclave
+  // ---- Serving layer (merged from TcsPool / SwitchlessRing on access) ----
+  std::uint64_t tcs_waits = 0;            // ecalls that queued for a TCS
+  Cycles tcs_wait_cycles = 0;             // total TCS queueing delay
+  std::uint64_t out_of_tcs_errors = 0;
+  std::uint64_t switchless_enqueued = 0;  // calls that went through a ring
+  Cycles switchless_queue_wait_cycles = 0;
+  std::uint64_t switchless_worker_wakeups = 0;
+  Cycles switchless_idle_spin_cycles = 0;  // busy-wait workers, idle core
+  Cycles switchless_wake_charge_cycles = 0;  // sleep/wake workers
   // Name-keyed view, rebuilt from the flat per-ID table on access (the
   // table itself is ID-indexed; names only matter for reporting).
   std::map<std::string, CallStats> per_call;
@@ -92,12 +107,22 @@ class TransitionBridge {
   CallId ecall_id(const std::string& name) const;
   CallId ocall_id(const std::string& name) const;
   const std::string& call_name(CallId id) const;
+  // Every interned call name, indexed by CallId (registration order). The
+  // serving layer uses this to flag relay transitions switchless by prefix,
+  // the way PartitionedApp walks its EDL spec.
+  const std::vector<std::string>& call_names() const { return names_; }
 
   // Invokes trusted function `name`. Must be called from the untrusted
   // side; throws SecurityFault otherwise (the hardware would fault).
+  [[deprecated(
+      "string dispatch is a registration-time shim; hot paths resolve an "
+      "ecall_id() once and use the CallId overload")]]
   ByteBuffer ecall(const std::string& name, const ByteBuffer& request);
 
   // Invokes untrusted function `name` from inside the enclave.
+  [[deprecated(
+      "string dispatch is a registration-time shim; hot paths resolve an "
+      "ocall_id() once and use the CallId overload")]]
   ByteBuffer ocall(const std::string& name, const ByteBuffer& request);
 
   // Hot path: dispatch by interned ID; the response is written into
@@ -110,11 +135,36 @@ class TransitionBridge {
   void set_switchless(const std::string& name, bool enabled);
   void set_switchless(CallId id, bool enabled);
 
-  Side side() const { return side_stack_.back(); }
+  // ---- Serving layer (DESIGN.md §8) ----
+  // Attaching a scheduler turns on concurrency-aware behaviour: call
+  // side/switchless stacks become per-task, TCS exhaustion can park the
+  // calling task, and switchless rings can be started. Single-task
+  // programs behave exactly as without a scheduler.
+  void attach_scheduler(sched::Scheduler& sched);
+  sched::Scheduler* scheduler() { return sched_; }
+
+  // Spawns persistent daemon worker tasks servicing per-direction request
+  // rings; switchless-marked calls issued from tasks are then enqueued and
+  // executed by a worker instead of inline. Requires an attached
+  // scheduler. For a single caller the cycle total of a ring call is
+  // identical to the inline switchless path (the honesty contract that
+  // bench/abl_switchless asserts).
+  void start_switchless_workers(const SwitchlessConfig& ecall_ring,
+                                const SwitchlessConfig& ocall_ring);
+  // Signals workers to drain and exit, then runs the scheduler until they
+  // are gone. Must be called from outside tasks. Idempotent.
+  void stop_switchless_workers();
+  bool switchless_workers_running() const { return workers_running_; }
+  const SwitchlessRingStats* ecall_ring_stats() const;
+  const SwitchlessRingStats* ocall_ring_stats() const;
+
+  Side side() const { return ctx().side_stack.back(); }
   // True while executing a handler that was invoked switchlessly (the
   // serving worker thread is persistent and stays attached to its isolate;
   // relay dispatch uses this to skip the attach cost).
-  bool current_call_switchless() const { return switchless_stack_.back(); }
+  bool current_call_switchless() const {
+    return ctx().switchless_stack.back();
+  }
   const BridgeStats& stats() const;
   Enclave& enclave() { return enclave_; }
 
@@ -129,12 +179,32 @@ class TransitionBridge {
     CallStats stats;
   };
 
+  // Call context: the side/switchless stacks of one logical thread. With
+  // a scheduler attached each task gets its own (task A can sit inside an
+  // ecall handler while task B is still untrusted); code running outside
+  // any task uses the main context, exactly the pre-scheduler behaviour.
+  struct CallCtx {
+    std::vector<Side> side_stack{Side::kUntrusted};
+    std::vector<bool> switchless_stack{false};
+  };
+
   CallId intern(const std::string& name);
   CallId register_raw(const std::string& name, RawHandler handler,
                       bool is_ecall);
   void check_ecall_entry(const std::string& name) const;
   void call(CallId id, const ByteBuffer& request, ByteBuffer& response,
             bool is_ecall);
+  // Hardware transition cost: advance outside tasks, sleep inside them
+  // (the spin occupies the caller's core, not the shared timeline).
+  void charge_transition(Cycles cycles);
+  // The post-handshake portion of a call: edge dispatch, copies, handler,
+  // shared between the inline path and the ring workers.
+  void execute_call(Slot& slot, const ByteBuffer& request,
+                    ByteBuffer& response, bool is_ecall, bool switchless);
+  void call_via_ring(SwitchlessRing& ring, CallId id,
+                     const ByteBuffer& request, ByteBuffer& response);
+  void run_switchless_worker(SwitchlessRing& ring, bool is_ecall_ring);
+  CallCtx& ctx() const;
 
   Env& env_;
   Enclave& enclave_;
@@ -142,8 +212,16 @@ class TransitionBridge {
   std::vector<std::string> names_;
   // Deque: slot references stay valid if a handler registers new calls.
   std::deque<Slot> slots_;
-  std::vector<Side> side_stack_{Side::kUntrusted};
-  std::vector<bool> switchless_stack_{false};
+  mutable CallCtx main_ctx_;
+  // Ordered map: deterministic, and entries are created per live task.
+  mutable std::map<std::uint64_t, CallCtx> task_ctxs_;
+  sched::Scheduler* sched_ = nullptr;
+  std::unique_ptr<SwitchlessRing> ecall_ring_;
+  std::unique_ptr<SwitchlessRing> ocall_ring_;
+  bool workers_running_ = false;
+  bool workers_stop_ = false;
+  // Stats of rings already torn down, folded in stop_switchless_workers.
+  SwitchlessRingStats ring_accum_;
   mutable BridgeStats stats_;
 };
 

@@ -6,14 +6,15 @@ namespace msv::sgx {
 
 Enclave::Enclave(Env& env, std::string name, Sha256::Digest measurement,
                  std::uint64_t image_bytes, std::uint64_t heap_max_bytes,
-                 std::uint64_t stack_bytes)
+                 std::uint64_t stack_bytes, TcsConfig tcs)
     : env_(env),
       name_(std::move(name)),
       measurement_(measurement),
       image_bytes_(image_bytes),
       heap_max_bytes_(heap_max_bytes),
       stack_bytes_(stack_bytes),
-      epc_(env) {
+      epc_(env),
+      tcs_(env, tcs) {
   // ECREATE + EADD/EEXTEND of every image page: the loader hashes the whole
   // blob into MRENCLAVE before EINIT.
   env_.clock.advance(env_.cost.enclave_create_base_cycles);

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "sgx/epc.h"
+#include "sgx/tcs.h"
 #include "sim/domain.h"
 #include "sim/env.h"
 #include "support/sha256.h"
@@ -22,12 +23,12 @@ enum class EnclaveState { kCreated, kInitialized, kDestroyed };
 class Enclave {
  public:
   // `measurement` is MRENCLAVE: the SHA-256 accumulated over the pages
-  // EADDed by the loader. `heap_max_bytes`/`stack_bytes` mirror the
+  // EADDed by the loader. `heap_max_bytes`/`stack_bytes`/`tcs` mirror the
   // enclave configuration XML of the SDK (the paper uses 4 GB / 8 MB).
   Enclave(Env& env, std::string name, Sha256::Digest measurement,
           std::uint64_t image_bytes,
           std::uint64_t heap_max_bytes = 4ull << 30,
-          std::uint64_t stack_bytes = 8ull << 20);
+          std::uint64_t stack_bytes = 8ull << 20, TcsConfig tcs = {});
 
   Enclave(const Enclave&) = delete;
   Enclave& operator=(const Enclave&) = delete;
@@ -48,6 +49,8 @@ class Enclave {
 
   EpcModel& epc() { return epc_; }
   const EpcModel& epc() const { return epc_; }
+  TcsPool& tcs() { return tcs_; }
+  const TcsPool& tcs() const { return tcs_; }
   Env& env() { return env_; }
 
  private:
@@ -58,6 +61,7 @@ class Enclave {
   std::uint64_t heap_max_bytes_;
   std::uint64_t stack_bytes_;
   EpcModel epc_;
+  TcsPool tcs_;
   EnclaveState state_ = EnclaveState::kCreated;
 };
 

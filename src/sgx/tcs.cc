@@ -1,0 +1,149 @@
+#include "sgx/tcs.h"
+
+#include <algorithm>
+
+#include "sched/scheduler.h"
+
+namespace msv::sgx {
+
+TcsPool::TcsPool(Env& env, TcsConfig config) : env_(env), config_(config) {
+  MSV_CHECK_MSG(config_.slots > 0, "enclave needs at least one TCS");
+}
+
+void TcsPool::configure(const TcsConfig& config) {
+  MSV_CHECK_MSG(in_use_ == 0 && waiters_.empty() && granted_.empty(),
+                "TCS pool reconfigured while calls are in flight");
+  MSV_CHECK_MSG(config.slots > 0, "enclave needs at least one TCS");
+  config_ = config;
+}
+
+void TcsPool::acquire() {
+  ++stats_.acquisitions;
+  if (in_use_ < config_.slots && waiters_.empty() && granted_.empty()) {
+    ++in_use_;
+    stats_.max_in_use = std::max(stats_.max_in_use, in_use_);
+    return;
+  }
+  const bool can_block = config_.on_exhaustion == TcsConfig::OnExhaustion::kBlock &&
+                         sched_ != nullptr && sched_->in_task();
+  if (!can_block) {
+    ++stats_.out_of_tcs_failures;
+    throw OutOfTcsError("all " + std::to_string(config_.slots) +
+                        " TCS busy (SGX_ERROR_OUT_OF_TCS)");
+  }
+  ++stats_.waits;
+  const Cycles queued_at = env_.clock.now();
+  const std::uint64_t me = sched_->current();
+  waiters_.push_back(me);
+  stats_.max_waiters = std::max(stats_.max_waiters, waiters_.size());
+  try {
+    // Parked until release() hands us a slot (FIFO). The granted_ set
+    // closes the race between the handoff and this task actually running.
+    while (std::find(granted_.begin(), granted_.end(), me) == granted_.end()) {
+      sched_->suspend();
+    }
+  } catch (...) {
+    // Cancelled while queued (or while holding an unclaimed grant): give
+    // the slot onward so surviving waiters are not stranded.
+    auto w = std::find(waiters_.begin(), waiters_.end(), me);
+    if (w != waiters_.end()) waiters_.erase(w);
+    auto g = std::find(granted_.begin(), granted_.end(), me);
+    if (g != granted_.end()) {
+      granted_.erase(g);
+      grant_or_free();
+    }
+    throw;
+  }
+  granted_.erase(std::find(granted_.begin(), granted_.end(), me));
+  stats_.wait_cycles += env_.clock.now() - queued_at;
+}
+
+void TcsPool::release() {
+  MSV_CHECK_MSG(in_use_ > 0, "TCS release without acquire");
+  grant_or_free();
+}
+
+// A freed slot is handed directly to the first waiter (in_use_ stays
+// constant across the handoff) or returned to the pool.
+void TcsPool::grant_or_free() {
+  if (!waiters_.empty() && sched_ != nullptr) {
+    const std::uint64_t next = waiters_.front();
+    waiters_.pop_front();
+    granted_.push_back(next);
+    sched_->wake(next);
+    return;
+  }
+  --in_use_;
+}
+
+struct SwitchlessRing::Waiters {
+  explicit Waiters(sched::Scheduler& sched) : workers(sched), space(sched) {}
+  sched::WaitQueue workers;  // workers parked on an empty ring
+  sched::WaitQueue space;    // callers parked on a full ring
+};
+
+SwitchlessRing::SwitchlessRing(Env& env, sched::Scheduler& sched,
+                               SwitchlessConfig config)
+    : env_(env),
+      sched_(sched),
+      config_(config),
+      waiters_(std::make_unique<Waiters>(sched)) {
+  MSV_CHECK_MSG(config_.ring_capacity > 0, "switchless ring needs capacity");
+  MSV_CHECK_MSG(config_.workers > 0, "switchless ring needs workers");
+}
+
+SwitchlessRing::~SwitchlessRing() = default;
+
+void SwitchlessRing::push(Request* r) {
+  while (queue_.size() >= config_.ring_capacity) {
+    ++stats_.full_stalls;
+    waiters_->space.wait();
+  }
+  r->enqueued_at = env_.clock.now();
+  queue_.push_back(r);
+  ++stats_.enqueued;
+  stats_.max_depth = std::max(stats_.max_depth, queue_.size());
+  waiters_->workers.notify_one();
+}
+
+SwitchlessRing::Request* SwitchlessRing::pop() {
+  if (queue_.empty()) return nullptr;
+  Request* r = queue_.front();
+  queue_.pop_front();
+  ++stats_.served;
+  stats_.queue_wait_cycles += env_.clock.now() - r->enqueued_at;
+  waiters_->space.notify_one();
+  return r;
+}
+
+void SwitchlessRing::shutdown_kick() { waiters_->workers.notify_all(); }
+
+bool SwitchlessRing::withdraw(Request* r) {
+  auto it = std::find(queue_.begin(), queue_.end(), r);
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+void SwitchlessRing::wait_for_work() {
+  const Cycles idle_start = env_.clock.now();
+  waiters_->workers.wait();
+  if (queue_.empty()) return;  // raced another worker, or a shutdown kick
+  // Counted only when there is work: an empty wake (race / shutdown) is
+  // bookkeeping, not a modeled futex wake, and charges nothing — so
+  // wake_charge_cycles == worker_wakeups * switchless_wake_cycles exactly.
+  ++stats_.worker_wakeups;
+  if (config_.policy == SwitchlessConfig::WakePolicy::kSleepWake) {
+    // The enqueuer issued a futex wake; the worker eats the syscall +
+    // scheduling latency before it can touch the ring.
+    env_.clock.advance(env_.cost.switchless_wake_cycles);
+    stats_.wake_charge_cycles += env_.cost.switchless_wake_cycles;
+  } else {
+    // Busy-wait: the worker core spun for the whole idle window. now()
+    // cannot have moved backwards, and the spin burns a dedicated core,
+    // not the serving timeline — attribute, don't advance.
+    stats_.idle_spin_cycles += env_.clock.now() - idle_start;
+  }
+}
+
+}  // namespace msv::sgx

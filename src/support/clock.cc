@@ -7,6 +7,10 @@
 namespace msv {
 
 void VirtualClock::advance(Cycles c) {
+  if (detached_depth_ > 0) {
+    detached_total_ += c;
+    return;
+  }
   const Cycles target = now_ + c;
   MSV_CHECK_MSG(target >= now_, "virtual clock overflow");
   while (!timers_.empty() && timers_.top().deadline <= target) {
@@ -27,6 +31,22 @@ void VirtualClock::advance(Cycles c) {
     firing_ = false;
   }
   now_ = target;
+}
+
+Cycles VirtualClock::measure_detached(const std::function<void()>& fn) {
+  ++detached_depth_;
+  const Cycles before = detached_total_;
+  try {
+    fn();
+  } catch (...) {
+    --detached_depth_;
+    if (detached_depth_ == 0) detached_total_ = 0;
+    throw;
+  }
+  --detached_depth_;
+  const Cycles charged = detached_total_ - before;
+  if (detached_depth_ == 0) detached_total_ = 0;
+  return charged;
 }
 
 std::uint64_t VirtualClock::schedule_at(Cycles deadline,

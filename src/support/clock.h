@@ -38,6 +38,15 @@ class VirtualClock {
   // timer observes evenly spaced instants regardless of advance granularity.
   void advance(Cycles c);
 
+  // Runs `fn` with the clock detached: every advance() it performs is
+  // accumulated and returned instead of moving now() (timers do not fire).
+  // This measures the exact cycle cost of an activity that executes on a
+  // core of its own — the GC helper threads of §5.5 — so the serving layer
+  // can realize the cost as a sleep of the owning isolate rather than a
+  // stall of the shared timeline. Nesting is allowed; the inner call
+  // returns only its own charges.
+  Cycles measure_detached(const std::function<void()>& fn);
+
   // Schedules `fn` to run once when the clock reaches `deadline` (absolute).
   // Returns an id usable with cancel().
   std::uint64_t schedule_at(Cycles deadline, std::function<void()> fn);
@@ -64,6 +73,8 @@ class VirtualClock {
 
   double hz_;
   Cycles now_ = 0;
+  std::uint32_t detached_depth_ = 0;
+  Cycles detached_total_ = 0;
   std::uint64_t next_id_ = 1;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::vector<std::uint64_t> cancelled_;

@@ -98,6 +98,11 @@ struct CostModel {
 
   // ---- Switchless calls (future work §7, HotCalls-style) ----
   Cycles switchless_call_cycles = 1'300;  // spinlock handshake, no transition
+  // Futex wake of a sleeping switchless worker (the SDK's adaptive mode
+  // parks idle workers instead of spinning): syscall + scheduler latency
+  // paid once per wakeup, on top of the handshake. Busy-wait workers skip
+  // this but burn their core while idle (tracked as idle_spin_cycles).
+  Cycles switchless_wake_cycles = 8'000;
 
   // ---- JVM baseline (SCONE+JVM, §6.6) ----
   Cycles jvm_startup_cycles = 800'000'000;    // JVM boot, core classes, JIT

@@ -25,7 +25,7 @@ class MemFile final : public File {
     const std::size_t avail =
         pos_ < data_->size() ? data_->size() - pos_ : 0;
     const std::size_t take = std::min(n, avail);
-    std::memcpy(buf, data_->data() + pos_, take);
+    if (take != 0) std::memcpy(buf, data_->data() + pos_, take);
     pos_ += take;
     return take;
   }
@@ -33,7 +33,7 @@ class MemFile final : public File {
   void write(const void* buf, std::size_t n) override {
     MSV_CHECK_MSG(writable_, "write to a read-only MemFile");
     if (pos_ + n > data_->size()) data_->resize(pos_ + n);
-    std::memcpy(data_->data() + pos_, buf, n);
+    if (n != 0) std::memcpy(data_->data() + pos_, buf, n);
     pos_ += n;
   }
 

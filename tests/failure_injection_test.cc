@@ -118,7 +118,9 @@ TEST(FailureInjection, MissingMirrorIsDiagnosed) {
   ByteBuffer payload;
   payload.put_varint(1);
   payload.put_i64(hash);
-  app.bridge().ecall("ecall_gc_evict_mirrors", payload);
+  ByteBuffer evict_resp;
+  app.bridge().ecall(app.bridge().ecall_id("ecall_gc_evict_mirrors"), payload,
+                     evict_resp);
   EXPECT_THROW(u.invoke(w.as_ref(), "set", {Value(std::int32_t{1})}),
                RuntimeFault);
 }

@@ -226,13 +226,14 @@ class ShimTest : public ::testing::Test {
   // Runs `fn` "inside the enclave" through a test ecall.
   void in_enclave(const std::function<void()>& fn) {
     if (!bridge_->has_ecall("test_enter")) {
-      bridge_->register_ecall("test_enter", [this](ByteReader&) {
+      test_enter_id_ = bridge_->register_ecall("test_enter", [this](ByteReader&) {
         (*pending_)();
         return ByteBuffer();
       });
     }
     pending_ = &fn;
-    bridge_->ecall("test_enter", ByteBuffer());
+    ByteBuffer resp;
+    bridge_->ecall(test_enter_id_, ByteBuffer(), resp);
     pending_ = nullptr;
   }
 
@@ -244,6 +245,7 @@ class ShimTest : public ::testing::Test {
   std::unique_ptr<sgx::TransitionBridge> bridge_;
   std::unique_ptr<shim::EnclaveShim> shim_;
   const std::function<void()>* pending_ = nullptr;
+  sgx::CallId test_enter_id_ = sgx::kNoCallId;
 };
 
 TEST_F(ShimTest, FileRoundTripThroughOcalls) {

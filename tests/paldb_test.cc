@@ -146,13 +146,15 @@ TEST_F(PaldbTest, EnclaveReaderPaysMoreThanHostReader) {
   }
 
   // Reads must run "inside": wrap in an ecall.
-  bridge.register_ecall("read_all", [&](ByteReader&) {
-    StoreReader reader(enclave_env, shim, "cost.paldb");
-    for (int i = 0; i < 2000; ++i) reader.get("key" + std::to_string(i));
-    return ByteBuffer();
-  });
+  const sgx::CallId read_all =
+      bridge.register_ecall("read_all", [&](ByteReader&) {
+        StoreReader reader(enclave_env, shim, "cost.paldb");
+        for (int i = 0; i < 2000; ++i) reader.get("key" + std::to_string(i));
+        return ByteBuffer();
+      });
   const Cycles t1 = enclave_env.clock.now();
-  bridge.ecall("read_all", ByteBuffer());
+  ByteBuffer read_resp;
+  bridge.ecall(read_all, ByteBuffer(), read_resp);
   const Cycles enclave_cost = enclave_env.clock.now() - t1;
 
   // The read-side penalty is real but modest — which is exactly why the

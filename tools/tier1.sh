@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure + build + full test suite (ROADMAP.md), then a
-# smoke pass of the RMI fast-path ablation so hot-path regressions that
-# only show up as cycle divergence or a dead fast path fail fast too.
+# Tier-1 gate: configure + build + full test suite (ROADMAP.md), then
+# smoke passes of the honesty-contract ablations so regressions that only
+# show up as cycle divergence (RMI fast path vs legacy, switchless ring
+# vs inline) fail fast too.
 #
 # Usage: tools/tier1.sh [build-dir]   (default: build)
 # Also wired as the CMake `check` target: cmake --build build --target check
@@ -15,4 +16,5 @@ cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
 "$BUILD_DIR"/bench/abl_rmi_fastpath --smoke > /dev/null
-echo "tier1: tests + rmi fast-path smoke OK"
+"$BUILD_DIR"/bench/abl_switchless --smoke > /dev/null
+echo "tier1: tests + rmi fast-path + switchless-ring smoke OK"
