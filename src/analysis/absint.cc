@@ -1,0 +1,492 @@
+#include "analysis/absint.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "model/annotations.h"
+
+namespace msv::analysis {
+
+using model::Instr;
+using model::Op;
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kBottom:
+      return "bottom";
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return "bool";
+    case Kind::kI32:
+      return "i32";
+    case Kind::kI64:
+      return "i64";
+    case Kind::kF64:
+      return "f64";
+    case Kind::kString:
+      return "string";
+    case Kind::kList:
+      return "list";
+    case Kind::kRef:
+      return "ref";
+    case Kind::kTop:
+      return "top";
+  }
+  return "?";
+}
+
+namespace {
+
+Kind join_kind(Kind a, Kind b) {
+  if (a == b) return a;
+  if (a == Kind::kBottom) return b;
+  if (b == Kind::kBottom) return a;
+  // null joins with a ref to "possibly-null ref"; we keep kRef, the class
+  // set already expresses the uncertainty.
+  if ((a == Kind::kNull && b == Kind::kRef) ||
+      (a == Kind::kRef && b == Kind::kNull)) {
+    return Kind::kRef;
+  }
+  return Kind::kTop;
+}
+
+Kind kind_of_const(const rt::Value& v) {
+  switch (v.type()) {
+    case rt::ValueType::kNull:
+      return Kind::kNull;
+    case rt::ValueType::kBool:
+      return Kind::kBool;
+    case rt::ValueType::kI32:
+      return Kind::kI32;
+    case rt::ValueType::kI64:
+      return Kind::kI64;
+    case rt::ValueType::kF64:
+      return Kind::kF64;
+    case rt::ValueType::kString:
+      return Kind::kString;
+    case rt::ValueType::kList:
+      return Kind::kList;
+    case rt::ValueType::kRef:
+      return Kind::kRef;
+  }
+  return Kind::kTop;
+}
+
+Kind arith_kind(Kind a, Kind b) {
+  if (a == Kind::kF64 || b == Kind::kF64) return Kind::kF64;
+  if (a == Kind::kI64 || b == Kind::kI64) return Kind::kI64;
+  if (a == Kind::kI32 && b == Kind::kI32) return Kind::kI32;
+  return Kind::kTop;  // one side unknown: i32/i64/f64 at run time
+}
+
+}  // namespace
+
+bool AbsValue::join(const AbsValue& other) {
+  bool changed = false;
+  const Kind joined = join_kind(kind, other.kind);
+  if (joined != kind) {
+    kind = joined;
+    changed = true;
+  }
+  if (other.tainted && !tainted) {
+    tainted = true;
+    changed = true;
+  }
+  for (const auto& c : other.classes) {
+    if (classes.insert(c).second) changed = true;
+  }
+  return changed;
+}
+
+bool FrameState::join(const FrameState& other, bool* depth_mismatch) {
+  if (!other.reachable) return false;
+  if (!reachable) {
+    *this = other;
+    return true;
+  }
+  bool changed = false;
+  if (stack.size() != other.stack.size()) {
+    if (depth_mismatch != nullptr) *depth_mismatch = true;
+    const std::size_t keep = std::min(stack.size(), other.stack.size());
+    // Truncate to the common suffix (top of stack) so analysis stays total.
+    std::vector<AbsValue> mine(stack.end() - static_cast<std::ptrdiff_t>(keep),
+                               stack.end());
+    std::vector<AbsValue> theirs(
+        other.stack.end() - static_cast<std::ptrdiff_t>(keep),
+        other.stack.end());
+    stack = std::move(mine);
+    for (std::size_t i = 0; i < keep; ++i) stack[i].join(theirs[i]);
+    changed = true;
+  } else {
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      if (stack[i].join(other.stack[i])) changed = true;
+    }
+  }
+  const std::size_t nlocals = std::max(locals.size(), other.locals.size());
+  locals.resize(nlocals);
+  for (std::size_t i = 0; i < other.locals.size(); ++i) {
+    if (locals[i].join(other.locals[i])) changed = true;
+  }
+  return changed;
+}
+
+namespace {
+
+// Per-run transfer machinery, bundling the error sink and model context.
+class Interpreter {
+ public:
+  Interpreter(const model::IrBody& body, const DataflowContext& ctx,
+              DataflowResult& result)
+      : body_(body), ctx_(ctx), result_(result) {}
+
+  // Applies instruction `pc` to `state`. Returns false when execution
+  // cannot continue past this instruction (underflow or terminator).
+  bool step(std::size_t pc, FrameState& state) {
+    const Instr& instr = body_.code[pc];
+    const std::int32_t pops = model::stack_pops(instr);
+    if (pops < 0 ||
+        state.stack.size() < static_cast<std::size_t>(std::max(pops, 0))) {
+      error(pc, std::string("operand stack underflow at `") +
+                    model::op_name(instr.op) + "` (depth " +
+                    std::to_string(state.stack.size()) + ", needs " +
+                    std::to_string(std::max(pops, 0)) + ")");
+      return false;
+    }
+
+    switch (instr.op) {
+      case Op::kNop:
+        break;
+      case Op::kConst:
+        if (!valid_index(instr.a, body_.consts.size())) {
+          error(pc, "constant pool index " + std::to_string(instr.a) +
+                        " out of range (pool size " +
+                        std::to_string(body_.consts.size()) + ")");
+          push(state, AbsValue::top());
+          break;
+        }
+        push(state, AbsValue::of(kind_of_const(
+                        body_.consts[static_cast<std::size_t>(instr.a)])));
+        break;
+      case Op::kLoadLocal:
+        if (!valid_index(instr.a, state.locals.size())) {
+          error(pc, "local index " + std::to_string(instr.a) +
+                        " out of range (local count " +
+                        std::to_string(state.locals.size()) + ")");
+          push(state, AbsValue::top());
+          break;
+        }
+        push(state, state.locals[static_cast<std::size_t>(instr.a)]);
+        break;
+      case Op::kStoreLocal: {
+        const AbsValue v = pop(state);
+        if (!valid_index(instr.a, state.locals.size())) {
+          error(pc, "local index " + std::to_string(instr.a) +
+                        " out of range (local count " +
+                        std::to_string(state.locals.size()) + ")");
+          break;
+        }
+        state.locals[static_cast<std::size_t>(instr.a)] = v;
+        break;
+      }
+      case Op::kGetField: {
+        const AbsValue obj = pop(state);
+        if (instr.a < 0) {
+          error(pc, "negative field index " + std::to_string(instr.a));
+        } else {
+          check_field_bounds(pc, obj, instr.a);
+        }
+        AbsValue v = AbsValue::top();
+        v.tainted = ctx_.taint_trusted_fields && reads_trusted_field(obj);
+        push(state, std::move(v));
+        break;
+      }
+      case Op::kPutField: {
+        pop(state);  // value
+        const AbsValue obj = pop(state);
+        if (instr.a < 0) {
+          error(pc, "negative field index " + std::to_string(instr.a));
+        } else {
+          check_field_bounds(pc, obj, instr.a);
+        }
+        break;
+      }
+      case Op::kNew: {
+        if (!check_name_and_argc(pc, instr)) {
+          pop_n(state, std::max<std::int32_t>(instr.b, 0));
+          push(state, AbsValue::top());
+          break;
+        }
+        pop_n(state, instr.b);
+        push(state,
+             AbsValue::ref_to(body_.names[static_cast<std::size_t>(instr.a)]));
+        break;
+      }
+      case Op::kCall: {
+        if (!check_name_and_argc(pc, instr)) {
+          pop_n(state, std::max<std::int32_t>(instr.b, 0) + 1);
+          push(state, AbsValue::top());
+          break;
+        }
+        pop_n(state, instr.b);
+        const AbsValue receiver = pop(state);
+        push(state, call_result(receiver,
+                                body_.names[static_cast<std::size_t>(instr.a)]));
+        break;
+      }
+      case Op::kIntrinsic: {
+        if (!check_name_and_argc(pc, instr)) {
+          pop_n(state, std::max<std::int32_t>(instr.b, 0));
+          push(state, AbsValue::top());
+          break;
+        }
+        bool tainted = false;
+        for (std::int32_t i = 0; i < instr.b; ++i) {
+          tainted = pop(state).tainted || tainted;
+        }
+        AbsValue v = AbsValue::top();
+        v.tainted = tainted;  // e.g. str_concat of a secret stays secret
+        push(state, std::move(v));
+        break;
+      }
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv: {
+        const AbsValue rhs = pop(state);
+        const AbsValue lhs = pop(state);
+        AbsValue v = AbsValue::of(arith_kind(lhs.kind, rhs.kind));
+        v.tainted = lhs.tainted || rhs.tainted;
+        push(state, std::move(v));
+        break;
+      }
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kEq: {
+        const AbsValue rhs = pop(state);
+        const AbsValue lhs = pop(state);
+        AbsValue v = AbsValue::of(Kind::kBool);
+        v.tainted = lhs.tainted || rhs.tainted;
+        push(state, std::move(v));
+        break;
+      }
+      case Op::kJump:
+      case Op::kBranchFalse:
+        if (instr.op == Op::kBranchFalse) pop(state);
+        if (instr.a < 0 ||
+            static_cast<std::size_t>(instr.a) >= body_.code.size()) {
+          error(pc, std::string("malformed `") + model::op_name(instr.op) +
+                        "` target " + std::to_string(instr.a) +
+                        " (code size " + std::to_string(body_.code.size()) +
+                        ")");
+        }
+        break;
+      case Op::kPop:
+        pop(state);
+        break;
+      case Op::kDup:
+        push(state, state.stack.back());
+        break;
+      case Op::kReturn:
+        result_.return_value.join(pop(state));
+        break;
+      case Op::kReturnVoid:
+        break;
+    }
+    if (state.stack.size() > ctx_.max_stack) {
+      error(pc, "operand stack overflow (depth " +
+                    std::to_string(state.stack.size()) + " exceeds limit " +
+                    std::to_string(ctx_.max_stack) + ")");
+      return false;
+    }
+    return true;
+  }
+
+  void error(std::size_t pc, std::string message) {
+    // One report per pc keeps the fixpoint from duplicating findings.
+    if (!reported_.insert(pc).second) return;
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pc = static_cast<std::int32_t>(pc);
+    d.message = std::move(message);
+    result_.errors.push_back(std::move(d));
+  }
+
+ private:
+  static bool valid_index(std::int32_t idx, std::size_t size) {
+    return idx >= 0 && static_cast<std::size_t>(idx) < size;
+  }
+
+  bool check_name_and_argc(std::size_t pc, const Instr& instr) {
+    bool ok = true;
+    if (!valid_index(instr.a, body_.names.size())) {
+      error(pc, "name pool index " + std::to_string(instr.a) +
+                    " out of range (pool size " +
+                    std::to_string(body_.names.size()) + ")");
+      ok = false;
+    }
+    if (instr.b < 0) {
+      error(pc, std::string("negative argument count on `") +
+                    model::op_name(instr.op) + "`");
+      ok = false;
+    }
+    return ok;
+  }
+
+  void check_field_bounds(std::size_t pc, const AbsValue& obj,
+                          std::int32_t field) {
+    // Only provable with a unique receiver class.
+    if (ctx_.app == nullptr || obj.classes.size() != 1) return;
+    const model::ClassDecl* cls = ctx_.app->find_class(*obj.classes.begin());
+    if (cls == nullptr) return;
+    if (static_cast<std::size_t>(field) >= cls->fields().size()) {
+      error(pc, "field index " + std::to_string(field) +
+                    " out of range for " + cls->name() + " (" +
+                    std::to_string(cls->fields().size()) + " fields)");
+    }
+  }
+
+  bool reads_trusted_field(const AbsValue& obj) const {
+    if (ctx_.app == nullptr) return false;
+    for (const auto& name : obj.classes) {
+      const model::ClassDecl* cls = ctx_.app->find_class(name);
+      if (cls != nullptr &&
+          cls->annotation() == model::Annotation::kTrusted) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  AbsValue call_result(const AbsValue& receiver, const std::string& method) {
+    if (ctx_.summaries == nullptr || ctx_.app == nullptr ||
+        receiver.classes.empty()) {
+      return AbsValue::top();
+    }
+    AbsValue out = AbsValue::bottom();
+    for (const auto& cls : receiver.classes) {
+      const auto it = ctx_.summaries->find({cls, method});
+      if (it == ctx_.summaries->end()) return AbsValue::top();
+      out.join(it->second);
+    }
+    return out.kind == Kind::kBottom ? AbsValue::top() : out;
+  }
+
+  AbsValue pop(FrameState& state) {
+    AbsValue v = std::move(state.stack.back());
+    state.stack.pop_back();
+    return v;
+  }
+  void pop_n(FrameState& state, std::int32_t n) {
+    for (std::int32_t i = 0; i < n; ++i) state.stack.pop_back();
+  }
+  void push(FrameState& state, AbsValue v) {
+    state.stack.push_back(std::move(v));
+  }
+
+  const model::IrBody& body_;
+  const DataflowContext& ctx_;
+  DataflowResult& result_;
+  std::set<std::size_t> reported_;
+};
+
+FrameState entry_state(const model::IrBody& body, const DataflowContext& ctx) {
+  FrameState state;
+  state.reachable = true;
+  std::size_t nparams = 0;
+  bool is_static = true;
+  if (ctx.method != nullptr) {
+    nparams = ctx.method->param_count();
+    is_static = ctx.method->is_static();
+  }
+  const std::size_t nlocals = std::max<std::size_t>(
+      body.local_count, nparams + (is_static ? 0 : 1));
+  // Uninitialized locals are null at run time (exec_ir's default Value()).
+  state.locals.assign(nlocals, AbsValue::of(Kind::kNull));
+  std::size_t next = 0;
+  if (!is_static && ctx.cls != nullptr) {
+    state.locals[next++] = AbsValue::ref_to(ctx.cls->name());
+  } else if (!is_static) {
+    state.locals[next++] = AbsValue::top();
+  }
+  for (std::size_t i = 0; i < nparams && next < nlocals; ++i) {
+    state.locals[next++] = AbsValue::top();
+  }
+  return state;
+}
+
+}  // namespace
+
+DataflowResult analyze_method(const model::IrBody& body,
+                              const DataflowContext& ctx) {
+  DataflowResult result;
+  result.cfg = build_cfg(body);
+  result.before.assign(body.code.size(), FrameState{});
+  if (result.cfg.empty()) {
+    result.falls_off_end = true;  // an empty body "returns" void implicitly
+    return result;
+  }
+
+  Interpreter interp(body, ctx, result);
+
+  std::vector<FrameState> block_entry(result.cfg.blocks.size());
+  std::vector<bool> merge_reported(result.cfg.blocks.size(), false);
+  block_entry[0] = entry_state(body, ctx);
+
+  std::deque<std::size_t> worklist{0};
+  std::vector<bool> queued(result.cfg.blocks.size(), false);
+  queued[0] = true;
+
+  while (!worklist.empty()) {
+    const std::size_t bi = worklist.front();
+    worklist.pop_front();
+    queued[bi] = false;
+    ++result.block_visits;
+
+    const BasicBlock& block = result.cfg.blocks[bi];
+    FrameState state = block_entry[bi];
+    bool fell_through = true;
+    for (std::size_t pc = block.begin; pc < block.end && fell_through; ++pc) {
+      fell_through = interp.step(pc, state);
+    }
+    if (!fell_through) continue;  // underflow/overflow cut this path
+    if (block.falls_off_end) result.falls_off_end = true;
+
+    for (const std::size_t succ : block.succs) {
+      bool depth_mismatch = false;
+      if (block_entry[succ].join(state, &depth_mismatch)) {
+        if (!queued[succ]) {
+          worklist.push_back(succ);
+          queued[succ] = true;
+        }
+      }
+      if (depth_mismatch && !merge_reported[succ]) {
+        merge_reported[succ] = true;
+        interp.error(result.cfg.blocks[succ].begin,
+                     "inconsistent operand stack depth at merge point");
+      }
+    }
+  }
+
+  // Recording pass: capture the state before every reachable instruction.
+  for (std::size_t bi = 0; bi < result.cfg.blocks.size(); ++bi) {
+    if (!block_entry[bi].reachable) continue;
+    const BasicBlock& block = result.cfg.blocks[bi];
+    FrameState state = block_entry[bi];
+    for (std::size_t pc = block.begin; pc < block.end; ++pc) {
+      result.before[pc] = state;
+      if (!interp.step(pc, state)) break;
+    }
+  }
+
+  if (result.falls_off_end) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pc = static_cast<std::int32_t>(body.code.size() - 1);
+    d.message = "control can fall off the end of the method without a return";
+    result.errors.push_back(std::move(d));
+  }
+  return result;
+}
+
+}  // namespace msv::analysis

@@ -1,0 +1,120 @@
+// Abstract interpretation over model::IrBody — the shared engine under the
+// bytecode verifier (analysis/verify.h) and the partition lints
+// (analysis/lint.h).
+//
+// The abstraction simulates the operand stack and locals with *value
+// kinds* (null/bool/i32/i64/f64/string/list/ref/top), a set of possible
+// classes for references, and a taint bit marking data read from @Trusted
+// class fields (the secret-flow source of MSV001). A worklist iterates
+// block entry states to a fixpoint, joining at merge points; a final pass
+// records the state before every reachable instruction so rule passes can
+// inspect operands without re-running the transfer functions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/diag.h"
+#include "model/app_model.h"
+
+namespace msv::analysis {
+
+enum class Kind : std::uint8_t {
+  kBottom,  // no value (unreached)
+  kNull,
+  kBool,
+  kI32,
+  kI64,
+  kF64,
+  kString,
+  kList,
+  kRef,
+  kTop,  // any value
+};
+
+const char* kind_name(Kind k);
+
+struct AbsValue {
+  Kind kind = Kind::kBottom;
+  bool tainted = false;  // derived from a @Trusted class field
+  // Possible classes when kind == kRef (empty = unknown ref).
+  std::set<std::string> classes;
+
+  bool is_primitive() const {
+    return kind == Kind::kNull || kind == Kind::kBool || kind == Kind::kI32 ||
+           kind == Kind::kI64 || kind == Kind::kF64;
+  }
+  // True when the abstraction proves the value is not a primitive — used by
+  // the MSV005 primitive-signature check (unknown kinds pass).
+  bool definitely_nonprimitive() const {
+    return kind == Kind::kString || kind == Kind::kList || kind == Kind::kRef;
+  }
+
+  static AbsValue bottom() { return {}; }
+  static AbsValue top() { return {Kind::kTop, false, {}}; }
+  static AbsValue of(Kind k) { return {k, false, {}}; }
+  static AbsValue ref_to(std::string cls) {
+    AbsValue v{Kind::kRef, false, {}};
+    v.classes.insert(std::move(cls));
+    return v;
+  }
+
+  // Least upper bound; returns true if *this changed.
+  bool join(const AbsValue& other);
+  bool operator==(const AbsValue& other) const = default;
+};
+
+struct FrameState {
+  bool reachable = false;
+  std::vector<AbsValue> locals;
+  std::vector<AbsValue> stack;
+
+  // Joins `other` into *this; returns true on change. `depth_mismatch` is
+  // set when the operand stacks disagree in depth (a verification error;
+  // the join truncates to the shallower depth to keep the analysis total).
+  bool join(const FrameState& other, bool* depth_mismatch);
+};
+
+// Return-value summaries for interprocedural propagation: what a call to
+// (class, method) may produce. Populated by lint's fixpoint over the RTA
+// call graph; absent entries mean "unknown" (top, untainted).
+using SummaryKey = std::pair<std::string, std::string>;
+using SummaryMap = std::map<SummaryKey, AbsValue>;
+
+struct DataflowContext {
+  // Optional model context. With `app`, kNew results carry the target
+  // class, kCall results consult `summaries`, and field reads on receivers
+  // whose class set includes a @Trusted class are tainted.
+  const model::AppModel* app = nullptr;
+  const model::ClassDecl* cls = nullptr;        // declaring class
+  const model::MethodDecl* method = nullptr;    // analyzed method
+  const SummaryMap* summaries = nullptr;
+  bool taint_trusted_fields = false;
+  std::uint32_t max_stack = 1024;
+};
+
+struct DataflowResult {
+  Cfg cfg;
+  // State *before* each pc; .reachable == false for dead code.
+  std::vector<FrameState> before;
+  // Verification problems: operand-stack underflow/overflow, inconsistent
+  // merge depths, out-of-bounds operands, malformed jump targets,
+  // fall-through past the end. `rule`/`cls`/`method` are left for the
+  // caller (verify -> plain errors, lint -> MSV007).
+  std::vector<Diagnostic> errors;
+  // Join over every kReturn operand (bottom if the method never returns a
+  // value).
+  AbsValue return_value;
+  bool falls_off_end = false;
+  std::uint64_t block_visits = 0;
+};
+
+DataflowResult analyze_method(const model::IrBody& body,
+                              const DataflowContext& ctx);
+
+}  // namespace msv::analysis

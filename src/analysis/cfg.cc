@@ -1,0 +1,80 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+namespace msv::analysis {
+
+using model::Instr;
+using model::Op;
+
+Cfg build_cfg(const model::IrBody& body) {
+  Cfg cfg;
+  const std::size_t n = body.code.size();
+  if (n == 0) return cfg;
+
+  auto valid_target = [n](std::int32_t a) {
+    return a >= 0 && static_cast<std::size_t>(a) < n;
+  };
+
+  // Leaders: pc 0, every valid branch target, and every pc following a
+  // control transfer.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    const Instr& instr = body.code[pc];
+    if (instr.op == Op::kJump || instr.op == Op::kBranchFalse) {
+      if (valid_target(instr.a)) leader[static_cast<std::size_t>(instr.a)] = true;
+      if (pc + 1 < n) leader[pc + 1] = true;
+    } else if (instr.op == Op::kReturn || instr.op == Op::kReturnVoid) {
+      if (pc + 1 < n) leader[pc + 1] = true;
+    }
+  }
+
+  cfg.block_of_pc.assign(n, 0);
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    if (leader[pc]) {
+      cfg.blocks.push_back(BasicBlock{pc, pc, {}, false});
+    }
+    cfg.block_of_pc[pc] = cfg.blocks.size() - 1;
+    cfg.blocks.back().end = pc + 1;
+  }
+
+  for (auto& block : cfg.blocks) {
+    const Instr& last = body.code[block.end - 1];
+    switch (last.op) {
+      case Op::kJump:
+        if (valid_target(last.a)) {
+          block.succs.push_back(cfg.block_of_pc[static_cast<std::size_t>(last.a)]);
+        }
+        break;
+      case Op::kBranchFalse:
+        if (block.end < n) {
+          block.succs.push_back(cfg.block_of_pc[block.end]);
+        } else {
+          block.falls_off_end = true;  // fall-through exit of the last branch
+        }
+        if (valid_target(last.a)) {
+          const std::size_t target =
+              cfg.block_of_pc[static_cast<std::size_t>(last.a)];
+          if (std::find(block.succs.begin(), block.succs.end(), target) ==
+              block.succs.end()) {
+            block.succs.push_back(target);
+          }
+        }
+        break;
+      case Op::kReturn:
+      case Op::kReturnVoid:
+        break;
+      default:
+        if (block.end < n) {
+          block.succs.push_back(cfg.block_of_pc[block.end]);
+        } else {
+          block.falls_off_end = true;
+        }
+        break;
+    }
+  }
+  return cfg;
+}
+
+}  // namespace msv::analysis

@@ -1,0 +1,35 @@
+// Per-method control-flow graph over model::IrBody.
+//
+// Basic blocks are the maximal straight-line runs between jump targets and
+// control transfers (kJump / kBranchFalse / the two returns). The builder
+// is total: malformed jump targets never crash it — they simply produce no
+// edge (the verifier reports them separately), so the dataflow engine can
+// run over arbitrary input bytecode.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/ir.h"
+
+namespace msv::analysis {
+
+struct BasicBlock {
+  std::size_t begin = 0;  // first pc (inclusive)
+  std::size_t end = 0;    // one past the last pc
+  std::vector<std::size_t> succs;  // successor block indices
+  // True when the block's last instruction can fall off the end of the
+  // method (end == code.size() and the last op is not a terminator).
+  bool falls_off_end = false;
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;        // blocks[0] is the entry block
+  std::vector<std::size_t> block_of_pc;  // pc -> owning block index
+
+  bool empty() const { return blocks.empty(); }
+};
+
+Cfg build_cfg(const model::IrBody& body);
+
+}  // namespace msv::analysis

@@ -1,0 +1,91 @@
+// msvlint — the partition-soundness lint suite (rule IDs MSV001…).
+//
+// The transformer (§5.2) weaves whatever the annotations say; nothing in
+// the pipeline checks that the annotated application is a *sound*
+// partition. These rules make the bad scenarios statically detectable,
+// in the spirit of Glamdring's dataflow checks and SecV's secure-value
+// tracking:
+//
+//   MSV001  secret-flow taint: a value read from @Trusted-class state
+//           reaches an argument of a call that crosses to the untrusted
+//           side (the woven proxy stub would serialize the secret into
+//           untrusted memory) or an I/O/print intrinsic (which leaves the
+//           enclave through the shim's ocalls).
+//   MSV002  neutral-state divergence: neutral instances are per-side
+//           *copies* (§5.1); a neutral field written on one side and read
+//           on the other silently reads the wrong copy.
+//   MSV003  cross-partition instantiation: `new` of an opposite-partition
+//           class whose constructor is private (the transformer relays
+//           only public methods — the woven proxy has no construction
+//           stub and the allocation fails at run time), and `new` of a
+//           partitioned class from neutral code (concrete on one side,
+//           proxy on the other: the neutral copies diverge structurally).
+//   MSV004  native-hint completeness: declared_callees() hints that
+//           dangle, target a never-relayed private method across the
+//           boundary, or — given call edges observed by the tracing agent
+//           — omit a call the native body actually makes (a blind spot of
+//           the closed-world reachability analysis: the callee may be
+//           pruned from the image).
+//   MSV005  relay signature constraints: a call site passes a provably
+//           non-primitive value to a method declared
+//           primitive_signature(), or such a method returns one (the
+//           fixed-layout wire fast path cannot encode it); call arity
+//           must match the relay's parameter count.
+//   MSV006  cross-boundary reference cycles: class-level reference edges
+//           that form a cycle spanning both partitions — proxy and mirror
+//           keep each other alive and the per-side GCs never reclaim the
+//           cycle (the paper's proxy-GC limitation, §7).
+//   MSV007  malformed bytecode: the verifier's findings (stack
+//           underflow/overflow, bad jump targets, out-of-bounds operand
+//           indices, fall-through without return) surfaced as lint
+//           diagnostics.
+//
+// The engine runs the abstract interpreter (analysis/absint.h) per
+// method, layered with two interprocedural fixpoints over the same call
+// edges the RTA reachability analysis walks (xform::direct_call_sites):
+// return-value taint summaries, and a partition-side propagation that
+// computes which side(s) each neutral method may execute on.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "model/app_model.h"
+
+namespace msv::analysis {
+
+// A method identified as (class, method) — mirrors xform::MethodRef.
+using MethodKey = std::pair<std::string, std::string>;
+
+// One call edge observed while executing a native method body, from
+// interp::ExecContext::native_edges() after an instrumented dry run.
+using NativeEdge = std::pair<MethodKey, MethodKey>;  // caller -> callee
+
+struct LintRule {
+  const char* id;       // "MSV001"
+  const char* summary;  // one line, for --list-rules and reports
+};
+
+// The rule catalogue, in rule-ID order.
+const std::vector<LintRule>& lint_rules();
+std::vector<std::string> lint_rule_ids();
+
+struct LintOptions {
+  std::uint32_t max_stack = 1024;
+  // Observed native-body call edges; enables the dynamic half of MSV004.
+  std::vector<NativeEdge> native_edges;
+  // Intrinsics whose arguments leave the enclave when invoked from
+  // trusted-side code (MSV001 sinks). The I/O intrinsics relay through
+  // the shim's ocalls; print writes to the host's stdout.
+  std::set<std::string> sink_intrinsics{"io_write", "io_read", "print"};
+};
+
+// Runs every rule over the annotated (pre-weave) application and returns
+// the sorted report. Total: never throws on malformed input — malformed
+// bytecode comes back as MSV007 findings instead.
+Report lint(const model::AppModel& app, const LintOptions& options = {});
+
+}  // namespace msv::analysis

@@ -1,0 +1,44 @@
+#include "analysis/verify.h"
+
+namespace msv::analysis {
+
+std::vector<Diagnostic> verify(const model::IrBody& body,
+                               const VerifyOptions& options) {
+  DataflowContext ctx;
+  ctx.app = options.app;
+  ctx.cls = options.cls;
+  ctx.method = options.method;
+  ctx.max_stack = options.max_stack;
+  DataflowResult result = analyze_method(body, ctx);
+  return std::move(result.errors);
+}
+
+bool verifies(const model::IrBody& body, const VerifyOptions& options) {
+  return verify(body, options).empty();
+}
+
+Report verify_app(const model::AppModel& app) {
+  Report report;
+  for (const auto& cls : app.classes()) {
+    for (const auto& method : cls.methods()) {
+      if (method.kind() != model::MethodKind::kIr) continue;
+      DataflowContext ctx;
+      ctx.app = &app;
+      ctx.cls = &cls;
+      ctx.method = &method;
+      DataflowResult result = analyze_method(method.ir(), ctx);
+      ++report.stats().methods_analyzed;
+      report.stats().instrs_analyzed += method.ir().code.size();
+      report.stats().dataflow_iterations += result.block_visits;
+      for (auto& d : result.errors) {
+        d.cls = cls.name();
+        d.method = method.name();
+        report.add(std::move(d));
+      }
+    }
+  }
+  report.sort();
+  return report;
+}
+
+}  // namespace msv::analysis

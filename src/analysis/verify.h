@@ -1,0 +1,51 @@
+// Bytecode verifier over model::IrBody.
+//
+// A thin, error-only view of the abstract interpreter (analysis/absint.h):
+// it proves the structural properties the interpreter's dispatch loop
+// relies on — no operand-stack underflow/overflow on any path, every jump
+// target inside the method, constant-pool/name-pool/local indices in
+// range, no fall-through past the last instruction, consistent stack
+// depths at merge points. Field indices are checked when the receiver
+// class is statically unique (they are otherwise re-checked dynamically by
+// the interpreter's TrapError bounds checks).
+//
+// The interpreter can gate on this: ExecContext::set_verify_bytecode(true)
+// refuses to execute any kIr body that fails verification, turning what
+// used to be undefined behaviour on corrupt operands into a typed
+// TrapError at first dispatch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/absint.h"
+#include "analysis/diag.h"
+#include "model/app_model.h"
+#include "model/ir.h"
+
+namespace msv::analysis {
+
+struct VerifyOptions {
+  // Optional model context. With `app` + `cls` + `method`, field indices
+  // on provably-typed receivers and entry locals (this + parameters) are
+  // checked precisely; without it the verifier still proves stack and
+  // operand-index safety.
+  const model::AppModel* app = nullptr;
+  const model::ClassDecl* cls = nullptr;
+  const model::MethodDecl* method = nullptr;
+  std::uint32_t max_stack = 1024;
+};
+
+// Verifies one method body. Returns the list of verification errors
+// (empty = the body is safe to interpret). Total: never throws.
+std::vector<Diagnostic> verify(const model::IrBody& body,
+                               const VerifyOptions& options = {});
+
+// True when `body` verifies cleanly.
+bool verifies(const model::IrBody& body, const VerifyOptions& options = {});
+
+// Verifies every kIr body in the application. Diagnostics carry the
+// class/method location; `stats()` accumulates analysis cost.
+Report verify_app(const model::AppModel& app);
+
+}  // namespace msv::analysis

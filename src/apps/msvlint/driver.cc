@@ -1,0 +1,190 @@
+#include "apps/msvlint/driver.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "analysis/verify.h"
+#include "apps/illustrative/bank.h"
+#include "apps/synthetic/generator.h"
+#include "core/app.h"
+#include "dsl/parser.h"
+#include "support/error.h"
+
+namespace msv::apps::msvlint {
+
+namespace {
+
+struct Target {
+  std::string name;
+  model::AppModel app;
+};
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// Assembles the lint targets. Throws ConfigError on unreadable sources.
+std::vector<Target> build_targets(const DriverOptions& options) {
+  std::vector<Target> targets;
+  for (const auto& path : options.dsl_paths) {
+    std::ifstream in(path);
+    if (!in) throw ConfigError("cannot open " + path);
+    std::ostringstream source;
+    source << in.rdbuf();
+    targets.push_back({basename_of(path), dsl::parse_program(source.str())});
+  }
+  if (options.bank) {
+    targets.push_back({"bank", apps::build_bank_app(/*with_audit=*/true)});
+  }
+  if (options.micro) {
+    targets.push_back({"micro", apps::synthetic::build_micro_app()});
+  }
+  if (options.synthetic_classes >= 0) {
+    apps::synthetic::SyntheticSpec spec;
+    spec.n_classes = static_cast<std::uint32_t>(options.synthetic_classes);
+    spec.untrusted_fraction = options.synthetic_untrusted;
+    targets.push_back(
+        {"synthetic-" + std::to_string(spec.n_classes),
+         apps::synthetic::generate(spec)});
+  }
+  return targets;
+}
+
+// The GraalVM-agent-style dry run behind --trace-native: execute main in a
+// plain native image with call-edge tracing on, so MSV004 can diff what
+// native bodies actually invoked against their declared_callees() hints.
+std::vector<analysis::NativeEdge> trace_native_edges(const Target& target,
+                                                     std::ostream& err) {
+  std::vector<analysis::NativeEdge> edges;
+  if (target.app.main_class().empty()) {
+    err << "msvlint: " << target.name
+        << ": no main class, skipping native-edge trace\n";
+    return edges;
+  }
+  try {
+    core::NativeApp native(target.app);
+    native.context().enable_native_edge_tracing();
+    native.run_main();
+    for (const auto& edge : native.context().native_edges()) {
+      edges.push_back(edge);
+    }
+  } catch (const Error& e) {
+    err << "msvlint: " << target.name
+        << ": native-edge trace failed: " << e.what() << "\n";
+  }
+  return edges;
+}
+
+}  // namespace
+
+int run_driver(const DriverOptions& options, std::ostream& out,
+               std::ostream& err) {
+  if (options.list_rules) {
+    for (const auto& rule : analysis::lint_rules()) {
+      out << rule.id << "  " << rule.summary << "\n";
+    }
+    return 0;
+  }
+
+  std::vector<Target> targets;
+  try {
+    targets = build_targets(options);
+  } catch (const Error& e) {
+    err << "msvlint: " << e.what() << "\n";
+    return 2;
+  }
+  if (targets.empty()) {
+    err << "msvlint: no targets (pass a .msv file or --bank/--micro/"
+           "--synthetic)\n";
+    return 2;
+  }
+
+  analysis::Baseline baseline;
+  if (!options.baseline_path.empty()) {
+    std::ifstream in(options.baseline_path);
+    if (!in) {
+      err << "msvlint: cannot open baseline " << options.baseline_path << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    baseline = analysis::Baseline::parse(text.str());
+  }
+
+  analysis::Report total;
+  std::string target_names;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& target : targets) {
+    if (!target_names.empty()) target_names += ",";
+    target_names += target.name;
+
+    analysis::LintOptions lint_options;
+    if (options.trace_native) {
+      lint_options.native_edges = trace_native_edges(target, err);
+    }
+    analysis::Report report;
+    try {
+      report = options.verify_only ? analysis::verify_app(target.app)
+                                   : analysis::lint(target.app, lint_options);
+    } catch (const Error& e) {
+      err << "msvlint: " << target.name << ": " << e.what() << "\n";
+      return 2;
+    }
+    report.apply_baseline(baseline);
+    if (!options.quiet) {
+      out << "== " << target.name << ": " << report.diagnostics().size()
+          << " finding(s), " << report.errors() << " error(s), "
+          << report.warnings() << " warning(s)\n";
+      out << report.to_text();
+    }
+    total.merge(std::move(report));
+  }
+  total.sort();
+  total.stats().wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (!options.write_baseline_path.empty()) {
+    std::ofstream bl(options.write_baseline_path);
+    if (!bl) {
+      err << "msvlint: cannot write baseline " << options.write_baseline_path
+          << "\n";
+      return 2;
+    }
+    bl << total.to_baseline().to_text();
+  }
+  if (!options.json_path.empty()) {
+    const std::vector<std::string> rules =
+        options.verify_only ? std::vector<std::string>{"verify"}
+                            : analysis::lint_rule_ids();
+    const std::string json = total.to_json(rules, total.stats(), target_names);
+    if (options.json_path == "-") {
+      out << json;
+    } else {
+      std::ofstream jf(options.json_path);
+      if (!jf) {
+        err << "msvlint: cannot write " << options.json_path << "\n";
+        return 2;
+      }
+      jf << json;
+    }
+  }
+
+  out << "msvlint: " << targets.size() << " target(s), "
+      << total.stats().methods_analyzed << " method(s), "
+      << total.diagnostics().size() << " finding(s): " << total.errors()
+      << " error(s), " << total.warnings() << " warning(s)"
+      << (total.diagnostics().size() >
+                  total.errors() + total.warnings() +
+                      total.count(analysis::Severity::kInfo)
+              ? " (rest suppressed by baseline)"
+              : "")
+      << "\n";
+  return total.errors() > 0 ? 1 : 0;
+}
+
+}  // namespace msv::apps::msvlint

@@ -1,0 +1,45 @@
+// msvlint driver — target assembly and report plumbing for the msvlint
+// CLI (tools/msvlint.cc).
+//
+// Lives in the library (not the tool) so tests can drive the exact code
+// path the CLI ships: target construction from DSL sources and the
+// built-in app factories, the optional native-edge dry run feeding
+// MSV004, baseline suppression, and text/JSON emission.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+
+namespace msv::apps::msvlint {
+
+struct DriverOptions {
+  // Targets: Montsalvat DSL sources plus the built-in app factories.
+  std::vector<std::string> dsl_paths;
+  bool bank = false;                     // the Listing-1 application
+  bool micro = false;                    // the Fig. 3-4 micro model
+  std::int32_t synthetic_classes = -1;   // >= 0: the §6.5 generator output
+  double synthetic_untrusted = 0.5;      // generator @Untrusted fraction
+
+  // Dry-run each target's main in a NativeApp with native call-edge
+  // tracing enabled, feeding observed edges into MSV004's dynamic check.
+  bool trace_native = false;
+
+  bool verify_only = false;  // bytecode verifier only, no partition rules
+  bool list_rules = false;   // print the rule catalogue and exit
+
+  std::string baseline_path;        // suppress findings listed in this file
+  std::string write_baseline_path;  // write a baseline covering all findings
+  std::string json_path;            // emit the msvlint-report-v1 JSON here
+  bool quiet = false;               // suppress per-finding text output
+};
+
+// Runs the driver. Returns the process exit code: 0 when no unsuppressed
+// error-severity findings remain, 1 when some do, 2 on usage/IO errors.
+int run_driver(const DriverOptions& options, std::ostream& out,
+               std::ostream& err);
+
+}  // namespace msv::apps::msvlint

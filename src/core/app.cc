@@ -1,5 +1,6 @@
 #include "core/app.h"
 
+#include "analysis/lint.h"
 #include "support/error.h"
 
 namespace msv::core {
@@ -8,6 +9,18 @@ namespace {
 
 Env* make_env(AppConfig& config) {
   return new Env(config.cost, config.fs);
+}
+
+// AppConfig::lint_partition: run the msvlint rule suite over the annotated
+// input model (pre-weave — the rules reason about the annotations, not the
+// woven proxies) and refuse to build on error-severity findings.
+void lint_or_throw(const model::AppModel& app) {
+  const analysis::Report report = analysis::lint(app);
+  if (report.errors() > 0) {
+    throw ConfigError("partition lint failed (" +
+                      std::to_string(report.errors()) + " error(s)):\n" +
+                      report.to_text());
+  }
 }
 
 void add_gc_edl_entries(sgx::EdlSpec& edl) {
@@ -76,6 +89,9 @@ std::vector<xform::MethodRef> image_entry_points(
 PartitionedApp::PartitionedApp(const model::AppModel& app, AppConfig config,
                                interp::IntrinsicTable intrinsics)
     : env_(make_env(config)), config_(std::move(config)) {
+  // 0. Optional partition lint over the annotated input (DESIGN.md §9).
+  if (config_.lint_partition) lint_or_throw(app);
+
   // 1. Bytecode transformation (§5.2).
   xform::BytecodeTransformer transformer;
   xform::TransformResult transformed = transformer.transform(app);
@@ -139,6 +155,8 @@ PartitionedApp::PartitionedApp(const model::AppModel& app, AppConfig config,
       std::move(intrinsics));
   trusted_ctx_->set_fast_paths(config_.fast_rmi);
   untrusted_ctx_->set_fast_paths(config_.fast_rmi);
+  trusted_ctx_->set_verify_bytecode(config_.verify_bytecode);
+  untrusted_ctx_->set_verify_bytecode(config_.verify_bytecode);
 
   // 7. RMI machinery and GC helpers (§5.2, §5.5).
   rmi_ = std::make_unique<rmi::ProxyRuntime>(
@@ -192,6 +210,7 @@ UnpartitionedApp::UnpartitionedApp(const model::AppModel& app,
   app.validate();
   MSV_CHECK_MSG(!app.main_class().empty(),
                 "unpartitioned app needs a main class");
+  if (config_.lint_partition) lint_or_throw(app);
 
   // One image, rooted at main, linked entirely into the enclave (§5.6).
   xform::ImageBuilder builder(config_.image);
@@ -238,6 +257,7 @@ UnpartitionedApp::UnpartitionedApp(const model::AppModel& app,
   enclave_shim_->register_ocalls();
   ctx_ = std::make_unique<interp::ExecContext>(
       *env_, *iso_, image_.classes, *enclave_shim_, std::move(intrinsics));
+  ctx_->set_verify_bytecode(config_.verify_bytecode);
 
   ecall_main_id_ = bridge_->register_ecall("ecall_main", [this](ByteReader&) {
     env_->clock.advance(env_->cost.isolate_attach_trusted_cycles);
@@ -280,6 +300,7 @@ NativeApp::NativeApp(const model::AppModel& app, AppConfig config,
     : env_(make_env(config)), config_(std::move(config)) {
   app.validate();
   MSV_CHECK_MSG(!app.main_class().empty(), "native app needs a main class");
+  if (config_.lint_partition) lint_or_throw(app);
   xform::ImageBuilder builder(config_.image);
   std::vector<xform::MethodRef> eps{{app.main_class(), "main"}};
   if (config_.root_everything) {
@@ -301,6 +322,7 @@ NativeApp::NativeApp(const model::AppModel& app, AppConfig config,
   host_io_ = std::make_unique<shim::HostIo>(*env_, *domain_);
   ctx_ = std::make_unique<interp::ExecContext>(
       *env_, *iso_, image_.classes, *host_io_, std::move(intrinsics));
+  ctx_->set_verify_bytecode(config_.verify_bytecode);
 }
 
 NativeApp::~NativeApp() = default;

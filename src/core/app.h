@@ -60,6 +60,14 @@ struct AppConfig {
   // generate the reflection configuration for the real (closed-world)
   // build.
   bool root_everything = false;
+  // Static-analysis gates (DESIGN.md §9). verify_bytecode arms the
+  // analysis::verify gate on every execution context: a kIr body that
+  // fails verification raises TrapError at first dispatch instead of
+  // executing. lint_partition runs the msvlint rule suite over the
+  // annotated input model before any transformation and throws
+  // ConfigError when a rule reports an error-severity finding.
+  bool verify_bytecode = false;
+  bool lint_partition = false;
 };
 
 // TCB accounting backing the paper's small-TCB argument (§1, §5.4).

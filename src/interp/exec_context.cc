@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "analysis/verify.h"
 #include "support/error.h"
 
 namespace msv::interp {
@@ -155,9 +156,25 @@ rt::Value ExecContext::invoke_method(const ClassDecl& cls,
   ++stats_.method_calls;
   env_.clock.advance(env_.cost.method_call_cycles);
   if (tracing_) traced_.emplace(cls.name(), method.name());
+  if (edge_tracing_) {
+    if (!edge_stack_.empty() && edge_stack_.back().second != nullptr) {
+      native_edges_.insert({{edge_stack_.back().first->name(),
+                             edge_stack_.back().second->name()},
+                            {cls.name(), method.name()}});
+    }
+    edge_stack_.push_back(
+        {&cls, method.kind() == MethodKind::kNative ? &method : nullptr});
+  }
+  struct EdgeGuard {
+    ExecContext* ctx;  // null: tracing disabled
+    ~EdgeGuard() {
+      if (ctx != nullptr) ctx->edge_stack_.pop_back();
+    }
+  } edge_guard{edge_tracing_ ? this : nullptr};
 
   switch (method.kind()) {
     case MethodKind::kIr: {
+      if (verify_bytecode_) ensure_verified(cls, method);
       if (fast_paths_ && !self.is_null()) {
         // Quickened bodies replicate exec_ir's op count and charges; null
         // receivers fall through so the generic loop raises its errors.
@@ -197,6 +214,26 @@ rt::Value ExecContext::invoke_method(const ClassDecl& cls,
   return Value();
 }
 
+void ExecContext::ensure_verified(const ClassDecl& cls,
+                                  const MethodDecl& method) {
+  auto it = verified_.find(&method);
+  if (it == verified_.end()) {
+    analysis::VerifyOptions opts;
+    opts.app = &classes_;
+    opts.cls = &cls;
+    opts.method = &method;
+    const auto errors = analysis::verify(method.ir(), opts);
+    it = verified_
+             .emplace(&method,
+                      errors.empty() ? std::string() : errors.front().message)
+             .first;
+  }
+  if (!it->second.empty()) {
+    throw TrapError("verify gate: refusing to execute " + cls.name() + "." +
+                    method.name() + ": " + it->second);
+  }
+}
+
 rt::Value ExecContext::invoke_quick(const ClassDecl& cls,
                                     const MethodDecl& method,
                                     const QuickInfo& q, const GcRef& self,
@@ -211,6 +248,7 @@ rt::Value ExecContext::invoke_quick(const ClassDecl& cls,
   }
   ++stats_.method_calls;
   if (tracing_) traced_.emplace(cls.name(), method.name());
+  if (verify_bytecode_) ensure_verified(cls, method);
   if (q.kind == QuickKind::kSetter) {
     stats_.ir_ops += 4;
     env_.clock.advance(env_.cost.method_call_cycles +
@@ -364,6 +402,21 @@ rt::Value ExecContext::exec_ir(const ClassDecl& cls, const MethodDecl& method,
 
   std::size_t pc = 0;
   std::uint64_t ops = 0;
+  // Operand decoding traps: an out-of-bounds constant-pool/name-pool/
+  // local/field index or jump target raises a typed TrapError instead of
+  // indexing past the pool (UB) or silently exiting the dispatch loop.
+  auto trap = [&](const std::string& what) -> void {
+    throw TrapError(what + " in " + cls.name() + "." + method.name() + "@" +
+                    std::to_string(pc));
+  };
+  auto checked_index = [&](std::int32_t index, std::size_t size,
+                           const char* pool) {
+    if (index < 0 || static_cast<std::size_t>(index) >= size) {
+      trap(std::string(pool) + " index " + std::to_string(index) +
+           " out of bounds (size " + std::to_string(size) + ")");
+    }
+    return static_cast<std::size_t>(index);
+  };
   while (pc < ir.code.size()) {
     const model::Instr instr = ir.code[pc];
     ++ops;
@@ -372,40 +425,51 @@ rt::Value ExecContext::exec_ir(const ClassDecl& cls, const MethodDecl& method,
       case Op::kNop:
         break;
       case Op::kConst:
-        stack.push_back(ir.consts[instr.a]);
+        stack.push_back(
+            ir.consts[checked_index(instr.a, ir.consts.size(), "constant-pool")]);
         break;
       case Op::kLoadLocal:
-        stack.push_back(locals.at(instr.a));
+        stack.push_back(locals[checked_index(instr.a, locals.size(), "local")]);
         break;
       case Op::kStoreLocal:
-        locals.at(instr.a) = pop();
+        locals[checked_index(instr.a, locals.size(), "local")] = pop();
         break;
       case Op::kGetField: {
         const GcRef obj = as_obj(pop());
+        checked_index(instr.a, class_of(obj).fields().size(), "field");
         stack.push_back(isolate_.get_field(obj, instr.a));
         break;
       }
       case Op::kPutField: {
         Value value = pop();
         const GcRef obj = as_obj(pop());
+        checked_index(instr.a, class_of(obj).fields().size(), "field");
         isolate_.set_field(obj, instr.a, value);
         break;
       }
       case Op::kNew: {
+        if (instr.b < 0) trap("negative argument count");
         auto ctor_args = pop_args(instr.b);
-        stack.push_back(construct(ir.names[instr.a], std::move(ctor_args)));
+        stack.push_back(construct(
+            ir.names[checked_index(instr.a, ir.names.size(), "name-pool")],
+            std::move(ctor_args)));
         break;
       }
       case Op::kCall: {
+        if (instr.b < 0) trap("negative argument count");
+        const std::size_t name_index =
+            checked_index(instr.a, ir.names.size(), "name-pool");
         auto call_args = pop_args(instr.b);
         const GcRef receiver = as_obj(pop());
         stack.push_back(
-            invoke(receiver, ir.names[instr.a], std::move(call_args)));
+            invoke(receiver, ir.names[name_index], std::move(call_args)));
         break;
       }
       case Op::kIntrinsic: {
+        if (instr.b < 0) trap("negative argument count");
+        const std::string& name =
+            ir.names[checked_index(instr.a, ir.names.size(), "name-pool")];
         auto call_args = pop_args(instr.b);
-        const std::string& name = ir.names[instr.a];
         if (!intrinsics_.contains(name)) {
           throw RuntimeFault("unknown intrinsic " + name);
         }
@@ -430,10 +494,11 @@ rt::Value ExecContext::exec_ir(const ClassDecl& cls, const MethodDecl& method,
         break;
       }
       case Op::kJump:
-        pc = static_cast<std::size_t>(instr.a);
+        pc = checked_index(instr.a, ir.code.size(), "jump target");
         jumped = true;
         break;
       case Op::kBranchFalse:
+        checked_index(instr.a, ir.code.size(), "branch target");
         if (!pop().as_bool()) {
           pc = static_cast<std::size_t>(instr.a);
           jumped = true;

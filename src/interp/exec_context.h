@@ -50,6 +50,13 @@ class ExecContext {
   // Simulated cycle charges are identical either way.
   void set_fast_paths(bool v) { fast_paths_ = v; }
 
+  // Verify gate (AppConfig::verify_bytecode): refuse to execute any kIr
+  // body that fails analysis::verify, raising TrapError at first dispatch
+  // instead of trapping mid-method. Verdicts are cached per MethodDecl
+  // (the image is frozen after load).
+  void set_verify_bytecode(bool v) { verify_bytecode_ = v; }
+  bool verify_bytecode() const { return verify_bytecode_; }
+
   // ---- Class table ----
   std::uint32_t class_id(const std::string& name) const;
   const model::ClassDecl& class_by_id(std::uint32_t id) const;
@@ -127,10 +134,25 @@ class ExecContext {
   }
   std::string trace_to_json() const;
 
+  // Native call-edge tracing: records (native caller -> callee) pairs for
+  // every invoke/construct a *native body* performs through this context,
+  // so msvlint's MSV004 can diff observed edges against declared_callees()
+  // hints. Only the immediate native caller records an edge — bytecode
+  // frames between a native body and a deeper call push a sentinel.
+  using MethodRef = std::pair<std::string, std::string>;
+  void enable_native_edge_tracing() { edge_tracing_ = true; }
+  const std::set<std::pair<MethodRef, MethodRef>>& native_edges() const {
+    return native_edges_;
+  }
+
  private:
   rt::Value exec_ir(const model::ClassDecl& cls,
                     const model::MethodDecl& method, rt::GcRef self,
                     std::vector<rt::Value>& args);
+
+  // Verify-gate helper: throws TrapError when the body fails verification.
+  void ensure_verified(const model::ClassDecl& cls,
+                       const model::MethodDecl& method);
 
   // Frame-vector pool: locals and operand stacks are acquired here instead
   // of freshly allocated, so steady-state interpretation performs no heap
@@ -171,6 +193,15 @@ class ExecContext {
   ExecStats stats_;
   bool tracing_ = false;
   std::set<std::pair<std::string, std::string>> traced_;
+  bool verify_bytecode_ = false;
+  // Verify-gate verdicts; value = first verification error ("" = clean).
+  std::unordered_map<const model::MethodDecl*, std::string> verified_;
+  bool edge_tracing_ = false;
+  // Call stack for edge tracing: the declaring class plus the method when
+  // it is native, nullptr sentinel otherwise (see enable_native_edge_tracing).
+  std::vector<std::pair<const model::ClassDecl*, const model::MethodDecl*>>
+      edge_stack_;
+  std::set<std::pair<MethodRef, MethodRef>> native_edges_;
 };
 
 }  // namespace msv::interp

@@ -4,6 +4,121 @@
 
 namespace msv::model {
 
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kNop:
+      return "nop";
+    case Op::kConst:
+      return "const";
+    case Op::kLoadLocal:
+      return "load_local";
+    case Op::kStoreLocal:
+      return "store_local";
+    case Op::kGetField:
+      return "get_field";
+    case Op::kPutField:
+      return "put_field";
+    case Op::kNew:
+      return "new";
+    case Op::kCall:
+      return "call";
+    case Op::kIntrinsic:
+      return "intrinsic";
+    case Op::kAdd:
+      return "add";
+    case Op::kSub:
+      return "sub";
+    case Op::kMul:
+      return "mul";
+    case Op::kDiv:
+      return "div";
+    case Op::kLt:
+      return "lt";
+    case Op::kLe:
+      return "le";
+    case Op::kEq:
+      return "eq";
+    case Op::kJump:
+      return "jump";
+    case Op::kBranchFalse:
+      return "branch_false";
+    case Op::kPop:
+      return "pop";
+    case Op::kDup:
+      return "dup";
+    case Op::kReturn:
+      return "return";
+    case Op::kReturnVoid:
+      return "return_void";
+  }
+  return "?";
+}
+
+std::int32_t stack_pops(const Instr& instr) {
+  switch (instr.op) {
+    case Op::kNop:
+    case Op::kConst:
+    case Op::kLoadLocal:
+    case Op::kJump:
+    case Op::kReturnVoid:
+      return 0;
+    case Op::kStoreLocal:
+    case Op::kGetField:
+    case Op::kBranchFalse:
+    case Op::kPop:
+    case Op::kReturn:
+      return 1;
+    case Op::kDup:
+      return 1;  // peeks one, pushes two
+    case Op::kPutField:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kEq:
+      return 2;
+    case Op::kNew:
+    case Op::kIntrinsic:
+      return instr.b;
+    case Op::kCall:
+      return instr.b + 1;  // arguments plus the receiver
+  }
+  return 0;
+}
+
+std::int32_t stack_pushes(const Instr& instr) {
+  switch (instr.op) {
+    case Op::kNop:
+    case Op::kStoreLocal:
+    case Op::kPutField:
+    case Op::kJump:
+    case Op::kBranchFalse:
+    case Op::kPop:
+    case Op::kReturn:
+    case Op::kReturnVoid:
+      return 0;
+    case Op::kConst:
+    case Op::kLoadLocal:
+    case Op::kGetField:
+    case Op::kNew:
+    case Op::kCall:
+    case Op::kIntrinsic:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kEq:
+      return 1;
+    case Op::kDup:
+      return 2;
+  }
+  return 0;
+}
+
 std::int32_t IrBuilder::intern_name(const std::string& name) {
   for (std::size_t i = 0; i < body_.names.size(); ++i) {
     if (body_.names[i] == name) return static_cast<std::int32_t>(i);

@@ -50,6 +50,20 @@ struct Instr {
   std::int32_t b = 0;
 };
 
+// Mnemonic for diagnostics ("kGetField" -> "get_field").
+const char* op_name(Op op);
+
+// Net operand-stack effect of one instruction (pushes minus pops), and the
+// number of values it pops. kCall/kNew/kIntrinsic depend on the argc in
+// `b`. Used by the bytecode verifier and the dataflow engine.
+std::int32_t stack_pops(const Instr& instr);
+std::int32_t stack_pushes(const Instr& instr);
+
+// True for instructions after which control never falls through to pc+1.
+inline bool is_terminator(Op op) {
+  return op == Op::kJump || op == Op::kReturn || op == Op::kReturnVoid;
+}
+
 // The body of a bytecode method.
 struct IrBody {
   std::vector<Instr> code;

@@ -36,6 +36,16 @@ class SecurityFault : public Error {
   explicit SecurityFault(const std::string& what) : Error(what) {}
 };
 
+// Malformed bytecode trapped by the interpreter's operand decoding: an
+// out-of-bounds constant-pool/name-pool/local/field index or jump target.
+// Derives from RuntimeFault so existing handlers keep working; the typed
+// subclass lets tests and the verify gate distinguish "the bytecode is
+// broken" from "the simulation violated an invariant".
+class TrapError : public RuntimeFault {
+ public:
+  explicit TrapError(const std::string& what) : RuntimeFault(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {

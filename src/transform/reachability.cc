@@ -33,6 +33,40 @@ struct Worklist {
 
 }  // namespace
 
+std::vector<CallSite> direct_call_sites(const model::MethodDecl& method) {
+  std::vector<CallSite> sites;
+  switch (method.kind()) {
+    case MethodKind::kIr: {
+      const model::IrBody& ir = method.ir();
+      for (std::size_t pc = 0; pc < ir.code.size(); ++pc) {
+        const auto& instr = ir.code[pc];
+        if (instr.a < 0 || static_cast<std::size_t>(instr.a) >= ir.names.size())
+          continue;  // malformed operand; the verifier reports it
+        if (instr.op == Op::kNew) {
+          sites.push_back({CallSite::Kind::kNew, ir.names[instr.a], "",
+                           static_cast<std::int32_t>(pc)});
+        } else if (instr.op == Op::kCall) {
+          sites.push_back({CallSite::Kind::kVirtual, "", ir.names[instr.a],
+                           static_cast<std::int32_t>(pc)});
+        }
+      }
+      break;
+    }
+    case MethodKind::kNative:
+      for (const auto& [tc, tm] : method.declared_callees()) {
+        sites.push_back({CallSite::Kind::kDeclared, tc, tm, -1});
+      }
+      break;
+    case MethodKind::kRelay:
+      sites.push_back({CallSite::Kind::kRelay, method.relay().target_class,
+                       method.relay().target_method, -1});
+      break;
+    case MethodKind::kProxyStub:
+      break;  // target lives in the opposite image
+  }
+  return sites;
+}
+
 ReachabilityResult ReachabilityAnalysis::analyze(
     const std::vector<MethodRef>& entry_points) const {
   Worklist wl;
@@ -74,58 +108,52 @@ ReachabilityResult ReachabilityAnalysis::analyze(
     const MethodDecl* m = cls.find_method(method_name);
     MSV_CHECK_MSG(m != nullptr, "reachable method vanished");
 
-    // Instance methods imply an instance of the declaring class.
-    if (!m->is_static()) instantiate(cls_name);
+    // Instance methods imply an instance of the declaring class; proxy
+    // stubs likewise need the proxy class itself (the target lives in the
+    // opposite image).
+    if (!m->is_static() || m->kind() == MethodKind::kProxyStub) {
+      instantiate(cls_name);
+    }
 
-    switch (m->kind()) {
-      case MethodKind::kIr: {
-        const model::IrBody& ir = m->ir();
-        for (const auto& instr : ir.code) {
-          if (instr.op == Op::kNew) {
-            const std::string& target = ir.names[instr.a];
-            instantiate(target);
-            const ClassDecl* t = app_.find_class(target);
-            if (t != nullptr &&
-                t->find_method(model::kConstructorName) != nullptr) {
-              wl.mark_method(target, model::kConstructorName);
-            }
-          } else if (instr.op == Op::kCall) {
-            virtual_call(ir.names[instr.a]);
+    for (const auto& site : direct_call_sites(*m)) {
+      switch (site.kind) {
+        case CallSite::Kind::kNew: {
+          instantiate(site.cls);
+          const ClassDecl* t = app_.find_class(site.cls);
+          if (t != nullptr &&
+              t->find_method(model::kConstructorName) != nullptr) {
+            wl.mark_method(site.cls, model::kConstructorName);
           }
+          break;
         }
-        break;
-      }
-      case MethodKind::kNative:
-        // Opaque body: use the declared callees ("reflection config").
-        for (const auto& [tc, tm] : m->declared_callees()) {
-          const ClassDecl* t = app_.find_class(tc);
-          if (t == nullptr || t->find_method(tm) == nullptr) {
-            throw ConfigError("declared callee " + tc + "." + tm +
-                              " of native method " + cls_name + "." +
-                              method_name + " not found");
+        case CallSite::Kind::kVirtual:
+          virtual_call(site.method);
+          break;
+        case CallSite::Kind::kDeclared: {
+          // Opaque native body: the declared callees play the role of
+          // GraalVM's reflection configuration.
+          const ClassDecl* t = app_.find_class(site.cls);
+          if (t == nullptr || t->find_method(site.method) == nullptr) {
+            throw ConfigError("declared callee " + site.cls + "." +
+                              site.method + " of native method " + cls_name +
+                              "." + method_name + " not found");
           }
-          if (tm == model::kConstructorName) instantiate(tc);
-          wl.mark_method(tc, tm);
+          if (site.method == model::kConstructorName) instantiate(site.cls);
+          wl.mark_method(site.cls, site.method);
+          break;
         }
-        break;
-      case MethodKind::kRelay: {
-        const auto& info = m->relay();
-        const ClassDecl* target = app_.find_class(info.target_class);
-        MSV_CHECK_MSG(target != nullptr, "relay target class missing");
-        // Synthesized default-constructor relays have no concrete <init>;
-        // they still instantiate the class.
-        if (target->find_method(info.target_method) != nullptr) {
-          wl.mark_method(info.target_class, info.target_method);
+        case CallSite::Kind::kRelay: {
+          const ClassDecl* target = app_.find_class(site.cls);
+          MSV_CHECK_MSG(target != nullptr, "relay target class missing");
+          // Synthesized default-constructor relays have no concrete <init>;
+          // they still instantiate the class.
+          if (target->find_method(site.method) != nullptr) {
+            wl.mark_method(site.cls, site.method);
+          }
+          if (m->relay().is_constructor) instantiate(site.cls);
+          break;
         }
-        if (info.is_constructor) instantiate(info.target_class);
-        break;
       }
-      case MethodKind::kProxyStub:
-        // The stub's target lives in the opposite image; within this image
-        // it only needs the proxy class itself (plus the serializer and
-        // bridge, which are runtime components, not model classes).
-        instantiate(cls_name);
-        break;
     }
   }
   return wl.result;

@@ -30,6 +30,27 @@ namespace msv::xform {
 // A method identified as "Class.method".
 using MethodRef = std::pair<std::string, std::string>;
 
+// One syntactic call edge leaving a method body. This is the unit shared
+// between the RTA fixpoint below and the partition lints
+// (analysis/lint.cc): both walk the same edges, so a method the analysis
+// reaches is exactly a method the linter attributes to a partition.
+struct CallSite {
+  enum class Kind : std::uint8_t {
+    kNew,       // kNew instruction: precise class, implies <init>
+    kVirtual,   // kCall instruction: method name only, RTA-resolved
+    kDeclared,  // declared_callees() hint on a native body
+    kRelay,     // relay method -> its concrete target
+  };
+  Kind kind;
+  std::string cls;     // target class; empty for kVirtual
+  std::string method;  // target method; empty for kNew (constructor implied)
+  std::int32_t pc = -1;  // instruction index for kNew/kVirtual, else -1
+};
+
+// The call sites of one method body. Total: never throws, even on dangling
+// declared callees (callers validate targets themselves).
+std::vector<CallSite> direct_call_sites(const model::MethodDecl& method);
+
 struct ReachabilityResult {
   std::set<std::string> classes;
   std::set<MethodRef> methods;

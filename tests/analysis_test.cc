@@ -1,0 +1,810 @@
+// Tests for src/analysis: the bytecode verifier, the msvlint rule suite
+// (golden fixtures with exact rule/location per rule ID), the diagnostics
+// engine (baseline suppression, JSON), the interpreter's TrapError bounds
+// checks and verify gate, and the msvlint driver.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/lint.h"
+#include "analysis/verify.h"
+#include "apps/illustrative/bank.h"
+#include "apps/msvlint/driver.h"
+#include "apps/synthetic/generator.h"
+#include "core/montsalvat.h"
+#include "dsl/parser.h"
+#include "support/rng.h"
+
+namespace msv {
+namespace {
+
+using analysis::Diagnostic;
+using analysis::Severity;
+using model::Annotation;
+using model::IrBody;
+using model::IrBuilder;
+using model::Op;
+using rt::Value;
+
+// Diagnostics of one rule.
+std::vector<Diagnostic> of_rule(const analysis::Report& report,
+                                const std::string& rule) {
+  std::vector<Diagnostic> out;
+  for (const auto& d : report.diagnostics()) {
+    if (d.rule == rule) out.push_back(d);
+  }
+  return out;
+}
+
+// ---- Verifier: malformed-bytecode corpus -----------------------------------
+//
+// Each body is one the interpreter previously executed as UB (raw pool
+// indexing, silent exit on a wild jump); the verifier must reject all of
+// them, and the clean corpus must verify with zero findings.
+
+IrBody raw_body(std::vector<model::Instr> code,
+                std::vector<Value> consts = {},
+                std::vector<std::string> names = {},
+                std::uint32_t local_count = 0) {
+  IrBody body;
+  body.code = std::move(code);
+  body.consts = std::move(consts);
+  body.names = std::move(names);
+  body.local_count = local_count;
+  return body;
+}
+
+TEST(Verifier, StackUnderflow) {
+  const auto errors =
+      analysis::verify(raw_body({{Op::kPop, 0, 0}, {Op::kReturnVoid, 0, 0}}));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].pc, 0);
+  EXPECT_NE(errors[0].message.find("underflow"), std::string::npos);
+}
+
+TEST(Verifier, MalformedJumpTarget) {
+  const auto errors = analysis::verify(raw_body({{Op::kJump, 99, 0}}));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].pc, 0);
+  EXPECT_NE(errors[0].message.find("target"), std::string::npos);
+}
+
+TEST(Verifier, ConstantPoolIndexOutOfRange) {
+  const auto errors = analysis::verify(
+      raw_body({{Op::kConst, 7, 0}, {Op::kPop, 0, 0}, {Op::kReturnVoid, 0, 0}}));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].pc, 0);
+  EXPECT_NE(errors[0].message.find("constant pool"), std::string::npos);
+}
+
+TEST(Verifier, NamePoolIndexOutOfRange) {
+  const auto errors = analysis::verify(raw_body(
+      {{Op::kNew, 3, 0}, {Op::kPop, 0, 0}, {Op::kReturnVoid, 0, 0}}));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].pc, 0);
+}
+
+TEST(Verifier, LocalIndexOutOfRange) {
+  const auto errors = analysis::verify(raw_body(
+      {{Op::kLoadLocal, 5, 0}, {Op::kPop, 0, 0}, {Op::kReturnVoid, 0, 0}}));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].message.find("local"), std::string::npos);
+}
+
+TEST(Verifier, FieldIndexOutOfRangeOnTypedReceiver) {
+  // With model context the verifier proves field bounds on receivers whose
+  // class is statically unique.
+  model::AppModel app;
+  auto& box = app.add_class("Box", Annotation::kNeutral);
+  box.add_field("only");
+  auto& m = box.add_method("poke", 0);
+  m.body(raw_body({{Op::kLoadLocal, 0, 0},
+                   {Op::kGetField, 9, 0},
+                   {Op::kPop, 0, 0},
+                   {Op::kReturnVoid, 0, 0}},
+                  {}, {}, 1));
+  analysis::VerifyOptions options;
+  options.app = &app;
+  options.cls = &app.classes().front();
+  options.method = &app.classes().front().methods().front();
+  const auto errors = analysis::verify(m.ir(), options);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].pc, 1);
+  EXPECT_NE(errors[0].message.find("field"), std::string::npos);
+}
+
+TEST(Verifier, FallThroughWithoutReturn) {
+  const auto errors = analysis::verify(raw_body({{Op::kNop, 0, 0}}));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].message.find("fall"), std::string::npos);
+}
+
+TEST(Verifier, InconsistentMergeDepth) {
+  // Path A (branch taken) reaches pc 3 with depth 0; path B (fall-through
+  // through the extra const) reaches it with depth 1.
+  const auto errors = analysis::verify(raw_body({{Op::kConst, 0, 0},
+                                                 {Op::kBranchFalse, 3, 0},
+                                                 {Op::kConst, 0, 0},
+                                                 {Op::kReturnVoid, 0, 0}},
+                                                {Value(true)}));
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].message.find("merge"), std::string::npos);
+}
+
+TEST(Verifier, OperandStackOverflow) {
+  // A straight-line push sequence exceeds the configured stack limit.
+  std::vector<model::Instr> code(12, {Op::kConst, 0, 0});
+  code.push_back({Op::kReturnVoid, 0, 0});
+  analysis::VerifyOptions options;
+  options.max_stack = 8;
+  const auto errors =
+      analysis::verify(raw_body(std::move(code), {Value(1)}), options);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].message.find("overflow"), std::string::npos);
+}
+
+TEST(Verifier, NegativeArgumentCount) {
+  const auto errors = analysis::verify(raw_body(
+      {{Op::kCall, 0, -2}, {Op::kPop, 0, 0}, {Op::kReturnVoid, 0, 0}},
+      {}, {"m"}));
+  ASSERT_FALSE(errors.empty());
+  EXPECT_EQ(errors[0].pc, 0);
+}
+
+// ---- Verifier: the clean corpus verifies -----------------------------------
+
+TEST(Verifier, BankAppVerifies) {
+  EXPECT_TRUE(analysis::verify_app(apps::build_bank_app(true)).empty());
+}
+
+TEST(Verifier, MicroAppVerifies) {
+  EXPECT_TRUE(analysis::verify_app(apps::synthetic::build_micro_app()).empty());
+}
+
+TEST(Verifier, SyntheticGeneratorOutputVerifies) {
+  for (const double fraction : {0.0, 0.4, 1.0}) {
+    apps::synthetic::SyntheticSpec spec;
+    spec.n_classes = 20;
+    spec.untrusted_fraction = fraction;
+    const analysis::Report report =
+        analysis::verify_app(apps::synthetic::generate(spec));
+    EXPECT_TRUE(report.empty()) << report.to_text();
+    EXPECT_GT(report.stats().methods_analyzed, 0u);
+  }
+}
+
+// Property: every program assembled through IrBuilder's structured API
+// (balanced pushes/pops, label-bound jumps, explicit return) verifies.
+class VerifierProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerifierProperty, RandomBuilderProgramsVerify) {
+  Rng rng(GetParam());
+  for (int program = 0; program < 20; ++program) {
+    IrBuilder ir;
+    const std::uint32_t locals = 1 + static_cast<std::uint32_t>(
+                                         rng.next_below(4));
+    ir.locals(locals);
+    int depth = 0;
+    const int steps = 1 + static_cast<int>(rng.next_below(40));
+    for (int i = 0; i < steps; ++i) {
+      switch (rng.next_below(6)) {
+        case 0:
+          ir.const_val(Value(static_cast<std::int32_t>(rng.next_u64() % 100)));
+          ++depth;
+          break;
+        case 1:
+          ir.load_local(static_cast<std::int32_t>(rng.next_below(locals)));
+          ++depth;
+          break;
+        case 2:
+          if (depth >= 1) {
+            ir.store_local(static_cast<std::int32_t>(rng.next_below(locals)));
+            --depth;
+          }
+          break;
+        case 3:
+          if (depth >= 2) {
+            ir.add();
+            --depth;
+          }
+          break;
+        case 4:
+          if (depth >= 1) {
+            ir.dup();
+            ++depth;
+          }
+          break;
+        default:
+          if (depth >= 1) {
+            ir.pop();
+            --depth;
+          }
+          break;
+      }
+    }
+    while (depth > 0) {
+      ir.pop();
+      --depth;
+    }
+    ir.ret_void();
+    const auto errors = analysis::verify(ir.build());
+    EXPECT_TRUE(errors.empty())
+        << "seed " << GetParam() << " program " << program << ": "
+        << errors.front().message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---- Lint golden fixtures: every rule ID detects its seeded violation ------
+
+model::AppModel parse(const std::string& source) {
+  return dsl::parse_program(source);
+}
+
+TEST(Lint, Msv001SecretFlowIntoUntrustedCallAndIntrinsic) {
+  const auto report = analysis::lint(parse(R"(
+    class Secrets @Trusted {
+      field pin;
+      ctor(v) { this.pin = v; }
+      method leak(s) {
+        s.store(this.pin);
+        @io_write("f", this.pin);
+      }
+    }
+    class Sink @Untrusted {
+      field v;
+      ctor() { this.v = 0; }
+      method store(x) { this.v = x; }
+    }
+    class Main @Untrusted {
+      static method main() {
+        sec = new Secrets(1234);
+        sink = new Sink();
+        sec.leak(sink);
+      }
+    }
+    main Main;
+  )"));
+  const auto findings = of_rule(report, "MSV001");
+  ASSERT_EQ(findings.size(), 2u) << report.to_text();
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].cls, "Secrets");
+  EXPECT_EQ(findings[0].method, "leak");
+  EXPECT_EQ(findings[0].pc, 3);  // the s.store(...) call
+  EXPECT_EQ(findings[1].pc, 8);  // the @io_write intrinsic
+  EXPECT_EQ(report.errors(), 2u) << "no other rule should fire";
+}
+
+TEST(Lint, Msv002NeutralFieldWrittenTrustedReadUntrusted) {
+  const auto report = analysis::lint(parse(R"(
+    class Counter {
+      field n;
+      ctor() { this.n = 0; }
+      method bump() { this.n = this.n + 1; }
+      method get() { return this.n; }
+    }
+    class Keeper @Trusted {
+      field c;
+      ctor() { this.c = new Counter(); }
+      method touch() { this.c.bump(); }
+    }
+    class Main @Untrusted {
+      static method main() {
+        k = new Keeper();
+        c = new Counter();
+        c.get();
+        k.touch();
+      }
+    }
+    main Main;
+  )"));
+  const auto findings = of_rule(report, "MSV002");
+  ASSERT_EQ(findings.size(), 1u) << report.to_text();
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(findings[0].cls, "Counter");
+  EXPECT_EQ(findings[0].method, "bump");
+  EXPECT_EQ(findings[0].pc, 5);  // the put_field of `n`
+  EXPECT_NE(findings[0].message.find("`n`"), std::string::npos);
+}
+
+TEST(Lint, Msv003PrivateConstructorAcrossPartition) {
+  // The transformer relays only public methods; a class whose constructor
+  // is private gets no construction relay, so a cross-partition `new`
+  // fails at run time. DSL constructors are always public, so build the
+  // model directly.
+  model::AppModel app;
+  auto& box = app.add_class("SecretBox", Annotation::kTrusted);
+  box.add_constructor(0).set_private().body(IrBuilder().ret_void().build());
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0).body(
+      IrBuilder().new_object("SecretBox", 0).pop().ret_void().build());
+  app.set_main_class("Main");
+
+  const auto report = analysis::lint(app);
+  const auto findings = of_rule(report, "MSV003");
+  ASSERT_EQ(findings.size(), 1u) << report.to_text();
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].cls, "Main");
+  EXPECT_EQ(findings[0].method, "main");
+  EXPECT_EQ(findings[0].pc, 0);
+}
+
+TEST(Lint, Msv003NeutralCodeInstantiatesPartitionedClass) {
+  const auto report = analysis::lint(parse(R"(
+    class Vaultlet @Trusted {
+      method ping() { return 1; }
+    }
+    class Helper {
+      method make() { return new Vaultlet(); }
+    }
+    class Main @Untrusted {
+      static method main() { h = new Helper(); }
+    }
+    main Main;
+  )"));
+  const auto findings = of_rule(report, "MSV003");
+  ASSERT_EQ(findings.size(), 1u) << report.to_text();
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(findings[0].cls, "Helper");
+  EXPECT_EQ(findings[0].method, "make");
+  EXPECT_EQ(findings[0].pc, 0);
+}
+
+TEST(Lint, Msv004DanglingAndPrivateCrossPartitionHints) {
+  model::AppModel app;
+  auto& vault = app.add_class("Vault", Annotation::kTrusted);
+  vault.add_method("open", 0).set_private().body(
+      IrBuilder().ret_void().build());
+  auto& driver = app.add_class("Driver", Annotation::kUntrusted);
+  driver.add_static_method("go", 0)
+      .body_native([](model::NativeCall&) { return Value(); })
+      .calls("Ghost", "boo")    // dangling: no such class
+      .calls("Vault", "open");  // private across the boundary: never relayed
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0).body(IrBuilder().ret_void().build());
+  app.set_main_class("Main");
+
+  const auto findings = of_rule(analysis::lint(app), "MSV004");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].cls, "Driver");
+  EXPECT_EQ(findings[0].method, "go");
+  EXPECT_NE(findings[0].message.find("Ghost.boo"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("Vault.open"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("private"), std::string::npos);
+}
+
+TEST(Lint, Msv004ObservedNativeEdgeMissingFromHints) {
+  model::AppModel app;
+  auto& store = app.add_class("Store", Annotation::kTrusted);
+  store.add_method("put", 0).body(IrBuilder().ret_void().build());
+  store.add_method("hidden", 0).body(
+      IrBuilder().const_val(Value(std::int32_t{1})).ret().build());
+  auto& driver = app.add_class("Driver", Annotation::kUntrusted);
+  driver.add_static_method("go", 0)
+      .body_native([](model::NativeCall&) { return Value(); })
+      .calls("Store", "put");  // hidden() is invoked but never declared
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0).body(IrBuilder().ret_void().build());
+  app.set_main_class("Main");
+
+  analysis::LintOptions options;
+  options.native_edges.push_back({{"Driver", "go"}, {"Store", "hidden"}});
+  const auto report = analysis::lint(app, options);
+  const auto findings = of_rule(report, "MSV004");
+  ASSERT_EQ(findings.size(), 1u) << report.to_text();
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].cls, "Driver");
+  EXPECT_EQ(findings[0].method, "go");
+  EXPECT_NE(findings[0].message.find("Store.hidden"), std::string::npos);
+}
+
+TEST(Lint, Msv005CallArityMismatch) {
+  const auto report = analysis::lint(parse(R"(
+    class Box @Trusted {
+      field v;
+      ctor() { this.v = 0; }
+      method set(x) { this.v = x; }
+    }
+    class Main @Untrusted {
+      static method main() {
+        b = new Box();
+        b.set(1, 2);
+      }
+    }
+    main Main;
+  )"));
+  const auto findings = of_rule(report, "MSV005");
+  ASSERT_EQ(findings.size(), 1u) << report.to_text();
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].cls, "Main");
+  EXPECT_EQ(findings[0].method, "main");
+  EXPECT_EQ(findings[0].pc, 5);  // the b.set(1, 2) call
+}
+
+TEST(Lint, Msv005NonPrimitiveIntoPrimitiveSignature) {
+  model::AppModel app;
+  auto& box = app.add_class("Box", Annotation::kTrusted);
+  box.add_field("v");
+  auto& set = box.add_method("set", 1);
+  set.primitive_signature();
+  set.body(IrBuilder()
+               .load_local(0)
+               .load_local(1)
+               .put_field(0)
+               .ret_void()
+               .build());
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0).body(IrBuilder()
+                                                 .new_object("Box", 0)
+                                                 .const_val(Value("oops"))
+                                                 .call("set", 1)
+                                                 .pop()
+                                                 .ret_void()
+                                                 .build());
+  app.set_main_class("Main");
+
+  const auto findings = of_rule(analysis::lint(app), "MSV005");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].cls, "Main");
+  EXPECT_EQ(findings[0].method, "main");
+  EXPECT_EQ(findings[0].pc, 2);  // the call site
+  EXPECT_NE(findings[0].message.find("string"), std::string::npos);
+}
+
+TEST(Lint, Msv005PrimitiveSignatureReturnsNonPrimitive) {
+  model::AppModel app;
+  auto& box = app.add_class("Box", Annotation::kTrusted);
+  auto& get = box.add_method("get", 0);
+  get.primitive_signature();
+  get.body(IrBuilder().const_val(Value("secret")).ret().build());
+  const auto findings = of_rule(analysis::lint(app), "MSV005");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].cls, "Box");
+  EXPECT_EQ(findings[0].method, "get");
+  EXPECT_EQ(findings[0].pc, -1);  // a property of the method, not one pc
+}
+
+TEST(Lint, Msv006CrossBoundaryReferenceCycle) {
+  const auto report = analysis::lint(parse(R"(
+    class Alpha @Trusted {
+      field peer;
+      ctor() { this.peer = new Beta(); }
+    }
+    class Beta @Untrusted {
+      field peer;
+      ctor() { this.peer = 0; }
+      method link() { this.peer = new Alpha(); }
+    }
+    class Main @Untrusted {
+      static method main() {
+        b = new Beta();
+        b.link();
+      }
+    }
+    main Main;
+  )"));
+  const auto findings = of_rule(report, "MSV006");
+  ASSERT_EQ(findings.size(), 1u) << report.to_text();
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_EQ(findings[0].cls, "Alpha");  // anchored at the first store edge
+  EXPECT_EQ(findings[0].method, "<init>");
+  EXPECT_NE(findings[0].message.find("Alpha"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Beta"), std::string::npos);
+}
+
+TEST(Lint, Msv007MalformedBytecodeSurfacesThroughLint) {
+  model::AppModel app;
+  auto& cls = app.add_class("Broken", Annotation::kUntrusted);
+  cls.add_method("run", 0).body(raw_body({{Op::kJump, 99, 0}}));
+  const auto findings = of_rule(analysis::lint(app), "MSV007");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].cls, "Broken");
+  EXPECT_EQ(findings[0].method, "run");
+  EXPECT_EQ(findings[0].pc, 0);
+}
+
+// ---- Lint: the clean corpus produces zero findings -------------------------
+
+TEST(Lint, BankAppIsClean) {
+  const auto report = analysis::lint(apps::build_bank_app(true));
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(Lint, MicroAppIsClean) {
+  const auto report = analysis::lint(apps::synthetic::build_micro_app());
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(Lint, SyntheticGeneratorOutputIsClean) {
+  for (const auto work :
+       {apps::synthetic::WorkKind::kCpu, apps::synthetic::WorkKind::kIo}) {
+    apps::synthetic::SyntheticSpec spec;
+    spec.n_classes = 16;
+    spec.untrusted_fraction = 0.5;
+    spec.work = work;
+    const auto report = analysis::lint(apps::synthetic::generate(spec));
+    EXPECT_TRUE(report.empty()) << report.to_text();
+  }
+}
+
+// ---- Diagnostics engine ----------------------------------------------------
+
+TEST(Diag, BaselineSuppressesKnownFindings) {
+  model::AppModel app;
+  auto& cls = app.add_class("Broken", Annotation::kUntrusted);
+  cls.add_method("run", 0).body(raw_body({{Op::kJump, 99, 0}}));
+  analysis::Report report = analysis::lint(app);
+  ASSERT_EQ(report.errors(), 1u);
+
+  const analysis::Baseline baseline = report.to_baseline();
+  EXPECT_TRUE(baseline.contains("MSV007 Broken.run"));
+  report.apply_baseline(baseline);
+  EXPECT_EQ(report.errors(), 0u) << "baselined findings do not count";
+  EXPECT_TRUE(report.diagnostics().front().suppressed);
+
+  // Round-trip through the file format.
+  const analysis::Baseline reparsed =
+      analysis::Baseline::parse(baseline.to_text());
+  EXPECT_EQ(reparsed.size(), baseline.size());
+}
+
+TEST(Diag, JsonReportShape) {
+  model::AppModel app;
+  auto& cls = app.add_class("Broken", Annotation::kUntrusted);
+  cls.add_method("run", 0).body(raw_body({{Op::kJump, 99, 0}}));
+  const analysis::Report report = analysis::lint(app);
+  const std::string json =
+      report.to_json(analysis::lint_rule_ids(), report.stats(), "unit");
+  EXPECT_NE(json.find("\"schema\": \"msvlint-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"target\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"MSV007\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"methods_analyzed\""), std::string::npos);
+}
+
+TEST(Diag, RuleCatalogueIsStable) {
+  const auto ids = analysis::lint_rule_ids();
+  ASSERT_EQ(ids.size(), 7u);
+  EXPECT_EQ(ids.front(), "MSV001");
+  EXPECT_EQ(ids.back(), "MSV007");
+}
+
+// ---- Interpreter: TrapError bounds checks ----------------------------------
+//
+// Every body here used to index past a pool (UB) or silently exit the
+// dispatch loop; the interpreter now raises a typed TrapError.
+
+core::NativeApp make_trap_app(IrBody bad_body) {
+  model::AppModel app;
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0).body(IrBuilder().ret_void().build());
+  main_cls.add_static_method("bad", 0).body(std::move(bad_body));
+  app.set_main_class("Main");
+  core::AppConfig config;
+  config.extra_entry_points = {{"Main", "bad"}};
+  return core::NativeApp(app, config);
+}
+
+TEST(InterpTrap, ConstantPoolIndexOutOfBounds) {
+  auto app = make_trap_app(
+      raw_body({{Op::kConst, 7, 0}, {Op::kReturnVoid, 0, 0}}));
+  EXPECT_THROW(app.context().invoke_static("Main", "bad", {}), TrapError);
+}
+
+TEST(InterpTrap, LocalIndexOutOfBounds) {
+  auto app = make_trap_app(raw_body(
+      {{Op::kLoadLocal, 9, 0}, {Op::kPop, 0, 0}, {Op::kReturnVoid, 0, 0}}));
+  EXPECT_THROW(app.context().invoke_static("Main", "bad", {}), TrapError);
+}
+
+TEST(InterpTrap, JumpTargetOutOfBounds) {
+  // Previously a wild jump silently exited the dispatch loop (an implicit
+  // void return); it must trap instead.
+  auto app = make_trap_app(raw_body({{Op::kJump, 5, 0}}));
+  EXPECT_THROW(app.context().invoke_static("Main", "bad", {}), TrapError);
+}
+
+TEST(InterpTrap, NamePoolIndexOutOfBounds) {
+  auto app = make_trap_app(raw_body(
+      {{Op::kNew, 3, 0}, {Op::kPop, 0, 0}, {Op::kReturnVoid, 0, 0}}));
+  EXPECT_THROW(app.context().invoke_static("Main", "bad", {}), TrapError);
+}
+
+TEST(InterpTrap, NegativeArgumentCount) {
+  auto app = make_trap_app(raw_body(
+      {{Op::kCall, 0, -1}, {Op::kPop, 0, 0}, {Op::kReturnVoid, 0, 0}},
+      {}, {"x"}));
+  EXPECT_THROW(app.context().invoke_static("Main", "bad", {}), TrapError);
+}
+
+TEST(InterpTrap, FieldIndexOutOfBounds) {
+  model::AppModel app;
+  auto& box = app.add_class("Box", Annotation::kUntrusted);
+  box.add_field("only");
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0).body(IrBuilder().ret_void().build());
+  main_cls.add_static_method("bad", 0).body(
+      raw_body({{Op::kNew, 0, 0},
+                {Op::kGetField, 5, 0},
+                {Op::kPop, 0, 0},
+                {Op::kReturnVoid, 0, 0}},
+               {}, {"Box"}));
+  app.set_main_class("Main");
+  core::AppConfig config;
+  config.extra_entry_points = {{"Main", "bad"}};
+  core::NativeApp native(app, config);
+  EXPECT_THROW(native.context().invoke_static("Main", "bad", {}), TrapError);
+}
+
+TEST(InterpTrap, CleanBodiesStillExecute) {
+  auto app = make_trap_app(
+      IrBuilder().const_val(Value(std::int32_t{41})).ret().build());
+  EXPECT_EQ(app.context().invoke_static("Main", "bad", {}).as_i32(), 41);
+  app.run_main();
+}
+
+// ---- Interpreter: the verify gate ------------------------------------------
+
+TEST(VerifyGate, RefusesUnverifiedBytecodeBeforeExecuting) {
+  // The jump-to-5 body would trap mid-method; with the gate armed it is
+  // rejected at dispatch, before a single instruction runs.
+  auto app = make_trap_app(raw_body({{Op::kJump, 5, 0}}));
+  app.context().set_verify_bytecode(true);
+  try {
+    app.context().invoke_static("Main", "bad", {});
+    FAIL() << "expected TrapError";
+  } catch (const TrapError& e) {
+    EXPECT_NE(std::string(e.what()).find("verify gate"), std::string::npos);
+  }
+}
+
+TEST(VerifyGate, VerifiedBytecodeRunsNormally) {
+  auto app = make_trap_app(
+      IrBuilder().const_val(Value(std::int32_t{7})).ret().build());
+  app.context().set_verify_bytecode(true);
+  EXPECT_EQ(app.context().invoke_static("Main", "bad", {}).as_i32(), 7);
+}
+
+TEST(VerifyGate, AppConfigArmsGateAcrossRunners) {
+  core::AppConfig config;
+  config.verify_bytecode = true;
+  core::PartitionedApp partitioned(apps::build_bank_app(), config);
+  partitioned.run_main();  // the whole bank flow verifies and runs
+  core::NativeApp native(apps::build_bank_app(), config);
+  native.run_main();
+}
+
+// ---- Native call-edge tracing (the MSV004 dry run) -------------------------
+
+TEST(NativeEdges, TracerRecordsOnlyNativeCallerEdges) {
+  model::AppModel app;
+  auto& store = app.add_class("Store", Annotation::kNeutral);
+  store.add_method("hidden", 0).body(
+      IrBuilder().const_val(Value(std::int32_t{1})).ret().build());
+  auto& driver = app.add_class("Driver", Annotation::kUntrusted);
+  driver.add_static_method("go", 0).body_native([](model::NativeCall& call) {
+    const Value s = call.ctx.construct("Store", {});
+    return call.ctx.invoke(s.as_ref(), "hidden", {});
+  });
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0).body(IrBuilder().ret_void().build());
+  app.set_main_class("Main");
+
+  core::AppConfig config;
+  config.root_everything = true;  // agent-style open world for the dry run
+  core::NativeApp native(app, config);
+  native.context().enable_native_edge_tracing();
+  native.run_main();
+  EXPECT_TRUE(native.context().native_edges().empty())
+      << "bytecode-only execution records no native edges";
+  native.context().invoke_static("Driver", "go", {});
+  const auto& edges = native.context().native_edges();
+  const interp::ExecContext::MethodRef caller{"Driver", "go"};
+  const interp::ExecContext::MethodRef callee{"Store", "hidden"};
+  EXPECT_EQ(edges.count({caller, callee}), 1u);
+  for (const auto& edge : edges) {
+    EXPECT_EQ(edge.first, caller) << "only native frames record edges";
+  }
+}
+
+// ---- AppConfig::lint_partition gate ----------------------------------------
+
+TEST(LintGate, CleanAppBuildsWithLintEnabled) {
+  core::AppConfig config;
+  config.lint_partition = true;
+  core::PartitionedApp app(apps::build_bank_app(true), config);
+  app.run_main();
+}
+
+TEST(LintGate, LeakyAppIsRejected) {
+  const model::AppModel leaky = parse(R"(
+    class Secrets @Trusted {
+      field pin;
+      ctor(v) { this.pin = v; }
+      method leak(s) { s.store(this.pin); }
+    }
+    class Sink @Untrusted {
+      field v;
+      ctor() { this.v = 0; }
+      method store(x) { this.v = x; }
+    }
+    class Main @Untrusted {
+      static method main() { sec = new Secrets(9); }
+    }
+    main Main;
+  )");
+  core::AppConfig config;
+  config.lint_partition = true;
+  EXPECT_THROW(core::PartitionedApp(leaky, config), ConfigError);
+  config.lint_partition = false;
+  core::PartitionedApp builds_without_gate(leaky, config);
+}
+
+// ---- msvlint driver --------------------------------------------------------
+
+TEST(Driver, BuiltInTargetsLintCleanAndEmitJson) {
+  apps::msvlint::DriverOptions options;
+  options.bank = true;
+  options.micro = true;
+  options.synthetic_classes = 8;
+  options.json_path = "-";
+  std::ostringstream out, err;
+  EXPECT_EQ(apps::msvlint::run_driver(options, out, err), 0);
+  EXPECT_NE(out.str().find("msvlint-report-v1"), std::string::npos);
+  EXPECT_NE(out.str().find("0 error(s)"), std::string::npos);
+}
+
+TEST(Driver, BaselineWorkflowSuppressesSeededViolations) {
+  const std::string dir = ::testing::TempDir();
+  const std::string source_path = dir + "/leaky.msv";
+  const std::string baseline_path = dir + "/msvlint-baseline.txt";
+  {
+    std::ofstream src(source_path);
+    src << R"(
+      class Secrets @Trusted {
+        field pin;
+        ctor(v) { this.pin = v; }
+        method leak(s) { s.store(this.pin); }
+      }
+      class Sink @Untrusted {
+        field v;
+        ctor() { this.v = 0; }
+        method store(x) { this.v = x; }
+      }
+      class Main @Untrusted {
+        static method main() { sec = new Secrets(9); }
+      }
+      main Main;
+    )";
+  }
+  apps::msvlint::DriverOptions options;
+  options.dsl_paths = {source_path};
+  options.write_baseline_path = baseline_path;
+  std::ostringstream out1, err1;
+  EXPECT_EQ(apps::msvlint::run_driver(options, out1, err1), 1)
+      << "unsuppressed errors fail the run";
+  EXPECT_NE(out1.str().find("MSV001"), std::string::npos);
+
+  options.write_baseline_path.clear();
+  options.baseline_path = baseline_path;
+  std::ostringstream out2, err2;
+  EXPECT_EQ(apps::msvlint::run_driver(options, out2, err2), 0)
+      << "baselined findings no longer fail";
+  EXPECT_NE(out2.str().find("suppressed"), std::string::npos);
+}
+
+TEST(Driver, ListRules) {
+  apps::msvlint::DriverOptions options;
+  options.list_rules = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(apps::msvlint::run_driver(options, out, err), 0);
+  EXPECT_NE(out.str().find("MSV001"), std::string::npos);
+  EXPECT_NE(out.str().find("MSV007"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msv

@@ -17,4 +17,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
 "$BUILD_DIR"/bench/abl_rmi_fastpath --smoke > /dev/null
 "$BUILD_DIR"/bench/abl_switchless --smoke > /dev/null
-echo "tier1: tests + rmi fast-path + switchless-ring smoke OK"
+
+# msvlint must stay clean over the whole example/app corpus, including the
+# native-edge dry run feeding MSV004 (exit 1 = unsuppressed lint errors).
+"$BUILD_DIR"/tools/msvlint examples/*.msv --bank --micro --synthetic=40 \
+  --trace-native --quiet > /dev/null
+echo "tier1: tests + rmi fast-path + switchless-ring + msvlint smoke OK"
