@@ -38,6 +38,10 @@ inline std::string fmt_x(double ratio) {
 struct BenchOptions {
   bool smoke = false;
   std::string json_path;
+  // Telemetry outputs (DESIGN.md §10); binaries that support them run
+  // their base scenario with full tracing and write the artifacts here.
+  std::string trace_path;    // --trace-out=<path>: Chrome trace JSON
+  std::string metrics_path;  // --metrics-out=<path>: Prometheus-style text
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opt;
@@ -49,6 +53,14 @@ struct BenchOptions {
         opt.json_path = a + 7;
       } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
         opt.json_path = argv[++i];
+      } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+        opt.trace_path = a + 12;
+      } else if (std::strcmp(a, "--trace-out") == 0 && i + 1 < argc) {
+        opt.trace_path = argv[++i];
+      } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+        opt.metrics_path = a + 14;
+      } else if (std::strcmp(a, "--metrics-out") == 0 && i + 1 < argc) {
+        opt.metrics_path = argv[++i];
       } else {
         std::fprintf(stderr, "unknown option: %s\n", a);
       }
@@ -56,6 +68,19 @@ struct BenchOptions {
     return opt;
   }
 };
+
+// Writes `content` to `path`; false (after a perror) on failure.
+inline bool write_text_file(const std::string& path,
+                            const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(("bench: cannot write " + path).c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
 
 inline std::string json_escape(const std::string& s) {
   std::string out;

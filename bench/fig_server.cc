@@ -28,6 +28,8 @@
 #include "server/harness.h"
 #include "server/server.h"
 #include "support/error.h"
+#include "telemetry/adapters.h"
+#include "telemetry/export.h"
 
 namespace msv {
 namespace {
@@ -37,6 +39,11 @@ constexpr std::uint32_t kTenants = 8;
 struct RunResult {
   server::HarnessReport report;
   sgx::BridgeStats bridge;
+  // Rendered telemetry artifacts; empty unless app_cfg.trace enables them
+  // (--trace-out / --metrics-out, DESIGN.md §10).
+  std::string trace_json;
+  std::string metrics_text;
+  std::string ascii_trace;  // one request's causal tree, for the console
 };
 
 RunResult run_workload(const core::AppConfig& app_cfg,
@@ -52,6 +59,46 @@ RunResult run_workload(const core::AppConfig& app_cfg,
   r.report = harness.run_open_loop(spec);
   r.bridge = app.bridge().stats();
   srv.stop();
+  telemetry::Telemetry& tel = app.env().telemetry;
+  if (tel.metrics_enabled()) {
+    // Absorb every subsystem's stats into the shared registry, then
+    // render, all before teardown. Stats are re-read after stop() so the
+    // switchless-ring teardown folds are included.
+    telemetry::MetricsRegistry& m = tel.metrics();
+    telemetry::publish_bridge(m, app.bridge().stats());
+    telemetry::publish_epc(m, app.enclave().epc().stats());
+    telemetry::publish_tcs(m, app.enclave().tcs().stats());
+    telemetry::publish_scheduler(m, sched.stats());
+    telemetry::publish_server(m, srv.stats());
+    for (std::uint32_t t = 0; t < srv.tenant_count(); ++t) {
+      telemetry::publish_tenant(m, srv.tenant_stats(t), t);
+    }
+    for (std::uint32_t i = 0; i < app.isolate_count(); ++i) {
+      telemetry::publish_heap(
+          m, app.trusted_context(i).isolate().heap().stats(),
+          "trusted-" + std::to_string(i));
+    }
+    telemetry::publish_heap(
+        m, app.untrusted_context().isolate().heap().stats(), "untrusted");
+    telemetry::publish_tracer_self(m, tel.tracer());
+    r.metrics_text = telemetry::prometheus_text(m);
+  }
+  if (tel.tracing_enabled()) {
+    r.trace_json =
+        telemetry::chrome_trace_json(tel.tracer(), app.env().clock.hz());
+    // Render the last completed request's causal tree (the steady-state
+    // picture; early requests hit cold heaps and EPC).
+    const telemetry::Tracer& tr = tel.tracer();
+    const std::uint32_t request_name = tel.names().request;
+    std::uint64_t request_trace = 0;
+    for (const auto& s : tr.spans()) {
+      if (!s.open && s.name == request_name) request_trace = s.trace_id;
+    }
+    if (request_trace != 0) {
+      r.ascii_trace =
+          telemetry::ascii_trace(tr, app.env().clock.hz(), request_trace, 40);
+    }
+  }
   return r;
 }
 
@@ -97,9 +144,17 @@ int main(int argc, char** argv) {
   base_srv.max_queue_depth = 1024;
 
   // --- Determinism self-check (acceptance criterion) ----------------------
+  // The base scenario runs twice with full telemetry: beyond the clock /
+  // latency / percentile agreement, the rendered Chrome trace JSON and the
+  // metrics dump must be byte-identical — the determinism property only a
+  // simulated-clock tracer can offer. Because telemetry never advances the
+  // virtual clock, these traced runs report the same cycle totals an
+  // untraced run would.
   {
-    const RunResult a = run_workload({}, base_srv, base_spec);
-    const RunResult b = run_workload({}, base_srv, base_spec);
+    core::AppConfig traced_cfg;
+    traced_cfg.trace.mode = telemetry::TraceMode::kFull;
+    const RunResult a = run_workload(traced_cfg, base_srv, base_spec);
+    const RunResult b = run_workload(traced_cfg, base_srv, base_spec);
     MSV_CHECK_MSG(a.report.final_clock == b.report.final_clock,
                   "same seed, different simulated-cycle totals");
     MSV_CHECK_MSG(a.report.latency_cycle_sum == b.report.latency_cycle_sum,
@@ -110,12 +165,38 @@ int main(int argc, char** argv) {
                   "same seed, different percentiles");
     MSV_CHECK_MSG(a.report.completed == kTenants * requests,
                   "workload did not run to completion");
+    MSV_CHECK_MSG(!a.trace_json.empty() && a.trace_json == b.trace_json,
+                  "same seed, different trace JSON");
+    MSV_CHECK_MSG(!a.metrics_text.empty() &&
+                      a.metrics_text == b.metrics_text,
+                  "same seed, different metrics dump");
     std::printf("determinism self-check: two runs, identical clock (%" PRIu64
-                " cycles), latency sum and percentiles\n\n",
-                a.report.final_clock);
+                " cycles), latency sum, percentiles, trace JSON (%zu bytes) "
+                "and metrics dump\n\n",
+                a.report.final_clock, a.trace_json.size());
     report.add_metric("determinism_final_clock_cycles", a.report.final_clock);
     report.add_metric("determinism_latency_cycle_sum",
                       a.report.latency_cycle_sum);
+    report.add_metric("determinism_trace_bytes",
+                      static_cast<std::uint64_t>(a.trace_json.size()));
+    if (!opt.trace_path.empty() &&
+        !bench::write_text_file(opt.trace_path, a.trace_json)) {
+      return 1;
+    }
+    if (!opt.metrics_path.empty() &&
+        !bench::write_text_file(opt.metrics_path, a.metrics_text)) {
+      return 1;
+    }
+    if (!opt.trace_path.empty()) {
+      std::printf("trace written to %s\n", opt.trace_path.c_str());
+      if (!a.ascii_trace.empty()) {
+        std::printf("\none request's causal tree (last completed):\n%s",
+                    a.ascii_trace.c_str());
+      }
+    }
+    if (!opt.metrics_path.empty()) {
+      std::printf("metrics written to %s\n\n", opt.metrics_path.c_str());
+    }
   }
 
   // --- Sweep 1: offered load ----------------------------------------------

@@ -8,6 +8,7 @@
 #include "analysis/absint.h"
 #include "model/ir.h"
 #include "transform/reachability.h"
+#include "transform/transformer.h"
 
 namespace msv::analysis {
 
@@ -37,6 +38,9 @@ const std::vector<LintRule>& lint_rules() {
        "cross-boundary reference cycle (proxy and mirror keep each other "
        "alive; never collected, paper §7)"},
       {"MSV007", "malformed bytecode (verifier findings)"},
+      {"MSV008",
+       "relay transition name matches no registered telemetry call prefix "
+       "(spans fall back to the generic bridge category; informational)"},
   };
   return rules;
 }
@@ -112,6 +116,7 @@ class Linter {
     check_native_edges();
     check_neutral_divergence();
     check_reference_cycles();
+    check_telemetry_categories();
   }
 
  private:
@@ -691,6 +696,41 @@ class Linter {
                 "boundary; neither side's GC ever reclaims the cycle "
                 "(paper §7)");
       }
+    }
+  }
+
+  // MSV008: every public method of a partitioned class gets a woven relay
+  // transition (xform::transition_name); if its name matches none of the
+  // registered telemetry call prefixes, its spans land in the generic
+  // bridge category and silently opt out of the rmi/gc trace filters.
+  // Informational: the weave still works, only the observability is
+  // degraded.
+  void check_telemetry_categories() {
+    for (const auto& cls : app_.classes()) {
+      const Annotation ann = cls.annotation();
+      if (ann == Annotation::kNeutral) continue;
+      const bool trusted = ann == Annotation::kTrusted;
+      const auto check_one = [&](const std::string& method_name) {
+        const std::string transition =
+            xform::transition_name(cls.name(), method_name, trusted);
+        for (const auto& prefix : options_.telemetry_call_prefixes) {
+          if (transition.rfind(prefix, 0) == 0) return;
+        }
+        add("MSV008", Severity::kInfo, cls.name(), method_name, -1,
+            "relay transition " + transition +
+                " matches no registered telemetry call prefix — its spans "
+                "fall back to the generic bridge category and opt out of "
+                "the rmi/gc trace filters (DESIGN.md §10)");
+      };
+      bool has_ctor = false;
+      for (const auto& m : cls.methods()) {
+        if (m.kind() == model::MethodKind::kRelay || !m.is_public()) continue;
+        if (m.is_constructor()) has_ctor = true;
+        check_one(m.name());
+      }
+      // A class without a declared constructor still gets a default
+      // construction relay (transform/transformer.cc).
+      if (!has_ctor) check_one(model::kConstructorName);
     }
   }
 

@@ -39,6 +39,11 @@
 //           underflow/overflow, bad jump targets, out-of-bounds operand
 //           indices, fall-through without return) surfaced as lint
 //           diagnostics.
+//   MSV008  unregistered telemetry category (informational): a woven
+//           relay's transition name matches none of the telemetry layer's
+//           registered call prefixes, so its spans fall back to the
+//           generic bridge category and silently opt out of the rmi/gc
+//           trace filters (DESIGN.md §10).
 //
 // The engine runs the abstract interpreter (analysis/absint.h) per
 // method, layered with two interprocedural fixpoints over the same call
@@ -54,6 +59,7 @@
 
 #include "analysis/diag.h"
 #include "model/app_model.h"
+#include "telemetry/telemetry.h"
 
 namespace msv::analysis {
 
@@ -81,6 +87,11 @@ struct LintOptions {
   // trusted-side code (MSV001 sinks). The I/O intrinsics relay through
   // the shim's ocalls; print writes to the host's stdout.
   std::set<std::string> sink_intrinsics{"io_write", "io_read", "print"};
+  // Call-name prefixes the telemetry layer classifies into span
+  // categories (MSV008). Defaults to the live registry, so the lint stays
+  // in lockstep with src/telemetry; tests override to force findings.
+  std::vector<std::string> telemetry_call_prefixes =
+      telemetry::registered_call_prefix_strings();
 };
 
 // Runs every rule over the annotated (pre-weave) application and returns

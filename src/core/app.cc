@@ -8,7 +8,9 @@ namespace msv::core {
 namespace {
 
 Env* make_env(AppConfig& config) {
-  return new Env(config.cost, config.fs);
+  Env* env = new Env(config.cost, config.fs);
+  env->telemetry.configure(config.trace);
+  return env;
 }
 
 // AppConfig::lint_partition: run the msvlint rule suite over the annotated

@@ -68,6 +68,9 @@ struct AppConfig {
   // ConfigError when a rule reports an error-severity finding.
   bool verify_bytecode = false;
   bool lint_partition = false;
+  // Telemetry (DESIGN.md §10): off by default — the zero-overhead-when-off
+  // contract means simulated cycle totals are identical either way.
+  telemetry::TraceConfig trace;
 };
 
 // TCB accounting backing the paper's small-TCB argument (§1, §5.4).

@@ -11,6 +11,7 @@ MultiIsolateApp::MultiIsolateApp(const model::AppModel& app,
                                  interp::IntrinsicTable intrinsics)
     : env_(new Env(config.cost, config.fs)), config_(std::move(config)) {
   MSV_CHECK_MSG(trusted_isolates >= 1, "need at least one trusted isolate");
+  env_->telemetry.configure(config_.trace);
 
   xform::BytecodeTransformer transformer;
   xform::TransformResult transformed = transformer.transform(app);

@@ -179,6 +179,9 @@ rt::Value MultiIsolateRuntime::do_construct(SideState& from,
                                             std::uint32_t target_id,
                                             const ClassDecl& proxy_cls,
                                             std::vector<Value>& args) {
+  telemetry::SpanScope span(env_.telemetry.tracer(),
+                            telemetry::Category::kRmi,
+                            env_.telemetry.names().rmi_construct);
   const MethodDecl* ctor_stub = proxy_cls.find_method(model::kConstructorName);
   MSV_CHECK_MSG(ctor_stub != nullptr &&
                     ctor_stub->kind() == MethodKind::kProxyStub,
@@ -223,6 +226,9 @@ rt::Value MultiIsolateRuntime::invoke_proxy(ExecContext& caller,
                                             const ClassDecl& proxy_cls,
                                             const MethodDecl& stub,
                                             std::vector<Value>& args) {
+  telemetry::SpanScope span(env_.telemetry.tracer(),
+                            telemetry::Category::kRmi,
+                            env_.telemetry.names().rmi_invoke);
   SideState& from = state_of(caller);
   std::int64_t self_hash = 0;
   std::uint32_t target_id = kUntrustedId;
@@ -270,6 +276,9 @@ void MultiIsolateRuntime::register_handlers() {
   auto make_handler = [this](const std::string& cls_name,
                              const std::string& relay_name) {
     return [this, cls_name, relay_name](ByteReader& in) -> ByteBuffer {
+      telemetry::SpanScope span(env_.telemetry.tracer(),
+                                telemetry::Category::kRmi,
+                                env_.telemetry.names().rmi_dispatch);
       const std::uint32_t target_id = in.get_u32();
       const std::uint32_t caller_id = in.get_u32();
       SideState& callee = state_by_id(target_id);

@@ -171,9 +171,12 @@ const ProxyRuntime::RelayPlan& ProxyRuntime::plan_for(const MethodDecl& stub) {
     const model::ProxyStubInfo& info = stub.proxy();
     const sgx::CallId id = info.via_ecall ? bridge_.ecall_id(info.relay_name)
                                           : bridge_.ocall_id(info.relay_name);
+    const std::uint32_t span_name =
+        env_.telemetry.tracer().intern("rmi.invoke " + info.relay_name);
     plan = &plans_
                 .emplace(&stub, RelayPlan{id, info.via_ecall,
-                                          stub.has_primitive_signature()})
+                                          stub.has_primitive_signature(),
+                                          span_name})
                 .first->second;
   }
   last_plan_stub_ = &stub;
@@ -274,11 +277,17 @@ Value ProxyRuntime::construct_proxy(ExecContext& caller,
   // Create the mirror in the opposite runtime.
   if (config_.fast_paths) {
     const RelayPlan& plan = plan_for(*ctor_stub);
+    // Caller-side RMI span: encode -> transition -> (mirror registered).
+    telemetry::SpanScope span(env_.telemetry.tracer(),
+                              telemetry::Category::kRmi, plan.span_name);
     ArenaLease payload(arena_);
     encode_call_into(*payload, from, hash, args);
     ArenaLease response(arena_);
     transition_fast(plan, *payload, *response);
   } else {
+    telemetry::SpanScope span(env_.telemetry.tracer(),
+                              telemetry::Category::kRmi,
+                              env_.telemetry.names().rmi_construct);
     ByteBuffer payload = encode_call(from, hash, args);
     transition(from, ctor_stub->proxy().relay_name, payload,
                ctor_stub->proxy().via_ecall);
@@ -303,6 +312,10 @@ Value ProxyRuntime::invoke_proxy(ExecContext& caller, const GcRef& proxy,
 
   if (config_.fast_paths) {
     const RelayPlan& plan = plan_for(stub);
+    // Caller-side RMI span: covers marshalling, the bridge transition
+    // (whose span nests under this one) and result decoding.
+    telemetry::SpanScope span(env_.telemetry.tracer(),
+                              telemetry::Category::kRmi, plan.span_name);
     ArenaLease payload(arena_);
     encode_call_into(*payload, from, self_hash, args);
     ArenaLease response(arena_);
@@ -317,6 +330,8 @@ Value ProxyRuntime::invoke_proxy(ExecContext& caller, const GcRef& proxy,
     return result;
   }
 
+  telemetry::SpanScope span(env_.telemetry.tracer(), telemetry::Category::kRmi,
+                            env_.telemetry.names().rmi_invoke);
   ByteBuffer payload = encode_call(from, self_hash, args);
   ByteBuffer response = transition(from, stub.proxy().relay_name, payload,
                                    stub.proxy().via_ecall);
@@ -335,6 +350,10 @@ void ProxyRuntime::dispatch_relay(SideState& callee, const ClassDecl& cls,
                                   const MethodDecl* target,
                                   const interp::ExecContext::QuickInfo* quick,
                                   ByteReader& in, ByteBuffer& out) {
+  // Callee-side span, nested under the bridge transition span: isolate
+  // attach, argument decoding, the mirrored invocation, result encoding.
+  telemetry::SpanScope span(env_.telemetry.tracer(), telemetry::Category::kRmi,
+                            env_.telemetry.names().rmi_dispatch);
   // Entering the callee's isolate: the relay method is a @CEntryPoint and
   // the transition must attach the calling thread to the isolate (§5.2).
   // Switchless calls are served by persistent worker threads that attach

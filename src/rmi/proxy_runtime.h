@@ -150,6 +150,9 @@ class ProxyRuntime final : public interp::RemoteInvoker {
     sgx::CallId id;
     bool via_ecall;
     bool primitive;  // declared all-primitive signature (app model hint)
+    // Caller-side span name ("rmi.invoke <relay>"), interned once here so
+    // tracing adds no per-call string work.
+    std::uint32_t span_name = 0;
   };
   const RelayPlan& plan_for(const model::MethodDecl& stub);
 

@@ -214,49 +214,69 @@ ObjAddr Heap::forward(ObjAddr addr, std::uint64_t& to_top) {
 
 void Heap::collect() {
   const Cycles start = env_.clock.now();
+  // GC spans (DESIGN.md §10): a gc.collect parent with per-phase
+  // children. Charges keep the seed's exact order; the spans only bracket
+  // them. Under a detached collection (measure_detached) now() is frozen,
+  // so these record as zero-duration markers — the realized pause is the
+  // server's gc.pause span.
+  telemetry::Tracer& tracer = env_.telemetry.tracer();
+  telemetry::SpanScope collect_span(tracer, telemetry::Category::kGc,
+                                    env_.telemetry.names().gc_collect);
   env_.clock.advance(env_.cost.gc_base_cycles);
 
   std::uint64_t to_top = 8;
   ensure_space(to_space(), to_top);
 
   // Roots: every live handle.
-  std::uint64_t root_count = 0;
-  handles_.for_each([&](ObjAddr& root) {
-    ++root_count;
-    if (root != kNullAddr) root = forward(root, to_top);
-  });
-  env_.clock.advance(root_count * env_.cost.gc_scan_root_cycles);
+  {
+    telemetry::SpanScope span(tracer, telemetry::Category::kGc,
+                              env_.telemetry.names().gc_roots);
+    std::uint64_t root_count = 0;
+    handles_.for_each([&](ObjAddr& root) {
+      ++root_count;
+      if (root != kNullAddr) root = forward(root, to_top);
+    });
+    env_.clock.advance(root_count * env_.cost.gc_scan_root_cycles);
+  }
 
   // Cheney scan of the copied objects.
-  auto& to = to_space();
-  std::uint64_t scan = 8;
-  while (scan < to_top) {
-    // Copy header fields out: forward() below may grow the to-space vector
-    // and invalidate pointers into it.
-    const auto* h = reinterpret_cast<const ObjectHeader*>(to.data() + scan);
-    const ObjectKind obj_kind = h->kind;
-    const std::uint32_t obj_count = h->count;
-    const std::uint32_t obj_bytes = h->byte_size;
-    if (obj_kind != ObjectKind::kString) {
-      for (std::uint32_t i = 0; i < obj_count; ++i) {
-        SlotValue v = raw_slot(to, scan, i);
-        if (v.tag == SlotTag::kRef && v.bits != kNullAddr) {
-          v.bits = forward(v.bits, to_top);
-          raw_set_slot(to, scan, i, v);
+  {
+    telemetry::SpanScope span(tracer, telemetry::Category::kGc,
+                              env_.telemetry.names().gc_copy);
+    auto& to = to_space();
+    std::uint64_t scan = 8;
+    while (scan < to_top) {
+      // Copy header fields out: forward() below may grow the to-space
+      // vector and invalidate pointers into it.
+      const auto* h = reinterpret_cast<const ObjectHeader*>(to.data() + scan);
+      const ObjectKind obj_kind = h->kind;
+      const std::uint32_t obj_count = h->count;
+      const std::uint32_t obj_bytes = h->byte_size;
+      if (obj_kind != ObjectKind::kString) {
+        for (std::uint32_t i = 0; i < obj_count; ++i) {
+          SlotValue v = raw_slot(to, scan, i);
+          if (v.tag == SlotTag::kRef && v.bits != kNullAddr) {
+            v.bits = forward(v.bits, to_top);
+            raw_set_slot(to, scan, i, v);
+          }
         }
       }
+      scan += obj_bytes;
     }
-    scan += obj_bytes;
   }
 
   // Weak references: forward survivors, clear the rest (§5.5 relies on
   // exactly this "null referent" signal).
-  weak_refs_.for_each([&](WeakEntry& e) {
-    const auto* h =
-        reinterpret_cast<const ObjectHeader*>(from_space().data() + e.target);
-    e.target = h->forward != 0 ? static_cast<ObjAddr>(h->forward - 1)
-                               : kNullAddr;
-  });
+  {
+    telemetry::SpanScope span(tracer, telemetry::Category::kGc,
+                              env_.telemetry.names().gc_weak);
+    weak_refs_.for_each([&](WeakEntry& e) {
+      const auto* h = reinterpret_cast<const ObjectHeader*>(
+          from_space().data() + e.target);
+      e.target = h->forward != 0 ? static_cast<ObjAddr>(h->forward - 1)
+                                 : kNullAddr;
+    });
+  }
 
   const std::uint64_t live_bytes = to_top - 8;
   const std::uint64_t collected = top_ - 8 - live_bytes;

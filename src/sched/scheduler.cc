@@ -65,6 +65,10 @@ Scheduler::Task* Scheduler::tramp_task_ = nullptr;
 Scheduler::Scheduler(Env& env, Config config)
     : env_(env), config_(config), main_(std::make_unique<MainCtx>()) {
   MSV_CHECK_MSG(config_.stack_bytes >= 16 * 1024, "fiber stack too small");
+  // Telemetry spans opened inside fibers must nest per task, not
+  // globally: hand the tracer a view of the running TaskId.
+  env_.telemetry.tracer().set_task_source(
+      [this]() -> std::uint64_t { return current_; });
 }
 
 Scheduler::~Scheduler() {
@@ -74,6 +78,7 @@ Scheduler::~Scheduler() {
     // Destructors must not throw; a failed teardown leaks fiber stacks
     // but keeps the process coherent.
   }
+  env_.telemetry.tracer().clear_task_source();
 }
 
 Scheduler::Task* Scheduler::find(TaskId id) {
@@ -114,6 +119,9 @@ TaskId Scheduler::spawn_impl(std::string name, std::function<void()> fn,
   ++live_total_;
   if (!daemon) ++live_nondaemon_;
   ++stats_.spawned;
+  if (env_.telemetry.tracing_enabled()) {
+    env_.telemetry.tracer().set_thread_name(id, t->name);
+  }
   tasks_.emplace(id, std::move(t));
   return id;
 }
@@ -269,6 +277,14 @@ void Scheduler::trampoline() {
   __sanitizer_finish_switch_fiber(t->asan_fake, &s->main_->stack_bottom,
                                   &s->main_->stack_size);
 #endif
+  // Task-lifetime span: opened and closed in the fiber's own context
+  // (current_ == t->id on both sides, even on the cancellation path).
+  telemetry::Tracer& tracer = s->env_.telemetry.tracer();
+  const bool traced = tracer.enabled(telemetry::Category::kSched);
+  if (traced) {
+    tracer.begin_span(telemetry::Category::kSched,
+                      tracer.intern("task:" + t->name));
+  }
   try {
     if (!s->cancelling_) t->fn();
   } catch (const TaskCancelled&) {
@@ -276,6 +292,7 @@ void Scheduler::trampoline() {
   } catch (...) {
     t->error = std::current_exception();
   }
+  if (traced) tracer.end_span();
   t->fn = nullptr;  // release captured state deterministically
   s->exit_task(*t);
 }
@@ -298,6 +315,11 @@ void Scheduler::sleep_until(Cycles deadline) {
     yield();
     return;
   }
+  // The sleep span closes via RAII even when switch_out throws
+  // TaskCancelled (the fiber unwinds in its own context).
+  telemetry::SpanScope span(env_.telemetry.tracer(),
+                            telemetry::Category::kSched,
+                            env_.telemetry.names().fiber_sleep);
   t.state = Task::State::kSleeping;
   t.sleep_token = next_token_++;
   sleepers_.push(SleepEntry{deadline, t.sleep_token, t.id});

@@ -56,6 +56,12 @@ void RequestServer::start() {
         t, "Account",
         {rt::Value("tenant-" + std::to_string(t)),
          rt::Value(config_.initial_balance)});
+    if (env_.telemetry.metrics_enabled()) {
+      // Handle resolved once; workers record with a pointer poke.
+      tenants_[t]->latency_hist = &env_.telemetry.metrics().histogram(
+          "msv_server_request_latency_cycles",
+          {{"tenant", std::to_string(t)}});
+    }
   }
   for (std::uint32_t t = 0; t < tenants_.size(); ++t) {
     for (std::uint32_t w = 0; w < config_.workers_per_tenant; ++w) {
@@ -106,6 +112,11 @@ bool RequestServer::submit(std::uint32_t tenant_id, Request r) {
   auto* p = new Pending;
   p->req = r;
   p->owned = true;
+  if (env_.telemetry.tracer().enabled(telemetry::Category::kServer)) {
+    p->span = env_.telemetry.tracer().begin_detached(
+        telemetry::Category::kServer, env_.telemetry.names().request,
+        static_cast<std::int32_t>(tenant_id));
+  }
   enqueue(ten, p);
   return true;
 }
@@ -121,6 +132,11 @@ std::int64_t RequestServer::submit_and_wait(std::uint32_t tenant_id,
   Pending p;
   p.req = r;
   p.waiter = sched_.current();
+  if (env_.telemetry.tracer().enabled(telemetry::Category::kServer)) {
+    p.span = env_.telemetry.tracer().begin_detached(
+        telemetry::Category::kServer, env_.telemetry.names().request,
+        static_cast<std::int32_t>(tenant_id));
+  }
   enqueue(ten, &p);
   try {
     while (!p.done) sched_.suspend();
@@ -148,30 +164,41 @@ void RequestServer::worker_loop(std::uint32_t t) {
     ten.queue.pop_front();
     ten.space.notify_one();
     ++ten.in_flight;
-    // GC gate: this tenant's isolate is paused while its heap is
-    // collected; the request waits out the pause. Other tenants' workers
-    // never pass through this gate (§2.2 isolate independence).
-    while (ten.gc_active) {
-      const Cycles gate_start = env_.clock.now();
-      ten.gc_done.wait();
-      ten.stats.gc_gate_wait_cycles += env_.clock.now() - gate_start;
-    }
-    try {
-      const rt::Value result =
-          p->req.op == RequestOp::kDeposit
-              ? u.invoke(ten.session.as_ref(), "updateBalance",
-                         {rt::Value(p->req.amount)})
-              : u.invoke(ten.session.as_ref(), "getBalance", {});
-      p->result =
-          result.type() == rt::ValueType::kI32 ? result.as_i32() : 0;
-    } catch (const sched::TaskCancelled&) {
-      // Teardown: unwind without touching the descriptor — its owner (a
-      // cancelled submit_and_wait frame) may already be gone.
-      throw;
-    } catch (...) {
-      p->error = std::current_exception();
+    {
+      // Service span, adopted under the request's detached span so the
+      // whole chain — request -> handle -> rmi -> ecall — is one tree.
+      telemetry::AdoptedSpanScope handle(
+          env_.telemetry.tracer(), p->span.ctx, telemetry::Category::kServer,
+          env_.telemetry.names().server_handle, static_cast<std::int32_t>(t));
+      // GC gate: this tenant's isolate is paused while its heap is
+      // collected; the request waits out the pause. Other tenants' workers
+      // never pass through this gate (§2.2 isolate independence).
+      while (ten.gc_active) {
+        const Cycles gate_start = env_.clock.now();
+        ten.gc_done.wait();
+        ten.stats.gc_gate_wait_cycles += env_.clock.now() - gate_start;
+      }
+      try {
+        const rt::Value result =
+            p->req.op == RequestOp::kDeposit
+                ? u.invoke(ten.session.as_ref(), "updateBalance",
+                           {rt::Value(p->req.amount)})
+                : u.invoke(ten.session.as_ref(), "getBalance", {});
+        p->result =
+            result.type() == rt::ValueType::kI32 ? result.as_i32() : 0;
+      } catch (const sched::TaskCancelled&) {
+        // Teardown: unwind without touching the descriptor — its owner (a
+        // cancelled submit_and_wait frame) may already be gone.
+        throw;
+      } catch (...) {
+        p->error = std::current_exception();
+      }
     }
     const Cycles done_at = env_.clock.now();
+    if (ten.latency_hist != nullptr) {
+      ten.latency_hist->record(done_at - p->req.arrival);
+    }
+    env_.telemetry.tracer().end_detached(p->span);
     ten.latencies.push_back(done_at - p->req.arrival);
     ten.completion_times.push_back(done_at);
     ++ten.stats.completed;
@@ -190,6 +217,12 @@ void RequestServer::collect_tenant_async(std::uint32_t tenant_id) {
     // One collection of a heap at a time; a second request queues behind
     // the gate like any worker.
     while (ten.gc_active) ten.gc_done.wait();
+    // Realized pause window of this tenant (the zero-duration gc.collect
+    // phase markers from the detached collection sit inside it).
+    telemetry::SpanScope span(env_.telemetry.tracer(),
+                              telemetry::Category::kGc,
+                              env_.telemetry.names().gc_pause,
+                              static_cast<std::int32_t>(tenant_id));
     ten.gc_active = true;
     const Cycles pause_start = env_.clock.now();
     // The collection itself runs on the §5.5 GC helper thread — its own

@@ -144,6 +144,10 @@ class RequestServer {
     sched::TaskId waiter = sched::kNoTask;
     std::int64_t result = 0;
     std::exception_ptr error;
+    // Request-lifetime span (admission -> completion). Detached because
+    // it is opened by the submitting task and closed by a worker; its
+    // context parents the worker's server.handle span (DESIGN.md §10).
+    telemetry::Tracer::DetachedSpan span;
   };
 
   struct Tenant {
@@ -159,6 +163,9 @@ class RequestServer {
     std::vector<Cycles> latencies;
     std::vector<Cycles> completion_times;
     std::vector<std::pair<Cycles, Cycles>> gc_windows;
+    // Per-tenant request-latency histogram handle, resolved once in
+    // start() when metrics are enabled (p50/p99 in the metrics dump).
+    telemetry::Histogram* latency_hist = nullptr;
   };
 
   Tenant& tenant(std::uint32_t t);

@@ -19,7 +19,15 @@ CallId TransitionBridge::intern(const std::string& name) {
   const auto id = static_cast<CallId>(names_.size());
   ids_.emplace(name, id);
   names_.push_back(name);
-  slots_.emplace_back();
+  Slot& slot = slots_.emplace_back();
+  // Resolve the telemetry identity here, at registration: the transition
+  // span carries the call name verbatim and the category from the prefix
+  // registry (relays -> rmi, GC helpers -> gc, everything else bridge;
+  // msvlint MSV008 flags names the registry would miss).
+  slot.span_name = env_.telemetry.tracer().intern(name);
+  telemetry::Category category = telemetry::Category::kBridge;
+  (void)telemetry::category_for_call(name, &category);
+  slot.span_category = category;
   return id;
 }
 
@@ -175,6 +183,12 @@ void TransitionBridge::call(CallId id, const ByteBuffer& request,
                             ByteBuffer& response, bool is_ecall) {
   Slot& slot = slots_[id];
 
+  // Transition span: covers handshake, TCS acquisition, copies and the
+  // handler — including the parked wait on the ring path (the span lives
+  // on the calling task's stack, so it brackets the whole round trip).
+  telemetry::SpanScope span(env_.telemetry.tracer(), slot.span_category,
+                            slot.span_name);
+
   if (slot.switchless) {
     // Ring path: with workers running and a task to park, the request is
     // queued to a persistent worker on the other side. Otherwise — the
@@ -187,6 +201,7 @@ void TransitionBridge::call(CallId id, const ByteBuffer& request,
       return;
     }
     env_.clock.advance(env_.cost.switchless_call_cycles);
+    slot.stats.transition_cycles += env_.cost.switchless_call_cycles;
     execute_call(slot, request, response, is_ecall, /*switchless=*/true);
     return;
   }
@@ -201,6 +216,7 @@ void TransitionBridge::call(CallId id, const ByteBuffer& request,
     tcs.acquire();
     try {
       charge_transition(env_.cost.ecall_cycles);
+      slot.stats.transition_cycles += env_.cost.ecall_cycles;
       execute_call(slot, request, response, /*is_ecall=*/true,
                    /*switchless=*/false);
     } catch (...) {
@@ -212,6 +228,7 @@ void TransitionBridge::call(CallId id, const ByteBuffer& request,
   }
 
   charge_transition(env_.cost.ocall_cycles);
+  slot.stats.transition_cycles += env_.cost.ocall_cycles;
   execute_call(slot, request, response, /*is_ecall=*/false,
                /*switchless=*/false);
 }
@@ -237,6 +254,7 @@ void TransitionBridge::execute_call(Slot& slot, const ByteBuffer& request,
                                     bool switchless) {
   if (switchless) ++stats_.switchless_calls;
   env_.clock.advance(env_.cost.edge_call_cycles);
+  slot.stats.transition_cycles += env_.cost.edge_call_cycles;
 
   // Request marshalling: the bridge copies the payload across the boundary
   // (into the enclave for ecalls, out of it for ocalls).
@@ -286,20 +304,31 @@ void TransitionBridge::call_via_ring(SwitchlessRing& ring, CallId id,
                                      ByteBuffer& response) {
   // Caller half of the handshake: write the descriptor, signal, park.
   env_.clock.advance(env_.cost.switchless_call_cycles);
+  slots_[id].stats.transition_cycles += env_.cost.switchless_call_cycles;
+  telemetry::Tracer& tracer = env_.telemetry.tracer();
   SwitchlessRing::Request r;
   r.call_id = id;
   r.request = &request;
   r.response = &response;
   r.caller = sched_->current();
-  ring.push(&r);
-  try {
-    while (!r.done) sched_->suspend();
-  } catch (...) {
-    // Cancelled while parked: withdraw the stack descriptor. If a worker
-    // already popped it, the worker is on the same cancelled timeline and
-    // unwinds without ever touching it again.
-    ring.withdraw(&r);
-    throw;
+  // The descriptor carries the caller's trace context across the ring so
+  // the worker's service span joins this call's tree (one causal RMI).
+  if (env_.telemetry.tracing_enabled()) r.trace = tracer.current_context();
+  {
+    // Ring-hop span: enqueue through completion, i.e. queue wait plus
+    // service time as seen from the calling task.
+    telemetry::SpanScope hop(tracer, telemetry::Category::kSwitchless,
+                             env_.telemetry.names().swl_ring);
+    ring.push(&r);
+    try {
+      while (!r.done) sched_->suspend();
+    } catch (...) {
+      // Cancelled while parked: withdraw the stack descriptor. If a worker
+      // already popped it, the worker is on the same cancelled timeline and
+      // unwinds without ever touching it again.
+      ring.withdraw(&r);
+      throw;
+    }
   }
   if (r.error != nullptr) std::rethrow_exception(r.error);
 }
@@ -316,6 +345,12 @@ void TransitionBridge::run_switchless_worker(SwitchlessRing& ring,
     if (r == nullptr) continue;
     Slot& slot = slots_[r->call_id];
     try {
+      // Service span, adopted under the caller's context carried in the
+      // descriptor: the worker task's work renders inside the caller's
+      // call tree, not as a disconnected root.
+      telemetry::AdoptedSpanScope serve(env_.telemetry.tracer(), r->trace,
+                                        telemetry::Category::kSwitchless,
+                                        env_.telemetry.names().swl_serve);
       // The worker runs in its own call context: baseline untrusted, so
       // an ecall-ring worker pushing kTrusted mirrors the persistent
       // in-enclave thread executing the request.

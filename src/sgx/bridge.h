@@ -54,6 +54,13 @@ struct CallStats {
   std::uint64_t calls = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  // Measured bridge overhead charged by this call itself: the hardware
+  // transition (or switchless handshake) plus edge dispatch. Exclusive by
+  // construction — a nested ocall issued from inside an ecall handler
+  // charges its *own* slot, never the parent's — which is what lets the
+  // profiler report per-call overhead without double counting
+  // (sgx/profiler.h).
+  Cycles transition_cycles = 0;
 };
 
 struct BridgeStats {
@@ -177,6 +184,11 @@ class TransitionBridge {
     RawHandler ocall;
     bool switchless = false;
     CallStats stats;
+    // Telemetry: span name interned and category resolved once, at
+    // registration (telemetry::category_for_call), so tracing costs the
+    // hot path nothing beyond one enabled() branch.
+    std::uint32_t span_name = 0;
+    telemetry::Category span_category = telemetry::Category::kBridge;
   };
 
   // Call context: the side/switchless stacks of one logical thread. With

@@ -25,9 +25,17 @@ void EpcModel::access(std::uint64_t region, std::uint64_t page) {
   }
   // Miss: the driver pages the frame in, evicting the LRU page if full.
   ++stats_.faults;
-  env_.clock.advance(env_.cost.epc_page_in_cycles);
+  {
+    telemetry::SpanScope span(env_.telemetry.tracer(),
+                              telemetry::Category::kEpc,
+                              env_.telemetry.names().epc_page_in);
+    env_.clock.advance(env_.cost.epc_page_in_cycles);
+  }
   if (lru_.size() >= capacity_pages_) {
     ++stats_.evictions;
+    telemetry::SpanScope span(env_.telemetry.tracer(),
+                              telemetry::Category::kEpc,
+                              env_.telemetry.names().epc_page_out);
     env_.clock.advance(env_.cost.epc_page_out_cycles);
     index_.erase(lru_.back());
     lru_.pop_back();

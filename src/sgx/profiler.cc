@@ -4,38 +4,71 @@
 
 #include "support/stats.h"
 #include "support/table.h"
+#include "telemetry/adapters.h"
 
 namespace msv::sgx {
 
-TransitionProfile profile_transitions(const BridgeStats& stats,
+namespace {
+
+std::uint64_t series_value(const telemetry::MetricsRegistry& metrics,
+                           const std::string& name,
+                           const telemetry::LabelSet& labels) {
+  const auto* e = metrics.find(name, labels);
+  return e == nullptr ? 0 : e->counter.value;
+}
+
+}  // namespace
+
+TransitionProfile profile_transitions(const telemetry::MetricsRegistry& metrics,
                                       const CostModel& cost,
                                       std::uint64_t min_calls,
                                       std::uint64_t small_payload_bytes) {
   TransitionProfile profile;
-  for (const auto& [name, call] : stats.per_call) {
+  for (const auto& [key, entry] : metrics.sorted_entries()) {
+    if (entry->name != "msv_bridge_call_count") continue;
+    const std::string& name = entry->labels.front().second;  // {call="..."}
+    const std::uint64_t calls = entry->counter.value;
+
     TransitionProfileEntry e;
     e.name = name;
-    e.calls = call.calls;
+    e.calls = calls;
+    const std::uint64_t bytes =
+        series_value(metrics, "msv_bridge_call_bytes_in", entry->labels) +
+        series_value(metrics, "msv_bridge_call_bytes_out", entry->labels);
     e.avg_payload_bytes =
-        call.calls == 0
-            ? 0
-            : static_cast<double>(call.bytes_in + call.bytes_out) /
-                  static_cast<double>(call.calls);
+        calls == 0 ? 0
+                   : static_cast<double>(bytes) / static_cast<double>(calls);
+
+    // Measured transition cycles from the bridge: only this call's own
+    // handshake + edge dispatch, never the bridge time of nested calls.
+    // (The old constant estimate charged a hardware transition per call
+    // regardless of serving mode, so a recommended-switchless ecall with
+    // nested ocalls had the nested bridge time counted both under the
+    // nested calls and — through the parent's inflated constant — again
+    // under the parent.)
+    const Cycles measured =
+        series_value(metrics, "msv_bridge_call_transition_cycles",
+                     entry->labels);
     const bool is_ecall = name.rfind("ecall", 0) == 0;
-    const Cycles per_call =
-        (is_ecall ? cost.ecall_cycles : cost.ocall_cycles) +
-        cost.edge_call_cycles;
-    e.transition_overhead_cycles = per_call * call.calls;
+    const Cycles modeled =
+        ((is_ecall ? cost.ecall_cycles : cost.ocall_cycles) +
+         cost.edge_call_cycles) *
+        calls;
+    e.transition_overhead_cycles = measured != 0 ? measured : modeled;
+
     e.recommend_switchless =
-        call.calls >= min_calls &&
+        calls >= min_calls &&
         e.avg_payload_bytes < static_cast<double>(small_payload_bytes);
     profile.total_overhead_cycles += e.transition_overhead_cycles;
-    if (!e.recommend_switchless) {
+    if (e.recommend_switchless) {
       profile.overhead_after_switchless_cycles +=
-          e.transition_overhead_cycles;
+          std::min<Cycles>((cost.switchless_call_cycles +
+                            cost.edge_call_cycles) *
+                               calls,
+                           e.transition_overhead_cycles);
     } else {
       profile.overhead_after_switchless_cycles +=
-          cost.switchless_call_cycles * call.calls;
+          e.transition_overhead_cycles;
     }
     profile.entries.push_back(std::move(e));
   }
@@ -46,6 +79,15 @@ TransitionProfile profile_transitions(const BridgeStats& stats,
                      b.transition_overhead_cycles;
             });
   return profile;
+}
+
+TransitionProfile profile_transitions(const BridgeStats& stats,
+                                      const CostModel& cost,
+                                      std::uint64_t min_calls,
+                                      std::uint64_t small_payload_bytes) {
+  telemetry::MetricsRegistry scratch;
+  telemetry::publish_bridge(scratch, stats);
+  return profile_transitions(scratch, cost, min_calls, small_payload_bytes);
 }
 
 std::string transition_report(const TransitionProfile& profile,

@@ -3,8 +3,9 @@
 // The paper cites sgx-perf for the cost of enclave transitions; the tool's
 // key feature is per-call-site transition statistics plus recommendations
 // (e.g. "this hot, small-payload call should be switchless"). The bridge
-// already collects per-call statistics; this module turns them into the
-// report and the recommendation list, which feeds the §7 switchless mode.
+// collects measured per-call transition cycles; this module turns the
+// telemetry registry's msv_bridge_call_* series into the report and the
+// recommendation list, which feeds the §7 switchless mode.
 #pragma once
 
 #include <string>
@@ -12,6 +13,7 @@
 
 #include "sgx/bridge.h"
 #include "support/cost_model.h"
+#include "telemetry/telemetry.h"
 
 namespace msv::sgx {
 
@@ -19,8 +21,11 @@ struct TransitionProfileEntry {
   std::string name;
   std::uint64_t calls = 0;
   double avg_payload_bytes = 0;
-  // Estimated cycles spent on pure transition overhead (EENTER/EEXIT +
-  // bridge dispatch) for this call, over the whole run.
+  // Cycles spent on pure transition overhead (EENTER/EEXIT or switchless
+  // handshake, plus edge dispatch) for this call, over the whole run.
+  // Exclusive: a parent call's figure never includes the bridge time of
+  // calls nested under it — that time is reported under the nested calls'
+  // own entries, so summing entries never double-counts.
   Cycles transition_overhead_cycles = 0;
   bool recommend_switchless = false;
 };
@@ -32,10 +37,21 @@ struct TransitionProfile {
   Cycles overhead_after_switchless_cycles = 0;
 };
 
-// Analyzes bridge statistics. A call is recommended for switchless
-// serving when it is hot (>= min_calls) and its payloads are small enough
-// that the transition dominates (< small_payload_bytes) — the sgx-perf
-// heuristic.
+// Analyzes the msv_bridge_call_* series of a metrics registry (what
+// telemetry::publish_bridge emits). Prefers the bridge's measured
+// per-call transition cycles — exclusive by construction, and reflecting
+// how each call was actually served (hardware transition vs switchless
+// ring) — over the constant estimate, which is kept only as a fallback
+// for hand-built stats with no measurement. A call is recommended for
+// switchless serving when it is hot (>= min_calls) and its payloads are
+// small enough that the transition dominates (< small_payload_bytes) —
+// the sgx-perf heuristic.
+TransitionProfile profile_transitions(const telemetry::MetricsRegistry& metrics,
+                                      const CostModel& cost,
+                                      std::uint64_t min_calls = 1000,
+                                      std::uint64_t small_payload_bytes = 512);
+
+// Convenience overload: publishes `stats` into a scratch registry first.
 TransitionProfile profile_transitions(const BridgeStats& stats,
                                       const CostModel& cost,
                                       std::uint64_t min_calls = 1000,

@@ -32,6 +32,12 @@ void TcsPool::acquire() {
                         " TCS busy (SGX_ERROR_OUT_OF_TCS)");
   }
   ++stats_.waits;
+  // TCS-wait span: covers exactly the queued window (the uncontended fast
+  // path above records nothing). Closes via RAII even when cancellation
+  // unwinds out of the suspend loop.
+  telemetry::SpanScope span(env_.telemetry.tracer(),
+                            telemetry::Category::kTcs,
+                            env_.telemetry.names().tcs_wait);
   const Cycles queued_at = env_.clock.now();
   const std::uint64_t me = sched_->current();
   waiters_.push_back(me);

@@ -139,6 +139,9 @@ class SwitchlessRing {
     ByteBuffer* response = nullptr;
     Cycles enqueued_at = 0;
     std::uint64_t caller = 0;  // TaskId to wake on completion
+    // Caller's trace context: lets the worker's service span join the
+    // caller's span tree across the task boundary (DESIGN.md §10).
+    telemetry::TraceContext trace;
     bool done = false;
     std::exception_ptr error;
   };

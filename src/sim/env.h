@@ -10,6 +10,7 @@
 
 #include "support/clock.h"
 #include "support/cost_model.h"
+#include "telemetry/telemetry.h"
 #include "vfs/fs.h"
 
 namespace msv {
@@ -27,7 +28,8 @@ struct Env {
       : clock(cm.cpu_hz),
         cost(cm),
         fs(filesystem ? std::move(filesystem)
-                      : std::make_shared<vfs::MemFs>()) {}
+                      : std::make_shared<vfs::MemFs>()),
+        telemetry(clock) {}
 
   Env(const Env&) = delete;
   Env& operator=(const Env&) = delete;
@@ -35,6 +37,9 @@ struct Env {
   VirtualClock clock;
   CostModel cost;
   std::shared_ptr<vfs::FileSystem> fs;
+  // Metrics registry + deterministic span tracer (DESIGN.md §10). Off by
+  // default; AppConfig::trace configures it at app construction.
+  telemetry::Telemetry telemetry;
 };
 
 }  // namespace msv

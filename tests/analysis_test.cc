@@ -507,6 +507,39 @@ TEST(Lint, Msv007MalformedBytecodeSurfacesThroughLint) {
   EXPECT_EQ(findings[0].pc, 0);
 }
 
+TEST(Lint, Msv008UnregisteredTelemetryCategory) {
+  // With the live prefix table every woven relay name ("ecall_relay_...",
+  // "ocall_relay_...") is covered, so the rule is quiet by default; an
+  // options override simulates a telemetry registry that has dropped the
+  // relay prefixes and must produce one informational finding per would-be
+  // transition.
+  model::AppModel app;
+  auto& box = app.add_class("Box", Annotation::kTrusted);
+  box.add_method("get", 0).body(
+      IrBuilder().const_val(Value(std::int32_t{1})).ret().build());
+  app.set_main_class("Box");
+
+  EXPECT_TRUE(of_rule(analysis::lint(app), "MSV008").empty())
+      << "default prefix table covers every woven relay";
+
+  analysis::LintOptions options;
+  options.telemetry_call_prefixes = {"ecall_gc_", "ocall_gc_"};
+  const auto findings = of_rule(analysis::lint(app, options), "MSV008");
+  // One finding per relay transition: get() plus the default-constructor
+  // relay the transformer always weaves.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].severity, Severity::kInfo);
+  EXPECT_EQ(findings[0].cls, "Box");
+  bool saw_get = false;
+  for (const auto& f : findings) {
+    if (f.method == "get") {
+      saw_get = true;
+      EXPECT_NE(f.message.find("ecall_relay_Box_get"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_get);
+}
+
 // ---- Lint: the clean corpus produces zero findings -------------------------
 
 TEST(Lint, BankAppIsClean) {
@@ -568,9 +601,9 @@ TEST(Diag, JsonReportShape) {
 
 TEST(Diag, RuleCatalogueIsStable) {
   const auto ids = analysis::lint_rule_ids();
-  ASSERT_EQ(ids.size(), 7u);
+  ASSERT_EQ(ids.size(), 8u);
   EXPECT_EQ(ids.front(), "MSV001");
-  EXPECT_EQ(ids.back(), "MSV007");
+  EXPECT_EQ(ids.back(), "MSV008");
 }
 
 // ---- Interpreter: TrapError bounds checks ----------------------------------

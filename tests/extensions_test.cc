@@ -104,6 +104,54 @@ TEST(Profiler, ColdCallsNotRecommended) {
   }
 }
 
+TEST(Profiler, NestedOcallOverheadExcludedFromSwitchlessParent) {
+  // Regression: the profile is built from the bridge's measured per-call
+  // transition cycles, which are exclusive. A switchless ecall issuing
+  // nested ocalls must report only its own handshake+edge overhead; the
+  // old constant model charged it a full hardware transition per call, so
+  // the nested bridge time was effectively counted twice in the totals.
+  Env env;
+  sgx::Enclave enclave(env, "prof", Sha256::hash("img"), 1 << 20);
+  enclave.init(Sha256::hash("img"));
+  sgx::TransitionBridge bridge(env, enclave);
+  const sgx::CallId log_id = bridge.register_ocall(
+      "ocall_log", [](ByteReader&) { return ByteBuffer(); });
+  const sgx::CallId tick_id =
+      bridge.register_ecall("ecall_tick", [&, log_id](ByteReader&) {
+        ByteBuffer nested;
+        for (int i = 0; i < 3; ++i) bridge.ocall(log_id, ByteBuffer(), nested);
+        return ByteBuffer();
+      });
+  bridge.set_switchless(tick_id, true);
+  constexpr Cycles kCalls = 1500;
+  ByteBuffer resp;
+  for (Cycles i = 0; i < kCalls; ++i) {
+    bridge.ecall(tick_id, ByteBuffer(), resp);
+  }
+
+  const auto profile = sgx::profile_transitions(bridge.stats(), env.cost,
+                                                /*min_calls=*/1000,
+                                                /*small_payload=*/512);
+  const sgx::TransitionProfileEntry* parent = nullptr;
+  const sgx::TransitionProfileEntry* nested = nullptr;
+  for (const auto& e : profile.entries) {
+    if (e.name == "ecall_tick") parent = &e;
+    if (e.name == "ocall_log") nested = &e;
+  }
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(parent->transition_overhead_cycles,
+            kCalls * (env.cost.switchless_call_cycles +
+                      env.cost.edge_call_cycles))
+      << "parent must pay only its own handshake + edge dispatch";
+  EXPECT_EQ(nested->transition_overhead_cycles,
+            3 * kCalls * (env.cost.ocall_cycles + env.cost.edge_call_cycles))
+      << "nested ocall time belongs to the ocall's own entry";
+  EXPECT_EQ(profile.total_overhead_cycles,
+            parent->transition_overhead_cycles +
+                nested->transition_overhead_cycles);
+}
+
 // ---- Multi-isolate pairs (future work §7) ----------------------------------
 
 class MultiIsolateTest : public ::testing::Test {

@@ -22,4 +22,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 # native-edge dry run feeding MSV004 (exit 1 = unsuppressed lint errors).
 "$BUILD_DIR"/tools/msvlint examples/*.msv --bank --micro --synthetic=40 \
   --trace-native --quiet > /dev/null
-echo "tier1: tests + rmi fast-path + switchless-ring + msvlint smoke OK"
+
+# Telemetry smoke: a traced serving run must emit a valid Chrome trace
+# with the full span taxonomy linked by trace context (DESIGN.md §10).
+"$BUILD_DIR"/bench/fig_server --smoke \
+  --trace-out="$BUILD_DIR"/fig_server_trace.json \
+  --metrics-out="$BUILD_DIR"/fig_server_metrics.txt > /dev/null
+tools/check_trace.py "$BUILD_DIR"/fig_server_trace.json
+
+echo "tier1: tests + ablations + msvlint + telemetry-trace smoke OK"
