@@ -100,4 +100,12 @@ void MultiIsolateApp::collect_isolate(std::uint32_t index) {
   trusted_context(index).isolate().heap().collect();
 }
 
+void MultiIsolateApp::restart_enclave() {
+  telemetry::SpanScope span(env_->telemetry.tracer(),
+                            telemetry::Category::kFault,
+                            env_->telemetry.names().enclave_restart);
+  enclave_->restart(trusted_image_.measure());
+  rmi_->on_enclave_restart();
+}
+
 }  // namespace msv::core

@@ -45,6 +45,14 @@ class MultiIsolateApp {
   // untouched (the GraalVM isolate property the design builds on, §2.2).
   void collect_isolate(std::uint32_t index);
 
+  // Recovery path for a lost enclave (DESIGN.md §12): re-create and
+  // re-measure against the trusted image (charging the full build cost),
+  // then fence the RMI layer so stale proxies fault instead of routing to
+  // dead mirrors. Callers rebuild session state afterwards — typically by
+  // unsealing a checkpoint (server/server.h). Throws unless the enclave is
+  // currently lost.
+  void restart_enclave();
+
  private:
   std::unique_ptr<Env> env_;
   AppConfig config_;

@@ -1,0 +1,98 @@
+#include "faults/injector.h"
+
+#include <utility>
+
+#include "support/error.h"
+
+namespace msv::faults {
+
+FaultInjector::FaultInjector(Env& env, FaultPlan plan)
+    : env_(env),
+      plan_(std::move(plan)),
+      // Corruption randomness is derived from the plan itself, so a given
+      // plan corrupts the same blob bytes on every run.
+      rng_(plan_.digest() | 1) {}
+
+void FaultInjector::arm(sgx::Enclave& enclave) {
+  MSV_CHECK_MSG(enclave_ == nullptr, "fault injector armed twice");
+  enclave_ = &enclave;
+  // Resolve deferred window magnitudes against the live enclave.
+  FaultPlan resolved;
+  for (FaultEvent e : plan_.events()) {
+    if (e.kind == FaultKind::kEpcPressureStart && e.magnitude == 0) {
+      e.magnitude = std::max<std::uint64_t>(1, enclave.epc().capacity_pages() / 2);
+    }
+    if (e.kind == FaultKind::kTcsSeizeStart && e.magnitude == 0) {
+      e.magnitude = enclave.tcs().slots() - 1;
+    }
+    resolved.add(e);
+  }
+  plan_ = std::move(resolved);
+}
+
+void FaultInjector::on_transition_start() {
+  if (next_ >= plan_.size()) return;
+  process_due(/*in_ecall=*/false);
+}
+
+void FaultInjector::on_ecall_entry() {
+  if (next_ >= plan_.size()) return;
+  process_due(/*in_ecall=*/true);
+}
+
+void FaultInjector::process_due(bool in_ecall) {
+  MSV_CHECK_MSG(enclave_ != nullptr, "fault injector polled before arm()");
+  const std::vector<FaultEvent>& events = plan_.events();
+  while (next_ < events.size() && events[next_].at <= env_.clock.now()) {
+    const FaultEvent& e = events[next_];
+    // A due enclave loss is held until the next ecall entry so it always
+    // surfaces mid-ecall; later events queue behind it.
+    if (e.kind == FaultKind::kEnclaveLoss && !in_ecall) return;
+    ++next_;
+    apply(e);  // may throw — the consumed event never replays
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  // Zero-duration marker span: faults are instants, and telemetry never
+  // advances the clock, so the marker costs the timeline nothing.
+  {
+    telemetry::SpanScope span(env_.telemetry.tracer(),
+                              telemetry::Category::kFault,
+                              env_.telemetry.names().fault_inject);
+  }
+  switch (e.kind) {
+    case FaultKind::kEnclaveLoss:
+      ++stats_.enclave_losses;
+      enclave_->mark_lost();
+      throw sgx::EnclaveLostError(
+          "enclave " + enclave_->name() +
+          " lost mid-ecall (SGX_ERROR_ENCLAVE_LOST)");
+    case FaultKind::kTransitionFailure:
+      ++stats_.transition_failures;
+      throw sgx::TransitionError("injected transient transition failure");
+    case FaultKind::kEpcPressureStart:
+      ++stats_.epc_spikes;
+      enclave_->epc().set_reserved_pages(e.magnitude);
+      return;
+    case FaultKind::kEpcPressureEnd:
+      enclave_->epc().set_reserved_pages(0);
+      return;
+    case FaultKind::kTcsSeizeStart:
+      ++stats_.tcs_bursts;
+      enclave_->tcs().set_seized(static_cast<std::uint32_t>(e.magnitude));
+      return;
+    case FaultKind::kTcsSeizeEnd:
+      enclave_->tcs().set_seized(0);
+      return;
+    case FaultKind::kBlobCorruption:
+      if (corrupter_ && corrupter_(rng_)) {
+        ++stats_.blob_corruptions;
+      } else {
+        ++stats_.skipped_corruptions;
+      }
+      return;
+  }
+}
+
+}  // namespace msv::faults

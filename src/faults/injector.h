@@ -1,0 +1,87 @@
+// Fault injector: drives a FaultPlan against a live enclave.
+//
+// The injector is *polled*, not timer-driven: the bridge calls
+// on_transition_start() at the top of every ecall/ocall and
+// on_ecall_entry() just before a trusted handler runs, and the injector
+// fires every event whose instant the virtual clock has reached. Polling
+// keeps injection deterministic — events apply at transition boundaries,
+// which are themselves deterministic under the fiber scheduler — and
+// keeps the disarmed hot path at exactly one pointer test in the bridge
+// (the honesty contract: with no injector attached, every abl_* /
+// fig_server baseline stays byte-identical).
+//
+// Enclave-loss events are special: they are held until the next ecall
+// entry so the loss always surfaces *mid-ecall* (payload copied in, TCS
+// bound, handler about to run), which is where SGX_ERROR_ENCLAVE_LOST
+// bites on real hardware. Events scheduled after a pending loss wait
+// behind it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "faults/plan.h"
+#include "sgx/enclave.h"
+#include "support/rng.h"
+
+namespace msv::faults {
+
+struct FaultInjectorStats {
+  std::uint64_t enclave_losses = 0;
+  std::uint64_t transition_failures = 0;
+  std::uint64_t epc_spikes = 0;       // windows opened
+  std::uint64_t tcs_bursts = 0;       // windows opened
+  std::uint64_t blob_corruptions = 0;
+  // Corruption events that found nothing to corrupt (no corrupter
+  // registered, or no blob stored yet) — reported, never silently eaten.
+  std::uint64_t skipped_corruptions = 0;
+};
+
+class FaultInjector {
+ public:
+  // Flips bits in some stored sealed blob, drawing all randomness from the
+  // provided (injector-owned, seeded) Rng. Returns false when there is no
+  // blob to corrupt.
+  using BlobCorrupter = std::function<bool(Rng&)>;
+
+  FaultInjector(Env& env, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Binds the injector to its target enclave and resolves deferred window
+  // magnitudes (0 pages -> half the EPC capacity; 0 slots -> all but one).
+  // Attach to the bridge separately (TransitionBridge::attach_fault_injector).
+  void arm(sgx::Enclave& enclave);
+
+  void set_blob_corrupter(BlobCorrupter corrupter) {
+    corrupter_ = std::move(corrupter);
+  }
+
+  // Bridge hook: top of every transition. Fires due non-loss events; may
+  // throw TransitionError (exactly one call fails per event).
+  void on_transition_start();
+  // Bridge hook: inside an ecall, after entry costs, before the handler.
+  // Fires due events including enclave loss; may throw EnclaveLostError
+  // (after marking the enclave lost) or TransitionError.
+  void on_ecall_entry();
+
+  const FaultInjectorStats& stats() const { return stats_; }
+  std::size_t pending() const { return plan_.size() - next_; }
+  bool exhausted() const { return next_ >= plan_.size(); }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void process_due(bool in_ecall);
+  void apply(const FaultEvent& event);
+
+  Env& env_;
+  FaultPlan plan_;
+  std::size_t next_ = 0;
+  sgx::Enclave* enclave_ = nullptr;
+  BlobCorrupter corrupter_;
+  Rng rng_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace msv::faults

@@ -1,0 +1,91 @@
+#include "faults/plan.h"
+
+#include <algorithm>
+
+#include "support/rng.h"
+
+namespace msv::faults {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEnclaveLoss:
+      return "enclave_loss";
+    case FaultKind::kTransitionFailure:
+      return "transition_failure";
+    case FaultKind::kEpcPressureStart:
+      return "epc_pressure_start";
+    case FaultKind::kEpcPressureEnd:
+      return "epc_pressure_end";
+    case FaultKind::kTcsSeizeStart:
+      return "tcs_seize_start";
+    case FaultKind::kTcsSeizeEnd:
+      return "tcs_seize_end";
+    case FaultKind::kBlobCorruption:
+      return "blob_corruption";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::generate(const FaultPlanConfig& config) {
+  FaultPlan plan;
+  Rng rng(config.seed);
+  const auto instant = [&] {
+    return static_cast<Cycles>(rng.next_below(config.horizon));
+  };
+  // One kind at a time, in declaration order: the Rng consumption order is
+  // part of the plan's identity, so reordering these loops would be a
+  // (deliberate, testable) format change.
+  for (std::uint32_t i = 0; i < config.enclave_losses; ++i) {
+    plan.add({instant(), FaultKind::kEnclaveLoss, 0});
+  }
+  for (std::uint32_t i = 0; i < config.transition_failures; ++i) {
+    plan.add({instant(), FaultKind::kTransitionFailure, 0});
+  }
+  for (std::uint32_t i = 0; i < config.epc_spikes; ++i) {
+    const Cycles dur = std::min(config.epc_spike_cycles, config.horizon);
+    const Cycles start =
+        static_cast<Cycles>(rng.next_below(config.horizon - dur + 1));
+    plan.add({start, FaultKind::kEpcPressureStart, config.epc_spike_pages});
+    plan.add({start + dur, FaultKind::kEpcPressureEnd, 0});
+  }
+  for (std::uint32_t i = 0; i < config.tcs_bursts; ++i) {
+    const Cycles dur = std::min(config.tcs_burst_cycles, config.horizon);
+    const Cycles start =
+        static_cast<Cycles>(rng.next_below(config.horizon - dur + 1));
+    plan.add({start, FaultKind::kTcsSeizeStart, config.tcs_burst_slots});
+    plan.add({start + dur, FaultKind::kTcsSeizeEnd, 0});
+  }
+  for (std::uint32_t i = 0; i < config.blob_corruptions; ++i) {
+    plan.add({instant(), FaultKind::kBlobCorruption, 0});
+  }
+  return plan;
+}
+
+void FaultPlan::add(const FaultEvent& event) {
+  // Insert behind every event with an instant <= this one: stable order
+  // for simultaneous events, so repeated add() sequences replay exactly.
+  const auto pos =
+      std::upper_bound(events_.begin(), events_.end(), event,
+                       [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.at < b.at;
+                       });
+  events_.insert(pos, event);
+}
+
+std::uint64_t FaultPlan::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  const auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const FaultEvent& e : events_) {
+    mix(e.at);
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(e.magnitude);
+  }
+  return h;
+}
+
+}  // namespace msv::faults

@@ -1,0 +1,83 @@
+// Seeded, deterministic fault plans (DESIGN.md §12).
+//
+// A FaultPlan is a pre-generated, time-sorted schedule of fault events on
+// the virtual clock: enclave loss mid-ecall, transient transition
+// failures, EPC pressure windows (another workload grabbing frames), TCS
+// exhaustion windows (foreign threads squatting in the enclave) and
+// sealed-blob corruption (bit rot / tampering in untrusted storage).
+//
+// Determinism is the whole point — Stress-SGX-style chaos testing is only
+// a regression tool if the storm replays bit-for-bit. The plan is a pure
+// function of its config (one seeded Rng, consumed in a fixed order), and
+// the injector (injector.h) consumes it by polling the virtual clock at
+// transition boundaries, so the same seed produces the same faults at the
+// same simulated instants on every run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/clock.h"
+
+namespace msv::faults {
+
+enum class FaultKind : std::uint8_t {
+  kEnclaveLoss,        // SGX_ERROR_ENCLAVE_LOST, surfaced mid-ecall
+  kTransitionFailure,  // one transition fails transiently (retry-safe)
+  kEpcPressureStart,   // begin withholding `magnitude` EPC pages
+  kEpcPressureEnd,
+  kTcsSeizeStart,      // begin withholding `magnitude` TCS slots
+  kTcsSeizeEnd,
+  kBlobCorruption,     // flip one bit in a stored sealed blob
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  Cycles at = 0;
+  FaultKind kind = FaultKind::kTransitionFailure;
+  // Window magnitude: pages withheld (EPC) or slots withheld (TCS).
+  // 0 = resolve against the target enclave when the injector is armed
+  // (half the EPC capacity / all TCS slots but one).
+  std::uint64_t magnitude = 0;
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+  // Event instants are drawn uniformly from [0, horizon); windows start in
+  // [0, horizon - duration] so they always close inside the horizon.
+  Cycles horizon = 200'000'000;
+  std::uint32_t enclave_losses = 0;
+  std::uint32_t transition_failures = 0;
+  std::uint32_t epc_spikes = 0;
+  Cycles epc_spike_cycles = 20'000'000;
+  std::uint64_t epc_spike_pages = 0;  // 0 = half the capacity, at arm time
+  std::uint32_t tcs_bursts = 0;
+  Cycles tcs_burst_cycles = 10'000'000;
+  std::uint32_t tcs_burst_slots = 0;  // 0 = all but one, at arm time
+  std::uint32_t blob_corruptions = 0;
+};
+
+class FaultPlan {
+ public:
+  // Draws every event from one Rng(seed) in a fixed kind order, then
+  // stable-sorts by instant — a pure function of the config.
+  static FaultPlan generate(const FaultPlanConfig& config);
+
+  // Manual construction for tests: events may be appended in any order
+  // and are kept time-sorted (stable for equal instants).
+  void add(const FaultEvent& event);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  // FNV-1a over the serialized schedule: two plans with equal digests are
+  // identical event-for-event (the determinism self-checks compare this).
+  std::uint64_t digest() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace msv::faults

@@ -61,6 +61,7 @@ RefEncoder MultiIsolateRuntime::make_ref_encoder(SideState& s,
     const ClassDecl& cls = s.ctx.class_of(ref);
     if (cls.is_proxy()) {
       const std::int64_t hash = s.ctx.isolate().get_field(ref, 0).as_i64();
+      if (&s == untrusted_.get()) check_proxy_epoch(hash);
       const std::uint32_t owner =
           (&s == untrusted_.get()) ? hash_owner_.at(hash) : kUntrustedId;
       if (owner != peer_id) {
@@ -150,8 +151,35 @@ GcRef MultiIsolateRuntime::materialize_proxy(SideState& s, std::int64_t hash,
   const std::uint32_t weak_index = s.ctx.isolate().weak_refs().add(
       proxy.address(), static_cast<std::uint64_t>(hash));
   s.proxy_by_hash[hash] = weak_index;
-  if (&s == untrusted_.get()) hash_owner_[hash] = owner_id;
+  if (&s == untrusted_.get()) {
+    hash_owner_[hash] = owner_id;
+    hash_epoch_[hash] = bridge_.enclave().epoch();
+  }
   return proxy;
+}
+
+void MultiIsolateRuntime::check_proxy_epoch(std::int64_t hash) {
+  const auto it = hash_epoch_.find(hash);
+  if (it == hash_epoch_.end()) return;
+  const std::uint64_t current = bridge_.enclave().epoch();
+  if (it->second != current) {
+    throw StaleProxyError(
+        "proxy minted under enclave epoch " + std::to_string(it->second) +
+        " invoked after restart (current epoch " + std::to_string(current) +
+        "); its mirror died with the old enclave heap");
+  }
+}
+
+void MultiIsolateRuntime::on_enclave_restart() {
+  for (auto& s : trusted_) {
+    s->registry.clear();
+    s->proxy_by_hash.clear();
+    s->ctx.isolate().weak_refs().remove_if(
+        [](const rt::WeakEntry&) { return true; });
+  }
+  // Untrusted mirrors were pinned only for the benefit of in-enclave
+  // proxies, all of which died with the heap.
+  untrusted_->registry.clear();
 }
 
 rt::Value MultiIsolateRuntime::construct_in(std::uint32_t isolate_index,
@@ -195,7 +223,10 @@ rt::Value MultiIsolateRuntime::do_construct(SideState& from,
   const std::uint32_t weak_index = from.ctx.isolate().weak_refs().add(
       proxy.address(), static_cast<std::uint64_t>(hash));
   from.proxy_by_hash[hash] = weak_index;
-  if (&from == untrusted_.get()) hash_owner_[hash] = target_id;
+  if (&from == untrusted_.get()) {
+    hash_owner_[hash] = target_id;
+    hash_epoch_[hash] = bridge_.enclave().epoch();
+  }
 
   ByteBuffer payload;
   payload.put_u32(target_id);
@@ -237,6 +268,7 @@ rt::Value MultiIsolateRuntime::invoke_proxy(ExecContext& caller,
     self_hash = caller.isolate().get_field(proxy, 0).as_i64();
   }
   if (&from == untrusted_.get()) {
+    if (!stub.is_static()) check_proxy_epoch(self_hash);
     target_id = stub.is_static() ? 0 : hash_owner_.at(self_hash);
   }
   (void)proxy_cls;
@@ -418,6 +450,7 @@ void MultiIsolateRuntime::force_gc_scan() {
       const auto hash = static_cast<std::int64_t>(e.payload);
       dead_by_owner[hash_owner_.at(hash)].push_back(hash);
       hash_owner_.erase(hash);
+      hash_epoch_.erase(hash);
       return true;
     }
     return false;

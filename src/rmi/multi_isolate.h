@@ -34,6 +34,15 @@
 
 namespace msv::rmi {
 
+// Thrown when a proxy minted against a previous enclave incarnation is
+// invoked after a restart: its mirror died with the old enclave heap, so
+// the call can never be routed. Typed so the serving layer can rebuild the
+// session instead of treating it as a bug.
+class StaleProxyError : public RuntimeFault {
+ public:
+  explicit StaleProxyError(const std::string& what) : RuntimeFault(what) {}
+};
+
 class MultiIsolateRuntime final : public interp::RemoteInvoker {
  public:
   struct Config {
@@ -68,6 +77,14 @@ class MultiIsolateRuntime final : public interp::RemoteInvoker {
 
   // Scans every weak list and evicts dead mirrors across all pairs.
   void force_gc_scan();
+
+  // Enclave-restart fence (DESIGN.md §12). The trusted heaps are gone:
+  // drops every trusted-side registry/proxy table and the untrusted-side
+  // mirror registry (whose in-enclave proxies died with the heap).
+  // Untrusted proxies minted against the old incarnation survive as
+  // objects but their next invocation throws StaleProxyError — the epoch
+  // recorded at mint no longer matches Enclave::epoch().
+  void on_enclave_restart();
 
   const MirrorProxyRegistry& trusted_registry(std::uint32_t index) const;
   const MirrorProxyRegistry& untrusted_registry() const {
@@ -104,6 +121,10 @@ class MultiIsolateRuntime final : public interp::RemoteInvoker {
                          const model::ClassDecl& proxy_cls,
                          std::vector<rt::Value>& args);
 
+  // Throws StaleProxyError when `hash` was minted under an earlier enclave
+  // epoch than the current one.
+  void check_proxy_epoch(std::int64_t hash);
+
   Env& env_;
   sgx::TransitionBridge& bridge_;
   Config config_;
@@ -111,6 +132,9 @@ class MultiIsolateRuntime final : public interp::RemoteInvoker {
   std::unique_ptr<SideState> untrusted_;
   // Untrusted-side routing: proxy hash -> owning trusted isolate.
   std::unordered_map<std::int64_t, std::uint32_t> hash_owner_;
+  // Enclave epoch each untrusted-side proxy hash was minted under; stale
+  // entries make invoke_proxy fault with StaleProxyError after a restart.
+  std::unordered_map<std::int64_t, std::uint64_t> hash_epoch_;
   bool handlers_registered_ = false;
   // Relay-stub dispatch IDs, memoized per proxy-stub decl (ecall and ocall
   // registrations of one relay name share the interned ID).

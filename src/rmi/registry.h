@@ -67,6 +67,15 @@ class MirrorProxyRegistry {
   // Proxy hash under which `mirror` is registered, if any.
   std::optional<std::int64_t> hash_for(const rt::GcRef& mirror) const;
 
+  // Drops every entry at once — the enclave-restart path, where the peer
+  // runtime's proxies are all gone and the strong references would pin
+  // dead state forever. Counted as removes.
+  void clear() {
+    stats_.removes += by_hash_.size();
+    by_hash_.clear();
+    by_identity_.clear();
+  }
+
   std::size_t size() const { return by_hash_.size(); }
   const RegistryStats& stats() const { return stats_; }
 

@@ -119,6 +119,8 @@ HarnessReport LoadHarness::report() const {
   const ServerStats s = server_.stats();
   rep.completed = s.completed;
   rep.shed = s.shed;
+  rep.failed = s.failed;
+  rep.retries = s.retries;
   rep.final_clock = env_.clock.now();
   rep.elapsed_seconds = env_.clock.seconds();
   rep.throughput_rps = rep.elapsed_seconds > 0

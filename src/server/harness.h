@@ -63,6 +63,8 @@ struct HarnessReport {
   LatencySummary aggregate;
   std::uint64_t completed = 0;
   std::uint64_t shed = 0;
+  std::uint64_t failed = 0;   // finished with an error; no latency sample
+  std::uint64_t retries = 0;  // recoverable faults absorbed by retries
   Cycles final_clock = 0;
   Cycles latency_cycle_sum = 0;
   double elapsed_seconds = 0;

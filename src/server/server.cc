@@ -2,15 +2,25 @@
 
 #include <algorithm>
 
+#include "faults/injector.h"
 #include "support/error.h"
 
 namespace msv::server {
 
 RequestServer::RequestServer(sched::Scheduler& sched,
                              core::MultiIsolateApp& app, ServerConfig config)
-    : env_(app.env()), sched_(sched), app_(app), config_(config) {
+    : env_(app.env()),
+      sched_(sched),
+      app_(app),
+      config_(config),
+      sealer_(config.recovery.platform_secret),
+      recovery_done_(sched) {
   MSV_CHECK_MSG(config_.max_queue_depth > 0, "queue depth must be positive");
   MSV_CHECK_MSG(config_.workers_per_tenant > 0, "need at least one worker");
+  MSV_CHECK_MSG(config_.recovery.max_attempts > 0,
+                "retry budget needs at least one attempt");
+  MSV_CHECK_MSG(config_.recovery.backoff_multiplier >= 1.0,
+                "backoff must not shrink");
   for (std::uint32_t t = 0; t < app_.isolate_count(); ++t) {
     tenants_.push_back(std::make_unique<Tenant>(sched_));
   }
@@ -56,6 +66,7 @@ void RequestServer::start() {
         t, "Account",
         {rt::Value("tenant-" + std::to_string(t)),
          rt::Value(config_.initial_balance)});
+    tenants_[t]->session_epoch = app_.enclave().epoch();
     if (env_.telemetry.metrics_enabled()) {
       // Handle resolved once; workers record with a pointer poke.
       tenants_[t]->latency_hist = &env_.telemetry.metrics().histogram(
@@ -99,6 +110,14 @@ void RequestServer::enqueue(Tenant& ten, Pending* p) {
 bool RequestServer::submit(std::uint32_t tenant_id, Request r) {
   MSV_CHECK_MSG(started_, "server not started");
   Tenant& ten = tenant(tenant_id);
+  // Mid-recovery the enclave cannot serve anyway: shed at admission so the
+  // backlog does not grow against a stalled service (degradation ladder:
+  // retry -> recover -> shed).
+  if (config_.recovery.enabled && recovering_) {
+    ++ten.stats.shed;
+    ++ten.stats.shed_recovery;
+    return false;
+  }
   if (queue_full(ten)) {
     if (config_.shed_on_full) {
       ++ten.stats.shed;
@@ -154,7 +173,6 @@ std::int64_t RequestServer::submit_and_wait(std::uint32_t tenant_id,
 
 void RequestServer::worker_loop(std::uint32_t t) {
   Tenant& ten = *tenants_[t];
-  auto& u = app_.untrusted_context();
   for (;;) {
     while (ten.queue.empty()) {
       if (stopping_) return;
@@ -179,13 +197,8 @@ void RequestServer::worker_loop(std::uint32_t t) {
         ten.stats.gc_gate_wait_cycles += env_.clock.now() - gate_start;
       }
       try {
-        const rt::Value result =
-            p->req.op == RequestOp::kDeposit
-                ? u.invoke(ten.session.as_ref(), "updateBalance",
-                           {rt::Value(p->req.amount)})
-                : u.invoke(ten.session.as_ref(), "getBalance", {});
-        p->result =
-            result.type() == rt::ValueType::kI32 ? result.as_i32() : 0;
+        p->result = execute_with_retry(t, ten, *p);
+        maybe_checkpoint(t, ten);
       } catch (const sched::TaskCancelled&) {
         // Teardown: unwind without touching the descriptor — its owner (a
         // cancelled submit_and_wait frame) may already be gone.
@@ -195,18 +208,181 @@ void RequestServer::worker_loop(std::uint32_t t) {
       }
     }
     const Cycles done_at = env_.clock.now();
-    if (ten.latency_hist != nullptr) {
-      ten.latency_hist->record(done_at - p->req.arrival);
-    }
     env_.telemetry.tracer().end_detached(p->span);
-    ten.latencies.push_back(done_at - p->req.arrival);
-    ten.completion_times.push_back(done_at);
-    ++ten.stats.completed;
+    if (p->error) {
+      // Failed requests are availability losses, not latency samples.
+      ++ten.stats.failed;
+    } else {
+      if (ten.latency_hist != nullptr) {
+        ten.latency_hist->record(done_at - p->req.arrival);
+      }
+      ten.latencies.push_back(done_at - p->req.arrival);
+      ten.completion_times.push_back(done_at);
+      ++ten.stats.completed;
+    }
     --ten.in_flight;
     p->done = true;
     if (p->waiter != sched::kNoTask) sched_.wake(p->waiter);
     if (p->owned) delete p;
   }
+}
+
+std::int64_t RequestServer::execute_with_retry(std::uint32_t t, Tenant& ten,
+                                               Pending& p) {
+  const RecoveryConfig& rc = config_.recovery;
+  auto& u = app_.untrusted_context();
+  const Cycles deadline = p.req.arrival + rc.request_deadline_cycles;
+  Cycles backoff = rc.initial_backoff_cycles;
+  std::uint32_t attempt = 0;
+  for (;;) {
+    try {
+      // Recovery runs inside the try on purpose: a fault during restart
+      // or restore consumes this attempt and re-enters the backoff path,
+      // instead of escaping the loop mid-recovery.
+      if (rc.enabled) ensure_recovered();
+      const rt::Value result =
+          p.req.op == RequestOp::kDeposit
+              ? u.invoke(ten.session.as_ref(), "updateBalance",
+                         {rt::Value(p.req.amount)})
+              : u.invoke(ten.session.as_ref(), "getBalance", {});
+      return result.type() == rt::ValueType::kI32 ? result.as_i32() : 0;
+    } catch (const sgx::EnclaveLostError&) {
+      if (!rc.enabled) throw;
+    } catch (const rmi::StaleProxyError&) {
+      if (!rc.enabled) throw;
+    } catch (const sgx::TransitionError&) {
+      if (!rc.enabled) throw;
+    }
+    ++attempt;
+    ++ten.stats.retries;
+    if (attempt >= rc.max_attempts) {
+      throw RetriesExhaustedError(
+          "request failed after " + std::to_string(attempt) +
+          " attempts (tenant " + std::to_string(t) + ")");
+    }
+    if (env_.clock.now() + backoff > deadline) {
+      throw RetriesExhaustedError(
+          "retry backoff would exceed the request deadline (tenant " +
+          std::to_string(t) + ", attempt " + std::to_string(attempt) + ")");
+    }
+    {
+      // The retry span covers the backoff sleep: its duration in the
+      // trace *is* the wait this attempt added to the request.
+      telemetry::SpanScope span(
+          env_.telemetry.tracer(), telemetry::Category::kFault,
+          env_.telemetry.names().rmi_retry, static_cast<std::int32_t>(t));
+      sched_.sleep_for(backoff);
+    }
+    backoff = std::min(
+        static_cast<Cycles>(static_cast<double>(backoff) *
+                            rc.backoff_multiplier),
+        rc.max_backoff_cycles);
+  }
+}
+
+void RequestServer::ensure_recovered() {
+  // Parked workers re-check on wake: the recovery they waited out may
+  // itself have been interrupted by another loss.
+  while (recovering_) recovery_done_.wait();
+  const bool lost = app_.enclave().state() == sgx::EnclaveState::kLost;
+  bool stale = false;
+  for (const auto& ten : tenants_) {
+    if (ten->session_epoch != app_.enclave().epoch()) {
+      stale = true;
+      break;
+    }
+  }
+  if (!lost && !stale) return;
+  recovering_ = true;
+  try {
+    if (app_.enclave().state() == sgx::EnclaveState::kLost) {
+      app_.restart_enclave();
+      ++restarts_;
+    }
+    // Restore only the tenants still behind — resuming a restore that a
+    // second fault interrupted picks up where it left off.
+    for (std::uint32_t t = 0; t < tenant_count(); ++t) {
+      if (tenants_[t]->session_epoch != app_.enclave().epoch()) {
+        restore_tenant(t);
+      }
+    }
+  } catch (...) {
+    recovering_ = false;
+    recovery_done_.notify_all();
+    throw;
+  }
+  recovering_ = false;
+  recovery_done_.notify_all();
+}
+
+void RequestServer::restore_tenant(std::uint32_t t) {
+  Tenant& ten = *tenants_[t];
+  std::int32_t balance = config_.initial_balance;
+  if (!ten.checkpoint.empty()) {
+    try {
+      const sgx::SealedBlob blob = sgx::SealedBlob::deserialize(ten.checkpoint);
+      const std::vector<std::uint8_t> plain =
+          sealer_.unseal(app_.enclave(), blob);
+      ByteReader r(plain.data(), plain.size());
+      if (r.get_u32() != t) {
+        throw SecurityFault("checkpoint sealed for a different tenant");
+      }
+      ten.checkpoint_seq = r.get_varint();
+      balance = r.get_i32();
+      ++ten.stats.restored;
+    } catch (const SecurityFault&) {
+      // Tampered or spliced blob: refuse it, count it, and fall back to a
+      // fresh session — corruption must never fail the whole recovery.
+      ++ten.stats.checkpoint_corrupt;
+      ten.checkpoint.clear();
+      balance = config_.initial_balance;
+    }
+  }
+  ten.session = app_.construct_in(
+      t, "Account",
+      {rt::Value("tenant-" + std::to_string(t)), rt::Value(balance)});
+  ten.session_epoch = app_.enclave().epoch();
+}
+
+void RequestServer::maybe_checkpoint(std::uint32_t t, Tenant& ten) {
+  const RecoveryConfig& rc = config_.recovery;
+  if (!rc.enabled || rc.checkpoint_every == 0) return;
+  if (++ten.since_checkpoint < rc.checkpoint_every) return;
+  ten.since_checkpoint = 0;
+  try {
+    const rt::Value bal =
+        app_.untrusted_context().invoke(ten.session.as_ref(), "getBalance", {});
+    ByteBuffer payload;
+    payload.put_u32(t);
+    payload.put_varint(++ten.checkpoint_seq);
+    payload.put_i32(bal.as_i32());
+    const sgx::SealedBlob blob =
+        sealer_.seal(app_.enclave(), payload.bytes(),
+                     /*iv_seed=*/(ten.checkpoint_seq << 8) | t);
+    ten.checkpoint = blob.serialize();
+    ++ten.stats.checkpoints;
+  } catch (const sched::TaskCancelled&) {
+    throw;
+  } catch (...) {
+    // A fault mid-checkpoint loses this checkpoint, not the request: the
+    // previous sealed blob stays valid and the next interval retries.
+    --ten.checkpoint_seq;
+  }
+}
+
+void RequestServer::attach_fault_injector(faults::FaultInjector& injector) {
+  injector.set_blob_corrupter([this](Rng& rng) {
+    std::vector<std::uint32_t> with;
+    for (std::uint32_t t = 0; t < tenant_count(); ++t) {
+      if (!tenants_[t]->checkpoint.empty()) with.push_back(t);
+    }
+    if (with.empty()) return false;
+    std::vector<std::uint8_t>& bytes =
+        tenants_[with[rng.next_below(with.size())]]->checkpoint;
+    bytes[rng.next_below(bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    return true;
+  });
 }
 
 void RequestServer::collect_tenant_async(std::uint32_t tenant_id) {
@@ -255,6 +431,8 @@ ServerStats RequestServer::stats() const {
     s.accepted += ten->stats.accepted;
     s.shed += ten->stats.shed;
     s.completed += ten->stats.completed;
+    s.failed += ten->stats.failed;
+    s.retries += ten->stats.retries;
   }
   return s;
 }

@@ -35,8 +35,21 @@
 
 #include "core/multi_app.h"
 #include "sched/scheduler.h"
+#include "sgx/sealing.h"
+
+namespace msv::faults {
+class FaultInjector;
+}
 
 namespace msv::server {
+
+// A request that ran out of retry budget: either max_attempts faults in a
+// row, or the next backoff would blow the request's deadline.
+class RetriesExhaustedError : public RuntimeFault {
+ public:
+  explicit RetriesExhaustedError(const std::string& what)
+      : RuntimeFault(what) {}
+};
 
 enum class RequestOp : std::uint8_t {
   kDeposit,  // Account.updateBalance(amount)
@@ -53,6 +66,32 @@ struct Request {
   Cycles arrival = 0;
 };
 
+// Fault-recovery policy (DESIGN.md §12). Disabled by default: a server
+// without recovery behaves — cycle for cycle — like the pre-fault server,
+// and a fault surfaces as the request's error.
+struct RecoveryConfig {
+  bool enabled = false;
+  // Per-request retry budget: a request is retried after a recoverable
+  // fault (enclave loss, stale proxy, transient transition failure) at
+  // most `max_attempts - 1` times...
+  std::uint32_t max_attempts = 4;
+  // ...under truncated exponential backoff...
+  Cycles initial_backoff_cycles = 200'000;
+  double backoff_multiplier = 2.0;
+  Cycles max_backoff_cycles = 3'200'000;
+  // ...and never past this deadline after the request's arrival instant
+  // (a retry that cannot finish in time is not worth the enclave's
+  // cycles; the request fails with RetriesExhaustedError instead).
+  Cycles request_deadline_cycles = 400'000'000;
+  // Seal a per-tenant state checkpoint every N completed requests
+  // (0 = never). Restarted enclaves restore from the latest checkpoint;
+  // deposits since then are lost — the crash-consistency window the
+  // fig_faults bench measures.
+  std::uint32_t checkpoint_every = 0;
+  // Platform fuse-key stand-in for the sealing KDF.
+  std::string platform_secret = "msv-sim-fuse-key";
+};
+
 struct ServerConfig {
   // Per-tenant admission queue bound; submissions beyond it shed or block.
   std::size_t max_queue_depth = 64;
@@ -63,12 +102,20 @@ struct ServerConfig {
   bool switchless = false;
   sgx::SwitchlessConfig ecall_ring;
   sgx::SwitchlessConfig ocall_ring;
+  RecoveryConfig recovery;
 };
 
 struct TenantStats {
   std::uint64_t accepted = 0;
   std::uint64_t shed = 0;
   std::uint64_t completed = 0;
+  std::uint64_t failed = 0;   // finished with an error (retries exhausted
+                              // or recovery disabled); no latency recorded
+  std::uint64_t retries = 0;  // recoverable faults absorbed by re-attempts
+  std::uint64_t restored = 0;            // checkpoint unseals that succeeded
+  std::uint64_t checkpoints = 0;         // checkpoints sealed
+  std::uint64_t checkpoint_corrupt = 0;  // unseals rejected (tampered blob)
+  std::uint64_t shed_recovery = 0;  // of `shed`: load-shed mid-recovery
   std::uint64_t gc_runs = 0;
   Cycles gc_pause_cycles = 0;      // detached collection cost, realized
   Cycles gc_gate_wait_cycles = 0;  // worker time spent waiting out a pause
@@ -79,6 +126,8 @@ struct ServerStats {
   std::uint64_t accepted = 0;
   std::uint64_t shed = 0;
   std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;
 };
 
 class RequestServer {
@@ -112,6 +161,15 @@ class RequestServer {
   // thread model: cost measured detached, realized as a pause gate on
   // this tenant only.
   void collect_tenant_async(std::uint32_t tenant);
+
+  // Registers the server as the injector's sealed-blob corruption target
+  // (a corruption event flips one bit of one tenant's stored checkpoint).
+  // Attach the injector to the bridge separately. Call before start().
+  void attach_fault_injector(faults::FaultInjector& injector);
+
+  // Enclave restarts performed by the recovery path.
+  std::uint64_t restarts() const { return restarts_; }
+  bool recovering() const { return recovering_; }
 
   std::uint32_t tenant_count() const {
     return static_cast<std::uint32_t>(tenants_.size());
@@ -166,6 +224,16 @@ class RequestServer {
     // Per-tenant request-latency histogram handle, resolved once in
     // start() when metrics are enabled (p50/p99 in the metrics dump).
     telemetry::Histogram* latency_hist = nullptr;
+    // Latest sealed checkpoint, as it sits in untrusted storage (and so
+    // exactly what a corruption fault flips bits in). Empty = none.
+    std::vector<std::uint8_t> checkpoint;
+    std::uint64_t checkpoint_seq = 0;
+    std::uint32_t since_checkpoint = 0;
+    // Enclave epoch `session` was minted under. Recovery is complete only
+    // when every tenant's epoch matches the enclave's — a fault striking
+    // mid-restore leaves the rest stale, and the next ensure_recovered()
+    // resumes with exactly those tenants.
+    std::uint64_t session_epoch = 0;
   };
 
   Tenant& tenant(std::uint32_t t);
@@ -175,12 +243,25 @@ class RequestServer {
   }
   void enqueue(Tenant& ten, Pending* p);
   void worker_loop(std::uint32_t t);
+  // Runs one request, absorbing recoverable faults under the retry
+  // budget; first step of every attempt is ensure_recovered().
+  std::int64_t execute_with_retry(std::uint32_t t, Tenant& ten, Pending& p);
+  // Restart-and-restore barrier: first worker to find the enclave lost
+  // performs the restart and restores every tenant from its checkpoint;
+  // the rest park on recovery_done_ (and admission sheds) meanwhile.
+  void ensure_recovered();
+  void restore_tenant(std::uint32_t t);
+  void maybe_checkpoint(std::uint32_t t, Tenant& ten);
 
   Env& env_;
   sched::Scheduler& sched_;
   core::MultiIsolateApp& app_;
   ServerConfig config_;
   std::vector<std::unique_ptr<Tenant>> tenants_;
+  sgx::SealingPlatform sealer_;
+  sched::WaitQueue recovery_done_;
+  std::uint64_t restarts_ = 0;
+  bool recovering_ = false;
   bool started_ = false;
   bool stopping_ = false;
 };

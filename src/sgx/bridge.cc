@@ -1,5 +1,6 @@
 #include "sgx/bridge.h"
 
+#include "faults/injector.h"
 #include "sched/scheduler.h"
 #include "support/error.h"
 
@@ -121,6 +122,13 @@ void TransitionBridge::check_ecall_entry(const std::string& name) const {
   if (side() != Side::kUntrusted) {
     throw SecurityFault("ecall '" + name + "' issued from inside the enclave");
   }
+  if (enclave_.state() == EnclaveState::kLost) {
+    // Typed so the serving layer can distinguish "restart and retry" from
+    // a genuine security violation.
+    throw EnclaveLostError("ecall '" + name + "' into lost enclave " +
+                           enclave_.name() +
+                           " (SGX_ERROR_ENCLAVE_LOST); restart required");
+  }
   if (enclave_.state() != EnclaveState::kInitialized) {
     throw SecurityFault("ecall into uninitialized enclave " + enclave_.name());
   }
@@ -182,6 +190,11 @@ TransitionBridge::CallCtx& TransitionBridge::ctx() const {
 void TransitionBridge::call(CallId id, const ByteBuffer& request,
                             ByteBuffer& response, bool is_ecall) {
   Slot& slot = slots_[id];
+
+  // Fault window poll: fires every due plan event (pressure windows open/
+  // close, transition failures throw). Enclave-loss events are deferred to
+  // the mid-ecall poll in execute_call.
+  if (injector_ != nullptr) injector_->on_transition_start();
 
   // Transition span: covers handshake, TCS acquisition, copies and the
   // handler — including the parked wait on the ring path (the span lives
@@ -270,6 +283,11 @@ void TransitionBridge::execute_call(Slot& slot, const ByteBuffer& request,
   }
   ++slot.stats.calls;
   slot.stats.bytes_in += request.size();
+
+  // Mid-ecall fault poll: the payload is inside, the TCS is bound, the
+  // handler is about to run — the point where SGX_ERROR_ENCLAVE_LOST
+  // bites. A thrown loss unwinds through the TCS release in call().
+  if (is_ecall && injector_ != nullptr) injector_->on_ecall_entry();
 
   // Per-task call context: stable reference (node-based map), valid even
   // if the handler suspends and other tasks create contexts meanwhile.

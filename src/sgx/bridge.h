@@ -44,6 +44,10 @@ namespace msv::sched {
 class Scheduler;
 }
 
+namespace msv::faults {
+class FaultInjector;
+}
+
 namespace msv::sgx {
 
 // Dense index assigned at registration; the ordinal of the Edger8r table.
@@ -150,6 +154,17 @@ class TransitionBridge {
   void attach_scheduler(sched::Scheduler& sched);
   sched::Scheduler* scheduler() { return sched_; }
 
+  // ---- Fault injection (DESIGN.md §12) ----
+  // Attaches a (pre-armed) fault injector: every transition polls it for
+  // due events, and an ecall polls again right before the trusted handler
+  // runs so enclave-loss events surface mid-ecall. nullptr detaches.
+  // Without an injector the only added cost is one pointer test per call
+  // — cycle totals are byte-identical to the uninstrumented bridge.
+  void attach_fault_injector(faults::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  faults::FaultInjector* fault_injector() { return injector_; }
+
   // Spawns persistent daemon worker tasks servicing per-direction request
   // rings; switchless-marked calls issued from tasks are then enqueued and
   // executed by a worker instead of inline. Requires an attached
@@ -228,6 +243,7 @@ class TransitionBridge {
   // Ordered map: deterministic, and entries are created per live task.
   mutable std::map<std::uint64_t, CallCtx> task_ctxs_;
   sched::Scheduler* sched_ = nullptr;
+  faults::FaultInjector* injector_ = nullptr;
   std::unique_ptr<SwitchlessRing> ecall_ring_;
   std::unique_ptr<SwitchlessRing> ocall_ring_;
   bool workers_running_ = false;

@@ -37,6 +37,32 @@ void Enclave::destroy() {
   state_ = EnclaveState::kDestroyed;
 }
 
+void Enclave::mark_lost() {
+  MSV_CHECK_MSG(state_ == EnclaveState::kInitialized ||
+                    state_ == EnclaveState::kLost,
+                "only a running enclave can be lost");
+  if (state_ != EnclaveState::kLost) ++lost_count_;
+  state_ = EnclaveState::kLost;
+}
+
+void Enclave::restart(const Sha256::Digest& expected) {
+  MSV_CHECK_MSG(state_ == EnclaveState::kLost,
+                "restart is only legal on a lost enclave");
+  // The old incarnation's EPC frames are gone with the enclave.
+  epc_.invalidate_all();
+  // The loader rebuilds from scratch: ECREATE, then EADD/EEXTEND of every
+  // image page — the same measurement cost the constructor charged.
+  env_.clock.advance(env_.cost.enclave_create_base_cycles);
+  env_.clock.advance(static_cast<Cycles>(
+      static_cast<double>(image_bytes_) *
+      env_.cost.enclave_measure_cycles_per_byte));
+  if (expected != measurement_) {
+    throw SecurityFault("EINIT: measurement mismatch for enclave " + name_);
+  }
+  state_ = EnclaveState::kInitialized;
+  ++epoch_;
+}
+
 std::uint64_t EnclaveDomain::register_region(const std::string&) {
   return next_region_++;
 }

@@ -14,11 +14,31 @@
 #include "sgx/tcs.h"
 #include "sim/domain.h"
 #include "sim/env.h"
+#include "support/error.h"
 #include "support/sha256.h"
 
 namespace msv::sgx {
 
-enum class EnclaveState { kCreated, kInitialized, kDestroyed };
+// The SGX_ERROR_ENCLAVE_LOST analog: the enclave was destroyed out from
+// under a caller (power transition, AEX the runtime could not resume). The
+// CPU-held state is gone; the host must rebuild the enclave and restore
+// state from sealed storage. Transient — the call can be retried once the
+// enclave has been restarted.
+class EnclaveLostError : public RuntimeFault {
+ public:
+  explicit EnclaveLostError(const std::string& what) : RuntimeFault(what) {}
+};
+
+// A transiently failed transition (EENTER/EEXIT interrupted before the
+// handler ran): no enclave state was touched, retrying is always safe.
+class TransitionError : public RuntimeFault {
+ public:
+  explicit TransitionError(const std::string& what) : RuntimeFault(what) {}
+};
+
+// kLost: the hardware dropped the enclave (SGX_ERROR_ENCLAVE_LOST). All
+// in-enclave state is gone; only restart() leads back to kInitialized.
+enum class EnclaveState { kCreated, kInitialized, kLost, kDestroyed };
 
 class Enclave {
  public:
@@ -39,6 +59,25 @@ class Enclave {
   void init(const Sha256::Digest& expected);
 
   void destroy();
+
+  // Models the platform dropping the enclave (power event / unrecoverable
+  // AEX): every page of enclave memory and every TCS binding is void. The
+  // next ecall observes EnclaveLostError until restart() completes.
+  void mark_lost();
+
+  // Rebuilds a lost enclave: ECREATE + EADD/EEXTEND over the same image
+  // (the full measurement cost is paid again) and EINIT against
+  // `expected`. EPC residency is cleared — the old frames died with the
+  // enclave — and the epoch advances, invalidating references minted
+  // against the previous incarnation.
+  void restart(const Sha256::Digest& expected);
+
+  // Incarnation counter: 1 for the initial build, +1 per restart().
+  // Cross-isolate proxies record the epoch they were minted under so a
+  // stale reference faults cleanly instead of dispatching into state that
+  // no longer exists.
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t lost_count() const { return lost_count_; }
 
   const std::string& name() const { return name_; }
   const Sha256::Digest& measurement() const { return measurement_; }
@@ -63,6 +102,8 @@ class Enclave {
   EpcModel epc_;
   TcsPool tcs_;
   EnclaveState state_ = EnclaveState::kCreated;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t lost_count_ = 0;
 };
 
 // MemoryDomain implementation backed by an enclave: memory traffic pays the

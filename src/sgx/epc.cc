@@ -11,6 +11,9 @@ EpcModel::EpcModel(Env& env)
 }
 
 EpcModel::Key EpcModel::make_key(std::uint64_t region, std::uint64_t page) {
+  // Both halves must be range-checked: a region id >= 2^24 would shift
+  // bits off the top and silently alias another region's keys.
+  MSV_CHECK_MSG(region < (1ull << 24), "EPC region index out of range");
   MSV_CHECK_MSG(page < (1ull << 40), "EPC page index out of range");
   return (region << 40) | page;
 }
@@ -31,7 +34,10 @@ void EpcModel::access(std::uint64_t region, std::uint64_t page) {
                               env_.telemetry.names().epc_page_in);
     env_.clock.advance(env_.cost.epc_page_in_cycles);
   }
-  if (lru_.size() >= capacity_pages_) {
+  // With reserved_pages_ == 0 this runs at most once — exactly the
+  // pre-pressure behaviour. A pressure spike that shrank the effective
+  // capacity below the resident set drains the excess here, lazily.
+  while (lru_.size() >= effective_capacity_pages()) {
     ++stats_.evictions;
     telemetry::SpanScope span(env_.telemetry.tracer(),
                               telemetry::Category::kEpc,
@@ -42,6 +48,17 @@ void EpcModel::access(std::uint64_t region, std::uint64_t page) {
   }
   lru_.push_front(key);
   index_[key] = lru_.begin();
+}
+
+void EpcModel::invalidate_all() {
+  index_.clear();
+  lru_.clear();
+}
+
+void EpcModel::set_reserved_pages(std::uint64_t n) {
+  MSV_CHECK_MSG(n < capacity_pages_,
+                "EPC pressure must leave at least one usable page");
+  reserved_pages_ = n;
 }
 
 void EpcModel::release_region(std::uint64_t region) {

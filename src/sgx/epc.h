@@ -34,7 +34,22 @@ class EpcModel {
   // no cost — the driver just reclaims the EPC pages.
   void release_region(std::uint64_t region);
 
+  // Drops every resident page without cost: the enclave that owned them is
+  // gone (SGX_ERROR_ENCLAVE_LOST), so there is nothing to write back.
+  void invalidate_all();
+
+  // External EPC pressure (other enclaves on the platform grabbing
+  // frames): `n` pages are withheld from this enclave's share, shrinking
+  // the effective capacity. Pages already resident beyond the shrunken
+  // capacity are evicted lazily, on the next access. 0 restores the full
+  // share. Must leave at least one usable page.
+  void set_reserved_pages(std::uint64_t n);
+  std::uint64_t reserved_pages() const { return reserved_pages_; }
+
   std::uint64_t capacity_pages() const { return capacity_pages_; }
+  std::uint64_t effective_capacity_pages() const {
+    return capacity_pages_ - reserved_pages_;
+  }
   std::uint64_t resident_pages() const { return lru_.size(); }
   const EpcStats& stats() const { return stats_; }
 
@@ -44,6 +59,7 @@ class EpcModel {
 
   Env& env_;
   std::uint64_t capacity_pages_;
+  std::uint64_t reserved_pages_ = 0;
   // Most-recently-used at the front.
   std::list<Key> lru_;
   std::unordered_map<Key, std::list<Key>::iterator> index_;

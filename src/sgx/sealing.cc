@@ -17,17 +17,53 @@ std::vector<std::uint8_t> SealedBlob::serialize() const {
 }
 
 SealedBlob SealedBlob::deserialize(const std::vector<std::uint8_t>& bytes) {
+  // A sealed blob is read back from *untrusted* storage: every length is
+  // attacker-controlled, so a corrupt blob must fail typed (SecurityFault)
+  // and bounded — resize() on an unchecked varint could be asked for
+  // 2^64 bytes before the MAC ever gets a look.
+  const auto corrupt = [](const std::string& why) -> SecurityFault {
+    return SecurityFault("corrupt sealed blob: " + why);
+  };
   ByteReader r(bytes.data(), bytes.size());
   SealedBlob blob;
+  if (r.remaining() < blob.mr_enclave.size()) throw corrupt("truncated header");
   r.get_bytes(blob.mr_enclave.data(), blob.mr_enclave.size());
-  blob.iv.resize(r.get_varint());
+  const auto bounded_len = [&](const char* field) -> std::size_t {
+    std::uint64_t n = 0;
+    try {
+      n = r.get_varint();
+    } catch (const RuntimeFault&) {
+      throw corrupt(std::string("truncated ") + field + " length");
+    }
+    if (n > r.remaining()) {
+      throw corrupt(std::string(field) + " length exceeds blob size");
+    }
+    return static_cast<std::size_t>(n);
+  };
+  blob.iv.resize(bounded_len("iv"));
   r.get_bytes(blob.iv.data(), blob.iv.size());
-  blob.ciphertext.resize(r.get_varint());
+  blob.ciphertext.resize(bounded_len("ciphertext"));
   r.get_bytes(blob.ciphertext.data(), blob.ciphertext.size());
+  if (r.remaining() < blob.mac.size()) throw corrupt("truncated MAC");
   r.get_bytes(blob.mac.data(), blob.mac.size());
-  MSV_CHECK_MSG(r.done(), "trailing bytes in sealed blob");
+  if (!r.done()) throw corrupt("trailing bytes");
   return blob;
 }
+
+namespace {
+
+// Explicit little-endian serialization for hashed integers: hashing raw
+// object bytes would make keystreams and MACs differ across host
+// endianness, breaking sealed-blob portability.
+void update_le64(Sha256& h, std::uint64_t v) {
+  std::uint8_t le[8];
+  for (int i = 0; i < 8; ++i) {
+    le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  h.update(le, sizeof(le));
+}
+
+}  // namespace
 
 Sha256::Digest SealingPlatform::derive_key(
     const Sha256::Digest& mr_enclave) const {
@@ -49,8 +85,7 @@ void SealingPlatform::apply_keystream(const Sha256::Digest& key,
       Sha256 h;
       h.update(key.data(), key.size());
       h.update(iv.data(), iv.size());
-      const std::uint64_t counter = i / block.size();
-      h.update(&counter, sizeof(counter));
+      update_le64(h, i / block.size());
       block = h.finish();
     }
     data[i] ^= block[i % block.size()];
@@ -59,13 +94,20 @@ void SealingPlatform::apply_keystream(const Sha256::Digest& key,
 
 Sha256::Digest SealingPlatform::compute_mac(const Sha256::Digest& key,
                                             const SealedBlob& blob) const {
+  // Every variable-length field is length-framed: hashing bare
+  // iv || ciphertext would let an attacker slide bytes across the field
+  // boundary (shorten the iv, prepend those bytes to the ciphertext)
+  // without changing the MAC input. v2 also drops the redundant trailing
+  // key of v1 — the key already keys the hash from the front, and feeding
+  // it in twice adds nothing but a fixed-offset copy of secret material.
   Sha256 h;
   h.update(key.data(), key.size());
-  h.update("seal-mac-v1");
+  h.update("seal-mac-v2");
   h.update(blob.mr_enclave.data(), blob.mr_enclave.size());
+  update_le64(h, blob.iv.size());
   h.update(blob.iv.data(), blob.iv.size());
+  update_le64(h, blob.ciphertext.size());
   h.update(blob.ciphertext.data(), blob.ciphertext.size());
-  h.update(key.data(), key.size());
   return h.finish();
 }
 

@@ -11,7 +11,8 @@ TcsPool::TcsPool(Env& env, TcsConfig config) : env_(env), config_(config) {
 }
 
 void TcsPool::configure(const TcsConfig& config) {
-  MSV_CHECK_MSG(in_use_ == 0 && waiters_.empty() && granted_.empty(),
+  MSV_CHECK_MSG(in_use_ == 0 && waiters_.empty() && granted_.empty() &&
+                    seized_held_ == 0,
                 "TCS pool reconfigured while calls are in flight");
   MSV_CHECK_MSG(config.slots > 0, "enclave needs at least one TCS");
   config_ = config;
@@ -19,7 +20,8 @@ void TcsPool::configure(const TcsConfig& config) {
 
 void TcsPool::acquire() {
   ++stats_.acquisitions;
-  if (in_use_ < config_.slots && waiters_.empty() && granted_.empty()) {
+  if (in_use_ + seized_held_ < config_.slots && waiters_.empty() &&
+      granted_.empty()) {
     ++in_use_;
     stats_.max_in_use = std::max(stats_.max_in_use, in_use_);
     return;
@@ -56,7 +58,8 @@ void TcsPool::acquire() {
     auto g = std::find(granted_.begin(), granted_.end(), me);
     if (g != granted_.end()) {
       granted_.erase(g);
-      grant_or_free();
+      --in_use_;
+      slot_freed();
     }
     throw;
   }
@@ -66,20 +69,42 @@ void TcsPool::acquire() {
 
 void TcsPool::release() {
   MSV_CHECK_MSG(in_use_ > 0, "TCS release without acquire");
-  grant_or_free();
+  --in_use_;
+  slot_freed();
 }
 
-// A freed slot is handed directly to the first waiter (in_use_ stays
-// constant across the handoff) or returned to the pool.
-void TcsPool::grant_or_free() {
+// A freed slot feeds a pending seizure first (a fault window draining the
+// pool), then is handed directly to the first waiter, else returns to the
+// pool. Granting re-raises in_use_, so a handoff leaves it net-constant —
+// exactly the pre-seizure accounting.
+void TcsPool::slot_freed() {
+  if (seized_held_ < seized_target_) {
+    ++seized_held_;
+    return;
+  }
   if (!waiters_.empty() && sched_ != nullptr) {
     const std::uint64_t next = waiters_.front();
     waiters_.pop_front();
     granted_.push_back(next);
+    ++in_use_;
     sched_->wake(next);
-    return;
   }
-  --in_use_;
+}
+
+void TcsPool::set_seized(std::uint32_t target) {
+  MSV_CHECK_MSG(target < config_.slots,
+                "TCS seizure must leave at least one slot");
+  seized_target_ = target;
+  // Take free slots now; any remainder arrives through slot_freed().
+  while (seized_held_ < seized_target_ &&
+         in_use_ + seized_held_ < config_.slots) {
+    ++seized_held_;
+  }
+  // Shrinking: returned slots go to queued waiters before the free pool.
+  while (seized_held_ > seized_target_) {
+    --seized_held_;
+    slot_freed();
+  }
 }
 
 struct SwitchlessRing::Waiters {

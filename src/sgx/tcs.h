@@ -89,18 +89,30 @@ class TcsPool {
   void acquire();
   void release();
 
+  // Withholds `target` slots from callers — external pressure (another
+  // workload's threads squatting in the enclave) for fault-injection
+  // bursts. Free slots are seized immediately; the remainder is taken as
+  // in-flight calls release. At least one slot always stays available.
+  // 0 returns every seized slot (queued waiters are granted first).
+  void set_seized(std::uint32_t target);
+  std::uint32_t seized() const { return seized_held_; }
+
   const TcsConfig& config() const { return config_; }
   std::uint32_t slots() const { return config_.slots; }
   std::uint32_t in_use() const { return in_use_; }
   const TcsStats& stats() const { return stats_; }
 
  private:
-  void grant_or_free();
+  // Routes one newly-free slot: pending seizure first, then the first
+  // queued waiter, else back to the pool.
+  void slot_freed();
 
   Env& env_;
   TcsConfig config_;
   sched::Scheduler* sched_ = nullptr;
   std::uint32_t in_use_ = 0;
+  std::uint32_t seized_target_ = 0;
+  std::uint32_t seized_held_ = 0;
   std::deque<std::uint64_t> waiters_;   // TaskId, FIFO
   std::vector<std::uint64_t> granted_;  // slots handed off, not yet claimed
   TcsStats stats_;

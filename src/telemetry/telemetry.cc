@@ -25,6 +25,8 @@ const char* category_name(Category c) {
       return "sched";
     case Category::kServer:
       return "server";
+    case Category::kFault:
+      return "fault";
   }
   return "unknown";
 }
@@ -328,6 +330,9 @@ Telemetry::Telemetry(const VirtualClock& clock) : tracer_(clock) {
   names_.rmi_dispatch = tracer_.intern("rmi.dispatch");
   names_.request = tracer_.intern("request");
   names_.server_handle = tracer_.intern("server.handle");
+  names_.fault_inject = tracer_.intern("fault.inject");
+  names_.enclave_restart = tracer_.intern("enclave.restart");
+  names_.rmi_retry = tracer_.intern("rmi.retry");
 }
 
 void Telemetry::configure(const TraceConfig& config) {

@@ -53,8 +53,9 @@ enum class Category : std::uint8_t {
   kEpc,         // page-in / page-out
   kSched,       // task lifetimes and fiber sleeps
   kServer,      // per-tenant request lifecycle
+  kFault,       // injected faults, enclave restarts, request retries
 };
-inline constexpr std::size_t kCategoryCount = 8;
+inline constexpr std::size_t kCategoryCount = 9;
 
 const char* category_name(Category c);
 
@@ -382,6 +383,9 @@ class Telemetry {
     std::uint32_t rmi_dispatch = 0;
     std::uint32_t request = 0;
     std::uint32_t server_handle = 0;
+    std::uint32_t fault_inject = 0;
+    std::uint32_t enclave_restart = 0;
+    std::uint32_t rmi_retry = 0;
   };
 
   explicit Telemetry(const VirtualClock& clock);

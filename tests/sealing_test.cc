@@ -97,5 +97,59 @@ TEST_F(SealingTest, LargePayloadRoundTrip) {
   EXPECT_EQ(platform_.unseal(enclave_, blob), big);
 }
 
+TEST_F(SealingTest, FieldBoundarySpliceRejected) {
+  // Regression for the seal-mac-v1 splice: the old MAC hashed bare
+  // iv || ciphertext, so sliding bytes across the field boundary left the
+  // MAC input — and therefore the verdict — unchanged, and a spliced blob
+  // decrypted to silent garbage. v2 length-frames every field.
+  const auto blob = platform_.seal(enclave_, bytes("field framing"), 11);
+  SealedBlob spliced = blob;
+  spliced.ciphertext.insert(spliced.ciphertext.begin(), spliced.iv.back());
+  spliced.iv.pop_back();
+  EXPECT_THROW(platform_.unseal(enclave_, spliced), SecurityFault);
+  // And the other direction: grow the iv by eating the ciphertext's head.
+  SealedBlob spliced2 = blob;
+  spliced2.iv.push_back(spliced2.ciphertext.front());
+  spliced2.ciphertext.erase(spliced2.ciphertext.begin());
+  EXPECT_THROW(platform_.unseal(enclave_, spliced2), SecurityFault);
+}
+
+TEST_F(SealingTest, DeserializeRejectsOversizedLength) {
+  // A blob comes from untrusted storage: a huge length varint must fail
+  // typed and bounded, not resize() toward 2^64 bytes.
+  const auto wire = platform_.seal(enclave_, bytes("x"), 12).serialize();
+  std::vector<std::uint8_t> huge(wire.begin(), wire.begin() + 32);
+  for (int i = 0; i < 9; ++i) huge.push_back(0xFF);
+  huge.push_back(0x7F);
+  EXPECT_THROW(SealedBlob::deserialize(huge), SecurityFault);
+}
+
+TEST_F(SealingTest, DeserializeRejectsTruncationAndTrailingBytes) {
+  auto wire = platform_.seal(enclave_, bytes("frame"), 13).serialize();
+  auto trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(SealedBlob::deserialize(trailing), SecurityFault);
+  wire.pop_back();  // clips the MAC
+  EXPECT_THROW(SealedBlob::deserialize(wire), SecurityFault);
+  EXPECT_THROW(SealedBlob::deserialize({}), SecurityFault);
+}
+
+TEST_F(SealingTest, GoldenBlobIsByteStable) {
+  // Pins the wire format and the keystream/MAC endianness: a blob sealed
+  // today must unseal under every future build (and on every host
+  // endianness — the hashed counters are serialized little-endian).
+  SealingPlatform gold("golden-fuse");
+  Env env;
+  Enclave enc(env, "gold", Sha256::hash("golden-image"), 4096);
+  enc.init(Sha256::hash("golden-image"));
+  const auto wire =
+      gold.seal(enc, bytes("golden plaintext"), 0x1122334455667788ull)
+          .serialize();
+  EXPECT_EQ(Sha256::hex(Sha256::hash(
+                std::string_view(reinterpret_cast<const char*>(wire.data()),
+                                 wire.size()))),
+            "c664dae0250e02e21a1caadccecfae5e1bfb6b536dc7500a4d897e55af11dd98");
+}
+
 }  // namespace
 }  // namespace msv::sgx

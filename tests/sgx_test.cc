@@ -77,6 +77,17 @@ TEST(Epc, RegionsDoNotCollide) {
   EXPECT_EQ(epc.stats().faults, faults + 1) << "same page id, other region";
 }
 
+TEST(Epc, OutOfRangeIndicesAreRejectedNotAliased) {
+  // A region id >= 2^24 (or a page >= 2^40) would shift bits off the top
+  // of the packed (region << 40) | page key and silently alias another
+  // region's pages; the model must fault instead.
+  Env env;
+  sgx::EpcModel epc(env);
+  EXPECT_THROW(epc.access(1ull << 24, 0), RuntimeFault);
+  EXPECT_THROW(epc.access(0, 1ull << 40), RuntimeFault);
+  EXPECT_NO_THROW(epc.access((1ull << 24) - 1, (1ull << 40) - 1));
+}
+
 TEST(Enclave, CreationChargesMeasurementTime) {
   Env env;
   const Cycles before = env.clock.now();

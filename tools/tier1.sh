@@ -18,6 +18,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 "$BUILD_DIR"/bench/abl_rmi_fastpath --smoke > /dev/null
 "$BUILD_DIR"/bench/abl_switchless --smoke > /dev/null
 
+# Fault-storm smoke (DESIGN.md §12): a seeded loss/transition/EPC/TCS/
+# corruption storm through the serving layer, run twice — the binary
+# aborts unless both runs agree bit-for-bit on clocks and counters, and
+# unless the server stays partially available under the storm.
+"$BUILD_DIR"/bench/fig_faults --smoke \
+  --json="$BUILD_DIR"/BENCH_faults.json > /dev/null
+
 # msvlint must stay clean over the whole example/app corpus, including the
 # native-edge dry run feeding MSV004 (exit 1 = unsuppressed lint errors).
 "$BUILD_DIR"/tools/msvlint examples/*.msv --bank --micro --synthetic=40 \
@@ -30,4 +37,4 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
   --metrics-out="$BUILD_DIR"/fig_server_metrics.txt > /dev/null
 tools/check_trace.py "$BUILD_DIR"/fig_server_trace.json
 
-echo "tier1: tests + ablations + msvlint + telemetry-trace smoke OK"
+echo "tier1: tests + ablations + fault-storm + msvlint + telemetry-trace smoke OK"
