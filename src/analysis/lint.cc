@@ -41,6 +41,9 @@ const std::vector<LintRule>& lint_rules() {
       {"MSV008",
        "relay transition name matches no registered telemetry call prefix "
        "(spans fall back to the generic bridge category; informational)"},
+      {"MSV009",
+       "batch_async() method body performs I/O or invokes other methods — "
+       "unsafe to reorder within a batched RMI flush"},
   };
   return rules;
 }
@@ -117,6 +120,7 @@ class Linter {
     check_neutral_divergence();
     check_reference_cycles();
     check_telemetry_categories();
+    check_batch_async();
   }
 
  private:
@@ -731,6 +735,63 @@ class Linter {
       // A class without a declared constructor still gets a default
       // construction relay (transform/transformer.cc).
       if (!has_ctor) check_one(model::kConstructorName);
+    }
+  }
+
+  // MSV009: batch_async() claims the method is safe to reorder within a
+  // batched flush (proxy_runtime.h's BatchBuilder pipelines such calls
+  // freely). A body that performs a sink intrinsic (I/O, print — effects
+  // observable outside the receiver) or calls/constructs other objects
+  // (effects on state other batched calls may touch) makes that claim
+  // dubious: flag it. Pure field reads/writes on the receiver and local
+  // arithmetic are fine. `Class.method` entries in batch_reorder_exempt
+  // suppress the finding for audited declarations.
+  void check_batch_async() {
+    for (const auto& cls : app_.classes()) {
+      if (cls.annotation() == Annotation::kNeutral) continue;
+      for (const auto& method : cls.methods()) {
+        if (!method.is_batch_async() || !method.is_public()) continue;
+        if (method.kind() != model::MethodKind::kIr) continue;
+        if (options_.batch_reorder_exempt.count(cls.name() + "." +
+                                                method.name()) > 0) {
+          continue;
+        }
+        const model::IrBody& body = method.ir();
+        for (std::size_t pc = 0; pc < body.code.size(); ++pc) {
+          const model::Instr& instr = body.code[pc];
+          if (instr.op == Op::kIntrinsic) {
+            if (instr.a < 0 ||
+                static_cast<std::size_t>(instr.a) >= body.names.size()) {
+              continue;  // MSV007
+            }
+            const std::string& name = body.names[instr.a];
+            if (options_.sink_intrinsics.count(name) == 0) continue;
+            add("MSV009", Severity::kWarning, cls.name(), method.name(),
+                static_cast<std::int32_t>(pc),
+                "method declares batch_async() but its body invokes the "
+                "I/O intrinsic '" +
+                    name +
+                    "' — reordering it within a batched RMI flush reorders "
+                    "externally observable effects");
+            break;
+          }
+          if (instr.op == Op::kCall || instr.op == Op::kNew) {
+            const std::string callee =
+                (instr.a >= 0 &&
+                 static_cast<std::size_t>(instr.a) < body.names.size())
+                    ? body.names[instr.a]
+                    : "<malformed>";
+            add("MSV009", Severity::kWarning, cls.name(), method.name(),
+                static_cast<std::int32_t>(pc),
+                std::string("method declares batch_async() but its body ") +
+                    (instr.op == Op::kCall ? "calls '" : "constructs '") +
+                    callee +
+                    "' — effects on other objects are not safe to reorder "
+                    "within a batched RMI flush");
+            break;
+          }
+        }
+      }
     }
   }
 

@@ -44,6 +44,11 @@
 //           registered call prefixes, so its spans fall back to the
 //           generic bridge category and silently opt out of the rmi/gc
 //           trace filters (DESIGN.md §10).
+//   MSV009  batch-reorder safety: a method declared batch_async() — safe
+//           to reorder within a batched RMI flush (DESIGN.md §13) — whose
+//           body performs I/O or invokes other methods, effects that are
+//           not reorder-safe. Suppress audited declarations with
+//           LintOptions::batch_reorder_exempt.
 //
 // The engine runs the abstract interpreter (analysis/absint.h) per
 // method, layered with two interprocedural fixpoints over the same call
@@ -92,6 +97,10 @@ struct LintOptions {
   // in lockstep with src/telemetry; tests override to force findings.
   std::vector<std::string> telemetry_call_prefixes =
       telemetry::registered_call_prefix_strings();
+  // "Class.method" entries exempted from MSV009: batch_async()
+  // declarations audited by hand (the body's calls are known to commute
+  // with any batch the method can appear in).
+  std::set<std::string> batch_reorder_exempt;
 };
 
 // Runs every rule over the annotated (pre-weave) application and returns

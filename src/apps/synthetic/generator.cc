@@ -89,13 +89,19 @@ model::AppModel build_micro_app() {
     // methods are "setter methods updating an object field" (§6.3). The
     // declared signature is all-primitive, so its relay qualifies for the
     // fixed-layout wire path.
-    cls.add_method("set", 1).primitive_signature().body(IrBuilder()
-                                                            .locals(2)
-                                                            .load_local(0)
-                                                            .load_local(1)
-                                                            .put_field(0)
-                                                            .ret_void()
-                                                            .build());
+    // batch_async: a pure receiver-field write commutes with any batch it
+    // can appear in, so the async RMI layer may pipeline it (MSV009 keeps
+    // this honest).
+    cls.add_method("set", 1)
+        .primitive_signature()
+        .batch_async()
+        .body(IrBuilder()
+                  .locals(2)
+                  .load_local(0)
+                  .load_local(1)
+                  .put_field(0)
+                  .ret_void()
+                  .build());
     // void set_list(List values) { this.items = values; }
     cls.add_method("set_list", 1).body(IrBuilder()
                                            .locals(2)
@@ -104,7 +110,7 @@ model::AppModel build_micro_app() {
                                            .put_field(1)
                                            .ret_void()
                                            .build());
-    cls.add_method("get", 0).primitive_signature().body(
+    cls.add_method("get", 0).primitive_signature().batch_async().body(
         IrBuilder().locals(1).load_local(0).get_field(0).ret().build());
   }
   // Trusted Driver: runs creation/invocation loops *inside* the enclave so

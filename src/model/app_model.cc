@@ -44,6 +44,11 @@ MethodDecl& MethodDecl::primitive_signature(bool v) {
   return *this;
 }
 
+MethodDecl& MethodDecl::batch_async(bool v) {
+  batch_async_ = v;
+  return *this;
+}
+
 std::uint64_t MethodDecl::code_bytes() const {
   switch (kind_) {
     case MethodKind::kIr:

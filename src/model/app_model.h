@@ -93,6 +93,12 @@ class MethodDecl {
   // proxy stub and relay, and the RMI layer uses it to pick the
   // fixed-layout wire fast path without inspecting arguments per call.
   MethodDecl& primitive_signature(bool v = true);
+  // Declares the method safe to reorder within a batched RMI flush
+  // (DESIGN.md §13): invoking it carries no ordering dependency on other
+  // batched calls — e.g. pure field reads/writes on the receiver. The
+  // transformer copies the flag onto the generated stub and relay; the
+  // MSV009 lint flags declarations whose bodies make the claim dubious.
+  MethodDecl& batch_async(bool v = true);
 
   // ---- Accessors ----
   const std::string& name() const { return name_; }
@@ -101,6 +107,7 @@ class MethodDecl {
   bool is_public() const { return is_public_; }
   bool is_constructor() const { return name_ == kConstructorName; }
   bool has_primitive_signature() const { return primitive_sig_; }
+  bool is_batch_async() const { return batch_async_; }
   MethodKind kind() const { return kind_; }
   const IrBody& ir() const { return ir_; }
   const NativeFn& native() const { return native_; }
@@ -124,6 +131,7 @@ class MethodDecl {
   bool is_static_ = false;
   bool is_public_ = true;
   bool primitive_sig_ = false;
+  bool batch_async_ = false;
   MethodKind kind_ = MethodKind::kIr;
   IrBody ir_;
   NativeFn native_;

@@ -1,5 +1,6 @@
 #include "rmi/multi_isolate.h"
 
+#include "sched/scheduler.h"
 #include "support/error.h"
 #include "transform/transformer.h"
 
@@ -301,6 +302,139 @@ rt::Value MultiIsolateRuntime::invoke_proxy(ExecContext& caller,
   return result;
 }
 
+ByteBuffer MultiIsolateRuntime::dispatch_one(SideState& callee,
+                                             std::uint32_t caller_id,
+                                             const std::string& cls_name,
+                                             const std::string& relay_name,
+                                             ByteReader& in,
+                                             bool charge_attach) {
+  telemetry::SpanScope span(env_.telemetry.tracer(),
+                            telemetry::Category::kRmi,
+                            env_.telemetry.names().rmi_dispatch);
+  if (charge_attach) {
+    env_.clock.advance(callee.ctx.isolate().trusted()
+                           ? env_.cost.isolate_attach_trusted_cycles
+                           : env_.cost.isolate_attach_untrusted_cycles);
+  }
+
+  const ClassDecl& cls = callee.ctx.classes().cls(cls_name);
+  const MethodDecl* relay = cls.find_method(relay_name);
+  MSV_CHECK_MSG(relay != nullptr && relay->kind() == MethodKind::kRelay,
+                "relay method missing: " + relay_name);
+  const model::RelayInfo& info = relay->relay();
+
+  const std::size_t payload_bytes = in.remaining();
+  const std::int64_t self_hash = in.get_i64();
+  std::vector<Value> args(in.get_varint());
+  std::uint64_t elements = 0;
+  const RefDecoder decoder = make_ref_decoder(callee, caller_id);
+  for (auto& a : args) {
+    a = decode_value(in, decoder);
+    elements += element_count(a);
+  }
+  charge_deserialize(env_, callee.ctx.isolate().domain(), elements,
+                     payload_bytes);
+
+  Value result;
+  if (info.is_constructor) {
+    Value mirror = callee.ctx.construct(info.target_class, std::move(args));
+    callee.registry.add(self_hash, mirror.as_ref());
+  } else {
+    const MethodDecl* target = cls.find_method(info.target_method);
+    MSV_CHECK_MSG(target != nullptr, "relay target missing");
+    if (target->is_static()) {
+      result = callee.ctx.invoke_static(info.target_class, info.target_method,
+                                        std::move(args));
+    } else {
+      const GcRef mirror = callee.registry.get(self_hash);
+      result = callee.ctx.invoke(mirror, info.target_method, std::move(args));
+    }
+  }
+
+  ByteBuffer out;
+  encode_value(out, result, make_ref_encoder(callee, caller_id));
+  charge_serialize(env_, callee.ctx.isolate().domain(), element_count(result),
+                   out.size());
+  return out;
+}
+
+std::vector<MultiIsolateRuntime::BatchOutcome> MultiIsolateRuntime::
+    invoke_batch(const std::vector<BatchCall>& calls) {
+  MSV_CHECK_MSG(!calls.empty(), "empty RMI batch");
+  MSV_CHECK_MSG(handlers_registered_, "invoke_batch before register_handlers");
+  SideState& from = *untrusted_;
+
+  // Resolve the owning isolate and epoch-fence every proxy before any
+  // transition: one stale proxy fails the batch as a unit, so the serving
+  // layer's recovery ladder re-runs it against the recovered enclave
+  // without ever half-executing it.
+  std::uint32_t target_id = 0;
+  std::vector<std::int64_t> hashes(calls.size());
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    const BatchCall& c = calls[i];
+    MSV_CHECK_MSG(c.stub != nullptr && !c.stub->is_static(),
+                  "batched calls must be instance proxy-stub invocations");
+    MSV_CHECK_MSG(!c.proxy.is_null(), "batched RMI without a proxy");
+    const std::int64_t hash =
+        from.ctx.isolate().get_field(c.proxy, 0).as_i64();
+    check_proxy_epoch(hash);
+    const std::uint32_t owner = hash_owner_.at(hash);
+    if (i == 0) {
+      target_id = owner;
+    } else {
+      MSV_CHECK_MSG(owner == target_id,
+                    "one batch cannot span trusted isolates");
+    }
+    hashes[i] = hash;
+  }
+  MSV_CHECK_MSG(target_id != kUntrustedId,
+                "batched calls must target a trusted isolate");
+
+  telemetry::SpanScope span(env_.telemetry.tracer(), telemetry::Category::kRmi,
+                            env_.telemetry.names().rmi_batch);
+  ByteBuffer frame;
+  frame.put_u32(target_id);
+  frame.put_u32(kUntrustedId);
+  encode_batch_header(frame, calls.size());
+  const RefEncoder encoder = make_ref_encoder(from, target_id);
+  ByteBuffer entry;
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    entry.clear();
+    entry.put_i64(hashes[i]);
+    entry.put_varint(calls[i].args.size());
+    std::uint64_t elements = 0;
+    for (const auto& a : calls[i].args) {
+      elements += element_count(a);
+      encode_value(entry, a, encoder);
+    }
+    charge_serialize(env_, from.ctx.isolate().domain(), elements,
+                     entry.size());
+    encode_batch_entry(frame, relay_id(*calls[i].stub), entry.data(),
+                       entry.size());
+  }
+
+  ByteBuffer response;
+  bridge_.ecall(batch_ecall_id_, frame, response);
+
+  const std::vector<BatchResultView> results =
+      decode_batch_response(response, calls.size(), BatchLimits{});
+  std::vector<BatchOutcome> out(calls.size());
+  const RefDecoder decoder = make_ref_decoder(from, target_id);
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    const BatchResultView& v = results[i];
+    if (v.ok) {
+      ByteReader r(v.data, v.size);
+      out[i].ok = true;
+      out[i].value = decode_value(r, decoder);
+      charge_deserialize(env_, from.ctx.isolate().domain(),
+                         element_count(out[i].value), v.size);
+    } else {
+      out[i].error.assign(reinterpret_cast<const char*>(v.data), v.size);
+    }
+  }
+  return out;
+}
+
 void MultiIsolateRuntime::register_handlers() {
   MSV_CHECK_MSG(!handlers_registered_, "handlers registered twice");
   handlers_registered_ = true;
@@ -308,70 +442,24 @@ void MultiIsolateRuntime::register_handlers() {
   auto make_handler = [this](const std::string& cls_name,
                              const std::string& relay_name) {
     return [this, cls_name, relay_name](ByteReader& in) -> ByteBuffer {
-      telemetry::SpanScope span(env_.telemetry.tracer(),
-                                telemetry::Category::kRmi,
-                                env_.telemetry.names().rmi_dispatch);
       const std::uint32_t target_id = in.get_u32();
       const std::uint32_t caller_id = in.get_u32();
       SideState& callee = state_by_id(target_id);
-
-      env_.clock.advance(callee.ctx.isolate().trusted()
-                             ? env_.cost.isolate_attach_trusted_cycles
-                             : env_.cost.isolate_attach_untrusted_cycles);
-
-      const ClassDecl& cls = callee.ctx.classes().cls(cls_name);
-      const MethodDecl* relay = cls.find_method(relay_name);
-      MSV_CHECK_MSG(relay != nullptr && relay->kind() == MethodKind::kRelay,
-                    "relay method missing: " + relay_name);
-      const model::RelayInfo& info = relay->relay();
-
-      const std::size_t payload_bytes = in.remaining();
-      const std::int64_t self_hash = in.get_i64();
-      std::vector<Value> args(in.get_varint());
-      std::uint64_t elements = 0;
-      const RefDecoder decoder = make_ref_decoder(callee, caller_id);
-      for (auto& a : args) {
-        a = decode_value(in, decoder);
-        elements += element_count(a);
-      }
-      charge_deserialize(env_, callee.ctx.isolate().domain(), elements,
-                         payload_bytes);
-
-      Value result;
-      if (info.is_constructor) {
-        Value mirror =
-            callee.ctx.construct(info.target_class, std::move(args));
-        callee.registry.add(self_hash, mirror.as_ref());
-      } else {
-        const MethodDecl* target = cls.find_method(info.target_method);
-        MSV_CHECK_MSG(target != nullptr, "relay target missing");
-        if (target->is_static()) {
-          result = callee.ctx.invoke_static(info.target_class,
-                                            info.target_method,
-                                            std::move(args));
-        } else {
-          const GcRef mirror = callee.registry.get(self_hash);
-          result =
-              callee.ctx.invoke(mirror, info.target_method, std::move(args));
-        }
-      }
-
-      ByteBuffer out;
-      encode_value(out, result, make_ref_encoder(callee, caller_id));
-      charge_serialize(env_, callee.ctx.isolate().domain(),
-                       element_count(result), out.size());
-      return out;
+      return dispatch_one(callee, caller_id, cls_name, relay_name, in,
+                          /*charge_attach=*/true);
     };
   };
 
   // The trusted image is shared by all trusted isolates: one handler per
-  // relay, routed by the isolate id on the wire.
+  // relay, routed by the isolate id on the wire. The batch dispatcher
+  // routes packed entries by the same interned CallIds.
   for (const auto& cls : trusted_[0]->ctx.classes().classes()) {
     for (const auto& m : cls.methods()) {
       if (m.kind() != MethodKind::kRelay) continue;
-      bridge_.register_ecall(
+      const sgx::CallId id = bridge_.register_ecall(
           xform::transition_name(cls.name(), m.relay().target_method, true),
           make_handler(cls.name(), m.name()));
+      batch_targets_[id] = {cls.name(), m.name()};
     }
   }
   for (const auto& cls : untrusted_->ctx.classes().classes()) {
@@ -382,6 +470,52 @@ void MultiIsolateRuntime::register_handlers() {
           make_handler(cls.name(), m.name()));
     }
   }
+
+  // Batch endpoint: one ecall carries a whole frame of packed relay
+  // invocations for one trusted isolate (DESIGN.md §13). The isolate
+  // attach is charged once for the frame, not per entry.
+  batch_ecall_id_ = bridge_.register_ecall(
+      "ecall_multi_rmi_batch", [this](ByteReader& in) -> ByteBuffer {
+        telemetry::SpanScope span(env_.telemetry.tracer(),
+                                  telemetry::Category::kRmi,
+                                  env_.telemetry.names().rmi_batch);
+        const std::uint32_t target_id = in.get_u32();
+        const std::uint32_t caller_id = in.get_u32();
+        SideState& callee = state_by_id(target_id);
+        env_.clock.advance(callee.ctx.isolate().trusted()
+                               ? env_.cost.isolate_attach_trusted_cycles
+                               : env_.cost.isolate_attach_untrusted_cycles);
+        const std::vector<BatchEntryView> entries = decode_batch_request(
+            in.raw() + in.position(), in.remaining(), BatchLimits{});
+        in.seek(in.position() + in.remaining());
+        ByteBuffer out;
+        encode_batch_header(out, entries.size());
+        for (const BatchEntryView& e : entries) {
+          const auto it =
+              batch_targets_.find(static_cast<sgx::CallId>(e.call_id));
+          if (it == batch_targets_.end()) {
+            throw BatchCodecError("batch entry routes to unknown relay id " +
+                                  std::to_string(e.call_id));
+          }
+          ByteReader er(e.data, e.size);
+          try {
+            const ByteBuffer r =
+                dispatch_one(callee, caller_id, it->second.first,
+                             it->second.second, er, /*charge_attach=*/false);
+            encode_batch_result(out, true, r.data(), r.size());
+          } catch (const sched::TaskCancelled&) {
+            throw;
+          } catch (const Error& f) {
+            // In-band per-entry fault: the rest of the batch still runs.
+            const std::string msg = f.what();
+            encode_batch_result(
+                out, false,
+                reinterpret_cast<const std::uint8_t*>(msg.data()),
+                msg.size());
+          }
+        }
+        return out;
+      });
 
   gc_evict_ecall_id_ =
       bridge_.register_ecall("ecall_multi_gc_evict", [this](ByteReader& in) {

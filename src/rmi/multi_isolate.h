@@ -27,6 +27,7 @@
 
 #include "interp/exec_context.h"
 #include "interp/remote.h"
+#include "rmi/batch.h"
 #include "rmi/hasher.h"
 #include "rmi/registry.h"
 #include "rmi/wire.h"
@@ -74,6 +75,31 @@ class MultiIsolateRuntime final : public interp::RemoteInvoker {
                          const model::ClassDecl& proxy_cls,
                          const model::MethodDecl& stub,
                          std::vector<rt::Value>& args) override;
+
+  // ---- Batched RMI (DESIGN.md §13) ----
+  // One packed invocation inside a batch: an instance call on an
+  // untrusted-side proxy whose mirror lives in a trusted isolate.
+  struct BatchCall {
+    rt::GcRef proxy;
+    const model::MethodDecl* stub = nullptr;
+    std::vector<rt::Value> args;
+  };
+  // Per-call outcome. Application faults inside one entry do not abort
+  // the rest of the batch; they come back in-band so the caller (the
+  // request server's coalescer) can fail just that request.
+  struct BatchOutcome {
+    bool ok = false;
+    rt::Value value;
+    std::string error;
+  };
+
+  // Packs `calls` into one "ecall_multi_rmi_batch" transition. All proxies
+  // must be owned by the same trusted isolate, and every proxy is epoch-
+  // fenced *up front*: a stale proxy fails the whole batch with
+  // StaleProxyError before any transition happens, so the serving layer's
+  // recovery ladder retries the batch as a unit. Transition-level faults
+  // (enclave lost mid-batch) likewise abort the whole batch by throwing.
+  std::vector<BatchOutcome> invoke_batch(const std::vector<BatchCall>& calls);
 
   // Scans every weak list and evicts dead mirrors across all pairs.
   void force_gc_scan();
@@ -125,6 +151,16 @@ class MultiIsolateRuntime final : public interp::RemoteInvoker {
   // epoch than the current one.
   void check_proxy_epoch(std::int64_t hash);
 
+  // Decodes and executes one relayed call (the body shared by the
+  // per-relay handlers and the batch dispatcher). `in` is positioned at
+  // the per-call payload (self hash onward); the isolate-attach cost is
+  // charged only when `charge_attach` — the batch handler pays it once
+  // for the whole frame.
+  ByteBuffer dispatch_one(SideState& callee, std::uint32_t caller_id,
+                          const std::string& cls_name,
+                          const std::string& relay_name, ByteReader& in,
+                          bool charge_attach);
+
   Env& env_;
   sgx::TransitionBridge& bridge_;
   Config config_;
@@ -144,6 +180,11 @@ class MultiIsolateRuntime final : public interp::RemoteInvoker {
   sgx::CallId gc_evict_ecall_id_ = sgx::kNoCallId;
   sgx::CallId gc_scan_ecall_id_ = sgx::kNoCallId;
   sgx::CallId gc_evict_ocall_id_ = sgx::kNoCallId;
+  // Batch endpoint + per-relay routing table (CallId -> class, relay),
+  // built as the relay handlers register.
+  sgx::CallId batch_ecall_id_ = sgx::kNoCallId;
+  std::unordered_map<sgx::CallId, std::pair<std::string, std::string>>
+      batch_targets_;
 };
 
 }  // namespace msv::rmi

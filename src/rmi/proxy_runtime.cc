@@ -1,5 +1,6 @@
 #include "rmi/proxy_runtime.h"
 
+#include "sched/scheduler.h"
 #include "support/error.h"
 #include "transform/transformer.h"
 
@@ -33,6 +34,14 @@ ProxyRuntime::ProxyRuntime(Env& env, sgx::TransitionBridge& bridge,
                            ExecContext& trusted_ctx,
                            ExecContext& untrusted_ctx)
     : ProxyRuntime(env, bridge, trusted_ctx, untrusted_ctx, Config()) {}
+
+ProxyRuntime::~ProxyRuntime() {
+  // The suspend hook captures `this`; unhook before the runtime dies (the
+  // scheduler outlives the RMI layer by the documented destruction order).
+  if (hook_installed_ && bridge_.scheduler() != nullptr) {
+    bridge_.scheduler()->set_suspend_hook(nullptr);
+  }
+}
 
 ProxyRuntime::SideState& ProxyRuntime::state(Side side) {
   return side == Side::kTrusted ? trusted_ : untrusted_;
@@ -255,6 +264,11 @@ void ProxyRuntime::transition_fast(const RelayPlan& plan,
 Value ProxyRuntime::construct_proxy(ExecContext& caller,
                                     const ClassDecl& proxy_cls,
                                     std::vector<Value>& args) {
+  // Construction is always synchronous; a pending batch flushes first so
+  // program order is preserved (the new mirror may be touched by code the
+  // caller runs right after `new`).
+  if (config_.batching) flush_batches();
+  ++stats_.transitions;
   SideState& from = state_of(caller);
   const MethodDecl* ctor_stub = proxy_cls.find_method(model::kConstructorName);
   MSV_CHECK_MSG(ctor_stub != nullptr &&
@@ -299,6 +313,10 @@ Value ProxyRuntime::invoke_proxy(ExecContext& caller, const GcRef& proxy,
                                  const ClassDecl& proxy_cls,
                                  const MethodDecl& stub,
                                  std::vector<Value>& args) {
+  // Dependency fence: a synchronous call both observes results of and
+  // orders after everything already enqueued.
+  if (config_.batching) flush_batches();
+  ++stats_.transitions;
   SideState& from = state_of(caller);
   MSV_CHECK_MSG(stub.kind() == MethodKind::kProxyStub, "not a proxy stub");
   std::int64_t self_hash = 0;
@@ -343,13 +361,221 @@ Value ProxyRuntime::invoke_proxy(ExecContext& caller, const GcRef& proxy,
 }
 
 // ---------------------------------------------------------------------------
+// Batched & async RMI (caller side, DESIGN.md §13)
+
+void ProxyRuntime::set_batching(bool enabled) {
+  if (!enabled) flush_batches();
+  MSV_CHECK_MSG(!enabled || config_.fast_paths,
+                "batching requires the fast-path machinery");
+  config_.batching = enabled;
+}
+
+void ProxyRuntime::install_suspend_hook() {
+  if (hook_installed_) return;
+  sched::Scheduler* sched = bridge_.scheduler();
+  if (sched == nullptr) return;
+  // Flush at every voluntary suspension point: once control can change
+  // hands, another task could observe state a pending call mutates.
+  sched->set_suspend_hook([this] { flush_batches(); });
+  hook_installed_ = true;
+}
+
+RmiFuture ProxyRuntime::invoke_proxy_async(ExecContext& caller,
+                                           const GcRef& proxy,
+                                           const ClassDecl& proxy_cls,
+                                           const MethodDecl& stub,
+                                           std::vector<Value>& args) {
+  MSV_CHECK_MSG(stub.kind() == MethodKind::kProxyStub, "not a proxy stub");
+  bool all_primitive = config_.batching && stub.has_primitive_signature();
+  for (const auto& a : args) {
+    if (!all_primitive) break;
+    all_primitive = is_primitive(a);
+  }
+  // Conservative dependency rule: a call that is not declared-and-actually
+  // all-primitive may carry refs aliasing state an earlier batched call
+  // mutates (or a batch may be mid-flush already) — flush and run it
+  // synchronously, returning a resolved future.
+  if (!all_primitive || flushing_) {
+    auto state = std::make_shared<RmiFutureState>();
+    state->done = true;
+    try {
+      state->result = invoke_proxy(caller, proxy, proxy_cls, stub, args);
+    } catch (const sched::TaskCancelled&) {
+      throw;
+    } catch (...) {
+      state->error = std::current_exception();
+    }
+    return RmiFuture(std::move(state));
+  }
+
+  SideState& from = state_of(caller);
+  const RelayPlan& plan = plan_for(stub);
+  // One pending batch per runtime: a caller-side or direction change is a
+  // dependency boundary and flushes (strict order per (task, side)).
+  if (!pending_calls_.empty() &&
+      (pending_from_ != &from || pending_via_ecall_ != plan.via_ecall)) {
+    flush_batches();
+  }
+  install_suspend_hook();
+
+  std::int64_t self_hash = 0;
+  if (!stub.is_static()) {
+    MSV_CHECK_MSG(!proxy.is_null(),
+                  "instance RMI without a proxy object: " + proxy_cls.name() +
+                      "." + stub.name());
+    self_hash = caller.isolate().get_field(proxy, 0).as_i64();
+  }
+  ++stats_.remote_invocations;
+
+  // Marshal now, into a scratch buffer first so charge_serialize sees this
+  // call's bytes exactly as the unbatched encoder would; the bare payload
+  // is then appended to the pending frame body.
+  ArenaLease scratch(arena_);
+  encode_call_into(*scratch, from, self_hash, args);
+  const std::size_t offset = batch_buf_.size();
+  batch_buf_.put_bytes(scratch->data(), scratch->size());
+
+  auto state = std::make_shared<RmiFutureState>();
+  state->sink = this;
+  pending_from_ = &from;
+  pending_via_ecall_ = plan.via_ecall;
+  pending_calls_.push_back(
+      PendingCall{&plan, state, offset, scratch->size()});
+
+  if (pending_calls_.size() >= config_.max_batch_calls ||
+      batch_buf_.size() >= config_.max_batch_bytes) {
+    flush_batches();
+  }
+  return RmiFuture(std::move(state));
+}
+
+void ProxyRuntime::flush_batches() {
+  if (flushing_ || pending_calls_.empty()) return;
+  flushing_ = true;
+  try {
+    do_flush();
+  } catch (...) {
+    // Cancellation (or a codec bug) unwinding through the flush: orphan
+    // the futures cleanly so a surviving get() fails loud, not dangling.
+    for (auto& c : pending_calls_) c.state->sink = nullptr;
+    pending_calls_.clear();
+    batch_buf_.clear();
+    pending_from_ = nullptr;
+    flushing_ = false;
+    throw;
+  }
+  pending_calls_.clear();
+  batch_buf_.clear();
+  pending_from_ = nullptr;
+  flushing_ = false;
+}
+
+void ProxyRuntime::do_flush() {
+  SideState& from = *pending_from_;
+  const std::size_t n = pending_calls_.size();
+  ++stats_.transitions;
+  ++stats_.batch_flushes;
+  stats_.batched_calls += n;
+
+  if (n == 1) {
+    // A single pending call replays the unbatched wire path exactly: the
+    // bare payload IS the whole frame body, no header ever exists, and
+    // the simulated cycle charges are byte-identical to a sync call (the
+    // batch-size-1 honesty contract asserted by bench/abl_rmi_batch).
+    PendingCall& c = pending_calls_.front();
+    telemetry::SpanScope span(env_.telemetry.tracer(),
+                              telemetry::Category::kRmi, c.plan->span_name);
+    ArenaLease response(arena_);
+    try {
+      transition_fast(*c.plan, batch_buf_, *response);
+    } catch (const sched::TaskCancelled&) {
+      throw;
+    } catch (...) {
+      c.state->error = std::current_exception();
+      c.state->done = true;
+      c.state->sink = nullptr;
+      return;
+    }
+    ByteReader r(*response);
+    Value result;
+    if (!decode_primitive(r, result)) {
+      result = decode_value(r, make_ref_decoder(from));
+    }
+    charge_deserialize(env_, from.ctx.isolate().domain(),
+                       element_count(result), response->size());
+    c.state->result = result;
+    c.state->done = true;
+    c.state->sink = nullptr;
+    return;
+  }
+
+  // N >= 2: one rmi.batch span with a zero-duration child marker per
+  // packed call (tracing charges no cycles), one frame, ONE transition.
+  telemetry::SpanScope span(env_.telemetry.tracer(), telemetry::Category::kRmi,
+                            env_.telemetry.names().rmi_batch);
+  ArenaLease frame(arena_);
+  encode_batch_header(*frame, n);
+  for (const auto& c : pending_calls_) {
+    telemetry::SpanScope marker(env_.telemetry.tracer(),
+                                telemetry::Category::kRmi, c.plan->span_name);
+    encode_batch_entry(*frame, c.plan->id, batch_buf_.data() + c.offset,
+                       c.size);
+  }
+  if (config_.gc_auto_pump) pump_gc();
+  ArenaLease response(arena_);
+  try {
+    if (pending_via_ecall_) {
+      bridge_.ecall(batch_ecall_id_, *frame, *response);
+    } else {
+      bridge_.ocall(batch_ocall_id_, *frame, *response);
+    }
+  } catch (const sched::TaskCancelled&) {
+    throw;
+  } catch (...) {
+    // Whole-batch failure (enclave lost mid-batch, transition fault):
+    // every packed call fails with the same error, surfaced per-future at
+    // get() and retried by the caller's usual recovery policy.
+    const std::exception_ptr err = std::current_exception();
+    for (auto& c : pending_calls_) {
+      c.state->error = err;
+      c.state->done = true;
+      c.state->sink = nullptr;
+    }
+    return;
+  }
+
+  const std::vector<BatchResultView> results =
+      decode_batch_response(*response, n, batch_limits_);
+  for (std::size_t i = 0; i < n; ++i) {
+    PendingCall& c = pending_calls_[i];
+    const BatchResultView& v = results[i];
+    if (v.ok) {
+      ByteReader r(v.data, v.size);
+      Value result;
+      if (!decode_primitive(r, result)) {
+        result = decode_value(r, make_ref_decoder(from));
+      }
+      charge_deserialize(env_, from.ctx.isolate().domain(),
+                         element_count(result), v.size);
+      c.state->result = result;
+    } else {
+      c.state->error = std::make_exception_ptr(RuntimeFault(
+          std::string(reinterpret_cast<const char*>(v.data), v.size)));
+    }
+    c.state->done = true;
+    c.state->sink = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Relay dispatch (callee side)
 
 void ProxyRuntime::dispatch_relay(SideState& callee, const ClassDecl& cls,
                                   const MethodDecl& relay,
                                   const MethodDecl* target,
                                   const interp::ExecContext::QuickInfo* quick,
-                                  ByteReader& in, ByteBuffer& out) {
+                                  ByteReader& in, ByteBuffer& out,
+                                  bool charge_attach) {
   // Callee-side span, nested under the bridge transition span: isolate
   // attach, argument decoding, the mirrored invocation, result encoding.
   telemetry::SpanScope span(env_.telemetry.tracer(), telemetry::Category::kRmi,
@@ -357,8 +583,10 @@ void ProxyRuntime::dispatch_relay(SideState& callee, const ClassDecl& cls,
   // Entering the callee's isolate: the relay method is a @CEntryPoint and
   // the transition must attach the calling thread to the isolate (§5.2).
   // Switchless calls are served by persistent worker threads that attach
-  // once at startup (§7 / HotCalls), so they skip this cost.
-  if (!bridge_.current_call_switchless()) {
+  // once at startup (§7 / HotCalls), so they skip this cost. Batched
+  // dispatch charges the attach once for the whole frame (charge_attach
+  // false per entry) — the amortization the batch exists for.
+  if (charge_attach && !bridge_.current_call_switchless()) {
     env_.clock.advance(callee.ctx.isolate().trusted()
                            ? env_.cost.isolate_attach_trusted_cycles
                            : env_.cost.isolate_attach_untrusted_cycles);
@@ -434,6 +662,58 @@ void ProxyRuntime::dispatch_relay(SideState& callee, const ClassDecl& cls,
                    out.size());
 }
 
+void ProxyRuntime::dispatch_batch(SideState& callee, ByteReader& in,
+                                  ByteBuffer& out) {
+  telemetry::SpanScope span(env_.telemetry.tracer(), telemetry::Category::kRmi,
+                            env_.telemetry.names().rmi_batch);
+  // One isolate attach for the whole frame; each packed dispatch then
+  // runs with charge_attach=false. This is the batched counterpart of the
+  // per-call attach in dispatch_relay.
+  if (!bridge_.current_call_switchless()) {
+    env_.clock.advance(callee.ctx.isolate().trusted()
+                           ? env_.cost.isolate_attach_trusted_cycles
+                           : env_.cost.isolate_attach_untrusted_cycles);
+  }
+  const std::vector<BatchEntryView> entries =
+      decode_batch_request(in.raw() + in.position(), in.remaining(),
+                           batch_limits_);
+  in.seek(in.position() + in.remaining());
+
+  encode_batch_header(out, entries.size());
+  ArenaLease result(arena_);
+  for (const BatchEntryView& e : entries) {
+    const auto it = sites_by_id_.find(static_cast<sgx::CallId>(e.call_id));
+    if (it == sites_by_id_.end() || it->second->callee != &callee) {
+      throw BatchCodecError("batch entry routes to unknown or wrong-side "
+                            "call id " +
+                            std::to_string(e.call_id));
+    }
+    const RelaySite* site = it->second;
+    result->clear();
+    ByteReader er(e.data, e.size);
+    bool ok = true;
+    std::string err;
+    try {
+      dispatch_relay(*site->callee, *site->cls, *site->relay, site->target,
+                     &site->quick, er, *result, /*charge_attach=*/false);
+    } catch (const sched::TaskCancelled&) {
+      throw;
+    } catch (const Error& f) {
+      // Per-entry application fault: report it in-band so the rest of the
+      // batch still executes; the caller rethrows it from that future.
+      ok = false;
+      err = f.what();
+    }
+    if (ok) {
+      encode_batch_result(out, true, result->data(), result->size());
+    } else {
+      encode_batch_result(
+          out, false, reinterpret_cast<const std::uint8_t*>(err.data()),
+          err.size());
+    }
+  }
+}
+
 void ProxyRuntime::register_handlers() {
   MSV_CHECK_MSG(!handlers_registered_, "handlers registered twice");
   handlers_registered_ = true;
@@ -469,11 +749,12 @@ void ProxyRuntime::register_handlers() {
             site->rt->dispatch_relay(*site->callee, *site->cls, *site->relay,
                                      site->target, &site->quick, in, out);
           };
-          if (callee_is_trusted) {
-            bridge_.register_ecall_raw(name, std::move(handler));
-          } else {
-            bridge_.register_ocall_raw(name, std::move(handler));
-          }
+          const sgx::CallId id =
+              callee_is_trusted
+                  ? bridge_.register_ecall_raw(name, std::move(handler))
+                  : bridge_.register_ocall_raw(name, std::move(handler));
+          // The batch dispatcher routes packed entries by interned CallId.
+          sites_by_id_[id] = &site;
         } else {
           // Legacy string-dispatch shape: class and methods re-resolved on
           // every call, response in a fresh buffer.
@@ -505,6 +786,19 @@ void ProxyRuntime::register_handlers() {
   };
   register_side(trusted_, /*callee_is_trusted=*/true);
   register_side(untrusted_, /*callee_is_trusted=*/false);
+
+  // Batch endpoints: one ecall/ocall carries a whole frame of packed
+  // relay invocations (DESIGN.md §13).
+  if (config_.fast_paths) {
+    batch_ecall_id_ = bridge_.register_ecall_raw(
+        "ecall_rmi_batch", [this](ByteReader& in, ByteBuffer& out) {
+          dispatch_batch(trusted_, in, out);
+        });
+    batch_ocall_id_ = bridge_.register_ocall_raw(
+        "ocall_rmi_batch", [this](ByteReader& in, ByteBuffer& out) {
+          dispatch_batch(untrusted_, in, out);
+        });
+  }
 
   // GC-helper transitions (§5.5); the interned IDs are kept for the
   // eviction/scan dispatch sites.

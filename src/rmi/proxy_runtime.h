@@ -33,6 +33,7 @@
 
 #include "interp/exec_context.h"
 #include "interp/remote.h"
+#include "rmi/batch.h"
 #include "rmi/hasher.h"
 #include "rmi/registry.h"
 #include "rmi/wire.h"
@@ -50,13 +51,24 @@ struct RmiStats {
   std::uint64_t proxies_created = 0;
   std::uint64_t proxies_materialized = 0;  // from received hashes
   std::uint64_t mirrors_registered = 0;
+  // Logical remote calls (every proxy invocation, batched or not).
   std::uint64_t remote_invocations = 0;
   // Calls whose request marshalling stayed entirely on the primitive
   // fixed-layout path (no ref-encoder indirection).
   std::uint64_t fast_path_calls = 0;
+  // RMI-layer bridge round trips. A batched flush dispatches N logical
+  // calls over ONE transition, so under batching this grows slower than
+  // remote_invocations — the per-call accounting the batching layer must
+  // keep honest (a transition != a call once batches exist).
+  std::uint64_t transitions = 0;
+  // Logical calls that travelled inside a batch frame, and the number of
+  // flushes that dispatched at least one pending call.
+  std::uint64_t batched_calls = 0;
+  std::uint64_t batch_flushes = 0;
 };
 
-class ProxyRuntime final : public interp::RemoteInvoker {
+class ProxyRuntime final : public interp::RemoteInvoker,
+                           public BatchFlushSink {
  public:
   struct Config {
     HashScheme hash_scheme = HashScheme::kMd5;
@@ -72,6 +84,14 @@ class ProxyRuntime final : public interp::RemoteInvoker {
     // disabling reverts to the pre-optimisation string-dispatch path and
     // exists for the before/after benchmark (bench/abl_rmi_fastpath).
     bool fast_paths = true;
+    // Cross-boundary call batching (DESIGN.md §13): invoke_proxy_async
+    // packs calls into one wire frame dispatched by a single transition.
+    // Off by default — the sync API is byte-identical either way; only
+    // the async API changes behaviour. Requires fast_paths.
+    bool batching = false;
+    // Flush bounds of the pending batch (calls / marshalled bytes).
+    std::uint32_t max_batch_calls = 64;
+    std::size_t max_batch_bytes = 64 * 1024;
   };
 
   ProxyRuntime(Env& env, sgx::TransitionBridge& bridge,
@@ -81,6 +101,7 @@ class ProxyRuntime final : public interp::RemoteInvoker {
   ProxyRuntime(Env& env, sgx::TransitionBridge& bridge,
                interp::ExecContext& trusted_ctx,
                interp::ExecContext& untrusted_ctx);
+  ~ProxyRuntime() override;
 
   // Registers the relay handlers (every kRelay method of both images) and
   // the GC eviction transitions on the bridge. Call exactly once.
@@ -94,6 +115,31 @@ class ProxyRuntime final : public interp::RemoteInvoker {
                          const model::ClassDecl& proxy_cls,
                          const model::MethodDecl& stub,
                          std::vector<rt::Value>& args) override;
+
+  // ---- Batched & async RMI (DESIGN.md §13) ----
+  // Enables (or disables) call batching at run time. Flushes any pending
+  // batch first, so toggling never reorders calls.
+  void set_batching(bool enabled);
+  // Enqueues one invocation into the pending batch and returns a future
+  // for its result. Marshalling (and its cycle charge) happens now; the
+  // transition is deferred to the flush. Strict program order per
+  // (caller task, direction) is preserved: the batch flushes before any
+  // synchronous call, on a direction or caller-side change, when the
+  // size bounds fill, at every scheduler suspension point, and on the
+  // first get(). Calls with non-primitive arguments (which may alias
+  // proxy state earlier batched calls mutate) conservatively flush and
+  // run synchronously — their future returns already resolved.
+  RmiFuture invoke_proxy_async(interp::ExecContext& caller,
+                               const rt::GcRef& proxy,
+                               const model::ClassDecl& proxy_cls,
+                               const model::MethodDecl& stub,
+                               std::vector<rt::Value>& args);
+  // Dispatches the pending batch (one bridge transition for N calls);
+  // no-op when nothing is pending. Whole-batch failures (enclave loss
+  // mid-batch) resolve every pending future with the error — surfaced at
+  // each get(), retried by the serving layer's existing backoff ladder.
+  void flush_batches() override;
+  std::size_t pending_batch_calls() const { return pending_calls_.size(); }
 
   // ---- GC helpers (§5.5) ----
   // Runs any helper whose scan period elapsed. Only effective at top level
@@ -185,12 +231,32 @@ class ProxyRuntime final : public interp::RemoteInvoker {
   // Bridge handler body for one relay method (`target` pre-resolved at
   // registration; null for constructor relays). `quick` is the target's
   // registration-time quickening classification (null in legacy mode).
-  // Writes the marshalled result into `out`.
+  // Writes the marshalled result into `out`. Batched dispatch passes
+  // charge_attach=false: the batch handler charges the isolate attach
+  // once for the whole frame — the cost batching exists to amortize.
   void dispatch_relay(SideState& callee, const model::ClassDecl& cls,
                       const model::MethodDecl& relay,
                       const model::MethodDecl* target,
                       const interp::ExecContext::QuickInfo* quick,
-                      ByteReader& in, ByteBuffer& out);
+                      ByteReader& in, ByteBuffer& out,
+                      bool charge_attach = true);
+
+  // Callee-side body of the batch transition: bounded-decodes the frame,
+  // dispatches every entry through its RelaySite (isolate attach charged
+  // once), packs per-entry results/errors into the response frame.
+  void dispatch_batch(SideState& callee, ByteReader& in, ByteBuffer& out);
+
+  // One enqueued-but-not-yet-dispatched batched call. The bare payload
+  // (identical bytes to the unbatched wire form) lives at
+  // [offset, offset + size) of batch_buf_.
+  struct PendingCall {
+    const RelayPlan* plan;
+    std::shared_ptr<RmiFutureState> state;
+    std::size_t offset;
+    std::size_t size;
+  };
+  void install_suspend_hook();
+  void do_flush();
 
   // Scans `local`'s weak list; returns the hashes of collected proxies and
   // compacts the list and the proxy cache.
@@ -218,8 +284,21 @@ class ProxyRuntime final : public interp::RemoteInvoker {
   // remembering the last resolution skips the map probe entirely.
   const model::MethodDecl* last_plan_stub_ = nullptr;
   const RelayPlan* last_plan_ = nullptr;
-  // Relay dispatch sites (deque: handlers capture stable pointers).
+  // Relay dispatch sites (deque: handlers capture stable pointers), plus
+  // the CallId index the batch dispatcher routes entries through.
   std::deque<RelaySite> relay_sites_;
+  std::unordered_map<sgx::CallId, const RelaySite*> sites_by_id_;
+
+  // ---- Pending batch (one per runtime: one caller side + direction) ----
+  std::vector<PendingCall> pending_calls_;
+  ByteBuffer batch_buf_;  // concatenated bare payloads; capacity reused
+  SideState* pending_from_ = nullptr;
+  bool pending_via_ecall_ = false;
+  bool flushing_ = false;
+  bool hook_installed_ = false;
+  BatchLimits batch_limits_;
+  sgx::CallId batch_ecall_id_ = sgx::kNoCallId;
+  sgx::CallId batch_ocall_id_ = sgx::kNoCallId;
 
   // Argument-vector pool for relay dispatch (fast mode only; constructor
   // relays consume their vector and simply don't return it).

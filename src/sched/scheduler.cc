@@ -297,7 +297,20 @@ void Scheduler::trampoline() {
   s->exit_task(*t);
 }
 
+void Scheduler::run_suspend_hook() {
+  if (!suspend_hook_ || in_suspend_hook_ || current_ == kNoTask) return;
+  in_suspend_hook_ = true;
+  try {
+    suspend_hook_();
+  } catch (...) {
+    in_suspend_hook_ = false;
+    throw;
+  }
+  in_suspend_hook_ = false;
+}
+
 void Scheduler::yield() {
+  run_suspend_hook();
   Task& t = current_task();
   t.state = Task::State::kReady;
   ready_.push_back(t.id);
@@ -305,6 +318,7 @@ void Scheduler::yield() {
 }
 
 void Scheduler::sleep_until(Cycles deadline) {
+  run_suspend_hook();
   Task& t = current_task();
   ++stats_.sleeps;
   if (t.wake_pending) {  // a latched wake cancels the sleep outright
@@ -340,6 +354,7 @@ void Scheduler::join(TaskId id) {
 }
 
 void Scheduler::suspend() {
+  run_suspend_hook();
   Task& t = current_task();
   if (t.wake_pending) {
     t.wake_pending = false;

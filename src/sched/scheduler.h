@@ -112,6 +112,18 @@ class Scheduler {
   // the destructor calls it automatically.
   void cancel_all();
 
+  // Pre-suspension hook, invoked in the suspending task's context at the
+  // top of every voluntary suspension point (yield / sleep / suspend; join
+  // parks through suspend). The batching RMI layer hangs its flush here so
+  // a pending batch never outlives the quantum that built it — any work
+  // another task could observe is forced out before control changes hands.
+  // Reentrancy-guarded: suspensions performed *by* the hook (the flush's
+  // own bridge transition sleeps through charge_transition) do not re-fire
+  // it. One hook per scheduler; replace with nullptr to clear.
+  void set_suspend_hook(std::function<void()> hook) {
+    suspend_hook_ = std::move(hook);
+  }
+
   bool in_task() const { return current_ != kNoTask; }
   TaskId current() const { return current_; }
   bool finished(TaskId id) const;
@@ -135,6 +147,7 @@ class Scheduler {
   [[noreturn]] void exit_task(Task& t);
   void make_ready(Task& t);
   void finishd(Task& t);             // bookkeeping when a task ends
+  void run_suspend_hook();           // guarded; no-op outside tasks
   bool promote_due_sleepers();
   // Earliest valid sleeper deadline, or false if none.
   bool next_deadline(Cycles* out);
@@ -161,6 +174,8 @@ class Scheduler {
   std::size_t live_nondaemon_ = 0;
   std::size_t live_total_ = 0;
   bool cancelling_ = false;
+  std::function<void()> suspend_hook_;
+  bool in_suspend_hook_ = false;
   SchedulerStats stats_;
 
   // Main-context bookkeeping for swapcontext / ASan fiber annotations.

@@ -178,6 +178,21 @@ void RequestServer::worker_loop(std::uint32_t t) {
       if (stopping_) return;
       ten.work.wait();
     }
+    // Coalescing: a worker waking to a backlog drains up to coalesce_max
+    // requests and serves them in one batched transition. A backlog of one
+    // (or coalesce_max = 1) takes the single-request path below unchanged,
+    // so the uncoalesced server's timeline is preserved exactly.
+    if (config_.coalesce_max > 1 && ten.queue.size() > 1) {
+      std::vector<Pending*> batch;
+      while (!ten.queue.empty() && batch.size() < config_.coalesce_max) {
+        batch.push_back(ten.queue.front());
+        ten.queue.pop_front();
+        ten.space.notify_one();
+        ++ten.in_flight;
+      }
+      execute_batch(t, ten, batch);
+      continue;
+    }
     Pending* p = ten.queue.front();
     ten.queue.pop_front();
     ten.space.notify_one();
@@ -207,23 +222,99 @@ void RequestServer::worker_loop(std::uint32_t t) {
         p->error = std::current_exception();
       }
     }
-    const Cycles done_at = env_.clock.now();
-    env_.telemetry.tracer().end_detached(p->span);
-    if (p->error) {
-      // Failed requests are availability losses, not latency samples.
-      ++ten.stats.failed;
-    } else {
-      if (ten.latency_hist != nullptr) {
-        ten.latency_hist->record(done_at - p->req.arrival);
-      }
-      ten.latencies.push_back(done_at - p->req.arrival);
-      ten.completion_times.push_back(done_at);
-      ++ten.stats.completed;
+    finish_request(ten, p);
+  }
+}
+
+void RequestServer::finish_request(Tenant& ten, Pending* p) {
+  const Cycles done_at = env_.clock.now();
+  env_.telemetry.tracer().end_detached(p->span);
+  if (p->error) {
+    // Failed requests are availability losses, not latency samples.
+    ++ten.stats.failed;
+  } else {
+    if (ten.latency_hist != nullptr) {
+      ten.latency_hist->record(done_at - p->req.arrival);
     }
-    --ten.in_flight;
-    p->done = true;
-    if (p->waiter != sched::kNoTask) sched_.wake(p->waiter);
-    if (p->owned) delete p;
+    ten.latencies.push_back(done_at - p->req.arrival);
+    ten.completion_times.push_back(done_at);
+    ++ten.stats.completed;
+  }
+  --ten.in_flight;
+  p->done = true;
+  if (p->waiter != sched::kNoTask) sched_.wake(p->waiter);
+  if (p->owned) delete p;
+}
+
+void RequestServer::execute_batch(std::uint32_t t, Tenant& ten,
+                                  std::vector<Pending*>& batch) {
+  // Same GC gate as the single path, taken once for the swing: the whole
+  // batch executes inside this tenant's un-paused window.
+  while (ten.gc_active) {
+    const Cycles gate_start = env_.clock.now();
+    ten.gc_done.wait();
+    ten.stats.gc_gate_wait_cycles += env_.clock.now() - gate_start;
+  }
+  bool batched = false;
+  try {
+    // Recovery runs inside the try: a fault during restart drops to the
+    // per-request fallback below, which owns the retry budget.
+    if (config_.recovery.enabled) ensure_recovered();
+    const model::ClassDecl& cls =
+        app_.untrusted_context().class_of(ten.session.as_ref());
+    std::vector<rmi::MultiIsolateRuntime::BatchCall> calls(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Pending& p = *batch[i];
+      calls[i].proxy = ten.session.as_ref();
+      if (p.req.op == RequestOp::kDeposit) {
+        calls[i].stub = cls.find_method("updateBalance");
+        calls[i].args = {rt::Value(p.req.amount)};
+      } else {
+        calls[i].stub = cls.find_method("getBalance");
+      }
+    }
+    const std::vector<rmi::MultiIsolateRuntime::BatchOutcome> outcomes =
+        app_.rmi().invoke_batch(calls);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Pending* p = batch[i];
+      if (outcomes[i].ok) {
+        p->result = outcomes[i].value.type() == rt::ValueType::kI32
+                        ? outcomes[i].value.as_i32()
+                        : 0;
+        maybe_checkpoint(t, ten);
+      } else {
+        // Per-call application fault, surfaced in-band by the batch
+        // dispatcher: fail this request only.
+        p->error =
+            std::make_exception_ptr(RuntimeFault(outcomes[i].error));
+      }
+      finish_request(ten, p);
+    }
+    batched = true;
+  } catch (const sched::TaskCancelled&) {
+    // Teardown: unwind without touching the descriptors (see worker_loop).
+    throw;
+  } catch (const sgx::EnclaveLostError&) {
+  } catch (const rmi::StaleProxyError&) {
+  } catch (const sgx::TransitionError&) {
+  }
+  if (batched) return;
+  // The whole batch aborted before any call executed (lost enclave, stale
+  // session, transient transition fault — the up-front epoch fence in
+  // invoke_batch guarantees no partial execution). Re-run each request
+  // through the ordinary retry ladder, which recovers the enclave and
+  // applies the per-request backoff budget; with recovery disabled the
+  // fault surfaces as each request's error, as in the single path.
+  for (Pending* p : batch) {
+    try {
+      p->result = execute_with_retry(t, ten, *p);
+      maybe_checkpoint(t, ten);
+    } catch (const sched::TaskCancelled&) {
+      throw;
+    } catch (...) {
+      p->error = std::current_exception();
+    }
+    finish_request(ten, p);
   }
 }
 

@@ -102,6 +102,12 @@ struct ServerConfig {
   bool switchless = false;
   sgx::SwitchlessConfig ecall_ring;
   sgx::SwitchlessConfig ocall_ring;
+  // Cross-boundary call coalescing (DESIGN.md §13): a worker waking to a
+  // backlog drains up to this many queued requests in one swing and packs
+  // them into a single "ecall_multi_rmi_batch" transition, paying the
+  // 13,100-cycle ecall and the isolate attach once for the batch. 1 (the
+  // default) disables coalescing; the single-request path is untouched.
+  std::uint32_t coalesce_max = 1;
   RecoveryConfig recovery;
 };
 
@@ -243,6 +249,15 @@ class RequestServer {
   }
   void enqueue(Tenant& ten, Pending* p);
   void worker_loop(std::uint32_t t);
+  // Completion bookkeeping shared by the single and coalesced paths:
+  // closes the request span, records latency or failure, releases the
+  // descriptor and wakes a closed-loop waiter.
+  void finish_request(Tenant& ten, Pending* p);
+  // Executes a drained swing of >=2 requests as one batched transition;
+  // a transition-level fault aborts the batch before any call executes
+  // and the requests fall back to the per-request retry ladder.
+  void execute_batch(std::uint32_t t, Tenant& ten,
+                     std::vector<Pending*>& batch);
   // Runs one request, absorbing recoverable faults under the retry
   // budget; first step of every attempt is ensure_recovered().
   std::int64_t execute_with_retry(std::uint32_t t, Tenant& ten, Pending& p);

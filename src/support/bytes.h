@@ -82,6 +82,9 @@ class ByteReader {
 
   std::size_t remaining() const { return size_ - pos_; }
   std::size_t position() const { return pos_; }
+  // Base pointer of the underlying buffer (position 0). The batch frame
+  // decoder slices per-entry views out of one frame without copying.
+  const std::uint8_t* raw() const { return data_; }
   bool done() const { return pos_ == size_; }
   void seek(std::size_t pos);
 

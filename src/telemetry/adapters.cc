@@ -87,6 +87,12 @@ void publish_rmi(MetricsRegistry& m, const rmi::RmiStats& s) {
   set(m, "msv_rmi_mirrors_registered", s.mirrors_registered);
   set(m, "msv_rmi_remote_invocations", s.remote_invocations);
   set(m, "msv_rmi_fast_path_calls", s.fast_path_calls);
+  // Batching (DESIGN.md §13): remote_invocations counts logical calls;
+  // transitions counts bridge round trips. Their ratio is the realized
+  // amortization.
+  set(m, "msv_rmi_transitions", s.transitions);
+  set(m, "msv_rmi_batched_calls", s.batched_calls);
+  set(m, "msv_rmi_batch_flushes", s.batch_flushes);
 }
 
 void publish_gc_helper(MetricsRegistry& m, const rmi::GcHelperStats& s,

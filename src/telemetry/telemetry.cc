@@ -46,6 +46,9 @@ const std::vector<CallPrefix>& registered_call_prefixes() {
       {"ocall_gc_", Category::kGc},
       {"ecall_relay_", Category::kRmi},
       {"ocall_relay_", Category::kRmi},
+      {"ecall_rmi_batch", Category::kRmi},
+      {"ocall_rmi_batch", Category::kRmi},
+      {"ecall_multi_rmi_batch", Category::kRmi},
       {"ecall_", Category::kBridge},  // ecall_main, ecall_invoke, ...
       {"ocall_", Category::kBridge},  // shim I/O relays
   };
@@ -328,6 +331,7 @@ Telemetry::Telemetry(const VirtualClock& clock) : tracer_(clock) {
   names_.rmi_invoke = tracer_.intern("rmi.invoke");
   names_.rmi_construct = tracer_.intern("rmi.construct");
   names_.rmi_dispatch = tracer_.intern("rmi.dispatch");
+  names_.rmi_batch = tracer_.intern("rmi.batch");
   names_.request = tracer_.intern("request");
   names_.server_handle = tracer_.intern("server.handle");
   names_.fault_inject = tracer_.intern("fault.inject");

@@ -381,6 +381,7 @@ class Telemetry {
     std::uint32_t rmi_invoke = 0;
     std::uint32_t rmi_construct = 0;
     std::uint32_t rmi_dispatch = 0;
+    std::uint32_t rmi_batch = 0;
     std::uint32_t request = 0;
     std::uint32_t server_handle = 0;
     std::uint32_t fault_inject = 0;

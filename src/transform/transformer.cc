@@ -44,6 +44,7 @@ void BytecodeTransformer::add_concrete_class(model::AppModel& out,
     MethodDecl& relay = copy.add_static_method(relay_method_name(m.name()),
                                                m.param_count());
     relay.primitive_signature(m.has_primitive_signature());
+    relay.batch_async(m.is_batch_async());
     relay.set_relay(model::RelayInfo{concrete.name(), m.name(),
                                      m.is_constructor()});
   }
@@ -70,6 +71,7 @@ void BytecodeTransformer::add_proxy_class(model::AppModel& out,
     MethodDecl& stub = proxy.add_method(m.name(), m.param_count());
     if (m.is_static()) stub.set_static();
     stub.primitive_signature(m.has_primitive_signature());
+    stub.batch_async(m.is_batch_async());
     stub.make_proxy_stub(model::ProxyStubInfo{
         transition_name(concrete.name(), m.name(), concrete_is_trusted),
         /*via_ecall=*/concrete_is_trusted, concrete.name(), m.name(),

@@ -540,6 +540,66 @@ TEST(Lint, Msv008UnregisteredTelemetryCategory) {
   EXPECT_TRUE(saw_get);
 }
 
+TEST(Lint, Msv009BatchAsyncUnsafeBodies) {
+  // Golden fixture: three batch_async() declarations — a pure field
+  // setter (clean), a body that prints (I/O sink: reordering it within a
+  // batched flush reorders externally observable output), and a body that
+  // calls another method (effects on other objects).
+  model::AppModel app;
+  auto& box = app.add_class("Box", Annotation::kTrusted);
+  box.add_field("value");
+  box.add_method("set", 1).batch_async().body(IrBuilder()
+                                                  .locals(2)
+                                                  .load_local(0)
+                                                  .load_local(1)
+                                                  .put_field(0)
+                                                  .ret_void()
+                                                  .build());
+  box.add_method("log", 1).batch_async().body(IrBuilder()
+                                                  .locals(2)
+                                                  .load_local(1)
+                                                  .intrinsic("print", 1)
+                                                  .pop()
+                                                  .ret_void()
+                                                  .build());
+  box.add_method("poke", 0).batch_async().body(IrBuilder()
+                                                   .locals(1)
+                                                   .load_local(0)
+                                                   .const_val(Value(
+                                                       std::int32_t{1}))
+                                                   .call("set", 1)
+                                                   .pop()
+                                                   .ret_void()
+                                                   .build());
+  app.set_main_class("Box");
+
+  const auto findings = of_rule(analysis::lint(app), "MSV009");
+  ASSERT_EQ(findings.size(), 2u);
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.severity, Severity::kWarning);
+    EXPECT_EQ(f.cls, "Box");
+  }
+  bool saw_log = false;
+  bool saw_poke = false;
+  for (const auto& f : findings) {
+    if (f.method == "log") {
+      saw_log = true;
+      EXPECT_NE(f.message.find("'print'"), std::string::npos);
+    }
+    if (f.method == "poke") {
+      saw_poke = true;
+      EXPECT_NE(f.message.find("calls 'set'"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_log);
+  EXPECT_TRUE(saw_poke);
+
+  // Audited declarations are suppressed per-method via the exempt list.
+  analysis::LintOptions options;
+  options.batch_reorder_exempt = {"Box.log", "Box.poke"};
+  EXPECT_TRUE(of_rule(analysis::lint(app, options), "MSV009").empty());
+}
+
 // ---- Lint: the clean corpus produces zero findings -------------------------
 
 TEST(Lint, BankAppIsClean) {
@@ -601,9 +661,9 @@ TEST(Diag, JsonReportShape) {
 
 TEST(Diag, RuleCatalogueIsStable) {
   const auto ids = analysis::lint_rule_ids();
-  ASSERT_EQ(ids.size(), 8u);
+  ASSERT_EQ(ids.size(), 9u);
   EXPECT_EQ(ids.front(), "MSV001");
-  EXPECT_EQ(ids.back(), "MSV008");
+  EXPECT_EQ(ids.back(), "MSV009");
 }
 
 // ---- Interpreter: TrapError bounds checks ----------------------------------

@@ -8,6 +8,7 @@
 
 #include "apps/synthetic/generator.h"
 #include "core/montsalvat.h"
+#include "rmi/batch.h"
 #include "rmi/hasher.h"
 #include "rmi/registry.h"
 #include "rmi/wire.h"
@@ -398,6 +399,212 @@ TEST(ProxyRuntimeTest, RmiStatsAccumulate) {
   EXPECT_EQ(app.rmi().stats().proxies_created, 1u);
   EXPECT_GE(app.rmi().stats().remote_invocations, 10u);
   EXPECT_GE(app.rmi().stats().mirrors_registered, 1u);
+  // Unbatched accounting: one RMI-layer transition per logical call (10
+  // sets + the construct relay).
+  EXPECT_EQ(app.rmi().stats().transitions, 11u);
+  EXPECT_EQ(app.rmi().stats().batched_calls, 0u);
+  EXPECT_EQ(app.rmi().stats().batch_flushes, 0u);
+}
+
+// ---- Batch wire codec (rmi/batch.h) ---------------------------------------
+
+TEST(BatchCodec, MixedEntriesRoundTrip) {
+  ByteBuffer frame;
+  encode_batch_header(frame, 3);
+  const std::uint8_t a[] = {1, 2, 3};
+  const std::uint8_t b[] = {0xff};
+  encode_batch_entry(frame, 7, a, sizeof a);
+  encode_batch_entry(frame, 9, b, sizeof b);
+  encode_batch_entry(frame, 7, nullptr, 0);
+  const auto entries = decode_batch_request(frame, BatchLimits{});
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].call_id, 7u);
+  ASSERT_EQ(entries[0].size, 3u);
+  EXPECT_EQ(std::memcmp(entries[0].data, a, sizeof a), 0);
+  EXPECT_EQ(entries[1].call_id, 9u);
+  ASSERT_EQ(entries[1].size, 1u);
+  EXPECT_EQ(entries[1].data[0], 0xff);
+  EXPECT_EQ(entries[2].call_id, 7u);
+  EXPECT_EQ(entries[2].size, 0u);
+
+  ByteBuffer resp;
+  encode_batch_header(resp, 2);
+  encode_batch_result(resp, true, a, sizeof a);
+  const char* err = "boom";
+  encode_batch_result(resp, false,
+                      reinterpret_cast<const std::uint8_t*>(err), 4);
+  const auto results = decode_batch_response(resp, 2, BatchLimits{});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok);
+  ASSERT_EQ(results[0].size, 3u);
+  EXPECT_EQ(std::memcmp(results[0].data, a, sizeof a), 0);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(results[1].data),
+                        results[1].size),
+            "boom");
+}
+
+TEST(BatchCodec, MalformedFramesRaiseTypedErrors) {
+  BatchLimits limits;
+  limits.max_calls = 4;
+  limits.max_entry_bytes = 16;
+  limits.max_frame_bytes = 64;
+  const std::uint8_t p[] = {1};
+
+  // Truncated: the header promises an entry that never arrives.
+  ByteBuffer truncated;
+  encode_batch_header(truncated, 2);
+  encode_batch_entry(truncated, 1, p, sizeof p);
+  EXPECT_THROW(decode_batch_request(truncated, limits), BatchCodecError);
+
+  // Entry length pointing past the end of the frame.
+  ByteBuffer lying;
+  encode_batch_header(lying, 1);
+  lying.put_varint(1);   // call id
+  lying.put_varint(12);  // nbytes, but no payload follows
+  EXPECT_THROW(decode_batch_request(lying, limits), BatchCodecError);
+
+  // Zero calls is impossible — a flush never dispatches an empty batch.
+  ByteBuffer empty;
+  encode_batch_header(empty, 0);
+  EXPECT_THROW(decode_batch_request(empty, limits), BatchCodecError);
+
+  // Count over max_calls is rejected before any entry is touched.
+  ByteBuffer many;
+  encode_batch_header(many, 5);
+  EXPECT_THROW(decode_batch_request(many, limits), BatchCodecError);
+
+  // One entry over max_entry_bytes.
+  const std::vector<std::uint8_t> big(17, 0xaa);
+  ByteBuffer oversized;
+  encode_batch_header(oversized, 1);
+  encode_batch_entry(oversized, 1, big.data(), big.size());
+  EXPECT_THROW(decode_batch_request(oversized, limits), BatchCodecError);
+
+  // Whole frame over max_frame_bytes, rejected before parsing anything.
+  const std::vector<std::uint8_t> huge(70, 0xbb);
+  EXPECT_THROW(decode_batch_request(huge.data(), huge.size(), limits),
+               BatchCodecError);
+
+  // Trailing garbage after the last entry.
+  ByteBuffer trailing;
+  encode_batch_header(trailing, 1);
+  encode_batch_entry(trailing, 1, p, sizeof p);
+  trailing.put_u8(0);
+  EXPECT_THROW(decode_batch_request(trailing, limits), BatchCodecError);
+
+  // A response whose count disagrees with the request's entry count would
+  // silently drop calls.
+  ByteBuffer resp;
+  encode_batch_header(resp, 1);
+  encode_batch_result(resp, true, p, sizeof p);
+  EXPECT_THROW(decode_batch_response(resp, 2, limits), BatchCodecError);
+
+  // Response status must be 0 or 1.
+  ByteBuffer badstatus;
+  encode_batch_header(badstatus, 1);
+  badstatus.put_u8(2);
+  badstatus.put_varint(0);
+  EXPECT_THROW(decode_batch_response(badstatus, 1, limits), BatchCodecError);
+}
+
+// ---- Batched & async RMI through the public pipeline ----------------------
+
+TEST(ProxyRuntimeTest, AsyncBatchingPipelinesAndFlushesOnce) {
+  core::PartitionedApp app(apps::synthetic::build_micro_app());
+  auto& u = app.untrusted_context();
+  const Value w = u.construct("Worker", {});
+  auto& rmi = app.rmi();
+  rmi.set_batching(true);
+  const model::ClassDecl& cls = u.class_of(w.as_ref());
+  const model::MethodDecl* set = cls.find_method("set");
+  const model::MethodDecl* get = cls.find_method("get");
+  ASSERT_NE(set, nullptr);
+  ASSERT_NE(get, nullptr);
+  const RmiStats before = rmi.stats();
+  const std::uint64_t ecalls_before = app.bridge().stats().ecalls;
+
+  std::vector<RmiFuture> futures;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<Value> args{Value(std::int32_t{i})};
+    futures.push_back(rmi.invoke_proxy_async(u, w.as_ref(), cls, *set, args));
+  }
+  EXPECT_EQ(rmi.pending_batch_calls(), 8u);
+  for (const auto& f : futures) EXPECT_FALSE(f.ready());
+
+  // get() on the tail future forces the flush; strict program order means
+  // every set executed before the read.
+  std::vector<Value> no_args;
+  RmiFuture tail = rmi.invoke_proxy_async(u, w.as_ref(), cls, *get, no_args);
+  EXPECT_EQ(tail.get().as_i32(), 7);
+  EXPECT_EQ(rmi.pending_batch_calls(), 0u);
+  for (const auto& f : futures) EXPECT_TRUE(f.ready());
+
+  // Satellite accounting contract: 9 logical calls, ONE transition.
+  const RmiStats& s = rmi.stats();
+  EXPECT_EQ(s.remote_invocations - before.remote_invocations, 9u);
+  EXPECT_EQ(s.batched_calls - before.batched_calls, 9u);
+  EXPECT_EQ(s.batch_flushes - before.batch_flushes, 1u);
+  EXPECT_EQ(s.transitions - before.transitions, 1u);
+  EXPECT_EQ(app.bridge().stats().ecalls - ecalls_before, 1u);
+}
+
+TEST(ProxyRuntimeTest, SyncCallAndNonPrimitiveArgsFlushPendingBatch) {
+  core::PartitionedApp app(apps::synthetic::build_micro_app());
+  auto& u = app.untrusted_context();
+  const Value w = u.construct("Worker", {});
+  auto& rmi = app.rmi();
+  rmi.set_batching(true);
+  const model::ClassDecl& cls = u.class_of(w.as_ref());
+  const model::MethodDecl* set = cls.find_method("set");
+
+  std::vector<Value> a1{Value(std::int32_t{3})};
+  std::vector<Value> a2{Value(std::int32_t{5})};
+  RmiFuture f1 = rmi.invoke_proxy_async(u, w.as_ref(), cls, *set, a1);
+  RmiFuture f2 = rmi.invoke_proxy_async(u, w.as_ref(), cls, *set, a2);
+  EXPECT_EQ(rmi.pending_batch_calls(), 2u);
+
+  // A synchronous call is a dependency fence: the batch flushes first, so
+  // the read observes both queued writes in order.
+  EXPECT_EQ(u.invoke(w.as_ref(), "get", {}).as_i32(), 5);
+  EXPECT_EQ(rmi.pending_batch_calls(), 0u);
+  EXPECT_TRUE(f1.ready());
+  EXPECT_TRUE(f2.ready());
+
+  // Non-primitive arguments cannot prove independence: the conservative
+  // rule runs them synchronously (already-resolved future, no pending).
+  std::vector<Value> largs{
+      Value(rt::ValueList{Value(std::int32_t{1}), Value("x")})};
+  RmiFuture lf = rmi.invoke_proxy_async(u, w.as_ref(), cls,
+                                        *cls.find_method("set_list"), largs);
+  EXPECT_TRUE(lf.ready());
+  EXPECT_EQ(rmi.pending_batch_calls(), 0u);
+  lf.get();
+}
+
+TEST(ProxyRuntimeTest, BatchOfOneIsCycleIdenticalToSync) {
+  // The batch-size-1 honesty contract (also asserted by abl_rmi_batch):
+  // enqueue + immediate get replays the unbatched wire path exactly, so
+  // the simulated clock lands on the same instant.
+  std::array<Cycles, 2> cycles{};
+  for (const bool batched : {false, true}) {
+    core::PartitionedApp app(apps::synthetic::build_micro_app());
+    auto& u = app.untrusted_context();
+    const Value w = u.construct("Worker", {});
+    const model::ClassDecl& cls = u.class_of(w.as_ref());
+    const model::MethodDecl* set = cls.find_method("set");
+    if (batched) app.rmi().set_batching(true);
+    for (int i = 0; i < 5; ++i) {
+      std::vector<Value> args{Value(std::int32_t{i})};
+      if (batched) {
+        app.rmi().invoke_proxy_async(u, w.as_ref(), cls, *set, args).get();
+      } else {
+        app.rmi().invoke_proxy(u, w.as_ref(), cls, *set, args);
+      }
+    }
+    cycles[batched] = app.env().clock.now();
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
 }
 
 }  // namespace

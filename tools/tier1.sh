@@ -18,6 +18,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 "$BUILD_DIR"/bench/abl_rmi_fastpath --smoke > /dev/null
 "$BUILD_DIR"/bench/abl_switchless --smoke > /dev/null
 
+# Batched-RMI smoke (DESIGN.md §13): aborts unless batch width 1 is
+# cycle-identical to the unbatched path and width >= 16 clears the 5x
+# amortization gate.
+"$BUILD_DIR"/bench/abl_rmi_batch --smoke \
+  --json="$BUILD_DIR"/BENCH_rmi_batch.json > /dev/null
+
 # Fault-storm smoke (DESIGN.md §12): a seeded loss/transition/EPC/TCS/
 # corruption storm through the serving layer, run twice — the binary
 # aborts unless both runs agree bit-for-bit on clocks and counters, and
@@ -37,4 +43,4 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
   --metrics-out="$BUILD_DIR"/fig_server_metrics.txt > /dev/null
 tools/check_trace.py "$BUILD_DIR"/fig_server_trace.json
 
-echo "tier1: tests + ablations + fault-storm + msvlint + telemetry-trace smoke OK"
+echo "tier1: tests + ablations + batched-rmi + fault-storm + msvlint + telemetry-trace smoke OK"
