@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/app.h"
@@ -22,13 +23,25 @@ class MultiIsolateApp {
                   AppConfig config = {},
                   interp::IntrinsicTable intrinsics =
                       interp::IntrinsicTable::defaults());
+
+  // Shared-environment variant for multi-enclave topologies (the fleet,
+  // DESIGN.md §14): every enclave of the fleet lives on ONE machine — one
+  // virtual clock, one cost model, one telemetry spine — so `env` is
+  // borrowed, not owned. config.cost / config.fs / config.trace are
+  // ignored; the caller configured the shared Env once. `name_suffix`
+  // disambiguates the enclaves ("shard0-a", ...) in traces and errors.
+  MultiIsolateApp(Env& env, const model::AppModel& app,
+                  std::uint32_t trusted_isolates, AppConfig config = {},
+                  const std::string& name_suffix = "",
+                  interp::IntrinsicTable intrinsics =
+                      interp::IntrinsicTable::defaults());
   ~MultiIsolateApp();
 
   MultiIsolateApp(const MultiIsolateApp&) = delete;
   MultiIsolateApp& operator=(const MultiIsolateApp&) = delete;
 
-  Env& env() { return *env_; }
-  double now_seconds() const { return env_->clock.seconds(); }
+  Env& env() { return env_; }
+  double now_seconds() const { return env_.clock.seconds(); }
   std::uint32_t isolate_count() const { return rmi_->isolate_count(); }
 
   interp::ExecContext& untrusted_context() { return *untrusted_ctx_; }
@@ -54,7 +67,13 @@ class MultiIsolateApp {
   void restart_enclave();
 
  private:
-  std::unique_ptr<Env> env_;
+  // Common tail of both constructors: everything after the Env exists.
+  void build(const model::AppModel& app, std::uint32_t trusted_isolates,
+             const std::string& name_suffix,
+             interp::IntrinsicTable intrinsics);
+
+  std::unique_ptr<Env> owned_env_;  // null in the shared-Env variant
+  Env& env_;
   AppConfig config_;
   xform::NativeImage trusted_image_;
   xform::NativeImage untrusted_image_;

@@ -30,6 +30,11 @@ void FaultInjector::arm(sgx::Enclave& enclave) {
   plan_ = std::move(resolved);
 }
 
+void FaultInjector::retarget(sgx::Enclave& enclave) {
+  MSV_CHECK_MSG(enclave_ != nullptr, "retarget() before arm()");
+  enclave_ = &enclave;
+}
+
 void FaultInjector::on_transition_start() {
   if (next_ >= plan_.size()) return;
   process_due(/*in_ecall=*/false);

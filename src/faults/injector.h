@@ -54,6 +54,14 @@ class FaultInjector {
   // Attach to the bridge separately (TransitionBridge::attach_fault_injector).
   void arm(sgx::Enclave& enclave);
 
+  // Re-points an armed injector at a different enclave. The fleet uses
+  // this after a replica promotion: the shard's remaining schedule must
+  // strike whichever enclave currently holds the shard's authority, not
+  // the demoted one. Already-resolved window magnitudes are kept (they
+  // were sized against the original enclave; fleet shards share one
+  // geometry, so the numbers transfer).
+  void retarget(sgx::Enclave& enclave);
+
   void set_blob_corrupter(BlobCorrupter corrupter) {
     corrupter_ = std::move(corrupter);
   }

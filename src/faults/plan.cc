@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/error.h"
 #include "support/rng.h"
 
 namespace msv::faults {
@@ -58,7 +59,33 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& config) {
   for (std::uint32_t i = 0; i < config.blob_corruptions; ++i) {
     plan.add({instant(), FaultKind::kBlobCorruption, 0});
   }
+  // Fleet-scoped events come last in the consumption order so a fleet
+  // storm with the same seed and the same single-enclave counts replays
+  // the single-enclave prefix identically.
+  if (config.shard_losses > 0 || config.shard_transition_failures > 0) {
+    MSV_CHECK_MSG(config.fleet_shards > 0,
+                  "fleet-scoped fault counts need fleet_shards > 0");
+  }
+  for (std::uint32_t i = 0; i < config.shard_losses; ++i) {
+    plan.add({instant(), FaultKind::kEnclaveLoss, 0,
+              static_cast<std::uint32_t>(rng.next_below(config.fleet_shards))});
+  }
+  for (std::uint32_t i = 0; i < config.shard_transition_failures; ++i) {
+    plan.add({instant(), FaultKind::kTransitionFailure, 0,
+              static_cast<std::uint32_t>(rng.next_below(config.fleet_shards))});
+  }
   return plan;
+}
+
+FaultPlan FaultPlan::for_target(std::uint32_t shard,
+                                bool include_untargeted) const {
+  FaultPlan out;
+  for (const FaultEvent& e : events_) {
+    if (e.target == shard || (include_untargeted && e.target == kAnyTarget)) {
+      out.add(e);
+    }
+  }
+  return out;
 }
 
 void FaultPlan::add(const FaultEvent& event) {
@@ -84,6 +111,9 @@ std::uint64_t FaultPlan::digest() const {
     mix(e.at);
     mix(static_cast<std::uint64_t>(e.kind));
     mix(e.magnitude);
+    // Mixed only when targeted: all-kAnyTarget plans keep the exact
+    // digests the pre-fleet self-checks recorded.
+    if (e.target != kAnyTarget) mix(e.target);
   }
   return h;
 }

@@ -33,6 +33,12 @@ enum class FaultKind : std::uint8_t {
 
 const char* fault_kind_name(FaultKind kind);
 
+// Fleet-scoped events name the shard they strike; kAnyTarget events apply
+// wherever the consuming injector is armed (the single-enclave plans every
+// pre-fleet bench uses are all-kAnyTarget, and their digests are unchanged
+// because the target only mixes in when explicitly set).
+inline constexpr std::uint32_t kAnyTarget = 0xffffffffu;
+
 struct FaultEvent {
   Cycles at = 0;
   FaultKind kind = FaultKind::kTransitionFailure;
@@ -40,6 +46,9 @@ struct FaultEvent {
   // 0 = resolve against the target enclave when the injector is armed
   // (half the EPC capacity / all TCS slots but one).
   std::uint64_t magnitude = 0;
+  // Fleet shard this event strikes ("lose enclave k at cycle c"), or
+  // kAnyTarget for untargeted events.
+  std::uint32_t target = kAnyTarget;
 };
 
 struct FaultPlanConfig {
@@ -56,6 +65,13 @@ struct FaultPlanConfig {
   Cycles tcs_burst_cycles = 10'000'000;
   std::uint32_t tcs_burst_slots = 0;  // 0 = all but one, at arm time
   std::uint32_t blob_corruptions = 0;
+  // Fleet-scoped storm (DESIGN.md §14): each of these events draws a
+  // uniform shard in [0, fleet_shards) as its target. fleet_shards = 0
+  // keeps the plan single-enclave (and must, if the counts are zero too,
+  // to leave pre-fleet plan digests untouched).
+  std::uint32_t fleet_shards = 0;
+  std::uint32_t shard_losses = 0;
+  std::uint32_t shard_transition_failures = 0;
 };
 
 class FaultPlan {
@@ -71,6 +87,13 @@ class FaultPlan {
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
+
+  // Projects the per-shard schedule out of a fleet plan: the events whose
+  // target is `shard`, plus (optionally) every untargeted event. Relative
+  // order is preserved, so per-shard injectors driven by the projections
+  // replay exactly the instants the fleet plan scheduled.
+  FaultPlan for_target(std::uint32_t shard,
+                       bool include_untargeted = false) const;
 
   // FNV-1a over the serialized schedule: two plans with equal digests are
   // identical event-for-event (the determinism self-checks compare this).

@@ -1,0 +1,69 @@
+// Fleet load generator: one fleet-wide open-loop Poisson arrival process
+// with Zipfian tenant popularity (DESIGN.md §14).
+//
+// Unlike the per-tenant generators in server/harness, the fleet generator
+// models a *front door*: a single arrival stream whose every request picks
+// a tenant by a Zipf draw over a precomputed harmonic CDF. Skew is the
+// point — with s ≈ 1.1 the head tenant absorbs an order of magnitude more
+// traffic than the median one, which is what makes one shard hot and the
+// migration path worth having.
+//
+// Determinism contract (same as the harness): the generator owns one
+// seeded Rng consumed in task program order, latencies are measured from
+// intended arrival instants (coordinated-omission honest), and two runs
+// of the same spec produce identical cycle totals, latency sums and
+// counters — fig_fleet asserts this fleet-wide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/router.h"
+#include "server/harness.h"
+
+namespace msv::fleet {
+
+struct FleetLoadSpec {
+  // Total requests across the whole fleet (not per tenant).
+  std::uint64_t requests = 20'000;
+  // Mean exponential gap of the fleet-wide arrival process, in cycles.
+  Cycles mean_interarrival_cycles = 60'000;
+  // Zipf exponent over tenant popularity (0 = uniform).
+  double zipf_s = 1.1;
+  std::uint64_t seed = 42;
+  double read_fraction = 0.5;  // getBalance share; rest are deposits
+};
+
+struct FleetLoadReport {
+  server::LatencySummary aggregate;
+  std::vector<server::LatencySummary> per_shard;
+  FleetStats stats;  // fleet counters at the end of the run
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  Cycles final_clock = 0;
+  // Exact-integer latency digest for the determinism self-check.
+  Cycles latency_cycle_sum = 0;
+  double elapsed_seconds = 0;
+  double throughput_rps = 0;
+};
+
+class FleetLoad {
+ public:
+  explicit FleetLoad(FleetRouter& router)
+      : router_(router), env_(router.env()) {}
+
+  // Starts the fleet if needed, runs the arrival process to completion,
+  // drains every shard, and reports. Shard latency vectors accumulate
+  // across runs; use a fresh fleet per measured configuration.
+  FleetLoadReport run(const FleetLoadSpec& spec);
+
+  // The Zipf CDF the generator draws from (exposed for tests: the head
+  // tenant's mass explains why migration has a target worth moving).
+  static std::vector<double> zipf_cdf(std::uint32_t tenants, double s);
+
+ private:
+  FleetRouter& router_;
+  Env& env_;
+};
+
+}  // namespace msv::fleet

@@ -1,0 +1,82 @@
+#include "fleet/ring.h"
+
+#include <string>
+
+#include "support/error.h"
+#include "support/fnv.h"
+
+namespace msv::fleet {
+
+namespace {
+
+// FNV-1a avalanches poorly into the high bits on short inputs — all
+// "tenant-N" keys would land in one narrow arc of the 64-bit ring (and
+// therefore on one node). The splitmix64 finalizer spreads every input
+// bit across the whole word; ring positions are mix64(fnv1a64(tag)).
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+HashRing::HashRing(std::uint64_t seed, std::uint32_t vnodes_per_node)
+    : seed_(seed), vnodes_(vnodes_per_node) {
+  MSV_CHECK_MSG(vnodes_ > 0, "ring needs at least one vnode per node");
+}
+
+std::uint64_t HashRing::vnode_point(std::uint32_t node,
+                                    std::uint32_t replica) const {
+  const std::string tag = std::to_string(seed_) + "/node-" +
+                          std::to_string(node) + "#" +
+                          std::to_string(replica);
+  return mix64(fnv1a64(tag));
+}
+
+void HashRing::add_node(std::uint32_t node) {
+  MSV_CHECK_MSG(!has_node(node), "node already on the ring");
+  std::vector<std::uint64_t>& mine = points_of_[node];
+  for (std::uint32_t r = 0; r < vnodes_; ++r) {
+    std::uint64_t pt = vnode_point(node, r);
+    // Collisions are vanishingly rare at 64 bits but must not silently
+    // drop a vnode (or steal another node's): probe deterministically.
+    while (ring_.count(pt) != 0) pt = fnv1a64(&pt, sizeof pt);
+    ring_.emplace(pt, node);
+    mine.push_back(pt);
+  }
+}
+
+void HashRing::remove_node(std::uint32_t node) {
+  const auto it = points_of_.find(node);
+  MSV_CHECK_MSG(it != points_of_.end(), "node not on the ring");
+  for (const std::uint64_t pt : it->second) ring_.erase(pt);
+  points_of_.erase(it);
+}
+
+bool HashRing::has_node(std::uint32_t node) const {
+  return points_of_.count(node) != 0;
+}
+
+std::vector<std::uint32_t> HashRing::nodes() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(points_of_.size());
+  for (const auto& [node, pts] : points_of_) out.push_back(node);
+  return out;
+}
+
+std::uint64_t HashRing::point_of_key(std::uint32_t key) const {
+  const std::string tag = "tenant-" + std::to_string(key);
+  return mix64(fnv1a64(tag) ^ seed_);
+}
+
+std::uint32_t HashRing::owner_of(std::uint32_t key) const {
+  MSV_CHECK_MSG(!ring_.empty(), "owner lookup on an empty ring");
+  const auto it = ring_.lower_bound(point_of_key(key));
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+}  // namespace msv::fleet

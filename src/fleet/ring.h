@@ -1,0 +1,55 @@
+// Seeded consistent-hash ring (DESIGN.md §14).
+//
+// Tenants are sharded across fleet nodes by consistent hashing: each node
+// contributes `vnodes` virtual points on a 64-bit ring (FNV-1a of
+// "<seed>/node-<id>#<replica>"), and a key is owned by the first point at
+// or clockwise after its hash. The properties the fleet needs — and
+// fleet_test asserts — follow directly:
+//
+//   * Stable assignment: ownership is a pure function of (seed, member
+//     set), never of insertion order or wall anything.
+//   * Bounded churn: adding or removing one node moves only the keys in
+//     the arcs that node's points cover — about 1/N of the keyspace —
+//     while every other key keeps its owner.
+//
+// The ring is routing policy only; it holds no tenant state. The router
+// keeps its own tenant->shard table (seeded from the ring, amended by
+// migrations) so a ring change never implicitly teleports live state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace msv::fleet {
+
+class HashRing {
+ public:
+  HashRing(std::uint64_t seed, std::uint32_t vnodes_per_node);
+
+  void add_node(std::uint32_t node);
+  void remove_node(std::uint32_t node);
+  bool has_node(std::uint32_t node) const;
+  std::size_t node_count() const { return points_of_.size(); }
+  std::vector<std::uint32_t> nodes() const;
+
+  // Owner of a tenant key. Throws when the ring is empty.
+  std::uint32_t owner_of(std::uint32_t key) const;
+
+  // The raw ring point a key hashes to (exposed for diagnostics/tests).
+  std::uint64_t point_of_key(std::uint32_t key) const;
+
+ private:
+  std::uint64_t vnode_point(std::uint32_t node, std::uint32_t replica) const;
+
+  std::uint64_t seed_;
+  std::uint32_t vnodes_;
+  // point -> node; ordered, so owner lookup is one upper_bound and
+  // iteration order is deterministic.
+  std::map<std::uint64_t, std::uint32_t> ring_;
+  // The points each member actually inserted (collisions are re-hashed
+  // deterministically, so removal must erase exactly these).
+  std::map<std::uint32_t, std::vector<std::uint64_t>> points_of_;
+};
+
+}  // namespace msv::fleet

@@ -1,0 +1,200 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "support/error.h"
+#include "telemetry/adapters.h"
+
+namespace msv::fleet {
+
+FleetRouter::FleetRouter(Env& env, sched::Scheduler& sched,
+                         const model::AppModel& app_model, FleetConfig config)
+    : env_(env),
+      sched_(sched),
+      app_model_(app_model),
+      config_(config),
+      ring_(config.ring_seed, config.vnodes) {
+  MSV_CHECK_MSG(config_.shards > 0, "fleet needs at least one shard");
+  MSV_CHECK_MSG(config_.tenants > 0, "fleet needs at least one tenant");
+  for (std::uint32_t k = 0; k < config_.shards; ++k) ring_.add_node(k);
+  // Seed the route table from the ring before sizing shards: each shard
+  // needs one isolate slot per resident, and the ring's spread decides
+  // residency. `slots` in the shard config is a floor; a shard that the
+  // ring loads heavier gets exactly what it needs.
+  std::vector<std::uint32_t> residents(config_.shards, 0);
+  for (std::uint32_t t = 0; t < config_.tenants; ++t) {
+    const std::uint32_t owner = ring_.owner_of(t);
+    route_[t] = owner;
+    ++residents[owner];
+  }
+  for (std::uint32_t k = 0; k < config_.shards; ++k) {
+    ShardConfig sc = config_.shard;
+    // Headroom above the ring's current spread lets migrations land
+    // without rebuilding the shard.
+    sc.slots = std::max(sc.slots, residents[k] + 2);
+    shards_.push_back(std::make_unique<Shard>(env_, sched_, app_model_, k,
+                                              sc, config_.app));
+  }
+  injectors_.resize(config_.shards);
+  accepted_by_tenant_.assign(config_.tenants, 0);
+}
+
+FleetRouter::~FleetRouter() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructors stay noexcept; stop() failures surface on explicit calls.
+  }
+}
+
+void FleetRouter::start() {
+  if (started_) return;
+  for (auto& shard : shards_) shard->start();
+  for (const auto& [tenant, k] : route_) shards_[k]->bind_tenant(tenant);
+  if (env_.telemetry.metrics_enabled()) {
+    for (std::uint32_t k = 0; k < shards_.size(); ++k) {
+      shards_[k]->latency_hist = &env_.telemetry.metrics().histogram(
+          "msv_fleet_request_latency_cycles",
+          {{"shard", std::to_string(k)}});
+    }
+  }
+  started_ = true;
+}
+
+void FleetRouter::stop() {
+  if (!started_ || stopped_) return;
+  for (auto& shard : shards_) shard->begin_stop();
+  sched_.run();
+  stopped_ = true;
+}
+
+std::uint32_t FleetRouter::shard_of(std::uint32_t tenant) const {
+  const auto it = route_.find(tenant);
+  MSV_CHECK_MSG(it != route_.end(),
+                "tenant " + std::to_string(tenant) + " is not routed");
+  return it->second;
+}
+
+std::uint32_t FleetRouter::tenants_off_ring() const {
+  std::uint32_t n = 0;
+  for (const auto& [tenant, k] : route_) {
+    if (ring_.owner_of(tenant) != k) ++n;
+  }
+  return n;
+}
+
+bool FleetRouter::submit(std::uint32_t tenant, server::Request r) {
+  Shard& shard = *shards_[shard_of(tenant)];
+  if (shard.pending() >= config_.max_shard_pending) {
+    ++shed_admission_;
+    return false;
+  }
+  const bool accepted = shard.submit(tenant, r);
+  if (accepted) ++accepted_by_tenant_[tenant];
+  return accepted;
+}
+
+std::int64_t FleetRouter::submit_and_wait(std::uint32_t tenant,
+                                          server::Request r) {
+  Shard& shard = *shards_[shard_of(tenant)];
+  const std::int64_t result = shard.submit_and_wait(tenant, r);
+  ++accepted_by_tenant_[tenant];
+  return result;
+}
+
+std::size_t FleetRouter::pending() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->pending();
+  return n;
+}
+
+void FleetRouter::migrate_tenant(std::uint32_t tenant,
+                                 std::uint32_t to_shard) {
+  MSV_CHECK_MSG(to_shard < shards_.size(), "migration target out of range");
+  const std::uint32_t from_shard = shard_of(tenant);
+  MSV_CHECK_MSG(from_shard != to_shard,
+                "tenant already lives on the target shard");
+  telemetry::SpanScope span(env_.telemetry.tracer(),
+                            telemetry::Category::kFleet,
+                            env_.telemetry.names().fleet_migrate,
+                            static_cast<std::int32_t>(tenant));
+  Shard& src = *shards_[from_shard];
+  Shard& dst = *shards_[to_shard];
+  // Drain behind the coalescing fence, then move the *sealed* state: the
+  // blob is safe in untrusted hands, and the target enclave's identical
+  // measurement derives the same unsealing key (§11).
+  src.quiesce_tenant(tenant);
+  std::vector<std::uint8_t> blob = src.seal_tenant(tenant);
+  src.unbind_tenant(tenant);
+  dst.adopt_checkpoint(tenant, std::move(blob));
+  route_[tenant] = to_shard;
+  ++migrations_;
+}
+
+std::uint64_t FleetRouter::tenant_accepted(std::uint32_t tenant) const {
+  return accepted_by_tenant_[tenant];
+}
+
+std::uint32_t FleetRouter::hottest_tenant() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t t = 1; t < accepted_by_tenant_.size(); ++t) {
+    if (accepted_by_tenant_[t] > accepted_by_tenant_[best]) best = t;
+  }
+  return best;
+}
+
+void FleetRouter::attach_fault_plan(const faults::FaultPlan& plan) {
+  for (std::uint32_t k = 0; k < shards_.size(); ++k) {
+    faults::FaultPlan mine = plan.for_target(k);
+    if (mine.empty()) continue;
+    MSV_CHECK_MSG(injectors_[k] == nullptr,
+                  "shard already has a fault plan attached");
+    injectors_[k] =
+        std::make_unique<faults::FaultInjector>(env_, std::move(mine));
+    injectors_[k]->arm(shards_[k]->active_app().enclave());
+    shards_[k]->attach_injector(injectors_[k].get());
+  }
+}
+
+FleetStats FleetRouter::stats() const {
+  FleetStats out;
+  out.shed_admission = shed_admission_;
+  out.shed = shed_admission_;
+  out.migrations = migrations_;
+  for (const auto& shard : shards_) {
+    const ShardStats& s = shard->stats();
+    out.accepted += s.accepted;
+    out.shed += s.shed;
+    out.shed_recovery += s.shed_recovery;
+    out.shed_migrating += s.shed_migrating;
+    out.completed += s.completed;
+    out.failed += s.failed;
+    out.retries += s.retries;
+    out.checkpoints += s.checkpoints;
+    out.replicated_blobs += s.replicated_blobs;
+    out.replicated_bytes += s.replicated_bytes;
+    out.restored += s.restored;
+    out.checkpoint_corrupt += s.checkpoint_corrupt;
+    out.promotions += s.promotions;
+    out.restarts += s.restarts;
+    out.standby_rebuilds += s.standby_rebuilds;
+    out.recovery_cycles += s.recovery_cycles;
+  }
+  return out;
+}
+
+void FleetRouter::publish_metrics() {
+  if (!env_.telemetry.metrics_enabled()) return;
+  telemetry::MetricsRegistry& m = env_.telemetry.metrics();
+  telemetry::publish_fleet(m, stats());
+  m.gauge("msv_fleet_shards").set(static_cast<double>(shards_.size()));
+  m.gauge("msv_fleet_tenants_off_ring")
+      .set(static_cast<double>(tenants_off_ring()));
+  for (std::uint32_t k = 0; k < shards_.size(); ++k) {
+    telemetry::publish_fleet_shard(m, shards_[k]->stats(), k);
+  }
+}
+
+}  // namespace msv::fleet

@@ -162,6 +162,11 @@ GcRef MultiIsolateRuntime::materialize_proxy(SideState& s, std::int64_t hash,
 void MultiIsolateRuntime::check_proxy_epoch(std::int64_t hash) {
   const auto it = hash_epoch_.find(hash);
   if (it == hash_epoch_.end()) return;
+  if (it->second == kFencedEpoch) {
+    throw StaleProxyError(
+        "proxy fenced: its enclave is no longer the shard authority "
+        "(replica promoted; rebuild the session against the new enclave)");
+  }
   const std::uint64_t current = bridge_.enclave().epoch();
   if (it->second != current) {
     throw StaleProxyError(
@@ -169,6 +174,14 @@ void MultiIsolateRuntime::check_proxy_epoch(std::int64_t hash) {
         " invoked after restart (current epoch " + std::to_string(current) +
         "); its mirror died with the old enclave heap");
   }
+}
+
+void MultiIsolateRuntime::fence_proxies() {
+  // Epoch 0 is unused (Enclave epochs start at 1), so it doubles as the
+  // "fenced" sentinel: every existing mint becomes permanently stale, and
+  // future mints — stamped with the live epoch — are unaffected. O(minted
+  // proxies) here, zero extra cost on the invoke hot path.
+  for (auto& [hash, epoch] : hash_epoch_) epoch = kFencedEpoch;
 }
 
 void MultiIsolateRuntime::on_enclave_restart() {

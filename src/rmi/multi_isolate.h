@@ -104,6 +104,15 @@ class MultiIsolateRuntime final : public interp::RemoteInvoker {
   // Scans every weak list and evicts dead mirrors across all pairs.
   void force_gc_scan();
 
+  // Authority fence (DESIGN.md §14). Marks every *currently minted*
+  // untrusted-side proxy stale without restarting the enclave: the fleet
+  // calls this on a shard's demoted runtime when a replica is promoted, so
+  // requests still holding old sessions fault with StaleProxyError instead
+  // of double-executing against an enclave that is no longer the shard's
+  // authority (which may be perfectly healthy in a planned failover).
+  // Proxies minted afterwards record the live epoch and work normally.
+  void fence_proxies();
+
   // Enclave-restart fence (DESIGN.md §12). The trusted heaps are gone:
   // drops every trusted-side registry/proxy table and the untrusted-side
   // mirror registry (whose in-enclave proxies died with the heap).
@@ -120,6 +129,9 @@ class MultiIsolateRuntime final : public interp::RemoteInvoker {
  private:
   // Sentinel isolate id for the (single) untrusted runtime.
   static constexpr std::uint32_t kUntrustedId = 0xffffffffu;
+  // Sentinel epoch marking a proxy fenced by fence_proxies(). Real enclave
+  // epochs start at 1, so 0 can never match.
+  static constexpr std::uint64_t kFencedEpoch = 0;
 
   struct SideState {
     SideState(interp::ExecContext& c, HashScheme scheme,

@@ -62,11 +62,11 @@ void RequestServer::start() {
                                            config_.ocall_ring);
   }
   for (std::uint32_t t = 0; t < tenants_.size(); ++t) {
-    tenants_[t]->session = app_.construct_in(
+    tenants_[t]->state.session = app_.construct_in(
         t, "Account",
         {rt::Value("tenant-" + std::to_string(t)),
          rt::Value(config_.initial_balance)});
-    tenants_[t]->session_epoch = app_.enclave().epoch();
+    tenants_[t]->state.session_epoch = app_.enclave().epoch();
     if (env_.telemetry.metrics_enabled()) {
       // Handle resolved once; workers record with a pointer poke.
       tenants_[t]->latency_hist = &env_.telemetry.metrics().histogram(
@@ -261,11 +261,11 @@ void RequestServer::execute_batch(std::uint32_t t, Tenant& ten,
     // per-request fallback below, which owns the retry budget.
     if (config_.recovery.enabled) ensure_recovered();
     const model::ClassDecl& cls =
-        app_.untrusted_context().class_of(ten.session.as_ref());
+        app_.untrusted_context().class_of(ten.state.session.as_ref());
     std::vector<rmi::MultiIsolateRuntime::BatchCall> calls(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const Pending& p = *batch[i];
-      calls[i].proxy = ten.session.as_ref();
+      calls[i].proxy = ten.state.session.as_ref();
       if (p.req.op == RequestOp::kDeposit) {
         calls[i].stub = cls.find_method("updateBalance");
         calls[i].args = {rt::Value(p.req.amount)};
@@ -333,9 +333,9 @@ std::int64_t RequestServer::execute_with_retry(std::uint32_t t, Tenant& ten,
       if (rc.enabled) ensure_recovered();
       const rt::Value result =
           p.req.op == RequestOp::kDeposit
-              ? u.invoke(ten.session.as_ref(), "updateBalance",
+              ? u.invoke(ten.state.session.as_ref(), "updateBalance",
                          {rt::Value(p.req.amount)})
-              : u.invoke(ten.session.as_ref(), "getBalance", {});
+              : u.invoke(ten.state.session.as_ref(), "getBalance", {});
       return result.type() == rt::ValueType::kI32 ? result.as_i32() : 0;
     } catch (const sgx::EnclaveLostError&) {
       if (!rc.enabled) throw;
@@ -378,7 +378,7 @@ void RequestServer::ensure_recovered() {
   const bool lost = app_.enclave().state() == sgx::EnclaveState::kLost;
   bool stale = false;
   for (const auto& ten : tenants_) {
-    if (ten->session_epoch != app_.enclave().epoch()) {
+    if (ten->state.session_epoch != app_.enclave().epoch()) {
       stale = true;
       break;
     }
@@ -393,7 +393,7 @@ void RequestServer::ensure_recovered() {
     // Restore only the tenants still behind — resuming a restore that a
     // second fault interrupted picks up where it left off.
     for (std::uint32_t t = 0; t < tenant_count(); ++t) {
-      if (tenants_[t]->session_epoch != app_.enclave().epoch()) {
+      if (tenants_[t]->state.session_epoch != app_.enclave().epoch()) {
         restore_tenant(t);
       }
     }
@@ -409,55 +409,44 @@ void RequestServer::ensure_recovered() {
 void RequestServer::restore_tenant(std::uint32_t t) {
   Tenant& ten = *tenants_[t];
   std::int32_t balance = config_.initial_balance;
-  if (!ten.checkpoint.empty()) {
-    try {
-      const sgx::SealedBlob blob = sgx::SealedBlob::deserialize(ten.checkpoint);
-      const std::vector<std::uint8_t> plain =
-          sealer_.unseal(app_.enclave(), blob);
-      ByteReader r(plain.data(), plain.size());
-      if (r.get_u32() != t) {
-        throw SecurityFault("checkpoint sealed for a different tenant");
-      }
-      ten.checkpoint_seq = r.get_varint();
-      balance = r.get_i32();
+  try {
+    if (const auto restored =
+            ten.state.unseal_checkpoint(sealer_, app_.enclave(), t)) {
+      balance = *restored;
       ++ten.stats.restored;
-    } catch (const SecurityFault&) {
-      // Tampered or spliced blob: refuse it, count it, and fall back to a
-      // fresh session — corruption must never fail the whole recovery.
-      ++ten.stats.checkpoint_corrupt;
-      ten.checkpoint.clear();
-      balance = config_.initial_balance;
     }
+  } catch (const SecurityFault&) {
+    // Tampered or spliced blob: refuse it, count it, and fall back to a
+    // fresh session — corruption must never fail the whole recovery.
+    ++ten.stats.checkpoint_corrupt;
+    ten.state.checkpoint.clear();
+    balance = config_.initial_balance;
   }
-  ten.session = app_.construct_in(
+  ten.state.session = app_.construct_in(
       t, "Account",
       {rt::Value("tenant-" + std::to_string(t)), rt::Value(balance)});
-  ten.session_epoch = app_.enclave().epoch();
+  ten.state.session_epoch = app_.enclave().epoch();
 }
 
 void RequestServer::maybe_checkpoint(std::uint32_t t, Tenant& ten) {
   const RecoveryConfig& rc = config_.recovery;
   if (!rc.enabled || rc.checkpoint_every == 0) return;
-  if (++ten.since_checkpoint < rc.checkpoint_every) return;
-  ten.since_checkpoint = 0;
+  if (++ten.state.since_checkpoint < rc.checkpoint_every) return;
+  ten.state.since_checkpoint = 0;
   try {
-    const rt::Value bal =
-        app_.untrusted_context().invoke(ten.session.as_ref(), "getBalance", {});
-    ByteBuffer payload;
-    payload.put_u32(t);
-    payload.put_varint(++ten.checkpoint_seq);
-    payload.put_i32(bal.as_i32());
-    const sgx::SealedBlob blob =
-        sealer_.seal(app_.enclave(), payload.bytes(),
-                     /*iv_seed=*/(ten.checkpoint_seq << 8) | t);
-    ten.checkpoint = blob.serialize();
+    const rt::Value bal = app_.untrusted_context().invoke(
+        ten.state.session.as_ref(), "getBalance", {});
+    ten.state.seal_checkpoint(sealer_, app_.enclave(), t, bal.as_i32());
     ++ten.stats.checkpoints;
   } catch (const sched::TaskCancelled&) {
     throw;
   } catch (...) {
     // A fault mid-checkpoint loses this checkpoint, not the request: the
     // previous sealed blob stays valid and the next interval retries.
-    --ten.checkpoint_seq;
+    // The rollback applies even when the balance read (not the seal)
+    // faulted — the next successful checkpoint reuses this seq, which is
+    // the sequence the pre-TenantState fig_faults runs sealed.
+    --ten.state.checkpoint_seq;
   }
 }
 
@@ -465,11 +454,11 @@ void RequestServer::attach_fault_injector(faults::FaultInjector& injector) {
   injector.set_blob_corrupter([this](Rng& rng) {
     std::vector<std::uint32_t> with;
     for (std::uint32_t t = 0; t < tenant_count(); ++t) {
-      if (!tenants_[t]->checkpoint.empty()) with.push_back(t);
+      if (tenants_[t]->state.has_checkpoint()) with.push_back(t);
     }
     if (with.empty()) return false;
     std::vector<std::uint8_t>& bytes =
-        tenants_[with[rng.next_below(with.size())]]->checkpoint;
+        tenants_[with[rng.next_below(with.size())]]->state.checkpoint;
     bytes[rng.next_below(bytes.size())] ^=
         static_cast<std::uint8_t>(1u << rng.next_below(8));
     return true;

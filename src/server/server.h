@@ -35,6 +35,7 @@
 
 #include "core/multi_app.h"
 #include "sched/scheduler.h"
+#include "server/tenant_state.h"
 #include "sgx/sealing.h"
 
 namespace msv::faults {
@@ -216,7 +217,9 @@ class RequestServer {
 
   struct Tenant {
     explicit Tenant(sched::Scheduler& s) : work(s), space(s), gc_done(s) {}
-    rt::Value session;
+    // Session proxy + sealed-checkpoint state, shared with the fleet layer
+    // (tenant_state.h owns the checkpoint byte format).
+    TenantState state;
     std::deque<Pending*> queue;
     sched::WaitQueue work;     // workers park here when the queue is empty
     sched::WaitQueue space;    // submitters park here when the queue is full
@@ -230,16 +233,6 @@ class RequestServer {
     // Per-tenant request-latency histogram handle, resolved once in
     // start() when metrics are enabled (p50/p99 in the metrics dump).
     telemetry::Histogram* latency_hist = nullptr;
-    // Latest sealed checkpoint, as it sits in untrusted storage (and so
-    // exactly what a corruption fault flips bits in). Empty = none.
-    std::vector<std::uint8_t> checkpoint;
-    std::uint64_t checkpoint_seq = 0;
-    std::uint32_t since_checkpoint = 0;
-    // Enclave epoch `session` was minted under. Recovery is complete only
-    // when every tenant's epoch matches the enclave's — a fault striking
-    // mid-restore leaves the rest stale, and the next ensure_recovered()
-    // resumes with exactly those tenants.
-    std::uint64_t session_epoch = 0;
   };
 
   Tenant& tenant(std::uint32_t t);

@@ -1,0 +1,53 @@
+#include "server/tenant_state.h"
+
+#include "support/bytes.h"
+#include "support/error.h"
+
+namespace msv::server {
+
+std::vector<std::uint8_t> TenantState::encode_payload(std::uint32_t tenant,
+                                                      std::uint64_t seq,
+                                                      std::int32_t balance) {
+  ByteBuffer payload;
+  payload.put_u32(tenant);
+  payload.put_varint(seq);
+  payload.put_i32(balance);
+  return payload.take();
+}
+
+TenantState::Payload TenantState::decode_payload(
+    const std::vector<std::uint8_t>& plain, std::uint32_t expect_tenant) {
+  ByteReader r(plain.data(), plain.size());
+  if (r.get_u32() != expect_tenant) {
+    throw SecurityFault("checkpoint sealed for a different tenant");
+  }
+  Payload p;
+  p.seq = r.get_varint();
+  p.balance = r.get_i32();
+  return p;
+}
+
+const std::vector<std::uint8_t>& TenantState::seal_checkpoint(
+    const sgx::SealingPlatform& sealer, const sgx::Enclave& enclave,
+    std::uint32_t tenant, std::int32_t balance) {
+  const std::uint64_t seq = checkpoint_seq + 1;
+  const sgx::SealedBlob blob =
+      sealer.seal(enclave, encode_payload(tenant, seq, balance),
+                  /*iv_seed=*/(seq << 8) | tenant);
+  checkpoint = blob.serialize();
+  checkpoint_seq = seq;
+  return checkpoint;
+}
+
+std::optional<std::int32_t> TenantState::unseal_checkpoint(
+    const sgx::SealingPlatform& sealer, const sgx::Enclave& enclave,
+    std::uint32_t tenant) {
+  if (checkpoint.empty()) return std::nullopt;
+  const sgx::SealedBlob blob = sgx::SealedBlob::deserialize(checkpoint);
+  const std::vector<std::uint8_t> plain = sealer.unseal(enclave, blob);
+  const Payload p = decode_payload(plain, tenant);
+  checkpoint_seq = p.seq;
+  return p.balance;
+}
+
+}  // namespace msv::server

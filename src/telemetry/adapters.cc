@@ -1,5 +1,6 @@
 #include "telemetry/adapters.h"
 
+#include "fleet/router.h"
 #include "rmi/proxy_runtime.h"
 #include "runtime/heap.h"
 #include "sched/scheduler.h"
@@ -120,6 +121,43 @@ void publish_tenant(MetricsRegistry& m, const server::TenantStats& s,
   set(m, "msv_server_tenant_gc_gate_wait_cycles", s.gc_gate_wait_cycles,
       labels);
   set(m, "msv_server_tenant_max_queue_depth", s.max_queue_depth, labels);
+}
+
+void publish_fleet(MetricsRegistry& m, const fleet::FleetStats& s) {
+  set(m, "msv_fleet_accepted", s.accepted);
+  set(m, "msv_fleet_shed", s.shed);
+  set(m, "msv_fleet_shed_admission", s.shed_admission);
+  set(m, "msv_fleet_shed_recovery", s.shed_recovery);
+  set(m, "msv_fleet_shed_migrating", s.shed_migrating);
+  set(m, "msv_fleet_completed", s.completed);
+  set(m, "msv_fleet_failed", s.failed);
+  set(m, "msv_fleet_retries", s.retries);
+  set(m, "msv_fleet_checkpoints", s.checkpoints);
+  set(m, "msv_fleet_replicated_blobs", s.replicated_blobs);
+  set(m, "msv_fleet_replicated_bytes", s.replicated_bytes);
+  set(m, "msv_fleet_restored", s.restored);
+  set(m, "msv_fleet_promotions", s.promotions);
+  set(m, "msv_fleet_restarts", s.restarts);
+  set(m, "msv_fleet_standby_rebuilds", s.standby_rebuilds);
+  set(m, "msv_fleet_migrations", s.migrations);
+  set(m, "msv_fleet_recovery_cycles", s.recovery_cycles);
+}
+
+void publish_fleet_shard(MetricsRegistry& m, const fleet::ShardStats& s,
+                         std::uint32_t shard) {
+  const LabelSet labels = {{"shard", std::to_string(shard)}};
+  set(m, "msv_fleet_shard_accepted", s.accepted, labels);
+  set(m, "msv_fleet_shard_shed", s.shed, labels);
+  set(m, "msv_fleet_shard_completed", s.completed, labels);
+  set(m, "msv_fleet_shard_failed", s.failed, labels);
+  set(m, "msv_fleet_shard_retries", s.retries, labels);
+  set(m, "msv_fleet_shard_checkpoints", s.checkpoints, labels);
+  set(m, "msv_fleet_shard_replicated_bytes", s.replicated_bytes, labels);
+  set(m, "msv_fleet_shard_restored", s.restored, labels);
+  set(m, "msv_fleet_shard_promotions", s.promotions, labels);
+  set(m, "msv_fleet_shard_restarts", s.restarts, labels);
+  set(m, "msv_fleet_shard_recovery_cycles", s.recovery_cycles, labels);
+  set(m, "msv_fleet_shard_max_queue_depth", s.max_queue_depth, labels);
 }
 
 void publish_tracer_self(MetricsRegistry& m, const Tracer& tracer) {

@@ -35,6 +35,10 @@ namespace msv::server {
 struct ServerStats;
 struct TenantStats;
 }  // namespace msv::server
+namespace msv::fleet {
+struct FleetStats;
+struct ShardStats;
+}  // namespace msv::fleet
 
 namespace msv::telemetry {
 
@@ -56,6 +60,14 @@ void publish_gc_helper(MetricsRegistry& metrics,
 void publish_server(MetricsRegistry& metrics, const server::ServerStats& stats);
 void publish_tenant(MetricsRegistry& metrics, const server::TenantStats& stats,
                     std::uint32_t tenant);
+
+// Fleet aggregates (msv_fleet_*) and the per-shard table
+// (msv_fleet_shard_*{shard="k"}): request counters, failover/promotion
+// counts, the replication stream's byte totals, and recovery-stall
+// cycles. The router pairs these with its own ring-rebalance gauge.
+void publish_fleet(MetricsRegistry& metrics, const fleet::FleetStats& stats);
+void publish_fleet_shard(MetricsRegistry& metrics,
+                         const fleet::ShardStats& stats, std::uint32_t shard);
 
 // The tracer's own accounting (spans recorded/started/dropped), so drop
 // counters are visible in the same dump the drops would bias.

@@ -27,6 +27,8 @@ const char* category_name(Category c) {
       return "server";
     case Category::kFault:
       return "fault";
+    case Category::kFleet:
+      return "fleet";
   }
   return "unknown";
 }
@@ -337,6 +339,11 @@ Telemetry::Telemetry(const VirtualClock& clock) : tracer_(clock) {
   names_.fault_inject = tracer_.intern("fault.inject");
   names_.enclave_restart = tracer_.intern("enclave.restart");
   names_.rmi_retry = tracer_.intern("rmi.retry");
+  names_.fleet_request = tracer_.intern("fleet.request");
+  names_.fleet_failover = tracer_.intern("fleet.failover");
+  names_.fleet_promote = tracer_.intern("fleet.promote");
+  names_.fleet_restore = tracer_.intern("fleet.restore");
+  names_.fleet_migrate = tracer_.intern("fleet.migrate");
 }
 
 void Telemetry::configure(const TraceConfig& config) {

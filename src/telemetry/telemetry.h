@@ -54,8 +54,9 @@ enum class Category : std::uint8_t {
   kSched,       // task lifetimes and fiber sleeps
   kServer,      // per-tenant request lifecycle
   kFault,       // injected faults, enclave restarts, request retries
+  kFleet,       // shard routing, replica promotion, hot-tenant migration
 };
-inline constexpr std::size_t kCategoryCount = 9;
+inline constexpr std::size_t kCategoryCount = 10;
 
 const char* category_name(Category c);
 
@@ -387,6 +388,11 @@ class Telemetry {
     std::uint32_t fault_inject = 0;
     std::uint32_t enclave_restart = 0;
     std::uint32_t rmi_retry = 0;
+    std::uint32_t fleet_request = 0;   // router admission -> completion
+    std::uint32_t fleet_failover = 0;  // shard recovery window (either path)
+    std::uint32_t fleet_promote = 0;   // replica promotion inside a failover
+    std::uint32_t fleet_restore = 0;   // per-tenant checkpoint restore
+    std::uint32_t fleet_migrate = 0;   // hot-tenant migration (drain+rebind)
   };
 
   explicit Telemetry(const VirtualClock& clock);

@@ -11,6 +11,7 @@
 #include "core/multi_app.h"
 #include "faults/injector.h"
 #include "faults/plan.h"
+#include "fleet/router.h"
 #include "rmi/multi_isolate.h"
 #include "sched/scheduler.h"
 #include "server/server.h"
@@ -106,13 +107,69 @@ TEST(FaultPlanTest, ManualAddKeepsTimeSortedAndStable) {
 }
 
 TEST(FaultPlanTest, DigestSeesEveryField) {
-  FaultPlan a, b, c;
+  FaultPlan a, b, c, d;
   a.add({100, FaultKind::kEpcPressureStart, 8});
   b.add({100, FaultKind::kEpcPressureStart, 9});   // magnitude differs
   c.add({101, FaultKind::kEpcPressureStart, 8});   // instant differs
+  d.add({100, FaultKind::kEpcPressureStart, 8, 2});  // target differs
   EXPECT_NE(a.digest(), b.digest());
   EXPECT_NE(a.digest(), c.digest());
   EXPECT_NE(b.digest(), c.digest());
+  EXPECT_NE(a.digest(), d.digest());
+}
+
+// ---- Fleet-scoped plans (DESIGN.md §14) ------------------------------------
+
+TEST(FaultPlanTest, FleetEventsPartitionByTarget) {
+  FaultPlanConfig cfg = busy_config(42);
+  cfg.fleet_shards = 4;
+  cfg.shard_losses = 6;
+  cfg.shard_transition_failures = 4;
+  const FaultPlan plan = FaultPlan::generate(cfg);
+  EXPECT_EQ(plan.digest(), FaultPlan::generate(cfg).digest());
+  std::size_t targeted = 0;
+  for (const FaultEvent& e : plan.events()) {
+    if (e.target != faults::kAnyTarget) {
+      ++targeted;
+      EXPECT_LT(e.target, 4u);
+    }
+  }
+  EXPECT_EQ(targeted, 10u);
+  // The per-shard projections partition the targeted events...
+  std::size_t across_shards = 0;
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    const FaultPlan mine = plan.for_target(k);
+    for (const FaultEvent& e : mine.events()) EXPECT_EQ(e.target, k);
+    across_shards += mine.size();
+  }
+  EXPECT_EQ(across_shards, targeted);
+  // ...and with include_untargeted every projection carries the shared
+  // single-enclave events too.
+  const std::size_t untargeted = plan.size() - targeted;
+  EXPECT_EQ(plan.for_target(0, /*include_untargeted=*/true).size(),
+            plan.for_target(0).size() + untargeted);
+}
+
+TEST(FaultPlanTest, FleetCountsExtendTheSingleEnclavePrefix) {
+  // Adding fleet events must not disturb the single-enclave schedule a
+  // pre-fleet config would generate: same seed, same prefix.
+  const FaultPlanConfig base = busy_config(9);
+  FaultPlanConfig fleet = base;
+  fleet.fleet_shards = 2;
+  fleet.shard_losses = 3;
+  const FaultPlan a = FaultPlan::generate(base);
+  const FaultPlan b = FaultPlan::generate(fleet);
+  ASSERT_EQ(b.size(), a.size() + 3);
+  std::vector<FaultEvent> untargeted;
+  for (const FaultEvent& e : b.events()) {
+    if (e.target == faults::kAnyTarget) untargeted.push_back(e);
+  }
+  ASSERT_EQ(untargeted.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(untargeted[i].at, a.events()[i].at);
+    EXPECT_EQ(untargeted[i].kind, a.events()[i].kind);
+    EXPECT_EQ(untargeted[i].magnitude, a.events()[i].magnitude);
+  }
 }
 
 // ---- Injector (polled directly, no app) ------------------------------------
@@ -448,6 +505,46 @@ TEST(ServerRecoveryTest, CorruptCheckpointIsRejectedAndFallsBack) {
   EXPECT_EQ(srv.tenant_stats(0).restored, 0u);
   EXPECT_EQ(srv.restarts(), 1u);
   srv.stop();
+}
+
+// ---- Fleet failover vs the restart ladder ----------------------------------
+
+// The acceptance claim behind fig_fleet, in unit form: losing an enclave
+// with a warm standby (replica promotion) must recover the shard at least
+// 3x faster than the PR 5 restart-and-restore ladder. The recovery window
+// is what ensure_recovered() bills — fence+flip for promotion vs a full
+// enclave re-create and re-measure for restart.
+TEST(FleetRecoveryTest, PromotionBeatsRestartLadderOnRecoveryLatency) {
+  const auto recovery_window = [](bool replication) {
+    const model::AppModel model = apps::build_bank_app();
+    Env env;
+    sched::Scheduler sched(env);
+    fleet::FleetConfig cfg;
+    cfg.shards = 1;
+    cfg.tenants = 2;
+    cfg.shard.replication = replication;
+    cfg.shard.recovery.enabled = true;
+    cfg.shard.recovery.checkpoint_every = 1;
+    fleet::FleetRouter router(env, sched, model, cfg);
+    router.start();
+    sched.spawn("client", [&] {
+      server::Request dep;
+      dep.op = server::RequestOp::kDeposit;
+      for (int i = 0; i < 3; ++i) router.submit_and_wait(0, dep);
+      router.shard(0).active_app().enclave().mark_lost();
+      router.submit_and_wait(0, dep);  // triggers the recovery path
+    });
+    sched.run();
+    const Cycles window = router.shard(0).stats().last_recovery_cycles;
+    router.stop();
+    return window;
+  };
+  const Cycles promoted = recovery_window(true);
+  const Cycles restarted = recovery_window(false);
+  EXPECT_GT(restarted, 0u);
+  EXPECT_LT(promoted * 3, restarted)
+      << "promotion window " << promoted << " vs restart window "
+      << restarted;
 }
 
 }  // namespace

@@ -31,6 +31,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 "$BUILD_DIR"/bench/fig_faults --smoke \
   --json="$BUILD_DIR"/BENCH_faults.json > /dev/null
 
+# Fleet smoke (DESIGN.md §14): 64 Zipfian tenants over a sharded enclave
+# fleet — ring routing, a loss storm served by warm-standby promotion vs
+# the restart ladder (promotion must win the p99 by >= 3x), a hot-tenant
+# migration, and a fleet-wide two-run determinism self-check.
+"$BUILD_DIR"/bench/fig_fleet --smoke \
+  --json="$BUILD_DIR"/BENCH_fleet.json > /dev/null
+
 # msvlint must stay clean over the whole example/app corpus, including the
 # native-edge dry run feeding MSV004 (exit 1 = unsuppressed lint errors).
 "$BUILD_DIR"/tools/msvlint examples/*.msv --bank --micro --synthetic=40 \
