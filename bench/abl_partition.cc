@@ -1,0 +1,187 @@
+// Ablation: trust-guided partition optimization (DESIGN.md §15).
+//
+// Montsalvat partitions at class granularity: every @Trusted class lives
+// in the enclave, and every call from the untrusted image pays a full
+// transition (ecall/ocall + isolate attach + edge routine). The value-
+// granular trust analysis (analysis/trust.h) proves most of those classes
+// secret-free, and the min-cut optimizer (analysis/optimize.h) re-places
+// them against the profiled fig06 workload. This ablation measures what
+// that buys: boundary crossings and simulated seconds, original partition
+// vs the optimizer's plan.
+//
+// Honesty contract: the workload replays twice on EACH partition and the
+// binary aborts unless (a) both runs of a partition agree byte-for-byte
+// (result value + full filesystem contents), (b) the optimized partition
+// produces the SAME digest as the original — the plan must be observably
+// equivalent, (c) crossings drop by >= 20%, and (d) every class the trust
+// analysis proves secret-carrying stays @Trusted. The same 2+2 replay
+// check backs `msvlint --fix`; here it gates the committed
+// BENCH_partition.json numbers.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "analysis/optimize.h"
+#include "analysis/trust.h"
+#include "apps/synthetic/generator.h"
+#include "bench/bench_common.h"
+#include "core/montsalvat.h"
+#include "vfs/fs.h"
+
+namespace msv {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct ReplayResult {
+  std::uint64_t digest = 0;     // run_main value + full filesystem contents
+  std::uint64_t crossings = 0;  // measured ecalls + ocalls
+  double seconds = 0.0;         // simulated wall time of main
+};
+
+// One replay of the workload on a partitioned build over a fresh MemFs,
+// digesting every observable output (same digest the msvlint --fix
+// verifier computes).
+ReplayResult replay(const model::AppModel& app,
+                    std::shared_ptr<const analysis::PartitionPlan> plan) {
+  core::AppConfig config;
+  auto fs = std::make_shared<vfs::MemFs>();
+  config.fs = fs;
+  config.partition_plan = std::move(plan);
+  core::PartitionedApp papp(app, config);
+  const Cycles t0 = papp.env().clock.now();
+  const rt::Value result = papp.run_main();
+
+  ReplayResult r;
+  r.seconds = static_cast<double>(papp.env().clock.now() - t0) /
+              papp.env().cost.cpu_hz;
+  r.digest = 1469598103934665603ull;
+  const std::string repr = result.to_debug_string();
+  r.digest = fnv1a(r.digest, repr.data(), repr.size());
+  std::vector<std::string> paths = fs->list("");
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    r.digest = fnv1a(r.digest, path.data(), path.size());
+    const auto bytes = fs->map(path);
+    if (bytes != nullptr && !bytes->empty()) {
+      r.digest = fnv1a(r.digest, bytes->data(), bytes->size());
+    }
+  }
+  const sgx::BridgeStats& stats = papp.bridge().stats();
+  r.crossings = stats.ecalls + stats.ocalls;
+  return r;
+}
+
+[[noreturn]] void gate_failure(const char* what) {
+  std::fprintf(stderr, "abl_partition: GATE FAILURE: %s\n", what);
+  std::exit(1);
+}
+
+}  // namespace
+}  // namespace msv
+
+int main(int argc, char** argv) {
+  using namespace msv;
+  const bench::BenchOptions opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Ablation: partition optimizer",
+                      "value-trust min-cut vs the annotated partition");
+
+  // The fig06-style workload, everything annotated @Trusted and a fifth
+  // of the classes holding genuine enclave secrets: the worst case for
+  // class-granular annotations and the best-documented case for the
+  // optimizer.
+  apps::synthetic::SyntheticSpec spec;
+  spec.n_classes = opt.smoke ? 16 : 40;
+  spec.untrusted_fraction = 0.0;
+  spec.secret_fraction = 0.2;
+  spec.extra_work_calls = opt.smoke ? 1 : 3;
+  // The I/O variant: every work() call writes a file, so the replay
+  // digest covers 4 KB of real observable output per class instead of a
+  // void result — the byte-identical gate has something to bite on.
+  spec.work = apps::synthetic::WorkKind::kIo;
+  const model::AppModel app = apps::synthetic::generate(spec);
+
+  // Telemetry: profile the workload's call counts in a plain native run.
+  core::NativeApp native(app);
+  native.context().enable_call_profiling();
+  native.run_main();
+  const analysis::CallProfile profile =
+      analysis::CallProfile::from_context(native.context());
+
+  // Trust fixpoint + min-cut plan.
+  const analysis::TrustFacts trust = analysis::analyze_trust(app);
+  const analysis::PartitionPlan plan = analysis::optimize_partition(
+      app, trust, profile, CostModel::paper());
+  for (const auto& cls : trust.secret_classes()) {
+    const analysis::ClassPlacement* p = plan.find(cls);
+    if (p != nullptr && p->after != model::Annotation::kTrusted) {
+      gate_failure("a secret-carrying class left the enclave");
+    }
+  }
+
+  // 2+2 replays: original twice, optimized twice.
+  const auto shared = std::make_shared<analysis::PartitionPlan>(plan);
+  const ReplayResult base1 = replay(app, nullptr);
+  const ReplayResult base2 = replay(app, nullptr);
+  const ReplayResult opt1 = replay(app, shared);
+  const ReplayResult opt2 = replay(app, shared);
+  if (base1.digest != base2.digest || opt1.digest != opt2.digest) {
+    gate_failure("replay nondeterministic: two runs of one partition "
+                 "disagree");
+  }
+  if (base1.digest != opt1.digest) {
+    gate_failure("optimized partition changed observable output");
+  }
+  const double reduction =
+      base1.crossings == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(base1.crossings - opt1.crossings) /
+                static_cast<double>(base1.crossings);
+  if (reduction < 20.0) {
+    gate_failure("crossing reduction below the 20% acceptance floor");
+  }
+
+  Table table({"partition", "crossings", "workload time"});
+  table.add_row({"annotated (@Trusted all)", std::to_string(base1.crossings),
+                 bench::fmt_s(base1.seconds)});
+  table.add_row({"optimized (min-cut plan)", std::to_string(opt1.crossings),
+                 bench::fmt_s(opt1.seconds)});
+  table.print();
+  std::printf(
+      "\n%zu class(es) moved out, %zu secret class(es) pinned inside;\n"
+      "crossings %" PRIu64 " -> %" PRIu64
+      " (%.1f%% fewer), replay digest 0x%" PRIx64
+      " byte-identical across 2+2 runs\n",
+      plan.moved.size(), trust.secret_classes().size(), base1.crossings,
+      opt1.crossings, reduction, base1.digest);
+
+  if (!opt.json_path.empty()) {
+    bench::JsonReport report("abl_partition");
+    report.add_metric("n_classes", static_cast<std::uint64_t>(spec.n_classes));
+    report.add_metric("crossings_before", base1.crossings);
+    report.add_metric("crossings_after", opt1.crossings);
+    report.add_metric("crossing_reduction_pct", reduction);
+    report.add_metric("classes_moved",
+                      static_cast<std::uint64_t>(plan.moved.size()));
+    report.add_metric("secret_classes_pinned",
+                      static_cast<std::uint64_t>(trust.secret_classes().size()));
+    report.add_metric("modeled_cost_before", plan.modeled_cost_before);
+    report.add_metric("modeled_cost_after", plan.modeled_cost_after);
+    report.add_metric("sim_seconds_before", base1.seconds);
+    report.add_metric("sim_seconds_after", opt1.seconds);
+    report.add_metric("plan_digest", plan.digest);
+    report.add_metric("replay_digest", base1.digest);
+    report.add_table("partition", table);
+    if (!report.write(opt.json_path)) return 1;
+  }
+  return 0;
+}

@@ -36,6 +36,29 @@ const char* kind_name(Kind k) {
   return "?";
 }
 
+const char* trust_name(Trust t) {
+  switch (t) {
+    case Trust::kBottom:
+      return "bottom";
+    case Trust::kPublic:
+      return "public";
+    case Trust::kSecret:
+      return "secret";
+    case Trust::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+std::string receiver_context_key(const std::set<std::string>& classes) {
+  std::string key;
+  for (const auto& c : classes) {  // std::set iterates sorted
+    if (!key.empty()) key += '|';
+    key += c;
+  }
+  return key;
+}
+
 namespace {
 
 Kind join_kind(Kind a, Kind b) {
@@ -93,6 +116,11 @@ bool AbsValue::join(const AbsValue& other) {
     tainted = true;
     changed = true;
   }
+  const Trust joined_trust = trust_join(trust, other.trust);
+  if (joined_trust != trust) {
+    trust = joined_trust;
+    changed = true;
+  }
   for (const auto& c : other.classes) {
     if (classes.insert(c).second) changed = true;
   }
@@ -110,14 +138,20 @@ bool FrameState::join(const FrameState& other, bool* depth_mismatch) {
     if (depth_mismatch != nullptr) *depth_mismatch = true;
     const std::size_t keep = std::min(stack.size(), other.stack.size());
     // Truncate to the common suffix (top of stack) so analysis stays total.
+    // `changed` must reflect whether *this* state actually moved: reporting
+    // change unconditionally re-queues the block forever when a loop's back
+    // edge keeps arriving with a deeper stack than the (already truncated)
+    // entry state.
     std::vector<AbsValue> mine(stack.end() - static_cast<std::ptrdiff_t>(keep),
                                stack.end());
     std::vector<AbsValue> theirs(
         other.stack.end() - static_cast<std::ptrdiff_t>(keep),
         other.stack.end());
+    if (stack.size() != keep) changed = true;  // dropped our own operands
     stack = std::move(mine);
-    for (std::size_t i = 0; i < keep; ++i) stack[i].join(theirs[i]);
-    changed = true;
+    for (std::size_t i = 0; i < keep; ++i) {
+      if (stack[i].join(theirs[i])) changed = true;
+    }
   } else {
     for (std::size_t i = 0; i < stack.size(); ++i) {
       if (stack[i].join(other.stack[i])) changed = true;
@@ -165,8 +199,12 @@ class Interpreter {
           push(state, AbsValue::top());
           break;
         }
-        push(state, AbsValue::of(kind_of_const(
-                        body_.consts[static_cast<std::size_t>(instr.a)])));
+        {
+          AbsValue v = AbsValue::of(kind_of_const(
+              body_.consts[static_cast<std::size_t>(instr.a)]));
+          tag(v, Trust::kPublic);  // literals are compiled into both images
+          push(state, std::move(v));
+        }
         break;
       case Op::kLoadLocal:
         if (!valid_index(instr.a, state.locals.size())) {
@@ -198,6 +236,7 @@ class Interpreter {
         }
         AbsValue v = AbsValue::top();
         v.tainted = ctx_.taint_trusted_fields && reads_trusted_field(obj);
+        tag(v, field_trust(obj, instr.a));
         push(state, std::move(v));
         break;
       }
@@ -218,8 +257,13 @@ class Interpreter {
           break;
         }
         pop_n(state, instr.b);
-        push(state,
-             AbsValue::ref_to(body_.names[static_cast<std::size_t>(instr.a)]));
+        {
+          AbsValue v =
+              AbsValue::ref_to(body_.names[static_cast<std::size_t>(instr.a)]);
+          // The reference itself is a handle; secrecy lives in the fields.
+          tag(v, Trust::kPublic);
+          push(state, std::move(v));
+        }
         break;
       }
       case Op::kCall: {
@@ -241,11 +285,21 @@ class Interpreter {
           break;
         }
         bool tainted = false;
+        Trust trust = instr.b > 0 ? Trust::kBottom : Trust::kPublic;
         for (std::int32_t i = 0; i < instr.b; ++i) {
-          tainted = pop(state).tainted || tainted;
+          const AbsValue arg = pop(state);
+          tainted = arg.tainted || tainted;
+          trust = trust_join(trust, arg.trust);
+        }
+        if (ctx_.trust != nullptr &&
+            ctx_.trust->secret_intrinsics != nullptr &&
+            ctx_.trust->secret_intrinsics->count(
+                body_.names[static_cast<std::size_t>(instr.a)]) > 0) {
+          trust = trust_join(trust, Trust::kSecret);
         }
         AbsValue v = AbsValue::top();
         v.tainted = tainted;  // e.g. str_concat of a secret stays secret
+        tag(v, trust);
         push(state, std::move(v));
         break;
       }
@@ -257,6 +311,7 @@ class Interpreter {
         const AbsValue lhs = pop(state);
         AbsValue v = AbsValue::of(arith_kind(lhs.kind, rhs.kind));
         v.tainted = lhs.tainted || rhs.tainted;
+        tag(v, trust_join(lhs.trust, rhs.trust));
         push(state, std::move(v));
         break;
       }
@@ -267,6 +322,7 @@ class Interpreter {
         const AbsValue lhs = pop(state);
         AbsValue v = AbsValue::of(Kind::kBool);
         v.tainted = lhs.tainted || rhs.tainted;
+        tag(v, trust_join(lhs.trust, rhs.trust));
         push(state, std::move(v));
         break;
       }
@@ -346,6 +402,26 @@ class Interpreter {
     }
   }
 
+  // Trust tagging is a no-op when the trust context is absent, keeping the
+  // verifier/lint behavior bit-identical to the pre-trust engine.
+  void tag(AbsValue& v, Trust t) const {
+    if (ctx_.trust != nullptr) v.trust = t;
+  }
+
+  Trust field_trust(const AbsValue& obj, std::int32_t field) const {
+    if (ctx_.trust == nullptr) return Trust::kBottom;
+    if (obj.classes.empty()) return Trust::kMixed;  // unknown receiver
+    Trust t = Trust::kBottom;
+    if (ctx_.trust->field_trust != nullptr) {
+      for (const auto& cls : obj.classes) {
+        const auto it = ctx_.trust->field_trust->find({cls, field});
+        // Absent = never stored during the fixpoint so far (kBottom).
+        if (it != ctx_.trust->field_trust->end()) t = trust_join(t, it->second);
+      }
+    }
+    return t;
+  }
+
   bool reads_trusted_field(const AbsValue& obj) const {
     if (ctx_.app == nullptr) return false;
     for (const auto& name : obj.classes) {
@@ -359,17 +435,48 @@ class Interpreter {
   }
 
   AbsValue call_result(const AbsValue& receiver, const std::string& method) {
-    if (ctx_.summaries == nullptr || ctx_.app == nullptr ||
-        receiver.classes.empty()) {
-      return AbsValue::top();
+    AbsValue result = AbsValue::top();
+    if (ctx_.summaries != nullptr && ctx_.app != nullptr &&
+        !receiver.classes.empty()) {
+      AbsValue out = AbsValue::bottom();
+      bool complete = true;
+      for (const auto& cls : receiver.classes) {
+        const auto it = ctx_.summaries->find({cls, method});
+        if (it == ctx_.summaries->end()) {
+          complete = false;
+          break;
+        }
+        out.join(it->second);
+      }
+      if (complete && out.kind != Kind::kBottom) result = out;
     }
-    AbsValue out = AbsValue::bottom();
+    tag(result, call_trust(receiver, method));
+    return result;
+  }
+
+  // Return trust of a call, from the trust summaries under the call site's
+  // receiver-set context (falling back to the "*" overflow context). An
+  // unknown receiver yields kMixed; an entry the fixpoint has not computed
+  // yet is optimistically kBottom and rises monotonically across rounds.
+  Trust call_trust(const AbsValue& receiver, const std::string& method) const {
+    if (ctx_.trust == nullptr) return Trust::kBottom;
+    if (ctx_.trust->summaries == nullptr || receiver.classes.empty()) {
+      return Trust::kMixed;
+    }
+    const std::string key = receiver_context_key(receiver.classes);
+    Trust t = Trust::kBottom;
     for (const auto& cls : receiver.classes) {
-      const auto it = ctx_.summaries->find({cls, method});
-      if (it == ctx_.summaries->end()) return AbsValue::top();
-      out.join(it->second);
+      const auto it = ctx_.trust->summaries->find({cls, method, key});
+      if (it != ctx_.trust->summaries->end()) {
+        t = trust_join(t, it->second);
+        continue;
+      }
+      const auto overflow = ctx_.trust->summaries->find({cls, method, "*"});
+      if (overflow != ctx_.trust->summaries->end()) {
+        t = trust_join(t, overflow->second);
+      }
     }
-    return out.kind == Kind::kBottom ? AbsValue::top() : out;
+    return t;
   }
 
   AbsValue pop(FrameState& state) {
@@ -405,12 +512,21 @@ FrameState entry_state(const model::IrBody& body, const DataflowContext& ctx) {
   state.locals.assign(nlocals, AbsValue::of(Kind::kNull));
   std::size_t next = 0;
   if (!is_static && ctx.cls != nullptr) {
-    state.locals[next++] = AbsValue::ref_to(ctx.cls->name());
+    state.locals[next] = AbsValue::ref_to(ctx.cls->name());
+    // The receiver reference is a handle, observable by whoever holds it.
+    if (ctx.trust != nullptr) state.locals[next].trust = Trust::kPublic;
+    ++next;
   } else if (!is_static) {
     state.locals[next++] = AbsValue::top();
   }
   for (std::size_t i = 0; i < nparams && next < nlocals; ++i) {
-    state.locals[next++] = AbsValue::top();
+    state.locals[next] = AbsValue::top();
+    if (ctx.trust != nullptr) {
+      state.locals[next].trust = i < ctx.trust->param_trust.size()
+                                     ? ctx.trust->param_trust[i]
+                                     : Trust::kMixed;
+    }
+    ++next;
   }
   return state;
 }

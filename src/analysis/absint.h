@@ -15,6 +15,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -39,9 +40,39 @@ enum class Kind : std::uint8_t {
 
 const char* kind_name(Kind k);
 
+// Value-granular trust (DESIGN.md §15, SecV-style): where a value may have
+// been observed. kPublic = provably already visible outside the enclave
+// (constants, untrusted-side inputs); kSecret = may be enclave-confined
+// (secret intrinsics, policy-pinned fields); kMixed = both. A power-set
+// lattice over {public, secret}, so join is bitwise-or. Distinct from the
+// MSV001 `tainted` bit, which marks the class-granular source (read from
+// any @Trusted field); trust tracks what the value itself could reveal.
+enum class Trust : std::uint8_t {
+  kBottom = 0,  // no value seen (unreached)
+  kPublic = 1,
+  kSecret = 2,
+  kMixed = 3,
+};
+
+const char* trust_name(Trust t);
+
+constexpr Trust trust_join(Trust a, Trust b) {
+  return static_cast<Trust>(static_cast<std::uint8_t>(a) |
+                            static_cast<std::uint8_t>(b));
+}
+
+// True when the lattice point admits a secret constituent.
+constexpr bool trust_may_be_secret(Trust t) {
+  return (static_cast<std::uint8_t>(t) &
+          static_cast<std::uint8_t>(Trust::kSecret)) != 0;
+}
+
 struct AbsValue {
   Kind kind = Kind::kBottom;
   bool tainted = false;  // derived from a @Trusted class field
+  // Trust tag; stays kBottom unless DataflowContext::trust is set, so the
+  // verifier and the taint lints are unaffected by the trust machinery.
+  Trust trust = Trust::kBottom;
   // Possible classes when kind == kRef (empty = unknown ref).
   std::set<std::string> classes;
 
@@ -56,10 +87,10 @@ struct AbsValue {
   }
 
   static AbsValue bottom() { return {}; }
-  static AbsValue top() { return {Kind::kTop, false, {}}; }
-  static AbsValue of(Kind k) { return {k, false, {}}; }
+  static AbsValue top() { return {Kind::kTop, false, Trust::kBottom, {}}; }
+  static AbsValue of(Kind k) { return {k, false, Trust::kBottom, {}}; }
   static AbsValue ref_to(std::string cls) {
-    AbsValue v{Kind::kRef, false, {}};
+    AbsValue v{Kind::kRef, false, Trust::kBottom, {}};
     v.classes.insert(std::move(cls));
     return v;
   }
@@ -86,6 +117,38 @@ struct FrameState {
 using SummaryKey = std::pair<std::string, std::string>;
 using SummaryMap = std::map<SummaryKey, AbsValue>;
 
+// Keys for the value-trust side tables (analysis/trust.h owns the
+// fixpoints; absint only consults them).
+using FieldKey = std::pair<std::string, std::int32_t>;  // (class, field idx)
+// (class, method, receiver-set context) — the context is the canonical
+// "A|B|C" serialization of the receiver class set at the call site, ""
+// for an unknown receiver and "*" for the collapsed overflow context.
+using TrustSummaryKey = std::tuple<std::string, std::string, std::string>;
+using TrustSummaryMap = std::map<TrustSummaryKey, Trust>;
+
+// Plugged into DataflowContext by the interprocedural trust fixpoint
+// (analysis/trust.cc). All pointers may be null (treated as empty tables).
+// Transfer rules, active only when DataflowContext::trust is set:
+//   kConst           -> kPublic
+//   kGetField        -> join of field_trust over the receiver class set
+//                       (kMixed for an unknown receiver)
+//   kCall            -> summary under the call site's receiver-set context,
+//                       falling back to the "*" overflow context
+//   kIntrinsic       -> join of argument trusts, plus kSecret for names in
+//                       secret_intrinsics
+//   arith / compare  -> join of operand trusts
+//   kNew             -> kPublic (the reference is a handle; secrecy lives
+//                       in the fields, tracked by field_trust)
+//   entry            -> `this` kPublic, parameters from param_trust
+struct TrustContext {
+  const std::map<FieldKey, Trust>* field_trust = nullptr;
+  const TrustSummaryMap* summaries = nullptr;
+  const std::set<std::string>* secret_intrinsics = nullptr;
+  // Entry trust per declared parameter (receiver excluded); parameters past
+  // the end of the vector are kMixed (unknown caller).
+  std::vector<Trust> param_trust;
+};
+
 struct DataflowContext {
   // Optional model context. With `app`, kNew results carry the target
   // class, kCall results consult `summaries`, and field reads on receivers
@@ -95,6 +158,9 @@ struct DataflowContext {
   const model::MethodDecl* method = nullptr;    // analyzed method
   const SummaryMap* summaries = nullptr;
   bool taint_trusted_fields = false;
+  // Null = trust tracking off: every AbsValue::trust stays kBottom and the
+  // analysis is bit-identical to the pre-trust engine.
+  const TrustContext* trust = nullptr;
   std::uint32_t max_stack = 1024;
 };
 
@@ -116,5 +182,10 @@ struct DataflowResult {
 
 DataflowResult analyze_method(const model::IrBody& body,
                               const DataflowContext& ctx);
+
+// Canonical receiver-set context key: sorted class names joined with '|'
+// ("" for an unknown/empty receiver set). Shared between the call-result
+// lookup here and the context discovery in analysis/trust.cc.
+std::string receiver_context_key(const std::set<std::string>& classes);
 
 }  // namespace msv::analysis

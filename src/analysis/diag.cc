@@ -1,6 +1,7 @@
 #include "analysis/diag.h"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
 namespace msv::analysis {
@@ -67,6 +68,9 @@ void Report::merge(Report other) {
   stats_.methods_analyzed += other.stats_.methods_analyzed;
   stats_.instrs_analyzed += other.stats_.instrs_analyzed;
   stats_.dataflow_iterations += other.stats_.dataflow_iterations;
+  for (const auto& [rule, ms] : other.stats_.rule_wall_ms) {
+    stats_.rule_wall_ms[rule] += ms;
+  }
 }
 
 std::size_t Report::count(Severity s) const {
@@ -135,9 +139,9 @@ std::string json_escape(const std::string& s) {
 
 std::string Report::to_json(const std::vector<std::string>& rules_run,
                             const AnalysisStats& stats,
-                            const std::string& target) const {
+                            const std::string& target, int version) const {
   std::ostringstream out;
-  out << "{\n  \"schema\": \"msvlint-report-v1\",\n";
+  out << "{\n  \"schema\": \"msvlint-report-v" << version << "\",\n";
   if (!target.empty()) {
     out << "  \"target\": \"" << json_escape(target) << "\",\n";
   }
@@ -145,7 +149,28 @@ std::string Report::to_json(const std::vector<std::string>& rules_run,
   for (std::size_t i = 0; i < rules_run.size(); ++i) {
     out << (i ? ", " : "") << "\"" << rules_run[i] << "\"";
   }
-  out << "],\n  \"findings\": [\n";
+  out << "],\n";
+  // Per-rule wall time. v1 only listed rules that produced a finding and
+  // dropped the object when none did; v2 emits every timed rule so a cheap
+  // rule and a skipped rule are distinguishable.
+  std::map<std::string, double> timings = stats.rule_wall_ms;
+  if (version < 2) {
+    std::set<std::string> with_findings;
+    for (const auto& d : diags_) with_findings.insert(d.rule);
+    for (auto it = timings.begin(); it != timings.end();) {
+      it = with_findings.count(it->first) != 0 ? std::next(it)
+                                               : timings.erase(it);
+    }
+  }
+  if (version >= 2 || !timings.empty()) {
+    out << "  \"rule_timings\": {";
+    std::size_t i = 0;
+    for (const auto& [rule, ms] : timings) {
+      out << (i++ ? ", " : " ") << "\"" << rule << "\": " << ms;
+    }
+    out << " },\n";
+  }
+  out << "  \"findings\": [\n";
   for (std::size_t i = 0; i < diags_.size(); ++i) {
     const Diagnostic& d = diags_[i];
     out << "    { \"rule\": \"" << d.rule << "\", \"severity\": \""

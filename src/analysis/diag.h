@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -61,6 +62,12 @@ struct AnalysisStats {
   std::uint64_t instrs_analyzed = 0;
   std::uint64_t dataflow_iterations = 0;  // worklist block visits
   double wall_ms = 0.0;                   // filled in by the driver
+  // Per-rule analysis wall time. The linter seeds an entry for EVERY rule
+  // it runs (0.0 when the pass is folded into a shared fixpoint), so the
+  // v2 report can emit timings unconditionally — the v1 schema dropped
+  // zero-diagnostic rules from the timing object, which made "rule was
+  // cheap" indistinguishable from "rule did not run".
+  std::map<std::string, double> rule_wall_ms;
 };
 
 class Report {
@@ -86,10 +93,17 @@ class Report {
   void sort();
 
   std::string to_text() const;
-  // {"schema": "msvlint-report-v1", "findings": [...], "metrics": {...}}
+  // Machine-readable report. `version` selects the schema:
+  //   2 (default) — "msvlint-report-v2": adds a "rule_timings" object that
+  //     lists wall time for every rule in stats.rule_wall_ms,
+  //     unconditionally (zero-diagnostic rules included).
+  //   1 — byte-compatible "msvlint-report-v1" for consumers pinned to the
+  //     old schema (--json-v1): rule timings only for rules that produced
+  //     at least one diagnostic, and the key is omitted entirely when no
+  //     rule did — the omission v2 exists to fix.
   std::string to_json(const std::vector<std::string>& rules_run,
                       const AnalysisStats& stats,
-                      const std::string& target = "") const;
+                      const std::string& target = "", int version = 2) const;
 
   AnalysisStats& stats() { return stats_; }
   const AnalysisStats& stats() const { return stats_; }

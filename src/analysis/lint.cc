@@ -1,11 +1,13 @@
 #include "analysis/lint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <map>
 #include <tuple>
 
 #include "analysis/absint.h"
+#include "analysis/trust.h"
 #include "model/ir.h"
 #include "transform/reachability.h"
 #include "transform/transformer.h"
@@ -44,6 +46,9 @@ const std::vector<LintRule>& lint_rules() {
       {"MSV009",
        "batch_async() method body performs I/O or invokes other methods — "
        "unsafe to reorder within a batched RMI flush"},
+      {"MSV010",
+       "@Trusted field provably never carries secret data (every store is "
+       "public) — demotion candidate for the partition optimizer"},
   };
   return rules;
 }
@@ -97,6 +102,31 @@ struct Location {
   }
 };
 
+// Accumulates wall time into stats().rule_wall_ms[rule] on scope exit.
+// Rules folded into the shared per-method pass (MSV003/5/7) keep their
+// seeded 0.0 entry — the v2 report still lists them, which is the point:
+// a zero-cost rule is distinguishable from a rule that never ran.
+class RuleTimer {
+ public:
+  RuleTimer(Report& report, const char* rule)
+      : report_(report),
+        rule_(rule),
+        start_(std::chrono::steady_clock::now()) {}
+  ~RuleTimer() {
+    report_.stats().rule_wall_ms[rule_] +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+  }
+  RuleTimer(const RuleTimer&) = delete;
+  RuleTimer& operator=(const RuleTimer&) = delete;
+
+ private:
+  Report& report_;
+  const char* rule_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 class Linter {
  public:
   Linter(const model::AppModel& app, const LintOptions& options,
@@ -104,8 +134,20 @@ class Linter {
       : app_(app), options_(options), report_(report) {}
 
   void run() {
+    // Every rule the suite runs gets a timing entry up front, so
+    // zero-diagnostic (and zero-cost) rules still appear in the v2
+    // report's rule_timings. MSV010 only runs under trust_analysis.
+    for (const auto& id : lint_rule_ids()) {
+      if (id == "MSV010" && !options_.trust_analysis) continue;
+      report_.stats().rule_wall_ms[id] += 0.0;
+    }
     index_model();
-    compute_summaries();
+    {
+      // The taint fixpoint exists for MSV001; the per-method rule passes
+      // that reuse its dataflow states are near-free by comparison.
+      RuleTimer t(report_, "MSV001");
+      compute_summaries();
+    }
     compute_side_masks();
     for (const auto& cls : app_.classes()) {
       for (const auto& method : cls.methods()) {
@@ -116,11 +158,30 @@ class Linter {
         }
       }
     }
-    check_native_edges();
-    check_neutral_divergence();
-    check_reference_cycles();
-    check_telemetry_categories();
-    check_batch_async();
+    {
+      RuleTimer t(report_, "MSV004");
+      check_native_edges();
+    }
+    {
+      RuleTimer t(report_, "MSV002");
+      check_neutral_divergence();
+    }
+    {
+      RuleTimer t(report_, "MSV006");
+      check_reference_cycles();
+    }
+    {
+      RuleTimer t(report_, "MSV008");
+      check_telemetry_categories();
+    }
+    {
+      RuleTimer t(report_, "MSV009");
+      check_batch_async();
+    }
+    if (options_.trust_analysis) {
+      RuleTimer t(report_, "MSV010");
+      check_trusted_fields();
+    }
   }
 
  private:
@@ -792,6 +853,38 @@ class Linter {
           }
         }
       }
+    }
+  }
+
+  // ---- MSV010: over-trusted fields (value-granular trust fixpoint) ----
+  //
+  // Runs analysis/trust.h's interprocedural fixpoint and flags every
+  // @Trusted-class field whose stores are all provably public (or that is
+  // never stored to): the field cannot carry a secret, so keeping its
+  // class inside the enclave buys no confidentiality — only transition
+  // cost. Informational: demotion is the optimizer's call, not the lint's.
+  void check_trusted_fields() {
+    const TrustFacts facts = analyze_trust(app_, options_.trust);
+    report_.stats().dataflow_iterations += facts.contexts_analyzed;
+    for (const auto& [cls_name, idx] : facts.demotable_trusted_fields(app_)) {
+      const ClassDecl* cls = app_.find_class(cls_name);
+      std::string field = "#" + std::to_string(idx);
+      if (cls != nullptr && idx >= 0 &&
+          static_cast<std::size_t>(idx) < cls->fields().size()) {
+        field = cls->fields()[static_cast<std::size_t>(idx)].name;
+      }
+      const bool never_stored =
+          facts.field(cls_name, idx) == Trust::kBottom;
+      // d.method carries the field name: the baseline key becomes
+      // "MSV010 Class.field", one suppression per field.
+      add("MSV010", Severity::kInfo, cls_name, field, -1,
+          "@Trusted field `" + field + "` " +
+              (never_stored
+                   ? "is never stored to"
+                   : "only ever holds values provably visible outside the "
+                     "enclave (constants and untrusted-side inputs)") +
+              " — it cannot carry a secret; demotion candidate for "
+              "msvlint --propose-partition (DESIGN.md §15)");
     }
   }
 

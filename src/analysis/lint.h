@@ -49,6 +49,14 @@
 //           body performs I/O or invokes other methods, effects that are
 //           not reorder-safe. Suppress audited declarations with
 //           LintOptions::batch_reorder_exempt.
+//   MSV010  over-trusted field (informational; needs trust_analysis): the
+//           value-granular trust fixpoint (analysis/trust.h) proves every
+//           store to a @Trusted-class field is public — constants,
+//           untrusted-side inputs, values already observable outside the
+//           enclave — so the field never carries a secret and the class is
+//           a demotion candidate for the partition optimizer
+//           (DESIGN.md §15). Keeping it @Trusted costs two transitions per
+//           access from the untrusted side for no confidentiality gain.
 //
 // The engine runs the abstract interpreter (analysis/absint.h) per
 // method, layered with two interprocedural fixpoints over the same call
@@ -63,6 +71,7 @@
 #include <vector>
 
 #include "analysis/diag.h"
+#include "analysis/trust.h"
 #include "model/app_model.h"
 #include "telemetry/telemetry.h"
 
@@ -101,6 +110,12 @@ struct LintOptions {
   // declarations audited by hand (the body's calls are known to commute
   // with any batch the method can appear in).
   std::set<std::string> batch_reorder_exempt;
+  // Runs the value-granular trust fixpoint (analysis/trust.h) and the
+  // MSV010 over-trusted-field rule. Off by default: the embedded
+  // lint_partition gate (core/app.h) keeps its historical rule set and
+  // cost; the msvlint driver enables it for corpus runs and fix-it mode.
+  bool trust_analysis = false;
+  TrustOptions trust;
 };
 
 // Runs every rule over the annotated (pre-weave) application and returns

@@ -1,0 +1,118 @@
+// Partition optimizer (DESIGN.md §15): given the value-trust facts
+// (analysis/trust.h), a telemetry-measured call profile and the cycle cost
+// model, propose the @Trusted/@Untrusted class placement that minimizes
+//   boundary-crossing cost  = per-direction transition cycles
+//                             (ecall/ocall + isolate attach + edge routine)
+//                             x measured call counts, plus
+//   enclave-residency cost  = modeled EPC/MEE traffic and I/O-ocall
+//                             relaying of the code kept inside.
+//
+// The placement problem is a minimum s-t cut: one node per annotated
+// class, source = trusted side, sink = untrusted side. The arc (A, B)
+// carries the cost paid when A lands trusted and B untrusted (A->B calls
+// cross in the ocall direction, B->A calls in the ecall direction); the
+// arc (C, sink) carries C's enclave-residency penalty; policy pins are
+// infinite-capacity terminal arcs. Max-flow/min-cut (Dinic) then yields
+// the cheapest consistent assignment. Classes the trust analysis proves
+// secret-carrying are pinned trusted regardless of cost — the optimizer
+// must never move a secret out of the enclave.
+//
+// Neutral classes exist in both images and never host a crossing; they are
+// not graph nodes and keep their annotation. Everything iterates in sorted
+// class-name order, so for a fixed (model, profile, policy) the emitted
+// plan — and its digest — is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/trust.h"
+#include "model/app_model.h"
+#include "support/cost_model.h"
+
+namespace msv::interp {
+class ExecContext;
+}
+
+namespace msv::analysis {
+
+// Telemetry-measured call counts, gathered from a profiled dry run
+// (interp::ExecContext::enable_call_profiling) of a recorded workload.
+struct CallProfile {
+  using MethodRef = std::pair<std::string, std::string>;
+
+  // (caller class.method -> callee class.method) -> invocation count.
+  std::map<std::pair<MethodRef, MethodRef>, std::uint64_t> edges;
+
+  static CallProfile from_context(const interp::ExecContext& ctx);
+
+  // Callee-side invocation totals per (class, method).
+  std::map<MethodRef, std::uint64_t> invocation_counts() const;
+  // Class-to-class call counts; intra-class and "<entry>" edges excluded.
+  std::map<std::pair<std::string, std::string>, std::uint64_t> class_edges()
+      const;
+  std::uint64_t total_calls() const;
+};
+
+struct PartitionPolicy {
+  // Classes forced to a side regardless of cost (the main class is always
+  // pinned untrusted — SGX applications begin in the untrusted runtime).
+  std::set<std::string> pin_trusted;
+  std::set<std::string> pin_untrusted;
+  // Keep every currently-@Trusted class whose fields may carry secrets
+  // (TrustFacts::secret_classes) inside the enclave.
+  bool pin_secret_classes = true;
+  // Recorded in the plan digest: two plans with different seeds never
+  // collide even when the placements agree.
+  std::uint64_t seed = 0;
+  // Required relative modeled-cost gain in [0, 1); below it the plan is
+  // returned unchanged (every `after` == `before`).
+  double min_gain = 0.0;
+};
+
+struct ClassPlacement {
+  std::string cls;
+  model::Annotation before = model::Annotation::kNeutral;
+  model::Annotation after = model::Annotation::kNeutral;
+};
+
+struct PartitionPlan {
+  // Every annotated class, sorted by name; neutral classes are omitted
+  // (they keep their annotation by construction).
+  std::vector<ClassPlacement> placements;
+  std::vector<std::string> moved;  // classes whose side changed, sorted
+
+  // Profiled cross-partition call counts under the before/after placements.
+  std::uint64_t crossings_before = 0;
+  std::uint64_t crossings_after = 0;
+  // Modeled cycles: crossing cost + enclave-residency cost.
+  double modeled_cost_before = 0.0;
+  double modeled_cost_after = 0.0;
+
+  // True when the min-cut found a cheaper placement but the relative gain
+  // fell below PartitionPolicy::min_gain and the plan was reverted.
+  bool below_min_gain = false;
+
+  // FNV-1a over the policy seed and the sorted placements.
+  std::uint64_t digest = 0;
+
+  bool changed() const { return !moved.empty(); }
+  const ClassPlacement* find(const std::string& cls) const;
+
+  std::string to_text() const;
+  // The re-partitioned app config emitted by `msvlint --propose-partition`
+  // (schema msvlint-partition-plan-v1).
+  std::string to_json() const;
+};
+
+PartitionPlan optimize_partition(const model::AppModel& app,
+                                 const TrustFacts& trust,
+                                 const CallProfile& profile,
+                                 const CostModel& cost,
+                                 const PartitionPolicy& policy = {});
+
+}  // namespace msv::analysis

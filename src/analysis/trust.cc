@@ -1,0 +1,372 @@
+#include "analysis/trust.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "model/annotations.h"
+#include "model/ir.h"
+
+namespace msv::analysis {
+
+using model::AppModel;
+using model::ClassDecl;
+using model::Instr;
+using model::MethodDecl;
+using model::MethodKind;
+using model::Op;
+
+namespace {
+
+bool join_into(Trust& slot, Trust t) {
+  const Trust joined = trust_join(slot, t);
+  if (joined == slot) return false;
+  slot = joined;
+  return true;
+}
+
+bool join_params(std::vector<Trust>& slot, const std::vector<Trust>& args) {
+  bool changed = false;
+  if (slot.size() < args.size()) {
+    slot.resize(args.size(), Trust::kBottom);
+    changed = true;
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (join_into(slot[i], args[i])) changed = true;
+  }
+  return changed;
+}
+
+// The interprocedural fixpoint driver. All iteration orders are sorted
+// (class names, context keys), so the result is independent of model
+// construction order — the optimizer's plan digest depends on that.
+class TrustEngine {
+ public:
+  TrustEngine(const AppModel& app, const TrustOptions& options)
+      : app_(app), options_(options) {}
+
+  TrustFacts run() {
+    seed();
+    bool changed = true;
+    while (changed && facts_.rounds < options_.max_rounds) {
+      ++facts_.rounds;
+      changed = round();
+    }
+    facts_.converged = !changed;
+    finish();
+    return std::move(facts_);
+  }
+
+ private:
+  // ---- Seeding ----
+  void seed() {
+    for (const ClassDecl* cls : sorted_classes()) {
+      const bool opaque = has_native_method(*cls);
+      for (std::size_t i = 0; i < cls->fields().size(); ++i) {
+        const FieldKey key{cls->name(), static_cast<std::int32_t>(i)};
+        Trust t = Trust::kBottom;
+        if (opaque) t = Trust::kMixed;  // native bodies may store anything
+        if (options_.pinned_secret_fields.count(cls->name() + "." +
+                                                cls->fields()[i].name) > 0) {
+          t = trust_join(t, Trust::kSecret);
+        }
+        if (t != Trust::kBottom) field_trust_[key] = t;
+      }
+      for (const MethodDecl& m : cls->methods()) {
+        if (m.kind() == MethodKind::kIr) {
+          // Boundary context: any public method may be entered from the
+          // untrusted side (relay or harness) carrying data the untrusted
+          // side already holds — all-kPublic parameters.
+          if (m.is_public()) {
+            std::vector<Trust> params(m.param_count(), Trust::kPublic);
+            join_params(contexts_[{cls->name(), m.name()}]
+                                 [receiver_context_key({cls->name()})],
+                        params);
+          }
+          continue;
+        }
+        // Opaque (native/stub) bodies: callers must assume a mixed-trust
+        // result, and declared callees see mixed-trust arguments.
+        summaries_[{cls->name(), m.name(), "*"}] = Trust::kMixed;
+        for (const auto& [callee_cls, callee_m] : m.declared_callees()) {
+          const ClassDecl* target = app_.find_class(callee_cls);
+          const MethodDecl* target_m =
+              target != nullptr ? target->find_method(callee_m) : nullptr;
+          if (target_m == nullptr || target_m->kind() != MethodKind::kIr) {
+            continue;
+          }
+          std::vector<Trust> params(target_m->param_count(), Trust::kMixed);
+          join_params(contexts_[{callee_cls, callee_m}]["*"], params);
+        }
+      }
+    }
+  }
+
+  // ---- One chaotic-iteration round over every (method, context) ----
+  bool round() {
+    bool changed = false;
+    for (const ClassDecl* cls : sorted_classes()) {
+      for (const MethodDecl& m : cls->methods()) {
+        if (m.kind() != MethodKind::kIr) continue;
+        auto ctx_it = contexts_.find({cls->name(), m.name()});
+        if (ctx_it == contexts_.end()) continue;  // unreachable so far
+        // Copy the keys: discovery during analysis may grow the table.
+        std::vector<std::string> keys;
+        keys.reserve(ctx_it->second.size());
+        for (const auto& [key, params] : ctx_it->second) keys.push_back(key);
+        for (const auto& key : keys) {
+          if (analyze_in_context(*cls, m, key)) changed = true;
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool analyze_in_context(const ClassDecl& cls, const MethodDecl& m,
+                          const std::string& ctx_key) {
+    TrustContext trust_ctx;
+    trust_ctx.field_trust = &field_trust_;
+    trust_ctx.summaries = &summaries_;
+    trust_ctx.secret_intrinsics = &options_.secret_intrinsics;
+    trust_ctx.param_trust = contexts_[{cls.name(), m.name()}][ctx_key];
+
+    DataflowContext ctx;
+    ctx.app = &app_;
+    ctx.cls = &cls;
+    ctx.method = &m;
+    ctx.trust = &trust_ctx;
+    ctx.max_stack = options_.max_stack;
+
+    const DataflowResult result = analyze_method(m.ir(), ctx);
+    ++facts_.contexts_analyzed;
+
+    bool changed =
+        join_into(summaries_[{cls.name(), m.name(), ctx_key}],
+                  result.return_value.trust);
+    for (std::size_t pc = 0; pc < m.ir().code.size(); ++pc) {
+      if (!result.before[pc].reachable) continue;
+      const Instr& instr = m.ir().code[pc];
+      switch (instr.op) {
+        case Op::kPutField:
+          if (record_store(instr, result.before[pc])) changed = true;
+          break;
+        case Op::kCall:
+          if (discover_call(m.ir(), instr, result.before[pc])) changed = true;
+          break;
+        case Op::kNew:
+          if (discover_new(m.ir(), instr, result.before[pc])) changed = true;
+          break;
+        default:
+          break;
+      }
+    }
+    return changed;
+  }
+
+  // kPutField: stack is [... receiver value]. Join the stored trust into
+  // the field of every possible receiver class; an unknown receiver widens
+  // every class declaring a field at that index (soundness over
+  // precision).
+  bool record_store(const Instr& instr, const FrameState& before) {
+    if (before.stack.size() < 2 || instr.a < 0) return false;
+    const AbsValue& value = before.stack[before.stack.size() - 1];
+    const AbsValue& receiver = before.stack[before.stack.size() - 2];
+    const Trust stored =
+        value.trust == Trust::kBottom ? Trust::kMixed : value.trust;
+    bool changed = false;
+    if (!receiver.classes.empty()) {
+      for (const auto& name : receiver.classes) {
+        const ClassDecl* target = app_.find_class(name);
+        if (target == nullptr ||
+            static_cast<std::size_t>(instr.a) >= target->fields().size()) {
+          continue;
+        }
+        if (join_into(field_trust_[{name, instr.a}], stored)) changed = true;
+      }
+      return changed;
+    }
+    for (const ClassDecl* target : sorted_classes()) {
+      if (static_cast<std::size_t>(instr.a) >= target->fields().size()) {
+        continue;
+      }
+      if (join_into(field_trust_[{target->name(), instr.a}], stored)) {
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  // kCall: stack is [... receiver arg0 .. argN-1]. Feed the argument
+  // trusts into the callee's context table under this site's receiver-set
+  // key.
+  bool discover_call(const model::IrBody& body, const Instr& instr,
+                     const FrameState& before) {
+    if (instr.a < 0 ||
+        static_cast<std::size_t>(instr.a) >= body.names.size() ||
+        instr.b < 0) {
+      return false;
+    }
+    const std::size_t argc = static_cast<std::size_t>(instr.b);
+    if (before.stack.size() < argc + 1) return false;
+    const AbsValue& receiver = before.stack[before.stack.size() - 1 - argc];
+    const std::string& method = body.names[static_cast<std::size_t>(instr.a)];
+
+    std::vector<Trust> args(argc, Trust::kBottom);
+    for (std::size_t i = 0; i < argc; ++i) {
+      args[i] = before.stack[before.stack.size() - argc + i].trust;
+    }
+
+    bool changed = false;
+    if (!receiver.classes.empty()) {
+      const std::string key = receiver_context_key(receiver.classes);
+      for (const auto& name : receiver.classes) {
+        const ClassDecl* target = app_.find_class(name);
+        const MethodDecl* target_m =
+            target != nullptr ? target->find_method(method) : nullptr;
+        if (target_m == nullptr) continue;
+        if (feed_context(name, *target_m, key, args)) changed = true;
+      }
+      return changed;
+    }
+    // Unknown receiver: any class declaring the method may be the target.
+    for (const ClassDecl* target : sorted_classes()) {
+      const MethodDecl* target_m = target->find_method(method);
+      if (target_m == nullptr) continue;
+      if (feed_context(target->name(), *target_m, "*", args)) changed = true;
+    }
+    return changed;
+  }
+
+  // kNew: stack is [... arg0 .. argN-1]; the receiver set is exactly the
+  // instantiated class.
+  bool discover_new(const model::IrBody& body, const Instr& instr,
+                    const FrameState& before) {
+    if (instr.a < 0 ||
+        static_cast<std::size_t>(instr.a) >= body.names.size() ||
+        instr.b < 0) {
+      return false;
+    }
+    const std::size_t argc = static_cast<std::size_t>(instr.b);
+    if (before.stack.size() < argc) return false;
+    const std::string& cls_name =
+        body.names[static_cast<std::size_t>(instr.a)];
+    const ClassDecl* target = app_.find_class(cls_name);
+    const MethodDecl* ctor =
+        target != nullptr ? target->find_method(model::kConstructorName)
+                          : nullptr;
+    if (ctor == nullptr) return false;
+
+    std::vector<Trust> args(argc, Trust::kBottom);
+    for (std::size_t i = 0; i < argc; ++i) {
+      args[i] = before.stack[before.stack.size() - argc + i].trust;
+    }
+    return feed_context(cls_name, *ctor,
+                        receiver_context_key({cls_name}), args);
+  }
+
+  bool feed_context(const std::string& cls_name, const MethodDecl& m,
+                    const std::string& key, const std::vector<Trust>& args) {
+    if (m.kind() != MethodKind::kIr) return false;  // opaque: seeded "*"
+    auto& table = contexts_[{cls_name, m.name()}];
+    std::string slot = key;
+    if (table.find(slot) == table.end() && slot != "*" &&
+        table.size() >= options_.max_contexts_per_method) {
+      slot = "*";  // cap reached: collapse into the overflow context
+    }
+    return join_params(table[slot], args);
+  }
+
+  // ---- Output shaping ----
+  void finish() {
+    // Every declared field gets an entry (kBottom = no store reaches it).
+    for (const ClassDecl* cls : sorted_classes()) {
+      for (std::size_t i = 0; i < cls->fields().size(); ++i) {
+        field_trust_.try_emplace({cls->name(), static_cast<std::int32_t>(i)},
+                                 Trust::kBottom);
+      }
+      for (const MethodDecl& m : cls->methods()) {
+        const SummaryKey key{cls->name(), m.name()};
+        Trust ret = Trust::kBottom;
+        for (const auto& [skey, t] : summaries_) {
+          if (std::get<0>(skey) == key.first &&
+              std::get<1>(skey) == key.second) {
+            ret = trust_join(ret, t);
+          }
+        }
+        facts_.return_trust[key] = ret;
+        std::vector<Trust> params(m.param_count(), Trust::kBottom);
+        const auto ctx_it = contexts_.find(key);
+        if (ctx_it != contexts_.end()) {
+          for (const auto& [ctx_key, ctx_params] : ctx_it->second) {
+            join_params(params, ctx_params);
+          }
+        }
+        facts_.param_trust[key] = std::move(params);
+      }
+    }
+    facts_.field_trust = std::move(field_trust_);
+    facts_.context_summaries = std::move(summaries_);
+  }
+
+  std::vector<const ClassDecl*> sorted_classes() const {
+    std::vector<const ClassDecl*> out;
+    out.reserve(app_.classes().size());
+    for (const ClassDecl& cls : app_.classes()) out.push_back(&cls);
+    std::sort(out.begin(), out.end(),
+              [](const ClassDecl* a, const ClassDecl* b) {
+                return a->name() < b->name();
+              });
+    return out;
+  }
+
+  static bool has_native_method(const ClassDecl& cls) {
+    return std::any_of(cls.methods().begin(), cls.methods().end(),
+                       [](const MethodDecl& m) {
+                         return m.kind() != MethodKind::kIr;
+                       });
+  }
+
+  const AppModel& app_;
+  const TrustOptions& options_;
+  TrustFacts facts_;
+  std::map<FieldKey, Trust> field_trust_;
+  TrustSummaryMap summaries_;
+  // (class, method) -> context key -> joined parameter trusts.
+  std::map<SummaryKey, std::map<std::string, std::vector<Trust>>> contexts_;
+};
+
+}  // namespace
+
+Trust TrustFacts::field(const std::string& cls, std::int32_t idx) const {
+  const auto it = field_trust.find({cls, idx});
+  return it == field_trust.end() ? Trust::kBottom : it->second;
+}
+
+std::set<std::string> TrustFacts::secret_classes() const {
+  std::set<std::string> out;
+  for (const auto& [key, t] : field_trust) {
+    if (trust_may_be_secret(t)) out.insert(key.first);
+  }
+  return out;
+}
+
+std::vector<FieldKey> TrustFacts::demotable_trusted_fields(
+    const model::AppModel& app) const {
+  std::vector<FieldKey> out;
+  for (const auto& cls : app.classes()) {
+    if (cls.annotation() != model::Annotation::kTrusted) continue;
+    for (std::size_t i = 0; i < cls.fields().size(); ++i) {
+      const Trust t = field(cls.name(), static_cast<std::int32_t>(i));
+      if (!trust_may_be_secret(t)) {
+        out.push_back({cls.name(), static_cast<std::int32_t>(i)});
+      }
+    }
+  }
+  return out;
+}
+
+TrustFacts analyze_trust(const model::AppModel& app,
+                         const TrustOptions& options) {
+  return TrustEngine(app, options).run();
+}
+
+}  // namespace msv::analysis

@@ -1,0 +1,91 @@
+// Value-granular trust analysis (DESIGN.md §15) — the SecV-style
+// refinement of Montsalvat's class-granularity partitioning.
+//
+// The class-granular lints (MSV001) over-approximate: annotating a class
+// @Trusted taints *every* field read, even when the values a field holds
+// were already visible to the untrusted side (constants, untrusted-side
+// inputs echoed back). This pass runs the absint engine with per-value
+// Trust tags (absint.h: kPublic / kSecret / kMixed) and computes an
+// interprocedural fixpoint over
+//   * per-field trust  — the join of every value stored to the field, and
+//   * per-method summaries keyed by *receiver-set context* — the canonical
+//     serialization of the receiver class set at the call site, so a
+//     method name resolved through a wide receiver set does not pollute
+//     the summary of a monomorphic site (and vice versa).
+//
+// Contexts are discovered on the fly: analyzing a method under context C
+// records the argument trusts flowing into each kCall/kNew site, which
+// seeds (or widens) the callee's context table. Per-method context tables
+// are capped; overflow collapses into a single "*" context. Everything is
+// monotone in the 2-bit trust lattice, so the fixpoint terminates.
+//
+// Consumers: MSV010 (a @Trusted field whose stores are all provably
+// public is a demotion candidate) and the partition optimizer
+// (analysis/optimize.h), which must keep secret-carrying classes inside
+// the enclave no matter what the crossing-cost model says.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/absint.h"
+#include "model/app_model.h"
+
+namespace msv::analysis {
+
+struct TrustOptions {
+  // Fixpoint bound; the lattice has height 2 per cell, so real programs
+  // converge long before this.
+  std::uint32_t max_rounds = 16;
+  // Receiver-set contexts tracked per (class, method); discovery past the
+  // cap collapses into the "*" overflow context.
+  std::uint32_t max_contexts_per_method = 8;
+  // Intrinsics whose results are enclave-confined regardless of argument
+  // trusts (sealed-key material, enclave entropy).
+  std::set<std::string> secret_intrinsics{"enclave_secret"};
+  // "Class.field" entries pinned kSecret by policy — material provisioned
+  // out of band that the analysis cannot see flowing in.
+  std::set<std::string> pinned_secret_fields;
+  std::uint32_t max_stack = 1024;
+};
+
+struct TrustFacts {
+  // Join of every store observed per declared field. Every declared field
+  // of every class has an entry; kBottom = no store ever reaches it.
+  std::map<FieldKey, Trust> field_trust;
+  // Per-method return / parameter trusts, joined across all contexts the
+  // fixpoint discovered (kBottom return = void or never analyzed).
+  std::map<SummaryKey, Trust> return_trust;
+  std::map<SummaryKey, std::vector<Trust>> param_trust;
+  // The raw context-keyed return summaries (receiver-set keys, "" for
+  // unknown receivers, "*" for the collapsed overflow context).
+  TrustSummaryMap context_summaries;
+
+  std::uint64_t contexts_analyzed = 0;  // (method, context) analyses run
+  std::uint64_t rounds = 0;
+  bool converged = false;
+
+  // Field trust lookup; kBottom for unknown fields.
+  Trust field(const std::string& cls, std::int32_t idx) const;
+
+  // Classes holding at least one possibly-secret field — the classes a
+  // sound re-partitioning must keep (or place) inside the enclave.
+  std::set<std::string> secret_classes() const;
+
+  // @Trusted fields whose stores are all provably public (or that are
+  // never stored to): the MSV010 demotion candidates, in declaration
+  // order for stable diagnostics.
+  std::vector<FieldKey> demotable_trusted_fields(
+      const model::AppModel& app) const;
+};
+
+// Runs the interprocedural trust fixpoint over every IR method body.
+// Native bodies are opaque: their classes' fields are widened to kMixed
+// and their declared callees are analyzed under an all-kMixed "*" context.
+TrustFacts analyze_trust(const model::AppModel& app,
+                         const TrustOptions& options = {});
+
+}  // namespace msv::analysis

@@ -71,8 +71,6 @@ WorkloadSpec WorkloadSpec::defaults(Benchmark b) {
   return spec;
 }
 
-namespace {
-
 model::AppModel build_model(Benchmark b, const WorkloadSpec& spec) {
   model::AppModel app;
   auto& bench = app.add_class("Bench", model::Annotation::kNeutral);
@@ -128,8 +126,6 @@ model::AppModel build_model(Benchmark b, const WorkloadSpec& spec) {
   app.set_main_class("Main");
   return app;
 }
-
-}  // namespace
 
 NiRun run_native_image(Benchmark b, const WorkloadSpec& spec, bool in_sgx,
                        const CostModel& cost) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "model/app_model.h"
 #include "support/cost_model.h"
 
 namespace msv::apps::specjvm {
@@ -55,6 +56,11 @@ struct NiRun {
   std::uint64_t gc_count = 0;
   double checksum = 0;
 };
+
+// The application model the harness runs (a neutral Bench class whose
+// native run() executes the kernel). Exposed so msvlint can lint the
+// SPECjvm corpus target with the same model the benchmarks execute.
+model::AppModel build_model(Benchmark b, const WorkloadSpec& spec);
 
 // Runs one benchmark as a native image; `in_sgx` selects the enclave.
 NiRun run_native_image(Benchmark b, const WorkloadSpec& spec, bool in_sgx,

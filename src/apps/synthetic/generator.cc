@@ -30,19 +30,47 @@ model::AppModel generate(const SyntheticSpec& spec) {
   std::vector<bool> untrusted(spec.n_classes, false);
   for (std::uint32_t i = 0; i < n_untrusted; ++i) untrusted[order[i]] = true;
 
+  // Which trusted classes hold genuine secrets: a deterministic pick from
+  // a separate Rng stream so enabling secret_fraction never perturbs the
+  // annotation shuffle above.
+  MSV_CHECK_MSG(spec.secret_fraction >= 0.0 && spec.secret_fraction <= 1.0,
+                "secret_fraction must be in [0, 1]");
+  std::vector<bool> secret(spec.n_classes, false);
+  if (spec.secret_fraction > 0.0) {
+    std::vector<std::uint32_t> trusted_ids;
+    for (std::uint32_t i = 0; i < spec.n_classes; ++i) {
+      if (!untrusted[i]) trusted_ids.push_back(i);
+    }
+    const auto n_secret = static_cast<std::uint32_t>(
+        spec.secret_fraction * trusted_ids.size() + 0.5);
+    Rng secret_rng(spec.seed ^ 0x5ec2e7);
+    for (std::uint32_t i = static_cast<std::uint32_t>(trusted_ids.size());
+         i > 1; --i) {
+      std::swap(trusted_ids[i - 1], trusted_ids[secret_rng.next_below(i)]);
+    }
+    for (std::uint32_t i = 0; i < n_secret && i < trusted_ids.size(); ++i) {
+      secret[trusted_ids[i]] = true;
+    }
+  }
+
   IrBuilder main_ir;
   for (std::uint32_t i = 0; i < spec.n_classes; ++i) {
     const std::string name = "C" + std::to_string(i);
     auto& cls = app.add_class(
         name, untrusted[i] ? Annotation::kUntrusted : Annotation::kTrusted);
     cls.add_field("state");
-    cls.add_constructor(0).body(IrBuilder()
-                                    .locals(1)
-                                    .load_local(0)
-                                    .const_val(Value(std::int32_t{0}))
-                                    .put_field(0)
-                                    .ret_void()
-                                    .build());
+    IrBuilder ctor;
+    ctor.locals(1).load_local(0);
+    if (secret[i]) {
+      // state = enclave_secret(i): enclave-confined key material the
+      // trust analysis must keep inside (kSecret, never demotable).
+      ctor.const_val(Value(static_cast<std::int64_t>(i)))
+          .intrinsic("enclave_secret", 1);
+    } else {
+      ctor.const_val(Value(std::int32_t{0}));
+    }
+    ctor.put_field(0).ret_void();
+    cls.add_constructor(0).body(ctor.build());
     IrBuilder work;
     work.locals(1);
     if (spec.work == WorkKind::kCpu) {
@@ -58,7 +86,11 @@ model::AppModel generate(const SyntheticSpec& spec) {
     work.ret_void();
     cls.add_method("work", 0).body(work.build());
 
-    main_ir.new_object(name, 0).call("work", 0).pop();
+    main_ir.new_object(name, 0);
+    for (std::uint32_t k = 0; k < spec.extra_work_calls; ++k) {
+      main_ir.dup().call("work", 0).pop();
+    }
+    main_ir.call("work", 0).pop();
   }
   main_ir.ret_void();
 

@@ -30,6 +30,19 @@ struct SyntheticSpec {
   std::uint32_t fft_mb = 1;        // CPU variant: FFT over fft_mb MB
   std::uint32_t io_bytes = 4096;   // I/O variant: bytes written per call
   std::uint64_t seed = 42;         // which classes get which annotation
+  // Fraction of the @Trusted classes whose constructor stores genuinely
+  // enclave-confined material (`enclave_secret(i)`) into `state` instead
+  // of the constant 0. The value-trust analysis (analysis/trust.h) proves
+  // the remaining trusted classes secret-free, which is what gives the
+  // partition optimizer room to move: the abl_partition workload uses
+  // untrusted_fraction = 0 with a small secret_fraction, so the optimal
+  // partition keeps only the secret holders inside. 0.0 (the default)
+  // leaves the generated model byte-identical to the historical output.
+  double secret_fraction = 0.0;
+  // Extra work() invocations main issues per instance — weights the
+  // profiled call-count edges so crossing savings dominate the modeled
+  // cost. 0 keeps the historical single-call main.
+  std::uint32_t extra_work_calls = 0;
 };
 
 // Generates the application: classes C0..Cn-1 with an instance method

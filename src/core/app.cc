@@ -91,12 +91,22 @@ std::vector<xform::MethodRef> image_entry_points(
 PartitionedApp::PartitionedApp(const model::AppModel& app, AppConfig config,
                                interp::IntrinsicTable intrinsics)
     : env_(make_env(config)), config_(std::move(config)) {
-  // 0. Optional partition lint over the annotated input (DESIGN.md §9).
-  if (config_.lint_partition) lint_or_throw(app);
+  // 0. Optional re-partitioning (DESIGN.md §15): apply the optimizer's
+  // plan before anything looks at the annotations, so lint, transform and
+  // image generation all see the re-partitioned model.
+  model::AppModel replanned;
+  const model::AppModel* input = &app;
+  if (config_.partition_plan != nullptr) {
+    replanned = xform::apply_partition_plan(app, *config_.partition_plan);
+    input = &replanned;
+  }
+
+  // 0b. Optional partition lint over the annotated input (DESIGN.md §9).
+  if (config_.lint_partition) lint_or_throw(*input);
 
   // 1. Bytecode transformation (§5.2).
   xform::BytecodeTransformer transformer;
-  xform::TransformResult transformed = transformer.transform(app);
+  xform::TransformResult transformed = transformer.transform(*input);
 
   // 2. Native image generation with reachability pruning (§5.3).
   xform::ImageBuilder builder(config_.image);

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/optimize.h"
 #include "interp/exec_context.h"
 #include "model/app_model.h"
 #include "rmi/proxy_runtime.h"
@@ -68,6 +69,12 @@ struct AppConfig {
   // ConfigError when a rule reports an error-severity finding.
   bool verify_bytecode = false;
   bool lint_partition = false;
+  // Partition-optimizer plumbing (DESIGN.md §15): when set, the plan is
+  // applied to the annotated input model (xform::apply_partition_plan)
+  // before lint and transformation, so the partitioned build weaves the
+  // re-partitioned images. Produced by `msvlint --propose-partition` /
+  // analysis::optimize_partition.
+  std::shared_ptr<const analysis::PartitionPlan> partition_plan;
   // Telemetry (DESIGN.md §10): off by default — the zero-overhead-when-off
   // contract means simulated cycle totals are identical either way.
   telemetry::TraceConfig trace;

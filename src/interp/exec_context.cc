@@ -171,6 +171,19 @@ rt::Value ExecContext::invoke_method(const ClassDecl& cls,
       if (ctx != nullptr) ctx->edge_stack_.pop_back();
     }
   } edge_guard{edge_tracing_ ? this : nullptr};
+  if (call_profiling_) {
+    const MethodRef callee{cls.name(), method.name()};
+    ++call_counts_[{profile_stack_.empty() ? MethodRef{"<entry>", ""}
+                                           : profile_stack_.back(),
+                    callee}];
+    profile_stack_.push_back(callee);
+  }
+  struct ProfileGuard {
+    ExecContext* ctx;  // null: profiling disabled
+    ~ProfileGuard() {
+      if (ctx != nullptr) ctx->profile_stack_.pop_back();
+    }
+  } profile_guard{call_profiling_ ? this : nullptr};
 
   switch (method.kind()) {
     case MethodKind::kIr: {
@@ -248,6 +261,12 @@ rt::Value ExecContext::invoke_quick(const ClassDecl& cls,
   }
   ++stats_.method_calls;
   if (tracing_) traced_.emplace(cls.name(), method.name());
+  if (call_profiling_) {
+    // Quickened bodies are leaves; count the edge without a stack frame.
+    ++call_counts_[{profile_stack_.empty() ? MethodRef{"<entry>", ""}
+                                           : profile_stack_.back(),
+                    {cls.name(), method.name()}}];
+  }
   if (verify_bytecode_) ensure_verified(cls, method);
   if (q.kind == QuickKind::kSetter) {
     stats_.ir_ops += 4;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <string_view>
@@ -145,6 +146,19 @@ class ExecContext {
     return native_edges_;
   }
 
+  // Call-count profiling: records (caller -> callee) invocation counts for
+  // every dispatch through this context, including the quickened fast
+  // path. The caller is the innermost enclosing method frame; entry
+  // invocations (run_main, harness-driven calls) are attributed to
+  // ("<entry>", ""). This is the telemetry feeding the partition
+  // optimizer's crossing-cost edges (analysis/optimize.h): a profiled dry
+  // run on the unpartitioned app stands in for the recorded workload.
+  void enable_call_profiling() { call_profiling_ = true; }
+  const std::map<std::pair<MethodRef, MethodRef>, std::uint64_t>&
+  call_counts() const {
+    return call_counts_;
+  }
+
  private:
   rt::Value exec_ir(const model::ClassDecl& cls,
                     const model::MethodDecl& method, rt::GcRef self,
@@ -202,6 +216,9 @@ class ExecContext {
   std::vector<std::pair<const model::ClassDecl*, const model::MethodDecl*>>
       edge_stack_;
   std::set<std::pair<MethodRef, MethodRef>> native_edges_;
+  bool call_profiling_ = false;
+  std::vector<MethodRef> profile_stack_;
+  std::map<std::pair<MethodRef, MethodRef>, std::uint64_t> call_counts_;
 };
 
 }  // namespace msv::interp

@@ -91,6 +91,19 @@ IntrinsicTable IntrinsicTable::defaults() {
     return rt::Value(args[0].to_debug_string());
   });
 
+  // Models enclave-confined material: sealed-key derivation or hardware
+  // entropy available only inside the enclave. The value is a deterministic
+  // function of the tag (the simulation must replay bit-identically); what
+  // matters to the toolchain is that analysis/trust.h treats the result as
+  // kSecret (TrustOptions::secret_intrinsics), so classes storing it must
+  // stay inside the enclave under any proposed re-partitioning.
+  t.add("enclave_secret", [](ExecContext& ctx, std::vector<rt::Value>& args) {
+    MSV_CHECK_MSG(args.size() == 1, "enclave_secret(tag)");
+    ctx.charge(4'000);  // EGETKEY-style key derivation latency
+    Rng rng(static_cast<std::uint64_t>(args[0].as_i64()) ^ 0xeb5c1a7e);
+    return rt::Value(static_cast<std::int64_t>(rng.next_u64()));
+  });
+
   return t;
 }
 

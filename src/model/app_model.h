@@ -150,6 +150,9 @@ class ClassDecl {
   Annotation annotation() const { return annotation_; }
   bool is_proxy() const { return is_proxy_; }
   void mark_proxy() { is_proxy_ = true; }
+  // Optimizer interface (xform::apply_partition_plan): re-partitioning
+  // rewrites the annotation before the model is transformed and woven.
+  void set_annotation(Annotation a) { annotation_ = a; }
 
   FieldDecl& add_field(const std::string& name, bool is_private = true);
   MethodDecl& add_constructor(std::uint32_t param_count);

@@ -1,5 +1,6 @@
 #include "transform/transformer.h"
 
+#include "analysis/optimize.h"
 #include "support/error.h"
 
 namespace msv::xform {
@@ -158,6 +159,26 @@ TransformResult BytecodeTransformer::transform(
     }
   }
   return result;
+}
+
+model::AppModel apply_partition_plan(const model::AppModel& app,
+                                     const analysis::PartitionPlan& plan) {
+  model::AppModel out = app;
+  for (const auto& p : plan.placements) {
+    model::ClassDecl* cls = out.find_class(p.cls);
+    if (cls == nullptr) {
+      throw ConfigError("partition plan names unknown class " + p.cls);
+    }
+    if (cls->annotation() == model::Annotation::kNeutral) {
+      throw ConfigError("partition plan places neutral class " + p.cls +
+                        " (the optimizer only moves annotated classes)");
+    }
+    cls->set_annotation(p.after);
+  }
+  // The plan must still satisfy the programming model (encapsulated
+  // annotated classes, untrusted main, ...).
+  out.validate();
+  return out;
 }
 
 }  // namespace msv::xform

@@ -22,6 +22,10 @@
 #include "model/app_model.h"
 #include "sgx/edl.h"
 
+namespace msv::analysis {
+struct PartitionPlan;
+}
+
 namespace msv::xform {
 
 struct TransformResult {
@@ -38,6 +42,15 @@ std::string relay_method_name(const std::string& method);
 // trusted, "ocall_relay_<cls>_<method>" otherwise.
 std::string transition_name(const std::string& cls, const std::string& method,
                             bool concrete_is_trusted);
+
+// Applies a partition plan (analysis/optimize.h) to an annotated model:
+// every placed class's annotation is rewritten to the plan's `after` side
+// and the model is re-validated, so the transformer weaves the
+// re-partitioned images. Classes absent from the plan (neutral classes)
+// keep their annotation. Throws ConfigError when the plan names an
+// unknown or neutral class.
+model::AppModel apply_partition_plan(const model::AppModel& app,
+                                     const analysis::PartitionPlan& plan);
 
 class BytecodeTransformer {
  public:

@@ -7,7 +7,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/absint.h"
 #include "analysis/lint.h"
+#include "analysis/optimize.h"
 #include "analysis/verify.h"
 #include "apps/illustrative/bank.h"
 #include "apps/msvlint/driver.h"
@@ -652,18 +654,47 @@ TEST(Diag, JsonReportShape) {
   const analysis::Report report = analysis::lint(app);
   const std::string json =
       report.to_json(analysis::lint_rule_ids(), report.stats(), "unit");
-  EXPECT_NE(json.find("\"schema\": \"msvlint-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"msvlint-report-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"target\": \"unit\""), std::string::npos);
   EXPECT_NE(json.find("\"rule\": \"MSV007\""), std::string::npos);
   EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"methods_analyzed\""), std::string::npos);
+  // v2 emits the timing object unconditionally: every rule the linter ran
+  // has an entry even with zero diagnostics (the v1 omission this schema
+  // bump exists to fix).
+  EXPECT_NE(json.find("\"rule_timings\""), std::string::npos);
+  EXPECT_NE(json.find("\"MSV003\":"), std::string::npos)
+      << "zero-diagnostic rules keep their timing entry in v2";
+}
+
+TEST(Diag, JsonReportV1CompatDropsZeroDiagnosticTimings) {
+  model::AppModel app;
+  auto& cls = app.add_class("Broken", Annotation::kUntrusted);
+  cls.add_method("run", 0).body(raw_body({{Op::kJump, 99, 0}}));
+  const analysis::Report report = analysis::lint(app);
+  const std::string v1 =
+      report.to_json(analysis::lint_rule_ids(), report.stats(), "unit", 1);
+  EXPECT_NE(v1.find("\"schema\": \"msvlint-report-v1\""), std::string::npos);
+  // The legacy schema only ever carried timings for rules with findings;
+  // MSV007 fired here, every other rule must be filtered out.
+  EXPECT_EQ(v1.find("\"MSV003\":"), std::string::npos);
+
+  // A fully clean report under v1 omits the rule_timings key entirely —
+  // byte-compatible with historical reports, which predate rule_wall_ms.
+  const analysis::Report clean = analysis::lint(apps::build_bank_app(true));
+  const std::string clean_v1 =
+      clean.to_json(analysis::lint_rule_ids(), clean.stats(), "bank", 1);
+  EXPECT_EQ(clean_v1.find("rule_timings"), std::string::npos);
+  const std::string clean_v2 =
+      clean.to_json(analysis::lint_rule_ids(), clean.stats(), "bank");
+  EXPECT_NE(clean_v2.find("rule_timings"), std::string::npos);
 }
 
 TEST(Diag, RuleCatalogueIsStable) {
   const auto ids = analysis::lint_rule_ids();
-  ASSERT_EQ(ids.size(), 9u);
+  ASSERT_EQ(ids.size(), 10u);
   EXPECT_EQ(ids.front(), "MSV001");
-  EXPECT_EQ(ids.back(), "MSV009");
+  EXPECT_EQ(ids.back(), "MSV010");
 }
 
 // ---- Interpreter: TrapError bounds checks ----------------------------------
@@ -847,8 +878,14 @@ TEST(Driver, BuiltInTargetsLintCleanAndEmitJson) {
   options.json_path = "-";
   std::ostringstream out, err;
   EXPECT_EQ(apps::msvlint::run_driver(options, out, err), 0);
-  EXPECT_NE(out.str().find("msvlint-report-v1"), std::string::npos);
+  EXPECT_NE(out.str().find("msvlint-report-v2"), std::string::npos);
   EXPECT_NE(out.str().find("0 error(s)"), std::string::npos);
+
+  // --json-v1 keeps the legacy schema available for downstream consumers.
+  options.json_version = 1;
+  std::ostringstream out1, err1;
+  EXPECT_EQ(apps::msvlint::run_driver(options, out1, err1), 0);
+  EXPECT_NE(out1.str().find("msvlint-report-v1"), std::string::npos);
 }
 
 TEST(Driver, BaselineWorkflowSuppressesSeededViolations) {
@@ -897,6 +934,517 @@ TEST(Driver, ListRules) {
   EXPECT_EQ(apps::msvlint::run_driver(options, out, err), 0);
   EXPECT_NE(out.str().find("MSV001"), std::string::npos);
   EXPECT_NE(out.str().find("MSV007"), std::string::npos);
+  EXPECT_NE(out.str().find("MSV010"), std::string::npos);
+}
+
+// ---- Value-granular trust analysis (DESIGN.md §15) -------------------------
+
+// The canonical MSV010 fixture: `pin` holds enclave-confined key material,
+// `note` only ever holds the constant the untrusted main passed in.
+const char* kSecretsFixture = R"(
+  class Secrets @Trusted {
+    field pin;
+    field note;
+    ctor(v) { this.pin = @enclave_secret(1); this.note = v; }
+  }
+  class Main @Untrusted {
+    static method main() { s = new Secrets(7); }
+  }
+  main Main;
+)";
+
+TEST(Trust, ConstStoresArePublicSecretIntrinsicIsSecret) {
+  const analysis::TrustFacts facts =
+      analysis::analyze_trust(parse(kSecretsFixture));
+  EXPECT_TRUE(facts.converged);
+  EXPECT_TRUE(analysis::trust_may_be_secret(facts.field("Secrets", 0)))
+      << "enclave_secret() results are enclave-confined";
+  EXPECT_EQ(facts.field("Secrets", 1), analysis::Trust::kPublic)
+      << "a constant passed in from the untrusted side is public";
+  EXPECT_EQ(facts.secret_classes(), std::set<std::string>{"Secrets"});
+  EXPECT_EQ(facts.field("Nope", 0), analysis::Trust::kBottom);
+}
+
+TEST(Trust, DemotableTrustedFieldsAndPolicyPins) {
+  const model::AppModel app = parse(kSecretsFixture);
+  const auto demotable =
+      analysis::analyze_trust(app).demotable_trusted_fields(app);
+  ASSERT_EQ(demotable.size(), 1u);
+  EXPECT_EQ(demotable[0], (analysis::FieldKey{"Secrets", 1}));
+
+  // Policy-pinned fields model out-of-band provisioning the analysis
+  // cannot see; a pinned field is never demotable.
+  analysis::TrustOptions options;
+  options.pinned_secret_fields = {"Secrets.note"};
+  const auto facts = analysis::analyze_trust(app, options);
+  EXPECT_TRUE(analysis::trust_may_be_secret(facts.field("Secrets", 1)));
+  EXPECT_TRUE(facts.demotable_trusted_fields(app).empty());
+}
+
+TEST(Trust, InterproceduralReturnTrustFlowsThroughSummaries) {
+  const model::AppModel app = parse(R"(
+    class Vault @Trusted {
+      field key;
+      ctor() { this.key = @enclave_secret(2); }
+      method get() { return this.key; }
+    }
+    class Holder @Trusted {
+      field got;
+      ctor(v) { this.got = v.get(); }
+    }
+    class Main @Untrusted {
+      static method main() { h = new Holder(new Vault()); }
+    }
+    main Main;
+  )");
+  const analysis::TrustFacts facts = analysis::analyze_trust(app);
+  EXPECT_TRUE(analysis::trust_may_be_secret(facts.field("Holder", 0)))
+      << "Vault.get()'s secret return must reach Holder.got";
+  const auto it = facts.context_summaries.find(
+      analysis::TrustSummaryKey{"Vault", "get", "Vault"});
+  ASSERT_NE(it, facts.context_summaries.end())
+      << "monomorphic call site records a {Vault} receiver-set context";
+  EXPECT_TRUE(analysis::trust_may_be_secret(it->second));
+}
+
+TEST(Trust, ReceiverSetContextsDoNotCrossPollute) {
+  // K.echo is called twice: once through a monomorphic {K} receiver with a
+  // public argument, once through a widened {K, L} receiver with a secret.
+  // Summaries are keyed by the receiver-set context, so the wide call must
+  // not pollute the monomorphic "K" summary.
+  const model::AppModel app = parse(R"(
+    class K @Trusted {
+      field v;
+      ctor() { this.v = 0; }
+      method echo(x) { return x; }
+    }
+    class L @Trusted {
+      field v;
+      ctor() { this.v = 0; }
+      method echo(x) { return x; }
+    }
+    class Main @Untrusted {
+      static method main() {
+        k = new K();
+        p = k.echo(3);
+        r = new K();
+        if (p == 3) { r = new L(); }
+        s = r.echo(@enclave_secret(9));
+      }
+    }
+    main Main;
+  )");
+  const analysis::TrustFacts facts = analysis::analyze_trust(app);
+  const auto& cs = facts.context_summaries;
+  const auto mono = cs.find(analysis::TrustSummaryKey{"K", "echo", "K"});
+  ASSERT_NE(mono, cs.end());
+  EXPECT_EQ(mono->second, analysis::Trust::kPublic)
+      << "the secret at the {K, L} site must not widen the {K} summary";
+  const auto wide = cs.find(analysis::TrustSummaryKey{"K", "echo", "K|L"});
+  ASSERT_NE(wide, cs.end());
+  EXPECT_TRUE(analysis::trust_may_be_secret(wide->second));
+  const auto wide_l = cs.find(analysis::TrustSummaryKey{"L", "echo", "K|L"});
+  ASSERT_NE(wide_l, cs.end());
+  EXPECT_TRUE(analysis::trust_may_be_secret(wide_l->second));
+}
+
+TEST(Trust, NativeBodiesAreOpaque) {
+  const analysis::TrustFacts facts =
+      analysis::analyze_trust(apps::synthetic::build_micro_app());
+  // Driver's bodies are native lambdas: its own fields widen to kMixed...
+  EXPECT_EQ(facts.field("Driver", 0), analysis::Trust::kMixed);
+  // ...and Worker.set is a declared callee of native code, so it is
+  // analyzed under the all-kMixed "*" context and Worker.value may carry
+  // anything.
+  EXPECT_TRUE(analysis::trust_may_be_secret(facts.field("Worker", 0)));
+}
+
+// ---- MSV010 golden fixture -------------------------------------------------
+
+TEST(Lint, Msv010FlagsProvablyPublicTrustedFields) {
+  const model::AppModel app = parse(kSecretsFixture);
+  analysis::LintOptions options;
+  options.trust_analysis = true;
+  const auto report = analysis::lint(app, options);
+  const auto diags = of_rule(report, "MSV010");
+  ASSERT_EQ(diags.size(), 1u) << report.to_text();
+  EXPECT_EQ(diags[0].severity, Severity::kInfo);
+  EXPECT_EQ(diags[0].cls, "Secrets");
+  EXPECT_EQ(diags[0].method, "note") << "the field rides the method slot";
+  EXPECT_NE(diags[0].message.find("demotion candidate"), std::string::npos);
+  EXPECT_TRUE(report.to_baseline().contains("MSV010 Secrets.note"));
+  EXPECT_EQ(report.errors(), 0u) << "MSV010 is informational";
+}
+
+TEST(Lint, Msv010OffByDefaultAndRespectsPins) {
+  const model::AppModel app = parse(kSecretsFixture);
+  // Default LintOptions keep the historical rule set (the embedded
+  // AppConfig::lint_partition gate must not grow new findings).
+  EXPECT_TRUE(of_rule(analysis::lint(app), "MSV010").empty());
+
+  analysis::LintOptions options;
+  options.trust_analysis = true;
+  options.trust.pinned_secret_fields = {"Secrets.note"};
+  EXPECT_TRUE(of_rule(analysis::lint(app, options), "MSV010").empty());
+}
+
+// ---- Absint fixpoint convergence on loop-heavy CFGs ------------------------
+
+TEST(AbsintConvergence, SimpleLoopReachesFixpoint) {
+  // i = 0; while (i < 10) { i = i + 1; } return i;
+  IrBuilder b;
+  const std::int32_t head = b.new_label();
+  const std::int32_t exit = b.new_label();
+  b.locals(1)
+      .const_val(Value(std::int32_t{0}))
+      .store_local(0)
+      .bind(head)
+      .load_local(0)
+      .const_val(Value(std::int32_t{10}))
+      .lt()
+      .branch_false(exit)
+      .load_local(0)
+      .const_val(Value(std::int32_t{1}))
+      .add()
+      .store_local(0)
+      .jump(head)
+      .bind(exit)
+      .load_local(0)
+      .ret();
+  const auto result = analysis::analyze_method(b.build(), {});
+  EXPECT_TRUE(result.errors.empty());
+  EXPECT_FALSE(result.falls_off_end);
+  EXPECT_EQ(result.return_value.kind, analysis::Kind::kI32);
+  EXPECT_LE(result.block_visits, 12u)
+      << "the back edge must stabilize after one re-visit, not oscillate";
+}
+
+TEST(AbsintConvergence, BackEdgeWidensKindInsteadOfOscillating) {
+  // x starts i32 and becomes f64 inside the loop: the merge at the loop
+  // head must widen the local's kind (to top) and terminate.
+  IrBuilder b;
+  const std::int32_t head = b.new_label();
+  const std::int32_t exit = b.new_label();
+  b.locals(1)
+      .const_val(Value(std::int32_t{0}))
+      .store_local(0)
+      .bind(head)
+      .load_local(0)
+      .const_val(Value(std::int32_t{3}))
+      .lt()
+      .branch_false(exit)
+      .load_local(0)
+      .const_val(Value(0.5))
+      .add()
+      .store_local(0)
+      .jump(head)
+      .bind(exit)
+      .load_local(0)
+      .ret();
+  const auto result = analysis::analyze_method(b.build(), {});
+  EXPECT_TRUE(result.errors.empty());
+  EXPECT_EQ(result.return_value.kind, analysis::Kind::kTop)
+      << "i32 joined with f64 widens to top at the loop head";
+  EXPECT_LE(result.block_visits, 16u);
+}
+
+TEST(AbsintConvergence, NestedLoopsConvergeWithBoundedVisits) {
+  // s = 0; for (i = 0; i < 3; i++) for (j = 0; j < 3; j++) s = s + 1;
+  IrBuilder b;
+  const std::int32_t outer = b.new_label();
+  const std::int32_t inner = b.new_label();
+  const std::int32_t inner_exit = b.new_label();
+  const std::int32_t outer_exit = b.new_label();
+  b.locals(3)
+      .const_val(Value(std::int32_t{0}))
+      .store_local(0)  // s
+      .const_val(Value(std::int32_t{0}))
+      .store_local(1)  // i
+      .bind(outer)
+      .load_local(1)
+      .const_val(Value(std::int32_t{3}))
+      .lt()
+      .branch_false(outer_exit)
+      .const_val(Value(std::int32_t{0}))
+      .store_local(2)  // j
+      .bind(inner)
+      .load_local(2)
+      .const_val(Value(std::int32_t{3}))
+      .lt()
+      .branch_false(inner_exit)
+      .load_local(0)
+      .const_val(Value(std::int32_t{1}))
+      .add()
+      .store_local(0)
+      .load_local(2)
+      .const_val(Value(std::int32_t{1}))
+      .add()
+      .store_local(2)
+      .jump(inner)
+      .bind(inner_exit)
+      .load_local(1)
+      .const_val(Value(std::int32_t{1}))
+      .add()
+      .store_local(1)
+      .jump(outer)
+      .bind(outer_exit)
+      .load_local(0)
+      .ret();
+  const auto result = analysis::analyze_method(b.build(), {});
+  EXPECT_TRUE(result.errors.empty());
+  EXPECT_EQ(result.return_value.kind, analysis::Kind::kI32);
+  EXPECT_LE(result.block_visits, 40u)
+      << "chaotic iteration over a 2-deep loop nest stays bounded";
+}
+
+TEST(AbsintConvergence, LoopMergeDepthMismatchReportedOnceAndTerminates) {
+  // Each trip around the loop pushes one operand, so the back edge carries
+  // a deeper stack than the entry. The join truncates to the shallower
+  // depth (keeping the analysis total), reports the merge exactly once,
+  // and still reaches a fixpoint.
+  IrBuilder b;
+  const std::int32_t head = b.new_label();
+  b.bind(head).const_val(Value(std::int32_t{1})).jump(head);
+  const auto result = analysis::analyze_method(b.build(), {});
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].message.find("stack depth"), std::string::npos);
+  EXPECT_LE(result.block_visits, 4u);
+}
+
+// ---- Call profiling (the optimizer's telemetry input) ----------------------
+
+TEST(Profiling, CallCountsRecordProfiledEdges) {
+  apps::synthetic::SyntheticSpec spec;
+  spec.n_classes = 3;
+  spec.extra_work_calls = 2;
+  core::NativeApp native(apps::synthetic::generate(spec));
+  native.context().enable_call_profiling();
+  native.run_main();
+  const auto profile =
+      analysis::CallProfile::from_context(native.context());
+  using MethodRef = analysis::CallProfile::MethodRef;
+  const MethodRef main_ref{"Main", "main"};
+  EXPECT_EQ(profile.edges.at({{"<entry>", ""}, main_ref}), 1u);
+  EXPECT_EQ(profile.edges.at({main_ref, {"C0", "work"}}), 3u)
+      << "one base call plus extra_work_calls";
+  EXPECT_EQ(profile.invocation_counts().at({"C2", "work"}), 3u);
+  EXPECT_GE(profile.class_edges().at({"Main", "C1"}), 3u);
+  EXPECT_GE(profile.total_calls(), 10u);
+}
+
+// ---- Partition optimizer ---------------------------------------------------
+
+// One untrusted Main driving a @Trusted class P with no secrets: the
+// textbook demotion case.
+model::AppModel make_hot_callee_app() {
+  model::AppModel app;
+  auto& p = app.add_class("P", Annotation::kTrusted);
+  p.add_field("state");
+  p.add_constructor(0).body(IrBuilder()
+                                .locals(1)
+                                .load_local(0)
+                                .const_val(Value(std::int32_t{0}))
+                                .put_field(0)
+                                .ret_void()
+                                .build());
+  p.add_method("work", 0).body(IrBuilder().locals(1).ret_void().build());
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0).body(IrBuilder()
+                                                 .new_object("P", 0)
+                                                 .call("work", 0)
+                                                 .pop()
+                                                 .ret_void()
+                                                 .build());
+  app.set_main_class("Main");
+  app.validate();
+  return app;
+}
+
+analysis::CallProfile hot_profile(std::uint64_t calls) {
+  analysis::CallProfile profile;
+  profile.edges[{{"Main", "main"}, {"P", "work"}}] = calls;
+  return profile;
+}
+
+TEST(Optimizer, MovesHotSecretFreeCalleeOut) {
+  const model::AppModel app = make_hot_callee_app();
+  analysis::TrustFacts trust;
+  trust.field_trust[{"P", 0}] = analysis::Trust::kPublic;
+  const auto plan = analysis::optimize_partition(app, trust,
+                                                 hot_profile(100),
+                                                 CostModel::paper());
+  ASSERT_NE(plan.find("P"), nullptr);
+  EXPECT_EQ(plan.find("P")->after, Annotation::kUntrusted);
+  EXPECT_EQ(plan.moved, std::vector<std::string>{"P"});
+  EXPECT_EQ(plan.crossings_before, 100u);
+  EXPECT_EQ(plan.crossings_after, 0u);
+  EXPECT_LT(plan.modeled_cost_after, plan.modeled_cost_before);
+  EXPECT_EQ(plan.find("Main")->after, Annotation::kUntrusted)
+      << "the main class is always pinned untrusted";
+  EXPECT_NE(plan.to_json().find("msvlint-partition-plan-v1"),
+            std::string::npos);
+}
+
+TEST(Optimizer, SecretCarryingClassesArePinnedInside) {
+  const model::AppModel app = make_hot_callee_app();
+  analysis::TrustFacts trust;
+  trust.field_trust[{"P", 0}] = analysis::Trust::kSecret;
+  const auto plan = analysis::optimize_partition(app, trust,
+                                                 hot_profile(100),
+                                                 CostModel::paper());
+  ASSERT_NE(plan.find("P"), nullptr);
+  EXPECT_EQ(plan.find("P")->after, Annotation::kTrusted)
+      << "no crossing saving justifies moving a secret out";
+  EXPECT_FALSE(plan.changed());
+  EXPECT_EQ(plan.crossings_after, plan.crossings_before);
+}
+
+TEST(Optimizer, PolicyPinsRespectedAndConflictsRejected) {
+  const model::AppModel app = make_hot_callee_app();
+  analysis::TrustFacts trust;
+  trust.field_trust[{"P", 0}] = analysis::Trust::kPublic;
+  analysis::PartitionPolicy policy;
+  policy.pin_trusted = {"P"};
+  const auto plan = analysis::optimize_partition(
+      app, trust, hot_profile(100), CostModel::paper(), policy);
+  EXPECT_EQ(plan.find("P")->after, Annotation::kTrusted);
+
+  policy.pin_untrusted = {"P"};
+  EXPECT_THROW(analysis::optimize_partition(app, trust, hot_profile(100),
+                                            CostModel::paper(), policy),
+               ConfigError);
+}
+
+TEST(Optimizer, MinGainRevertsMarginalPlans) {
+  // Two trusted callees: S holds a secret and takes 100 crossings, P is
+  // public with a single crossing. Moving P saves ~1% of the modeled
+  // cost; a 50% min_gain gate must revert the plan.
+  model::AppModel app;
+  for (const char* name : {"P", "S"}) {
+    auto& cls = app.add_class(name, Annotation::kTrusted);
+    cls.add_field("state");
+    cls.add_constructor(0).body(IrBuilder()
+                                    .locals(1)
+                                    .load_local(0)
+                                    .const_val(Value(std::int32_t{0}))
+                                    .put_field(0)
+                                    .ret_void()
+                                    .build());
+    cls.add_method("work", 0).body(IrBuilder().locals(1).ret_void().build());
+  }
+  auto& main_cls = app.add_class("Main", Annotation::kUntrusted);
+  main_cls.add_static_method("main", 0).body(IrBuilder()
+                                                 .new_object("P", 0)
+                                                 .call("work", 0)
+                                                 .pop()
+                                                 .new_object("S", 0)
+                                                 .call("work", 0)
+                                                 .pop()
+                                                 .ret_void()
+                                                 .build());
+  app.set_main_class("Main");
+  app.validate();
+
+  analysis::TrustFacts trust;
+  trust.field_trust[{"P", 0}] = analysis::Trust::kPublic;
+  trust.field_trust[{"S", 0}] = analysis::Trust::kSecret;
+  analysis::CallProfile profile;
+  profile.edges[{{"Main", "main"}, {"P", "work"}}] = 1;
+  profile.edges[{{"Main", "main"}, {"S", "work"}}] = 100;
+
+  analysis::PartitionPolicy policy;
+  const auto unrestricted = analysis::optimize_partition(
+      app, trust, profile, CostModel::paper(), policy);
+  EXPECT_EQ(unrestricted.moved, std::vector<std::string>{"P"});
+
+  policy.min_gain = 0.5;
+  const auto gated = analysis::optimize_partition(
+      app, trust, profile, CostModel::paper(), policy);
+  EXPECT_TRUE(gated.below_min_gain);
+  EXPECT_FALSE(gated.changed());
+  EXPECT_EQ(gated.crossings_after, gated.crossings_before);
+  for (const auto& placement : gated.placements) {
+    EXPECT_EQ(placement.after, placement.before);
+  }
+}
+
+TEST(Optimizer, PlanDigestDeterministicAndSeedSensitive) {
+  const model::AppModel app = make_hot_callee_app();
+  analysis::TrustFacts trust;
+  trust.field_trust[{"P", 0}] = analysis::Trust::kPublic;
+  analysis::PartitionPolicy policy;
+  const auto a = analysis::optimize_partition(app, trust, hot_profile(100),
+                                              CostModel::paper(), policy);
+  const auto b = analysis::optimize_partition(app, trust, hot_profile(100),
+                                              CostModel::paper(), policy);
+  EXPECT_EQ(a.digest, b.digest) << "same inputs, same plan digest";
+  policy.seed = 1;
+  const auto c = analysis::optimize_partition(app, trust, hot_profile(100),
+                                              CostModel::paper(), policy);
+  EXPECT_NE(a.digest, c.digest) << "the seed is folded into the digest";
+  ASSERT_EQ(a.placements.size(), c.placements.size());
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].after, c.placements[i].after)
+        << "the seed perturbs the digest, never the placement";
+  }
+}
+
+TEST(Optimizer, PropertySecretsNeverLeaveTheEnclave) {
+  // Property over seeded generator apps: whatever the profile says, every
+  // class the trust analysis proves secret-carrying stays @Trusted, main
+  // stays @Untrusted, and crossings never regress.
+  for (const std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+    apps::synthetic::SyntheticSpec spec;
+    spec.n_classes = 10;
+    spec.untrusted_fraction = 0.2;
+    spec.secret_fraction = 0.5;
+    spec.extra_work_calls = 2;
+    spec.seed = seed;
+    const model::AppModel app = apps::synthetic::generate(spec);
+    core::NativeApp native(app);
+    native.context().enable_call_profiling();
+    native.run_main();
+    const auto profile =
+        analysis::CallProfile::from_context(native.context());
+    const auto facts = analysis::analyze_trust(app);
+    const auto secret = facts.secret_classes();
+    EXPECT_FALSE(secret.empty());
+    const auto plan = analysis::optimize_partition(app, facts, profile,
+                                                   CostModel::paper());
+    for (const auto& placement : plan.placements) {
+      if (placement.before == Annotation::kTrusted &&
+          secret.count(placement.cls) != 0) {
+        EXPECT_EQ(placement.after, Annotation::kTrusted)
+            << placement.cls << " (seed " << seed << ")";
+      }
+    }
+    EXPECT_EQ(plan.find("Main")->after, Annotation::kUntrusted);
+    EXPECT_LE(plan.crossings_after, plan.crossings_before);
+    const auto replay = analysis::optimize_partition(app, facts, profile,
+                                                     CostModel::paper());
+    EXPECT_EQ(plan.digest, replay.digest) << "seed " << seed;
+  }
+}
+
+// ---- msvlint --fix: apply + replay-verify ----------------------------------
+
+TEST(Driver, FixVerifiesByteIdenticalReplayAndReducesCrossings) {
+  // The fig06-style workload: all classes trusted, a quarter holding real
+  // secrets. --fix must move the secret-free classes out, replay both
+  // partitions twice, and prove byte-identical results with fewer
+  // crossings.
+  apps::msvlint::DriverOptions options;
+  options.synthetic_classes = 12;
+  options.synthetic_untrusted = 0.0;
+  options.synthetic_secret = 0.25;
+  options.fix = true;
+  options.quiet = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(apps::msvlint::run_driver(options, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("byte-identical across 2+2 runs"),
+            std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("% fewer"), std::string::npos) << out.str();
 }
 
 }  // namespace

@@ -38,10 +38,26 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 "$BUILD_DIR"/bench/fig_fleet --smoke \
   --json="$BUILD_DIR"/BENCH_fleet.json > /dev/null
 
-# msvlint must stay clean over the whole example/app corpus, including the
-# native-edge dry run feeding MSV004 (exit 1 = unsuppressed lint errors).
-"$BUILD_DIR"/tools/msvlint examples/*.msv --bank --micro --synthetic=40 \
-  --trace-native --quiet > /dev/null
+# msvlint must stay clean over the whole example/app corpus — including
+# the §6.5/§6.6 app models and the value-trust analysis feeding MSV010 —
+# with the native-edge dry run feeding MSV004 (exit 1 = unsuppressed lint
+# errors; MSV010 demotion candidates are informational).
+"$BUILD_DIR"/tools/msvlint examples/*.msv --bank --micro --paldb \
+  --graphchi --specjvm --synthetic=40 --trace-native --trust \
+  --quiet > /dev/null
+
+# msvlint --fix dry-run smoke (DESIGN.md §15): profile the fig06-style
+# workload, run the trust analysis + min-cut optimizer, apply the plan and
+# replay original vs re-partitioned twice each — exits 1 unless all four
+# runs are byte-identical and crossings do not regress.
+"$BUILD_DIR"/tools/msvlint --synthetic=16 --untrusted-fraction=0 \
+  --secret-fraction=0.25 --fix --quiet > /dev/null
+
+# Partition-optimizer smoke (DESIGN.md §15): aborts unless the optimized
+# partition replays byte-identically (2+2 runs), keeps every
+# secret-carrying class inside, and cuts boundary crossings >= 20%.
+"$BUILD_DIR"/bench/abl_partition --smoke \
+  --json="$BUILD_DIR"/BENCH_partition.json > /dev/null
 
 # Telemetry smoke: a traced serving run must emit a valid Chrome trace
 # with the full span taxonomy linked by trace context (DESIGN.md §10).
@@ -50,4 +66,4 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
   --metrics-out="$BUILD_DIR"/fig_server_metrics.txt > /dev/null
 tools/check_trace.py "$BUILD_DIR"/fig_server_trace.json
 
-echo "tier1: tests + ablations + batched-rmi + fault-storm + msvlint + telemetry-trace smoke OK"
+echo "tier1: tests + ablations + batched-rmi + fault-storm + msvlint + partition-optimizer + telemetry-trace smoke OK"
