@@ -42,6 +42,11 @@ struct BenchOptions {
   // their base scenario with full tracing and write the artifacts here.
   std::string trace_path;    // --trace-out=<path>: Chrome trace JSON
   std::string metrics_path;  // --metrics-out=<path>: Prometheus-style text
+  // Fleet health artifacts (DESIGN.md §16); fig_fleet's health scenario
+  // writes the SLO report / post-mortem bundle / folded profiler stacks.
+  std::string health_path;      // --health-out=<path>: SLO health report
+  std::string postmortem_path;  // --postmortem-out=<path>: JSON bundle
+  std::string folded_path;      // --folded-out=<path>: folded stacks
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opt;
@@ -61,6 +66,12 @@ struct BenchOptions {
         opt.metrics_path = a + 14;
       } else if (std::strcmp(a, "--metrics-out") == 0 && i + 1 < argc) {
         opt.metrics_path = argv[++i];
+      } else if (std::strncmp(a, "--health-out=", 13) == 0) {
+        opt.health_path = a + 13;
+      } else if (std::strncmp(a, "--postmortem-out=", 17) == 0) {
+        opt.postmortem_path = a + 17;
+      } else if (std::strncmp(a, "--folded-out=", 13) == 0) {
+        opt.folded_path = a + 13;
       } else {
         std::fprintf(stderr, "unknown option: %s\n", a);
       }

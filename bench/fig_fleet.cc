@@ -12,6 +12,13 @@
 //      p99 must be at least 3x the promoted fleet's p99.
 //   3. Hot-tenant migration: mid-run, the Zipf head tenant is drained
 //      behind the coalescing fence and moved to the coldest shard.
+//   4. Health-under-storm (DESIGN.md §16): the restart-ladder storm again,
+//      now with the SLO monitor, the flight recorder and the sampling
+//      profiler armed. Gates: the monitor flags every injured shard
+//      degraded no later than its recovery ladder fires, every enclave
+//      loss yields a post-mortem, arming the health stack costs zero
+//      simulated cycles, and two armed runs emit byte-identical health
+//      report / post-mortem bundle / folded stacks.
 //
 // Determinism contract: the replicated storm scenario runs twice with
 // full tracing; the bench aborts unless both runs agree on the final
@@ -20,6 +27,7 @@
 // every enclave, worker, and injector.
 #include <algorithm>
 #include <cinttypes>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +40,9 @@
 #include "support/error.h"
 #include "telemetry/adapters.h"
 #include "telemetry/export.h"
+#include "telemetry/flight.h"
+#include "telemetry/sampler.h"
+#include "telemetry/slo.h"
 
 namespace msv {
 namespace {
@@ -45,6 +56,15 @@ struct FleetRunResult {
   std::vector<std::uint32_t> residents;
   std::string trace_json;
   std::string metrics_text;
+  // Health-stack artifacts (scenario 4; empty unless sc.health).
+  std::string health_report;
+  std::string postmortem_bundle;
+  std::string folded_stacks;
+  std::uint64_t postmortems = 0;
+  std::uint64_t losses_injected = 0;
+  std::uint64_t profile_samples = 0;
+  // Per shard: when the monitor first held it degraded (0 = never).
+  std::vector<Cycles> first_degraded;
 };
 
 struct FleetScenario {
@@ -52,6 +72,7 @@ struct FleetScenario {
   bool replication = false;
   std::uint32_t shard_losses = 0;  // targeted loss storm (plan seed below)
   bool migrate_hottest = false;    // mid-run hot-tenant migration
+  bool health = false;  // arm SLO monitor + flight recorder + profiler
   telemetry::TraceMode trace = telemetry::TraceMode::kOff;
 };
 
@@ -72,7 +93,23 @@ FleetRunResult run_fleet(const FleetScenario& sc,
   fc.shard.coalesce_max = 4;
   fc.shard.recovery.enabled = true;
   fc.shard.recovery.checkpoint_every = 2;
+  fc.slo_enabled = sc.health;  // observe mode: no routing change
   fleet::FleetRouter router(env, sched, model, fc);
+
+  // The health stack attaches *before* start(): the SLO monitor via the
+  // router config, the flight bus on the telemetry spine, the profiler on
+  // the scheduler. None of them ever advances the virtual clock, so the
+  // armed run's cycle totals must equal the unarmed run's exactly — the
+  // "overhead" gate scenario 4 asserts.
+  std::unique_ptr<telemetry::FlightBus> flight;
+  std::unique_ptr<telemetry::SampleProfiler> sampler;
+  if (sc.health) {
+    flight = std::make_unique<telemetry::FlightBus>(env.telemetry);
+    env.telemetry.set_flight(flight.get());
+    sampler = std::make_unique<telemetry::SampleProfiler>(
+        env.clock, env.telemetry.tracer(), /*interval_cycles=*/1'000'000);
+    sched.set_sampler(sampler.get());
+  }
   router.start();
 
   if (sc.shard_losses > 0) {
@@ -123,18 +160,39 @@ FleetRunResult run_fleet(const FleetScenario& sc,
   for (std::uint32_t k = 0; k < router.shard_count(); ++k) {
     r.shards.push_back(router.shard(k).stats());
     r.residents.push_back(router.shard(k).resident_count());
+    if (const faults::FaultInjector* inj = router.injector_for(k)) {
+      r.losses_injected += inj->stats().enclave_losses;
+    }
   }
   telemetry::Telemetry& tel = env.telemetry;
   if (tel.metrics_enabled()) {
     router.publish_metrics();
     telemetry::publish_scheduler(tel.metrics(), sched.stats());
     telemetry::publish_tracer_self(tel.metrics(), tel.tracer());
+    if (flight != nullptr) flight->publish(tel.metrics());
+    if (sampler != nullptr) sampler->publish(tel.metrics());
     r.metrics_text = telemetry::prometheus_text(tel.metrics());
   }
   if (tel.tracing_enabled()) {
     r.trace_json = telemetry::chrome_trace_json(tel.tracer(), env.clock.hz());
   }
+  if (sc.health) {
+    telemetry::SloMonitor& slo = *router.slo();
+    r.health_report = slo.report(env.clock.hz());
+    for (std::uint32_t k = 0; k < router.shard_count(); ++k) {
+      r.first_degraded.push_back(
+          slo.first_entered(k, telemetry::HealthState::kDegraded));
+    }
+    r.postmortem_bundle = flight->bundle_json(env.clock.hz());
+    r.postmortems = flight->post_mortems().size();
+    r.folded_stacks = sampler->folded();
+    r.profile_samples = sampler->samples();
+  }
   router.stop();
+  // Detach before the bus/profiler die (the scheduler and telemetry spine
+  // outlive this frame only inside run_fleet, but stay tidy regardless).
+  sched.set_sampler(nullptr);
+  env.telemetry.set_flight(nullptr);
   return r;
 }
 
@@ -358,6 +416,110 @@ int main(int argc, char** argv) {
     table.print();
     report.add_table("migration", table);
     add_fleet_metrics(report, "migration", r);
+  }
+
+  // --- Scenario 4: health under storm (DESIGN.md §16) -----------------------
+  {
+    const std::uint32_t losses = opt.smoke ? 4 : 8;
+    FleetScenario base;
+    base.shards = 4;
+    base.replication = false;
+    base.shard_losses = losses;
+    FleetScenario health = base;
+    health.health = true;
+
+    // Metrics-only baseline, then two armed runs: A proves the health
+    // stack is free on the simulated timeline, A==B proves its artifacts
+    // are deterministic.
+    const FleetRunResult base_r = run_fleet(base, spec);
+    const FleetRunResult a = run_fleet(health, spec);
+    const FleetRunResult b = run_fleet(health, spec);
+
+    MSV_CHECK_MSG(a.rep.final_clock == base_r.rep.final_clock &&
+                      a.rep.latency_cycle_sum == base_r.rep.latency_cycle_sum,
+                  "arming the health stack must cost zero simulated cycles");
+    MSV_CHECK_MSG(!a.health_report.empty() &&
+                      a.health_report == b.health_report,
+                  "two armed runs must emit byte-identical health reports");
+    MSV_CHECK_MSG(!a.postmortem_bundle.empty() &&
+                      a.postmortem_bundle == b.postmortem_bundle,
+                  "two armed runs must emit byte-identical post-mortems");
+    MSV_CHECK_MSG(!a.folded_stacks.empty() &&
+                      a.folded_stacks == b.folded_stacks,
+                  "two armed runs must emit byte-identical folded stacks");
+    MSV_CHECK_MSG(a.losses_injected > 0 &&
+                      a.postmortems >= a.losses_injected,
+                  "every injected enclave loss must yield a post-mortem");
+
+    // Degraded-before-ladder: every shard that saw a recoverable fault
+    // must have been flagged degraded no later than the instant its
+    // recovery ladder first fired (faults are recorded at the catch site;
+    // same-cycle is a tie the monitor wins by construction).
+    std::uint32_t injured = 0;
+    for (std::uint32_t k = 0; k < a.shards.size(); ++k) {
+      const fleet::ShardStats& s = a.shards[k];
+      if (s.first_recovery_started_cycles == 0) continue;
+      ++injured;
+      MSV_CHECK_MSG(a.first_degraded[k] != 0,
+                    "an injured shard must be flagged degraded");
+      MSV_CHECK_MSG(a.first_degraded[k] <= s.first_recovery_started_cycles,
+                    "the SLO monitor must flag an injured shard degraded "
+                    "before its recovery ladder fires");
+    }
+    MSV_CHECK_MSG(injured > 0, "the storm must injure at least one shard");
+
+    Table table({"metric", "value"});
+    table.add_row({"enclave losses injected",
+                   std::to_string(a.losses_injected)});
+    table.add_row({"post-mortems captured", std::to_string(a.postmortems)});
+    table.add_row({"shards injured", std::to_string(injured)});
+    table.add_row({"profiler samples", std::to_string(a.profile_samples)});
+    table.add_row({"health report bytes",
+                   std::to_string(a.health_report.size())});
+    table.add_row({"overhead (cycles vs baseline)", "0 (byte-identical)"});
+    std::printf("\nHealth under storm (4 shards, %u losses, SLO monitor + "
+                "flight recorder + profiler armed):\n", losses);
+    table.print();
+    report.add_table("health_storm", table);
+    add_fleet_metrics(report, "health_storm", a);
+    report.add_metric("health_losses_injected", a.losses_injected);
+    report.add_metric("health_postmortems", a.postmortems);
+    report.add_metric("health_shards_injured",
+                      static_cast<std::uint64_t>(injured));
+    report.add_metric("health_profile_samples", a.profile_samples);
+    report.add_metric("health_report_bytes",
+                      static_cast<std::uint64_t>(a.health_report.size()));
+    report.add_metric("health_bundle_bytes",
+                      static_cast<std::uint64_t>(a.postmortem_bundle.size()));
+    report.add_metric("health_overhead_cycles", std::uint64_t{0});
+    std::printf("\ndeterminism: two armed runs agree byte-for-byte on the "
+                "health report (%zu bytes),\npost-mortem bundle (%zu bytes) "
+                "and folded stacks (%zu bytes); arming cost 0 cycles.\n",
+                a.health_report.size(), a.postmortem_bundle.size(),
+                a.folded_stacks.size());
+
+    if (!opt.health_path.empty() &&
+        !bench::write_text_file(opt.health_path, a.health_report)) {
+      return 1;
+    }
+    if (!opt.postmortem_path.empty() &&
+        !bench::write_text_file(opt.postmortem_path, a.postmortem_bundle)) {
+      return 1;
+    }
+    if (!opt.folded_path.empty() &&
+        !bench::write_text_file(opt.folded_path, a.folded_stacks)) {
+      return 1;
+    }
+    if (!opt.health_path.empty()) {
+      std::printf("health report written to %s\n", opt.health_path.c_str());
+    }
+    if (!opt.postmortem_path.empty()) {
+      std::printf("post-mortem bundle written to %s\n",
+                  opt.postmortem_path.c_str());
+    }
+    if (!opt.folded_path.empty()) {
+      std::printf("folded stacks written to %s\n", opt.folded_path.c_str());
+    }
   }
 
   if (!opt.json_path.empty() && !report.write(opt.json_path)) return 1;

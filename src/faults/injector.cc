@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "support/error.h"
+#include "telemetry/flight.h"
 
 namespace msv::faults {
 
@@ -65,6 +66,16 @@ void FaultInjector::apply(const FaultEvent& e) {
     telemetry::SpanScope span(env_.telemetry.tracer(),
                               telemetry::Category::kFault,
                               env_.telemetry.names().fault_inject);
+  }
+  // Every applied fault leaves a breadcrumb in the victim's flight ring
+  // *before* the effect lands, so the post-mortem taken on mark_lost
+  // already shows the active fault-plan window. Disarmed = pointer test.
+  if (telemetry::FlightBus* bus = env_.telemetry.flight()) {
+    bus->recorder(enclave_->name())
+        .record(telemetry::FlightEventKind::kFault,
+                std::string("fault.") + fault_kind_name(e.kind),
+                static_cast<std::int64_t>(e.at),
+                static_cast<std::int64_t>(e.magnitude));
   }
   switch (e.kind) {
     case FaultKind::kEnclaveLoss:

@@ -53,6 +53,11 @@ void FleetRouter::start() {
   if (started_) return;
   for (auto& shard : shards_) shard->start();
   for (const auto& [tenant, k] : route_) shards_[k]->bind_tenant(tenant);
+  if (config_.slo_enabled) {
+    slo_ = std::make_unique<telemetry::SloMonitor>(env_.clock, config_.slo,
+                                                   "shard");
+    for (auto& shard : shards_) shard->attach_slo(slo_.get());
+  }
   if (env_.telemetry.metrics_enabled()) {
     for (std::uint32_t k = 0; k < shards_.size(); ++k) {
       shards_[k]->latency_hist = &env_.telemetry.metrics().histogram(
@@ -86,7 +91,18 @@ std::uint32_t FleetRouter::tenants_off_ring() const {
 }
 
 bool FleetRouter::submit(std::uint32_t tenant, server::Request r) {
-  Shard& shard = *shards_[shard_of(tenant)];
+  const std::uint32_t k = shard_of(tenant);
+  Shard& shard = *shards_[k];
+  // SLO enforcement: a shard the monitor holds critical stops taking new
+  // work at the router — the backlog it has is the backlog it drains.
+  // Router-level sheds are *not* recorded back into the monitor (that
+  // feedback loop would hold a critical shard critical forever on its own
+  // rejections); the shard's organic sheds/errors alone drive recovery.
+  if (config_.slo_enforce && slo_ != nullptr &&
+      slo_->health(k) == telemetry::HealthState::kCritical) {
+    ++shed_slo_;
+    return false;
+  }
   if (shard.pending() >= config_.max_shard_pending) {
     ++shed_admission_;
     return false;
@@ -158,10 +174,53 @@ void FleetRouter::attach_fault_plan(const faults::FaultPlan& plan) {
   }
 }
 
+std::optional<FleetRouter::MigrationHint> FleetRouter::migration_hint() {
+  if (slo_ == nullptr || shards_.size() < 2) return std::nullopt;
+  // Sickest shard: worst health state, ties broken by deepest backlog.
+  std::uint32_t worst = 0;
+  auto worst_h = telemetry::HealthState::kHealthy;
+  for (std::uint32_t k = 0; k < shards_.size(); ++k) {
+    const auto h = slo_->health(k);
+    if (k == 0 || h > worst_h ||
+        (h == worst_h && shards_[k]->pending() > shards_[worst]->pending())) {
+      worst = k;
+      worst_h = h;
+    }
+  }
+  if (worst_h == telemetry::HealthState::kHealthy) return std::nullopt;
+  // Healthiest other shard, ties broken by shallowest backlog.
+  std::uint32_t best = worst == 0 ? 1 : 0;
+  auto best_h = slo_->health(best);
+  for (std::uint32_t k = 0; k < shards_.size(); ++k) {
+    if (k == worst || k == best) continue;
+    const auto h = slo_->health(k);
+    if (h < best_h ||
+        (h == best_h && shards_[k]->pending() < shards_[best]->pending())) {
+      best = k;
+      best_h = h;
+    }
+  }
+  if (best_h >= worst_h) return std::nullopt;
+  // Hottest tenant resident on the sick shard.
+  std::uint32_t tenant = 0;
+  std::uint64_t hottest = 0;
+  bool found = false;
+  for (const std::uint32_t t : shards_[worst]->resident_tenants()) {
+    if (!found || accepted_by_tenant_[t] > hottest) {
+      tenant = t;
+      hottest = accepted_by_tenant_[t];
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  return MigrationHint{tenant, worst, best};
+}
+
 FleetStats FleetRouter::stats() const {
   FleetStats out;
   out.shed_admission = shed_admission_;
-  out.shed = shed_admission_;
+  out.shed_slo = shed_slo_;
+  out.shed = shed_admission_ + shed_slo_;
   out.migrations = migrations_;
   for (const auto& shard : shards_) {
     const ShardStats& s = shard->stats();
@@ -195,6 +254,7 @@ void FleetRouter::publish_metrics() {
   for (std::uint32_t k = 0; k < shards_.size(); ++k) {
     telemetry::publish_fleet_shard(m, shards_[k]->stats(), k);
   }
+  if (slo_ != nullptr) slo_->publish(m);
 }
 
 }  // namespace msv::fleet

@@ -13,11 +13,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "faults/injector.h"
 #include "fleet/ring.h"
 #include "fleet/shard.h"
+#include "telemetry/slo.h"
 
 namespace msv::fleet {
 
@@ -32,6 +34,15 @@ struct FleetConfig {
   std::size_t max_shard_pending = 256;
   ShardConfig shard;
   core::AppConfig app;
+  // Fleet health (DESIGN.md §16). slo_enabled builds a per-shard
+  // SloMonitor and wires every shard's sheds/faults/latencies into it;
+  // slo_enforce additionally closes router admission to shards the
+  // monitor holds critical. Observe-mode (enforce off) changes no
+  // routing decision and no cycle total — the monitor only reads the
+  // clock, never advances it.
+  bool slo_enabled = false;
+  bool slo_enforce = false;
+  telemetry::SloConfig slo;
 };
 
 // Aggregated across shards, plus the router's own counters.
@@ -39,6 +50,7 @@ struct FleetStats {
   std::uint64_t accepted = 0;
   std::uint64_t shed = 0;
   std::uint64_t shed_admission = 0;  // shed at the router's fleet-level cap
+  std::uint64_t shed_slo = 0;        // shed because the shard is critical
   std::uint64_t shed_recovery = 0;
   std::uint64_t shed_migrating = 0;
   std::uint64_t completed = 0;
@@ -121,6 +133,23 @@ class FleetRouter {
     return injectors_[k].get();
   }
 
+  // ---- Fleet health (DESIGN.md §16) ----
+  // Null unless config.slo_enabled.
+  telemetry::SloMonitor* slo() { return slo_.get(); }
+  const telemetry::SloMonitor* slo() const { return slo_.get(); }
+  // Migration hint: the hottest tenant of the sickest shard, pointed at
+  // the healthiest (ties: coldest) other shard. Empty when every shard is
+  // healthy, the fleet has one shard, or the SLO monitor is off. The
+  // router never acts on this by itself — migration is task-side and the
+  // operator's (or the bench harness's) call.
+  struct MigrationHint {
+    std::uint32_t tenant = 0;
+    std::uint32_t from_shard = 0;
+    std::uint32_t to_shard = 0;
+  };
+  // Non-const: evaluating health rolls the monitor's windows to now().
+  std::optional<MigrationHint> migration_hint();
+
   FleetStats stats() const;
   // Absorbs fleet + per-shard counters into the metrics registry
   // (telemetry::publish_fleet / publish_fleet_shard).
@@ -137,7 +166,9 @@ class FleetRouter {
   std::vector<std::uint64_t> accepted_by_tenant_;
   // One slot per shard; null where the plan targets nothing.
   std::vector<std::unique_ptr<faults::FaultInjector>> injectors_;
+  std::unique_ptr<telemetry::SloMonitor> slo_;
   std::uint64_t shed_admission_ = 0;
+  std::uint64_t shed_slo_ = 0;
   std::uint64_t migrations_ = 0;
   bool started_ = false;
   bool stopped_ = false;

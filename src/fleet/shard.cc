@@ -5,6 +5,8 @@
 
 #include "faults/injector.h"
 #include "support/error.h"
+#include "telemetry/flight.h"
+#include "telemetry/slo.h"
 
 namespace msv::fleet {
 
@@ -151,15 +153,18 @@ bool Shard::submit(std::uint32_t tenant, server::Request r) {
   if (recovering_) {
     ++stats_.shed;
     ++stats_.shed_recovery;
+    if (slo_ != nullptr) slo_->record_shed(shard_id_);
     return false;
   }
   if (slot.quiescing) {
     ++stats_.shed;
     ++stats_.shed_migrating;
+    if (slo_ != nullptr) slo_->record_shed(shard_id_);
     return false;
   }
   if (slot.queue.size() >= config_.max_queue_depth) {
     ++stats_.shed;
+    if (slo_ != nullptr) slo_->record_shed(shard_id_);
     return false;
   }
   if (r.arrival == 0) r.arrival = env_.clock.now();
@@ -280,11 +285,13 @@ void Shard::finish_request(Slot& slot, Pending* p) {
   env_.telemetry.tracer().end_detached(p->span);
   if (p->error) {
     ++stats_.failed;
+    if (slo_ != nullptr) slo_->record_error(shard_id_);
   } else {
     const Cycles lat = done_at - p->req.arrival;
     if (latency_hist != nullptr) latency_hist->record(lat);
     latencies_.push_back(lat);
     ++stats_.completed;
+    if (slo_ != nullptr) slo_->record_latency(shard_id_, lat);
   }
   --slot.in_flight;
   p->done = true;
@@ -334,9 +341,12 @@ void Shard::execute_batch(Slot& slot, std::vector<Pending*>& batch) {
   } catch (const sched::TaskCancelled&) {
     throw;
   } catch (const sgx::EnclaveLostError&) {
+    note_fault();
   } catch (const rmi::StaleProxyError&) {
+    note_fault();
     slot.session_generation = 0;
   } catch (const sgx::TransitionError&) {
+    note_fault();
   }
   if (batched) return;
   // Whole-batch abort before any call executed (invoke_batch's up-front
@@ -373,14 +383,17 @@ std::int64_t Shard::execute_with_retry(Slot& slot, Pending& p) {
                                                "getBalance", {});
       return result.type() == rt::ValueType::kI32 ? result.as_i32() : 0;
     } catch (const sgx::EnclaveLostError&) {
+      note_fault();
       if (!rc.enabled) throw;
     } catch (const rmi::StaleProxyError&) {
+      note_fault();
       // The session itself is what went stale (fenced by a promotion this
       // worker raced, or minted under a dead incarnation): force its
       // rebuild on the next attempt even if no global recovery runs.
       slot.session_generation = 0;
       if (!rc.enabled) throw;
     } catch (const sgx::TransitionError&) {
+      note_fault();
       if (!rc.enabled) throw;
     }
     ++attempt;
@@ -414,10 +427,24 @@ std::int64_t Shard::execute_with_retry(Slot& slot, Pending& p) {
 // ---------------------------------------------------------------------------
 // Recovery
 
+void Shard::note_fault() {
+  ++stats_.fault_errors;
+  if (stats_.first_fault_seen_cycles == 0) {
+    stats_.first_fault_seen_cycles = env_.clock.now();
+  }
+  // Recorded at the catch site — before ensure_recovered() can run the
+  // ladder — so the SLO monitor's health flip is never later than the
+  // failover it predicts (the fig_fleet degraded-before-ladder gate).
+  if (slo_ != nullptr) slo_->record_error(shard_id_);
+}
+
 void Shard::ensure_recovered() {
   while (recovering_) recovery_done_.wait();
   if (active_app().enclave().state() != sgx::EnclaveState::kLost) return;
   recovering_ = true;
+  if (stats_.first_recovery_started_cycles == 0) {
+    stats_.first_recovery_started_cycles = env_.clock.now();
+  }
   const Cycles t0 = env_.clock.now();
   try {
     telemetry::SpanScope span(env_.telemetry.tracer(),
@@ -442,12 +469,16 @@ void Shard::ensure_recovered() {
   stats_.recovery_cycles += stats_.last_recovery_cycles;
   recovering_ = false;
   recovery_done_.notify_all();
+  // A new authority (or freshly re-measured enclave) starts with a clean
+  // error budget: the outage is the old incarnation's debt.
+  if (slo_ != nullptr) slo_->note_epoch(shard_id_, authority_epoch_);
 }
 
 void Shard::promote_standby() {
   MSV_CHECK_MSG(!recovering_, "promotion while a recovery is in flight");
   MSV_CHECK_MSG(standby_ready_, "no warm standby to promote");
   promote_standby_locked();
+  if (slo_ != nullptr) slo_->note_epoch(shard_id_, authority_epoch_);
 }
 
 void Shard::promote_standby_locked() {
@@ -467,6 +498,17 @@ void Shard::promote_standby_locked() {
   ++authority_epoch_;
   ++generation_;
   ++stats_.promotions;
+  // Freeze the demoted enclave's flight ring: the post-mortem shows what
+  // the old authority was doing when it stopped being the authority.
+  if (telemetry::FlightBus* bus = env_.telemetry.flight()) {
+    bus->recorder(apps_[demoted]->enclave().name())
+        .record(telemetry::FlightEventKind::kLifecycle, "shard.promote",
+                static_cast<std::int64_t>(shard_id_),
+                static_cast<std::int64_t>(authority_epoch_));
+    bus->snapshot(apps_[demoted]->enclave().name(), "promotion",
+                  {{"shard", std::to_string(shard_id_)},
+                   {"authority_epoch", std::to_string(authority_epoch_)}});
+  }
   // The replica's streamed copies are the blobs the new authority actually
   // holds; adopt them as the authoritative checkpoints.
   for (auto& sp : slots_) {

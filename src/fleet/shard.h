@@ -44,6 +44,10 @@ namespace msv::faults {
 class FaultInjector;
 }
 
+namespace msv::telemetry {
+class SloMonitor;  // telemetry/slo.h
+}
+
 namespace msv::fleet {
 
 struct ShardConfig {
@@ -80,6 +84,12 @@ struct ShardStats {
   Cycles recovery_cycles = 0;          // total serving-stall across recoveries
   Cycles last_recovery_cycles = 0;
   std::size_t max_queue_depth = 0;
+  // Health timeline (DESIGN.md §16): recoverable faults workers caught,
+  // and the instants the bench gate compares ("the SLO monitor must flag
+  // the shard degraded no later than the ladder fires").
+  std::uint64_t fault_errors = 0;
+  Cycles first_fault_seen_cycles = 0;        // first caught recoverable fault
+  Cycles first_recovery_started_cycles = 0;  // first ladder activation
 };
 
 class Shard {
@@ -154,6 +164,13 @@ class Shard {
   // follows the authority across promotions (retarget + re-attach).
   void attach_injector(faults::FaultInjector* injector);
 
+  // SLO wiring (DESIGN.md §16): sheds, caught recoverable faults and
+  // completion latencies feed the monitor keyed by shard id. Faults are
+  // recorded at the *catch* site — before the recovery ladder runs — so
+  // the health state machine flips degraded no later than the failover
+  // starts. nullptr detaches; every record site is one pointer test.
+  void attach_slo(telemetry::SloMonitor* slo) { slo_ = slo; }
+
   const ShardStats& stats() const { return stats_; }
   // Completed-request latencies, shard-wide, in completion order.
   const std::vector<Cycles>& latencies() const { return latencies_; }
@@ -203,6 +220,8 @@ class Shard {
   // park on recovery_done_ and admission sheds meanwhile.
   void ensure_recovered();
   void promote_standby_locked();
+  // Catch-site bookkeeping for a recoverable fault (SLO + timeline).
+  void note_fault();
   // Lazy per-tenant session build: fresh, or from the sealed checkpoint.
   void prepare_slot(Slot& slot);
   void maybe_checkpoint(Slot& slot);
@@ -230,6 +249,7 @@ class Shard {
   sched::WaitQueue work_available_;
   sched::WaitQueue recovery_done_;
   faults::FaultInjector* injector_ = nullptr;
+  telemetry::SloMonitor* slo_ = nullptr;
   ShardStats stats_;
   std::vector<Cycles> latencies_;
 };

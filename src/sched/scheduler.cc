@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "support/error.h"
+#include "telemetry/sampler.h"
 
 // ASan cannot follow swapcontext on its own: each fiber's stack must be
 // announced around every switch or the tool reports false stack-overflow /
@@ -149,6 +150,8 @@ void Scheduler::run() {
       stats_.idle_advanced_cycles += next - env_.clock.now();
       // May fire VirtualClock timers; the loop re-examines queues after.
       env_.clock.advance(next - env_.clock.now());
+      // Ticks crossed by the idle jump belong to nobody's stack.
+      if (sampler_ != nullptr) sampler_->poll_label("(idle)");
       continue;
     }
     if (live_nondaemon_ == 0) break;
@@ -255,6 +258,7 @@ void Scheduler::switch_out(Task& t) {
 }
 
 void Scheduler::exit_task(Task& t) {
+  poll_sampler();  // the task's final charge segment, before teardown
   t.state = Task::State::kFinished;
   ++stats_.completed;
   --live_total_;
@@ -297,6 +301,15 @@ void Scheduler::trampoline() {
   s->exit_task(*t);
 }
 
+void Scheduler::poll_sampler() {
+  if (sampler_ == nullptr || !sampler_->due()) return;
+  if (current_ == kNoTask) {
+    sampler_->poll_label("(main)");
+  } else {
+    sampler_->poll_task(current_, current_task().name);
+  }
+}
+
 void Scheduler::run_suspend_hook() {
   if (!suspend_hook_ || in_suspend_hook_ || current_ == kNoTask) return;
   in_suspend_hook_ = true;
@@ -310,6 +323,7 @@ void Scheduler::run_suspend_hook() {
 }
 
 void Scheduler::yield() {
+  poll_sampler();
   run_suspend_hook();
   Task& t = current_task();
   t.state = Task::State::kReady;
@@ -318,6 +332,7 @@ void Scheduler::yield() {
 }
 
 void Scheduler::sleep_until(Cycles deadline) {
+  poll_sampler();
   run_suspend_hook();
   Task& t = current_task();
   ++stats_.sleeps;
@@ -354,6 +369,7 @@ void Scheduler::join(TaskId id) {
 }
 
 void Scheduler::suspend() {
+  poll_sampler();
   run_suspend_hook();
   Task& t = current_task();
   if (t.wake_pending) {

@@ -36,6 +36,10 @@
 
 #include "sim/env.h"
 
+namespace msv::telemetry {
+class SampleProfiler;  // telemetry/sampler.h
+}
+
 namespace msv::sched {
 
 using TaskId = std::uint64_t;
@@ -124,6 +128,17 @@ class Scheduler {
     suspend_hook_ = std::move(hook);
   }
 
+  // Sampling-profiler hook (telemetry/sampler.h). The scheduler owns
+  // every point where simulated time is charged between context changes,
+  // so it polls the profiler at each voluntary suspension point and task
+  // exit (ticks attributed to the suspending task + its open span path)
+  // and after every idle clock advance (attributed to "(idle)").
+  // Detached = one pointer test per site; the profiler never advances
+  // the clock, so attaching it cannot change simulated totals.
+  void set_sampler(telemetry::SampleProfiler* sampler) {
+    sampler_ = sampler;
+  }
+
   bool in_task() const { return current_ != kNoTask; }
   TaskId current() const { return current_; }
   bool finished(TaskId id) const;
@@ -148,6 +163,7 @@ class Scheduler {
   void make_ready(Task& t);
   void finishd(Task& t);             // bookkeeping when a task ends
   void run_suspend_hook();           // guarded; no-op outside tasks
+  void poll_sampler();               // one pointer test when detached
   bool promote_due_sleepers();
   // Earliest valid sleeper deadline, or false if none.
   bool next_deadline(Cycles* out);
@@ -176,6 +192,7 @@ class Scheduler {
   bool cancelling_ = false;
   std::function<void()> suspend_hook_;
   bool in_suspend_hook_ = false;
+  telemetry::SampleProfiler* sampler_ = nullptr;
   SchedulerStats stats_;
 
   // Main-context bookkeeping for swapcontext / ASan fiber annotations.

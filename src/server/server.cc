@@ -4,6 +4,7 @@
 
 #include "faults/injector.h"
 #include "support/error.h"
+#include "telemetry/slo.h"
 
 namespace msv::server {
 
@@ -116,11 +117,13 @@ bool RequestServer::submit(std::uint32_t tenant_id, Request r) {
   if (config_.recovery.enabled && recovering_) {
     ++ten.stats.shed;
     ++ten.stats.shed_recovery;
+    if (slo_ != nullptr) slo_->record_shed(tenant_id);
     return false;
   }
   if (queue_full(ten)) {
     if (config_.shed_on_full) {
       ++ten.stats.shed;
+      if (slo_ != nullptr) slo_->record_shed(tenant_id);
       return false;
     }
     MSV_CHECK_MSG(sched_.in_task(),
@@ -222,20 +225,22 @@ void RequestServer::worker_loop(std::uint32_t t) {
         p->error = std::current_exception();
       }
     }
-    finish_request(ten, p);
+    finish_request(t, ten, p);
   }
 }
 
-void RequestServer::finish_request(Tenant& ten, Pending* p) {
+void RequestServer::finish_request(std::uint32_t t, Tenant& ten, Pending* p) {
   const Cycles done_at = env_.clock.now();
   env_.telemetry.tracer().end_detached(p->span);
   if (p->error) {
     // Failed requests are availability losses, not latency samples.
     ++ten.stats.failed;
+    if (slo_ != nullptr) slo_->record_error(t);
   } else {
     if (ten.latency_hist != nullptr) {
       ten.latency_hist->record(done_at - p->req.arrival);
     }
+    if (slo_ != nullptr) slo_->record_latency(t, done_at - p->req.arrival);
     ten.latencies.push_back(done_at - p->req.arrival);
     ten.completion_times.push_back(done_at);
     ++ten.stats.completed;
@@ -288,7 +293,7 @@ void RequestServer::execute_batch(std::uint32_t t, Tenant& ten,
         p->error =
             std::make_exception_ptr(RuntimeFault(outcomes[i].error));
       }
-      finish_request(ten, p);
+      finish_request(t, ten, p);
     }
     batched = true;
   } catch (const sched::TaskCancelled&) {
@@ -314,7 +319,7 @@ void RequestServer::execute_batch(std::uint32_t t, Tenant& ten,
     } catch (...) {
       p->error = std::current_exception();
     }
-    finish_request(ten, p);
+    finish_request(t, ten, p);
   }
 }
 

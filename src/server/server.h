@@ -42,6 +42,10 @@ namespace msv::faults {
 class FaultInjector;
 }
 
+namespace msv::telemetry {
+class SloMonitor;  // telemetry/slo.h
+}
+
 namespace msv::server {
 
 // A request that ran out of retry budget: either max_attempts faults in a
@@ -174,6 +178,12 @@ class RequestServer {
   // Attach the injector to the bridge separately. Call before start().
   void attach_fault_injector(faults::FaultInjector& injector);
 
+  // Per-tenant SLO wiring (DESIGN.md §16): completion latencies, sheds
+  // and failures feed the monitor keyed by tenant id. nullptr detaches;
+  // every record site is one pointer test, so a server without a monitor
+  // is cycle-identical to the pre-SLO server.
+  void attach_slo(telemetry::SloMonitor* slo) { slo_ = slo; }
+
   // Enclave restarts performed by the recovery path.
   std::uint64_t restarts() const { return restarts_; }
   bool recovering() const { return recovering_; }
@@ -245,7 +255,7 @@ class RequestServer {
   // Completion bookkeeping shared by the single and coalesced paths:
   // closes the request span, records latency or failure, releases the
   // descriptor and wakes a closed-loop waiter.
-  void finish_request(Tenant& ten, Pending* p);
+  void finish_request(std::uint32_t t, Tenant& ten, Pending* p);
   // Executes a drained swing of >=2 requests as one batched transition;
   // a transition-level fault aborts the batch before any call executes
   // and the requests fall back to the per-request retry ladder.
@@ -268,6 +278,7 @@ class RequestServer {
   std::vector<std::unique_ptr<Tenant>> tenants_;
   sgx::SealingPlatform sealer_;
   sched::WaitQueue recovery_done_;
+  telemetry::SloMonitor* slo_ = nullptr;
   std::uint64_t restarts_ = 0;
   bool recovering_ = false;
   bool started_ = false;

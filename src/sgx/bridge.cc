@@ -3,6 +3,7 @@
 #include "faults/injector.h"
 #include "sched/scheduler.h"
 #include "support/error.h"
+#include "telemetry/flight.h"
 
 namespace msv::sgx {
 
@@ -195,6 +196,18 @@ void TransitionBridge::call(CallId id, const ByteBuffer& request,
   // close, transition failures throw). Enclave-loss events are deferred to
   // the mid-ecall poll in execute_call.
   if (injector_ != nullptr) injector_->on_transition_start();
+
+  // Flight ring (DESIGN.md §16): every transition leaves a breadcrumb in
+  // the enclave's bounded ring so a post-mortem shows what crossed the
+  // boundary right before a loss. Disarmed = one pointer test.
+  if (telemetry::FlightBus* bus = env_.telemetry.flight()) {
+    if (flight_rec_ == nullptr) {
+      flight_rec_ = &bus->recorder(enclave_.name());
+    }
+    flight_rec_->record(telemetry::FlightEventKind::kBridge, names_[id],
+                        static_cast<std::int64_t>(request.size()),
+                        is_ecall ? 1 : 0);
+  }
 
   // Transition span: covers handshake, TCS acquisition, copies and the
   // handler — including the parked wait on the ring path (the span lives

@@ -48,6 +48,10 @@ namespace msv::faults {
 class FaultInjector;
 }
 
+namespace msv::telemetry {
+class FlightRecorder;  // telemetry/flight.h
+}
+
 namespace msv::sgx {
 
 // Dense index assigned at registration; the ordinal of the Edger8r table.
@@ -244,6 +248,10 @@ class TransitionBridge {
   mutable std::map<std::uint64_t, CallCtx> task_ctxs_;
   sched::Scheduler* sched_ = nullptr;
   faults::FaultInjector* injector_ = nullptr;
+  // Flight-recorder ring for this enclave, resolved lazily on the first
+  // call with a bus armed (telemetry.flight()); nullptr otherwise, so the
+  // disarmed cost is one pointer test per transition.
+  telemetry::FlightRecorder* flight_rec_ = nullptr;
   std::unique_ptr<SwitchlessRing> ecall_ring_;
   std::unique_ptr<SwitchlessRing> ocall_ring_;
   bool workers_running_ = false;

@@ -1,6 +1,7 @@
 #include "sgx/enclave.h"
 
 #include "support/error.h"
+#include "telemetry/flight.h"
 
 namespace msv::sgx {
 
@@ -41,8 +42,22 @@ void Enclave::mark_lost() {
   MSV_CHECK_MSG(state_ == EnclaveState::kInitialized ||
                     state_ == EnclaveState::kLost,
                 "only a running enclave can be lost");
-  if (state_ != EnclaveState::kLost) ++lost_count_;
+  const bool first = state_ != EnclaveState::kLost;
+  if (first) ++lost_count_;
   state_ = EnclaveState::kLost;
+  // Freeze the flight ring the instant the enclave dies — by the time the
+  // recovery ladder runs, the ring would already be full of recovery
+  // traffic. One pointer test when no bus is armed.
+  if (telemetry::FlightBus* bus = env_.telemetry.flight();
+      bus != nullptr && first) {
+    bus->recorder(name_).record(telemetry::FlightEventKind::kLifecycle,
+                                "enclave.lost",
+                                static_cast<std::int64_t>(epoch_),
+                                static_cast<std::int64_t>(lost_count_));
+    bus->snapshot(name_, "enclave_lost",
+                  {{"epoch", std::to_string(epoch_)},
+                   {"lost_count", std::to_string(lost_count_)}});
+  }
 }
 
 void Enclave::restart(const Sha256::Digest& expected) {
@@ -61,6 +76,15 @@ void Enclave::restart(const Sha256::Digest& expected) {
   }
   state_ = EnclaveState::kInitialized;
   ++epoch_;
+  if (telemetry::FlightBus* bus = env_.telemetry.flight()) {
+    bus->recorder(name_).record(telemetry::FlightEventKind::kLifecycle,
+                                "enclave.restart",
+                                static_cast<std::int64_t>(epoch_),
+                                static_cast<std::int64_t>(lost_count_));
+    bus->snapshot(name_, "restart",
+                  {{"epoch", std::to_string(epoch_)},
+                   {"lost_count", std::to_string(lost_count_)}});
+  }
 }
 
 std::uint64_t EnclaveDomain::register_region(const std::string&) {

@@ -127,6 +127,7 @@ void publish_fleet(MetricsRegistry& m, const fleet::FleetStats& s) {
   set(m, "msv_fleet_accepted", s.accepted);
   set(m, "msv_fleet_shed", s.shed);
   set(m, "msv_fleet_shed_admission", s.shed_admission);
+  set(m, "msv_fleet_shed_slo", s.shed_slo);
   set(m, "msv_fleet_shed_recovery", s.shed_recovery);
   set(m, "msv_fleet_shed_migrating", s.shed_migrating);
   set(m, "msv_fleet_completed", s.completed);
@@ -164,6 +165,14 @@ void publish_tracer_self(MetricsRegistry& m, const Tracer& tracer) {
   set(m, "msv_telemetry_spans_recorded", tracer.spans().size());
   set(m, "msv_telemetry_spans_started", tracer.started());
   set(m, "msv_telemetry_spans_dropped", tracer.dropped());
+  // Ring-wrap accounting per subsystem: every category is exported (zeros
+  // included) so a scrape can always tell "nothing dropped" from "metric
+  // missing", and check_trace.py can assert the sum matches.
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    const auto cat = static_cast<Category>(c);
+    set(m, "msv_trace_dropped", tracer.dropped_in(cat),
+        {{"category", category_name(cat)}});
+  }
 }
 
 }  // namespace msv::telemetry

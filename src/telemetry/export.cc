@@ -46,6 +46,68 @@ std::string format_value(double v) {
   return buf;
 }
 
+// Prometheus exposition escaping for label values: backslash, double
+// quote and newline (exposition-format spec §"Escaping").
+std::string escape_label_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// HELP text only escapes backslash and newline (no quote).
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Exposition-format rendering of name + labels. Unlike the registry's
+// canonical render_metric_key (which is a *map key* and must stay
+// byte-stable against old BENCH baselines), this escapes label values.
+std::string exposition_key(const std::string& name, const LabelSet& labels) {
+  if (labels.empty()) return name;
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += "=\"";
+    key += escape_label_value(sorted[i].second);
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
 }  // namespace
 
 std::string chrome_trace_json(const Tracer& tracer, double hz) {
@@ -102,7 +164,15 @@ std::string chrome_trace_json(const Tracer& tracer, double hz) {
   out += "\"clock_hz\":" + format_value(hz);
   out += ",\"span_count\":" + std::to_string(tracer.spans().size());
   out += ",\"dropped_spans\":" + std::to_string(tracer.dropped());
-  out += "}}\n";
+  out += ",\"dropped_by_category\":{";
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    if (c > 0) out += ',';
+    out += '"';
+    out += category_name(static_cast<Category>(c));
+    out += "\":";
+    out += std::to_string(tracer.dropped_in(static_cast<Category>(c)));
+  }
+  out += "}}}\n";
   return out;
 }
 
@@ -155,6 +225,37 @@ std::string folded_stacks(const Tracer& tracer) {
   return out;
 }
 
+std::string metric_help(const std::string& name) {
+  // Curated help for the families the repo exports; the fallback keeps
+  // the exposition conformant (every family gets a # HELP line) and
+  // deterministic for families added by tests or future subsystems.
+  static const std::map<std::string, std::string> kHelp = {
+      {"msv_bridge_calls", "Bridge transitions per registered call"},
+      {"msv_bridge_cycles", "Simulated cycles spent in bridge transitions"},
+      {"msv_fleet_request_latency_cycles",
+       "Per-shard request latency (simulated cycles)"},
+      {"msv_flight_events_total",
+       "Flight-recorder events recorded per enclave ring"},
+      {"msv_flight_evicted_total",
+       "Flight-recorder events evicted by ring wrap"},
+      {"msv_flight_postmortems", "Post-mortem snapshots taken this run"},
+      {"msv_profile_samples", "Virtual-clock profiler samples taken"},
+      {"msv_profile_stacks", "Distinct folded stacks seen by the profiler"},
+      {"msv_slo_health",
+       "SLO health state per key (0=healthy 1=degraded 2=critical)"},
+      {"msv_slo_degraded_total", "Transitions into the degraded state"},
+      {"msv_slo_critical_total", "Transitions into the critical state"},
+      {"msv_telemetry_spans_recorded", "Spans stored in the trace ring"},
+      {"msv_telemetry_spans_started", "Spans started (stored + dropped)"},
+      {"msv_telemetry_spans_dropped", "Spans dropped by trace-ring wrap"},
+      {"msv_trace_dropped",
+       "Spans dropped by trace-ring wrap, by span category"},
+  };
+  const auto it = kHelp.find(name);
+  if (it != kHelp.end()) return it->second;
+  return "Simulated metric from the montsalvat telemetry registry";
+}
+
 std::string prometheus_text(const MetricsRegistry& metrics) {
   static const std::pair<const char*, double> kQuantiles[] = {
       {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}};
@@ -164,6 +265,11 @@ std::string prometheus_text(const MetricsRegistry& metrics) {
   for (const auto& [key, entry] : metrics.sorted_entries()) {
     if (entry->name != last_name) {
       last_name = entry->name;
+      out += "# HELP ";
+      out += entry->name;
+      out += ' ';
+      out += escape_help(metric_help(entry->name));
+      out += '\n';
       out += "# TYPE ";
       out += entry->name;
       switch (entry->kind) {
@@ -180,13 +286,13 @@ std::string prometheus_text(const MetricsRegistry& metrics) {
     }
     switch (entry->kind) {
       case MetricsRegistry::Kind::kCounter:
-        out += key;
+        out += exposition_key(entry->name, entry->labels);
         out += ' ';
         out += std::to_string(entry->counter.value);
         out += '\n';
         break;
       case MetricsRegistry::Kind::kGauge:
-        out += key;
+        out += exposition_key(entry->name, entry->labels);
         out += ' ';
         out += format_value(entry->gauge.value);
         out += '\n';
@@ -196,16 +302,16 @@ std::string prometheus_text(const MetricsRegistry& metrics) {
         for (const auto& [label, q] : kQuantiles) {
           LabelSet labels = entry->labels;
           labels.emplace_back("quantile", label);
-          out += render_metric_key(entry->name, labels);
+          out += exposition_key(entry->name, labels);
           out += ' ';
           out += std::to_string(h.quantile(q));
           out += '\n';
         }
-        out += render_metric_key(entry->name + "_count", entry->labels);
+        out += exposition_key(entry->name + "_count", entry->labels);
         out += ' ';
         out += std::to_string(h.count());
         out += '\n';
-        out += render_metric_key(entry->name + "_sum", entry->labels);
+        out += exposition_key(entry->name + "_sum", entry->labels);
         out += ' ';
         out += std::to_string(h.sum());
         out += '\n';

@@ -10,7 +10,9 @@
 //   * folded_stacks — flamegraph.pl / speedscope "folded" text: one line
 //     per unique span path with the summed *exclusive* cycles (children
 //     subtracted), sorted lexicographically.
-//   * prometheus_text — Prometheus exposition text. Histograms emit
+//   * prometheus_text — Prometheus exposition text, conformant with the
+//     exposition-format spec: # HELP + # TYPE per family, label values
+//     escaped (backslash, double-quote, newline), histograms emitting
 //     _count, _sum and quantile-labelled lines (0.5 / 0.9 / 0.99 /
 //     0.999), which tools/bench_to_json folds into BENCH_*.json.
 #pragma once
@@ -26,6 +28,10 @@ std::string chrome_trace_json(const Tracer& tracer, double hz);
 std::string folded_stacks(const Tracer& tracer);
 
 std::string prometheus_text(const MetricsRegistry& metrics);
+
+// Help text for a metric family (the # HELP line). Families this repo
+// exports get a curated line; anything else a deterministic fallback.
+std::string metric_help(const std::string& name);
 
 // An ASCII rendering of the recorded spans of one trace tree (indent =
 // depth, bar = position/extent on the simulated timeline). The

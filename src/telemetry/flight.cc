@@ -1,0 +1,225 @@
+#include "telemetry/flight.h"
+
+#include <algorithm>
+
+#include "support/stats.h"
+
+namespace msv::telemetry {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(ch >> 4) & 0xf];
+          out += kHex[ch & 0xf];
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string quoted(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+}  // namespace
+
+const char* flight_event_kind_name(FlightEventKind k) {
+  switch (k) {
+    case FlightEventKind::kLifecycle:
+      return "lifecycle";
+    case FlightEventKind::kBridge:
+      return "bridge";
+    case FlightEventKind::kFault:
+      return "fault";
+    case FlightEventKind::kSched:
+      return "sched";
+    case FlightEventKind::kMetric:
+      return "metric";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::record(FlightEventKind kind, const std::string& name,
+                            std::int64_t a, std::int64_t b) {
+  ++recorded_;
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++evicted_;
+  }
+  FlightEvent ev;
+  ev.at = clock_->now();
+  ev.kind = kind;
+  ev.name = name;
+  ev.a = a;
+  ev.b = b;
+  events_.push_back(std::move(ev));
+}
+
+FlightBus::FlightBus(Telemetry& telemetry, std::size_t ring_capacity,
+                     std::size_t span_tail)
+    : telemetry_(&telemetry),
+      ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      span_tail_(span_tail) {}
+
+FlightRecorder& FlightBus::recorder(const std::string& enclave) {
+  auto it = recorders_.find(enclave);
+  if (it == recorders_.end()) {
+    it = recorders_
+             .emplace(enclave,
+                      FlightRecorder(telemetry_->clock(), ring_capacity_))
+             .first;
+  }
+  return it->second;
+}
+
+const FlightRecorder* FlightBus::find(const std::string& enclave) const {
+  const auto it = recorders_.find(enclave);
+  return it == recorders_.end() ? nullptr : &it->second;
+}
+
+const PostMortem& FlightBus::snapshot(
+    const std::string& enclave, const std::string& reason,
+    std::vector<std::pair<std::string, std::string>> extra) {
+  const FlightRecorder& rec = recorder(enclave);
+  PostMortem pm;
+  pm.seq = next_seq_++;
+  pm.enclave = enclave;
+  pm.reason = reason;
+  pm.at = telemetry_->clock().now();
+  pm.ring_recorded = rec.recorded();
+  pm.ring_evicted = rec.evicted();
+  pm.extra = std::move(extra);
+  pm.events.assign(rec.events().begin(), rec.events().end());
+
+  // Tracer tail: the most recent spans (stored order is allocation order,
+  // so the back of the deque is the freshest history).
+  const Tracer& tr = telemetry_->tracer();
+  const auto& spans = tr.spans();
+  const std::size_t n = std::min(span_tail_, spans.size());
+  for (std::size_t i = spans.size() - n; i < spans.size(); ++i) {
+    const SpanRecord& r = spans[i];
+    PostMortem::SpanTail t;
+    t.name = tr.name(r.name);
+    t.category = category_name(r.category);
+    t.tenant = r.tenant;
+    t.tid = r.tid;
+    t.start = r.start;
+    t.end = r.end;
+    t.open = r.open;
+    pm.recent_spans.push_back(std::move(t));
+  }
+
+  // Registry snapshot: whatever is live mid-run (per-shard latency
+  // histograms, resolved hot-path counters). Canonical-key order.
+  for (const auto& [key, entry] : telemetry_->metrics().sorted_entries()) {
+    std::string value;
+    switch (entry->kind) {
+      case MetricsRegistry::Kind::kCounter:
+        value = std::to_string(entry->counter.value);
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        value = format_fixed(entry->gauge.value, 3);
+        break;
+      case MetricsRegistry::Kind::kHistogram:
+        value = "count=" + std::to_string(entry->histogram.count()) +
+                ",sum=" + std::to_string(entry->histogram.sum()) +
+                ",p99=" + std::to_string(entry->histogram.quantile(0.99));
+        break;
+    }
+    pm.metrics.emplace_back(key, std::move(value));
+  }
+
+  archive_.push_back(std::move(pm));
+  return archive_.back();
+}
+
+std::string FlightBus::bundle_json(double hz) const {
+  std::string out;
+  out += "{\n";
+  out += "  \"format\": \"msv-postmortem-v1\",\n";
+  out += "  \"clock_hz\": " +
+         std::to_string(static_cast<std::uint64_t>(hz)) + ",\n";
+  out += "  \"ring_capacity\": " + std::to_string(ring_capacity_) + ",\n";
+  out += "  \"postmortems\": [";
+  for (std::size_t p = 0; p < archive_.size(); ++p) {
+    const PostMortem& pm = archive_[p];
+    out += p == 0 ? "\n" : ",\n";
+    out += "    {\"seq\": " + std::to_string(pm.seq);
+    out += ", \"enclave\": " + quoted(pm.enclave);
+    out += ", \"reason\": " + quoted(pm.reason);
+    out += ", \"at_cycles\": " + std::to_string(pm.at);
+    out += ", \"ring_recorded\": " + std::to_string(pm.ring_recorded);
+    out += ", \"ring_evicted\": " + std::to_string(pm.ring_evicted);
+    out += ",\n     \"extra\": {";
+    for (std::size_t i = 0; i < pm.extra.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += quoted(pm.extra[i].first) + ": " + quoted(pm.extra[i].second);
+    }
+    out += "},\n     \"events\": [";
+    for (std::size_t i = 0; i < pm.events.size(); ++i) {
+      const FlightEvent& ev = pm.events[i];
+      if (i > 0) out += ", ";
+      out += "{\"at\": " + std::to_string(ev.at);
+      out += ", \"kind\": " +
+             quoted(flight_event_kind_name(ev.kind));
+      out += ", \"name\": " + quoted(ev.name);
+      out += ", \"a\": " + std::to_string(ev.a);
+      out += ", \"b\": " + std::to_string(ev.b) + "}";
+    }
+    out += "],\n     \"recent_spans\": [";
+    for (std::size_t i = 0; i < pm.recent_spans.size(); ++i) {
+      const PostMortem::SpanTail& t = pm.recent_spans[i];
+      if (i > 0) out += ", ";
+      out += "{\"name\": " + quoted(t.name);
+      out += ", \"category\": " + quoted(t.category);
+      out += ", \"tenant\": " + std::to_string(t.tenant);
+      out += ", \"tid\": " + std::to_string(t.tid);
+      out += ", \"start\": " + std::to_string(t.start);
+      out += ", \"end\": " + std::to_string(t.end);
+      out += std::string(", \"open\": ") + (t.open ? "true" : "false") + "}";
+    }
+    out += "],\n     \"metrics\": {";
+    for (std::size_t i = 0; i < pm.metrics.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += quoted(pm.metrics[i].first) + ": " + quoted(pm.metrics[i].second);
+    }
+    out += "}}";
+  }
+  out += archive_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+void FlightBus::publish(MetricsRegistry& m) const {
+  for (const auto& [name, rec] : recorders_) {
+    const LabelSet labels = {{"enclave", name}};
+    m.counter("msv_flight_events_total", labels).value = rec.recorded();
+    m.counter("msv_flight_evicted_total", labels).value = rec.evicted();
+  }
+  m.counter("msv_flight_postmortems").value = archive_.size();
+}
+
+}  // namespace msv::telemetry

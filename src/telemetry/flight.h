@@ -1,0 +1,155 @@
+// Always-on bounded flight recorder + post-mortem bundles (DESIGN.md §16).
+//
+// Full tracing answers "what happened?" only while its span ring lasts;
+// on a long fleet run the ring wraps long before the interesting failure.
+// An aircraft-style flight recorder inverts the trade: each enclave owns
+// a tiny bounded ring of coarse events (bridge transitions, injected
+// faults, lifecycle edges, scheduler activity, metric deltas) that is
+// *always* cheap enough to leave armed, and the moment the enclave is
+// lost / promoted / restarted the ring is frozen into a PostMortem
+// snapshot together with the tracer's recent-span tail and a metrics
+// snapshot. The collected snapshots render as one self-contained JSON
+// bundle (`bundle_json`) that tools/msvmon pretty-prints — forensics for
+// a failure that happened megacycles before the run ended.
+//
+// Disarmed path: Telemetry carries a nullable FlightBus pointer; every
+// instrumentation site is a single pointer test when no bus is attached,
+// and the recorder never advances the virtual clock, so fault-off
+// baselines stay byte-identical (tier-1 asserts this).
+//
+// Determinism: events are stamped with virtual cycles, rings and
+// snapshot sequence numbers are per-run counters, and the bundle is
+// rendered from sorted containers — two runs at a seed emit byte-equal
+// bundles.
+//
+// Depends only on support/clock.h + telemetry.h (no sim/, sgx/, sched/).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/clock.h"
+#include "telemetry/telemetry.h"
+
+namespace msv::telemetry {
+
+enum class FlightEventKind : std::uint8_t {
+  kLifecycle = 0,  // enclave created / lost / restarted / promoted
+  kBridge,         // an ecall/ocall transition through this enclave
+  kFault,          // an injected fault applied to this enclave
+  kSched,          // scheduler activity attributed to the enclave's work
+  kMetric,         // a metric delta worth keeping (e.g. bytes copied)
+};
+
+const char* flight_event_kind_name(FlightEventKind k);
+
+struct FlightEvent {
+  Cycles at = 0;
+  FlightEventKind kind = FlightEventKind::kLifecycle;
+  std::string name;     // e.g. "ecall_invoke", "fault.enclave_loss"
+  std::int64_t a = 0;   // kind-specific payload (bytes, epoch, slot, ...)
+  std::int64_t b = 0;
+};
+
+// One bounded ring per enclave. Eviction is strictly FIFO; `evicted()`
+// counts what the ring forgot so post-mortems are honest about coverage.
+class FlightRecorder {
+ public:
+  FlightRecorder(const VirtualClock& clock, std::size_t capacity)
+      : clock_(&clock), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(FlightEventKind kind, const std::string& name,
+              std::int64_t a = 0, std::int64_t b = 0);
+
+  const std::deque<FlightEvent>& events() const { return events_; }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t evicted() const { return evicted_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const VirtualClock* clock_;
+  std::size_t capacity_;
+  std::deque<FlightEvent> events_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+// A frozen snapshot: what the ring + tracer + registry knew at the
+// moment an enclave was lost / promoted / restarted.
+struct PostMortem {
+  std::uint64_t seq = 0;  // per-run snapshot ordinal (deterministic)
+  std::string enclave;
+  std::string reason;  // "enclave_lost" | "promotion" | "restart" | ...
+  Cycles at = 0;
+  std::uint64_t ring_recorded = 0;
+  std::uint64_t ring_evicted = 0;
+  // Caller-supplied context (authority epoch, pending queue depth, ...),
+  // kept in insertion order.
+  std::vector<std::pair<std::string, std::string>> extra;
+  std::vector<FlightEvent> events;  // the frozen ring, oldest first
+  // Tracer tail: the most recent spans at snapshot time, names resolved
+  // (the bundle must stay self-contained — no interning table needed).
+  struct SpanTail {
+    std::string name;
+    const char* category = "";
+    std::int32_t tenant = -1;
+    std::uint64_t tid = 0;
+    Cycles start = 0;
+    Cycles end = 0;
+    bool open = true;
+  };
+  std::vector<SpanTail> recent_spans;
+  // Registry snapshot: canonical key -> rendered value. Histograms render
+  // as count/sum/p99 so latency shape survives into the post-mortem.
+  std::vector<std::pair<std::string, std::string>> metrics;
+};
+
+// The per-Env registry of recorders plus the snapshot archive. Attach to
+// Telemetry (set_flight) to arm; instrumentation sites reach it through
+// telemetry.flight() with a single pointer test.
+class FlightBus {
+ public:
+  explicit FlightBus(Telemetry& telemetry, std::size_t ring_capacity = 256,
+                     std::size_t span_tail = 32);
+
+  FlightBus(const FlightBus&) = delete;
+  FlightBus& operator=(const FlightBus&) = delete;
+
+  // Creates the ring on first use (deterministic: keyed by name).
+  FlightRecorder& recorder(const std::string& enclave);
+  // nullptr when the enclave never recorded anything.
+  const FlightRecorder* find(const std::string& enclave) const;
+
+  // Freezes `enclave`'s ring (plus tracer tail + metrics snapshot) into
+  // the archive. Safe to call for a name that never recorded — forensics
+  // must not depend on the victim having been chatty.
+  const PostMortem& snapshot(
+      const std::string& enclave, const std::string& reason,
+      std::vector<std::pair<std::string, std::string>> extra = {});
+
+  const std::vector<PostMortem>& post_mortems() const { return archive_; }
+
+  // The whole archive as one self-contained JSON bundle (escaped,
+  // parseable, byte-deterministic). `hz` stamps the clock rate so the
+  // bundle needs no companion file.
+  std::string bundle_json(double hz) const;
+
+  // Counters msv_flight_events_total / msv_flight_postmortems into `m`.
+  void publish(MetricsRegistry& m) const;
+
+  std::size_t ring_capacity() const { return ring_capacity_; }
+
+ private:
+  Telemetry* telemetry_;
+  std::size_t ring_capacity_;
+  std::size_t span_tail_;
+  std::map<std::string, FlightRecorder> recorders_;
+  std::vector<PostMortem> archive_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace msv::telemetry

@@ -1,0 +1,48 @@
+#include "telemetry/sampler.h"
+
+namespace msv::telemetry {
+
+void SampleProfiler::take(const std::string& stack) {
+  const Cycles now = clock_->now();
+  // All whole ticks in (previous poll, now] belong to this stack; a long
+  // uninterrupted charge yields several ticks at once.
+  const std::uint64_t ticks = (now - next_sample_) / interval_ + 1;
+  counts_[stack] += ticks;
+  samples_ += ticks;
+  next_sample_ += ticks * interval_;
+}
+
+void SampleProfiler::poll_label(const char* label) {
+  if (!due()) return;
+  take(label);
+}
+
+void SampleProfiler::poll_task(std::uint64_t tid,
+                               const std::string& task_name) {
+  if (!due()) return;
+  std::string stack = task_name;
+  for (const std::uint32_t name_id : tracer_->stack_names(tid)) {
+    stack += ';';
+    stack += tracer_->name(name_id);
+  }
+  take(stack);
+}
+
+std::string SampleProfiler::folded() const {
+  std::string out;
+  for (const auto& [stack, count] : counts_) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+void SampleProfiler::publish(MetricsRegistry& m) const {
+  m.counter("msv_profile_samples").value = samples_;
+  m.counter("msv_profile_stacks").value = counts_.size();
+  m.counter("msv_profile_interval_cycles").value = interval_;
+}
+
+}  // namespace msv::telemetry

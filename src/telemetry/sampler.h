@@ -1,0 +1,81 @@
+// Deterministic sampling profiler over the virtual clock (DESIGN.md §16).
+//
+// Full tracing records every span; on a long fleet run that ring wraps
+// and the tail of history disappears (the flight recorder covers the
+// forensics side). For *attribution* — "where did the simulated cycles
+// go?" — a sampling profiler is the right tool: bounded memory, bounded
+// output, and overhead independent of run length.
+//
+// A wall-clock profiler interrupts the process with a timer signal. This
+// one exploits the simulation's structure instead: the scheduler already
+// owns every point where simulated time is charged (task suspension
+// points and the run loop's idle advance), so it *polls* the profiler
+// there. The profiler divides the virtual timeline into fixed sample
+// ticks (every `interval` cycles); each poll attributes all whole ticks
+// since the previous poll to the sampled stack — the running task's name
+// plus the tracer's current span path (span *stacks* survive record-ring
+// wrap, so attribution keeps working after full tracing gives up).
+// Output is the standard folded-stacks format
+// (`task;span;span count`), ready for flamegraph.pl or tools/msvmon.
+//
+// Determinism: ticks are positions on the virtual timeline, polls happen
+// at deterministic points, and folded() renders from a sorted map — two
+// runs at a seed emit byte-identical profiles. A detached profiler is a
+// single pointer test in the scheduler and never advances the clock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/clock.h"
+#include "telemetry/telemetry.h"
+
+namespace msv::telemetry {
+
+class SampleProfiler {
+ public:
+  SampleProfiler(const VirtualClock& clock, const Tracer& tracer,
+                 Cycles interval_cycles)
+      : clock_(&clock),
+        tracer_(&tracer),
+        interval_(interval_cycles == 0 ? 1 : interval_cycles),
+        next_sample_(interval_) {}
+
+  SampleProfiler(const SampleProfiler&) = delete;
+  SampleProfiler& operator=(const SampleProfiler&) = delete;
+
+  // True when at least one sample tick elapsed since the last poll —
+  // the cheap pre-check hot paths use before building a stack string.
+  bool due() const { return next_sample_ <= clock_->now(); }
+
+  // Attributes every elapsed tick to a fixed label ("(idle)" for the run
+  // loop's dead-time advance, "(main)" for main-context work).
+  void poll_label(const char* label);
+
+  // Attributes every elapsed tick to `task_name` + the tracer's open
+  // span path for `tid` (folded with ';').
+  void poll_task(std::uint64_t tid, const std::string& task_name);
+
+  std::uint64_t samples() const { return samples_; }
+  Cycles interval() const { return interval_; }
+
+  // Folded-stacks text: one "stack count" line per distinct stack,
+  // sorted lexicographically (deterministic).
+  std::string folded() const;
+
+  // Counters msv_profile_samples / msv_profile_stacks into `m`.
+  void publish(MetricsRegistry& m) const;
+
+ private:
+  void take(const std::string& stack);
+
+  const VirtualClock* clock_;
+  const Tracer* tracer_;
+  Cycles interval_;
+  Cycles next_sample_;  // absolute deadline of the next tick
+  std::map<std::string, std::uint64_t> counts_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace msv::telemetry

@@ -1,0 +1,295 @@
+#include "telemetry/slo.h"
+
+#include <algorithm>
+
+#include "support/stats.h"
+
+namespace msv::telemetry {
+
+namespace {
+
+// Burn rate of one dimension: bad_rate / budget. A zero budget means any
+// bad event is an immediate page — model that as a huge finite burn so
+// the fixed-point timeline stays printable.
+double dimension_burn(std::uint64_t bad, std::uint64_t total, double budget) {
+  if (total == 0 || bad == 0) return 0;
+  const double rate = static_cast<double>(bad) / static_cast<double>(total);
+  if (budget <= 0) return 1e6;
+  return rate / budget;
+}
+
+std::uint64_t burn_x100(double burn) {
+  const double scaled = burn * 100.0;
+  if (scaled >= 1e8) return 100000000;  // clamp: "∞" for zero budgets
+  return static_cast<std::uint64_t>(scaled);
+}
+
+std::string burn_text(std::uint64_t x100) {
+  std::string out = std::to_string(x100 / 100);
+  out += '.';
+  const std::uint64_t frac = x100 % 100;
+  if (frac < 10) out += '0';
+  out += std::to_string(frac);
+  return out;
+}
+
+}  // namespace
+
+const char* health_state_name(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+SloMonitor::SloMonitor(const VirtualClock& clock, const SloConfig& cfg,
+                       std::string scope)
+    : clock_(&clock), cfg_(cfg), scope_(std::move(scope)) {
+  if (cfg_.window_cycles == 0) cfg_.window_cycles = 1;
+  if (cfg_.fast_windows == 0) cfg_.fast_windows = 1;
+  cfg_.slow_windows = std::max(cfg_.slow_windows, cfg_.fast_windows);
+}
+
+void SloMonitor::roll(KeyState& ks) {
+  const Cycles now = clock_->now();
+  const Cycles aligned = now - now % cfg_.window_cycles;
+  if (ks.buckets.empty()) {
+    ks.buckets.emplace_back();
+    ks.buckets.back().start = aligned;
+    return;
+  }
+  // Age out buckets that fell off the slow window; a jump larger than the
+  // whole window (idle gap, epoch bump) drops everything at once rather
+  // than materializing the empty buckets in between.
+  const Cycles horizon =
+      aligned >= static_cast<Cycles>(cfg_.slow_windows - 1) * cfg_.window_cycles
+          ? aligned - static_cast<Cycles>(cfg_.slow_windows - 1) *
+                          cfg_.window_cycles
+          : 0;
+  while (!ks.buckets.empty() && ks.buckets.front().start < horizon) {
+    ks.buckets.pop_front();
+  }
+  if (ks.buckets.empty() || ks.buckets.back().start < aligned) {
+    // Materialize the skipped-but-in-horizon empty buckets so fast/slow
+    // window totals reflect the quiet time (an empty window is evidence
+    // of health, not absence of evidence).
+    Cycles next = ks.buckets.empty() ? aligned
+                                     : ks.buckets.back().start +
+                                           cfg_.window_cycles;
+    next = std::max(next, horizon);
+    for (; next <= aligned; next += cfg_.window_cycles) {
+      ks.buckets.emplace_back();
+      ks.buckets.back().start = next;
+    }
+  }
+}
+
+SloMonitor::Bucket& SloMonitor::current_bucket(KeyState& ks) {
+  roll(ks);
+  return ks.buckets.back();
+}
+
+SloSnapshot SloMonitor::evaluate_locked(const KeyState& ks) const {
+  SloSnapshot snap;
+  snap.state = ks.state;
+  std::uint64_t fast_completed = 0, fast_slow = 0, fast_shed = 0,
+                fast_errors = 0;
+  std::uint64_t all_completed = 0, all_slow = 0, all_shed = 0, all_errors = 0;
+  Histogram merged;
+  const std::size_t n = ks.buckets.size();
+  const std::size_t fast_from =
+      n > cfg_.fast_windows ? n - cfg_.fast_windows : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bucket& b = ks.buckets[i];
+    all_completed += b.completed;
+    all_slow += b.slow;
+    all_shed += b.shed;
+    all_errors += b.errors;
+    merged.merge(b.latency);
+    if (i >= fast_from) {
+      fast_completed += b.completed;
+      fast_slow += b.slow;
+      fast_shed += b.shed;
+      fast_errors += b.errors;
+    }
+  }
+  snap.fast_total = fast_completed + fast_shed + fast_errors;
+  snap.slow_total = all_completed + all_shed + all_errors;
+  snap.window_p99 = merged.quantile(0.99);
+
+  const double fast_burns[3] = {
+      dimension_burn(fast_slow, snap.fast_total, cfg_.max_slow_fraction),
+      dimension_burn(fast_shed, snap.fast_total, cfg_.max_shed_rate),
+      dimension_burn(fast_errors, snap.fast_total, cfg_.max_error_rate)};
+  const double slow_burns[3] = {
+      dimension_burn(all_slow, snap.slow_total, cfg_.max_slow_fraction),
+      dimension_burn(all_shed, snap.slow_total, cfg_.max_shed_rate),
+      dimension_burn(all_errors, snap.slow_total, cfg_.max_error_rate)};
+  static const char* kDims[3] = {"slow", "shed", "error"};
+  std::size_t dominant = 0;
+  for (std::size_t d = 0; d < 3; ++d) {
+    snap.fast_burn = std::max(snap.fast_burn, fast_burns[d]);
+    snap.slow_burn = std::max(snap.slow_burn, slow_burns[d]);
+    if (fast_burns[d] > fast_burns[dominant]) dominant = d;
+  }
+  snap.dominant = snap.fast_burn > 0 ? kDims[dominant] : "none";
+  return snap;
+}
+
+void SloMonitor::transition(std::uint32_t key, KeyState& ks,
+                            const SloSnapshot& snap) {
+  if (snap.fast_total < cfg_.min_samples) return;  // withhold judgement
+  const double paging = std::min(snap.fast_burn, snap.slow_burn);
+  HealthState next = ks.state;
+  if (paging >= cfg_.critical_burn) {
+    next = HealthState::kCritical;
+  } else if (paging >= cfg_.degraded_burn) {
+    // Multi-window rule: escalate, but never de-escalate from critical on
+    // a reading that still pages at degraded level.
+    next = std::max(ks.state, HealthState::kDegraded);
+  } else if (snap.fast_burn < cfg_.degraded_burn) {
+    // Recovery keys off the fast window alone so a healed shard is
+    // readmitted promptly even while the slow window remembers the storm.
+    next = HealthState::kHealthy;
+  }
+  if (next == ks.state) return;
+  HealthEvent ev;
+  ev.at = clock_->now();
+  ev.key = key;
+  ev.from = ks.state;
+  ev.to = next;
+  ev.reason = snap.dominant;
+  ev.fast_burn_x100 = burn_x100(snap.fast_burn);
+  ev.slow_burn_x100 = burn_x100(snap.slow_burn);
+  timeline_.push_back(std::move(ev));
+  ks.state = next;
+  if (next == HealthState::kDegraded) {
+    ++ks.degraded_count;
+    if (ks.first_degraded_at == 0) ks.first_degraded_at = clock_->now();
+  } else if (next == HealthState::kCritical) {
+    ++ks.critical_count;
+    if (ks.first_critical_at == 0) ks.first_critical_at = clock_->now();
+    if (ks.first_degraded_at == 0) ks.first_degraded_at = clock_->now();
+  }
+}
+
+void SloMonitor::record_latency(std::uint32_t key, Cycles latency) {
+  KeyState& ks = keys_[key];
+  Bucket& b = current_bucket(ks);
+  ++b.completed;
+  b.latency.record(latency);
+  if (latency > cfg_.p99_target_cycles) ++b.slow;
+  transition(key, ks, evaluate_locked(ks));
+}
+
+void SloMonitor::record_shed(std::uint32_t key) {
+  KeyState& ks = keys_[key];
+  ++current_bucket(ks).shed;
+  transition(key, ks, evaluate_locked(ks));
+}
+
+void SloMonitor::record_error(std::uint32_t key) {
+  KeyState& ks = keys_[key];
+  ++current_bucket(ks).errors;
+  transition(key, ks, evaluate_locked(ks));
+}
+
+void SloMonitor::note_epoch(std::uint32_t key, std::uint64_t epoch) {
+  KeyState& ks = keys_[key];
+  ks.epoch = epoch;
+  // Forgive: the new authority starts with a clean error budget.
+  ks.buckets.clear();
+  roll(ks);
+  HealthEvent ev;
+  ev.at = clock_->now();
+  ev.key = key;
+  ev.from = ks.state;
+  ev.to = ks.state;
+  ev.reason = "epoch=" + std::to_string(epoch);
+  timeline_.push_back(std::move(ev));
+}
+
+HealthState SloMonitor::health(std::uint32_t key) {
+  return evaluate(key).state;
+}
+
+SloSnapshot SloMonitor::evaluate(std::uint32_t key) {
+  KeyState& ks = keys_[key];
+  roll(ks);
+  SloSnapshot snap = evaluate_locked(ks);
+  transition(key, ks, snap);
+  snap.state = ks.state;
+  return snap;
+}
+
+Cycles SloMonitor::first_entered(std::uint32_t key, HealthState state) const {
+  const auto it = keys_.find(key);
+  if (it == keys_.end()) return 0;
+  if (state == HealthState::kCritical) return it->second.first_critical_at;
+  if (state == HealthState::kDegraded) return it->second.first_degraded_at;
+  return 0;
+}
+
+std::size_t SloMonitor::keys_at_least(HealthState state) const {
+  std::size_t n = 0;
+  for (const auto& [key, ks] : keys_) {
+    if (ks.state >= state) ++n;
+  }
+  return n;
+}
+
+std::string SloMonitor::report(double hz) const {
+  std::string out;
+  out += "# msv health report scope=" + scope_ + "\n";
+  out += "window_cycles=" + std::to_string(cfg_.window_cycles);
+  out += " fast_windows=" + std::to_string(cfg_.fast_windows);
+  out += " slow_windows=" + std::to_string(cfg_.slow_windows);
+  out += " p99_target_cycles=" + std::to_string(cfg_.p99_target_cycles);
+  out += " degraded_burn=" + burn_text(burn_x100(cfg_.degraded_burn));
+  out += " critical_burn=" + burn_text(burn_x100(cfg_.critical_burn));
+  out += "\n";
+  out += "## timeline\n";
+  for (const HealthEvent& ev : timeline_) {
+    out += "[" + std::to_string(ev.at) + "cy ";
+    out += format_seconds(static_cast<double>(ev.at) / hz);
+    out += "] " + scope_ + " " + std::to_string(ev.key) + ": ";
+    if (ev.from == ev.to) {
+      out += ev.reason;  // annotation (epoch bump)
+    } else {
+      out += std::string(health_state_name(ev.from)) + " -> " +
+             health_state_name(ev.to);
+      out += " (" + ev.reason + " burn fast=" + burn_text(ev.fast_burn_x100) +
+             " slow=" + burn_text(ev.slow_burn_x100) + ")";
+    }
+    out += "\n";
+  }
+  out += "## breaches\n";
+  for (const auto& [key, ks] : keys_) {
+    out += scope_ + " " + std::to_string(key) + ": state=" +
+           health_state_name(ks.state);
+    out += " degraded=" + std::to_string(ks.degraded_count);
+    out += " critical=" + std::to_string(ks.critical_count);
+    out += " first_degraded_at=" + std::to_string(ks.first_degraded_at);
+    out += " epoch=" + std::to_string(ks.epoch);
+    out += "\n";
+  }
+  return out;
+}
+
+void SloMonitor::publish(MetricsRegistry& m) const {
+  for (const auto& [key, ks] : keys_) {
+    const LabelSet labels = {{scope_, std::to_string(key)}};
+    m.gauge("msv_slo_health", labels)
+        .set(static_cast<double>(static_cast<std::uint8_t>(ks.state)));
+    m.counter("msv_slo_degraded_total", labels).value = ks.degraded_count;
+    m.counter("msv_slo_critical_total", labels).value = ks.critical_count;
+  }
+  m.counter("msv_slo_timeline_events").value = timeline_.size();
+}
+
+}  // namespace msv::telemetry

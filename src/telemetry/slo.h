@@ -1,0 +1,181 @@
+// Windowed SLO objectives with multi-window burn-rate alerting
+// (DESIGN.md §16).
+//
+// Production fleets do not page on point samples: they track an *error
+// budget* (the fraction of requests allowed to be bad under the SLO) and
+// alert when the budget is being burned faster than it accrues, over two
+// windows at once — a fast window so detection is prompt, a slow window
+// so a single bad instant cannot page. SloMonitor reproduces that
+// machinery over the virtual clock: every shard (or tenant) owns a ring
+// of fixed-width trailing windows; record_latency / record_shed /
+// record_error update the current window and re-evaluate a per-key health
+// state machine (healthy / degraded / critical) whose transitions are
+// logged on a deterministic timeline.
+//
+// "Bad" events come from three dimensions, each with its own budget:
+//   * slow  — completions whose latency exceeds p99_target_cycles
+//             (budget: max_slow_fraction of completions),
+//   * shed  — admission-control rejections (budget: max_shed_rate),
+//   * error — enclave-loss / transition failures (budget: max_error_rate).
+// The burn rate of a window is max over dimensions of bad_rate / budget;
+// the state machine fires only when *both* the fast and the slow window
+// burn above the threshold (the SRE multi-window rule), and recovers as
+// soon as the fast window drops below the degraded threshold.
+//
+// Determinism: windows are aligned to absolute clock boundaries
+// (start = now - now % window_cycles), evaluation happens inside the
+// record_* calls, and the monitor never advances the clock — so two runs
+// at a seed produce byte-identical timelines and reports, and attaching a
+// monitor never changes simulated cycle totals.
+//
+// Like the rest of this directory, slo.h depends only on support/clock.h
+// and telemetry.h; it must not include sim/, sgx/ or sched/.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/clock.h"
+#include "telemetry/telemetry.h"
+
+namespace msv::telemetry {
+
+enum class HealthState : std::uint8_t { kHealthy = 0, kDegraded, kCritical };
+
+const char* health_state_name(HealthState s);
+
+struct SloConfig {
+  // Window geometry: the fast window is the trailing `fast_windows`
+  // buckets of `window_cycles` each, the slow window the trailing
+  // `slow_windows` buckets (slow >= fast).
+  Cycles window_cycles = 25'000'000;  // ~6.6ms at 3.8GHz
+  std::uint32_t fast_windows = 1;
+  std::uint32_t slow_windows = 4;
+  // Objectives / budgets.
+  Cycles p99_target_cycles = 4'000'000;
+  double max_slow_fraction = 0.01;
+  double max_shed_rate = 0.05;
+  double max_error_rate = 0.01;
+  // Burn-rate thresholds (1.0 = burning budget exactly as fast as it
+  // accrues). Both fast and slow windows must exceed a threshold for the
+  // state machine to escalate.
+  double degraded_burn = 1.0;
+  double critical_burn = 8.0;
+  // Below this many events in the fast window the monitor withholds
+  // judgement (no escalation, no recovery) — a single request cannot
+  // whipsaw the state machine.
+  std::uint64_t min_samples = 1;
+};
+
+// A health-state transition (or epoch annotation) on the timeline.
+struct HealthEvent {
+  Cycles at = 0;
+  std::uint32_t key = 0;
+  HealthState from = HealthState::kHealthy;
+  HealthState to = HealthState::kHealthy;
+  // Dominant dimension at the transition ("slow", "shed", "error"), or
+  // "epoch" for promotion/restart annotations (from == to then).
+  std::string reason;
+  // Burn rates at evaluation time, scaled by 100 (fixed-point, two
+  // decimals) so the timeline text needs no float formatting.
+  std::uint64_t fast_burn_x100 = 0;
+  std::uint64_t slow_burn_x100 = 0;
+};
+
+// Point-in-time evaluation of one key (what health() computes).
+struct SloSnapshot {
+  HealthState state = HealthState::kHealthy;
+  std::uint64_t fast_total = 0;   // events in the fast window
+  std::uint64_t slow_total = 0;   // events in the slow window
+  double fast_burn = 0;           // max-dimension burn, fast window
+  double slow_burn = 0;           // max-dimension burn, slow window
+  Cycles window_p99 = 0;          // p99 latency over the slow window
+  const char* dominant = "none";  // dimension driving the burn
+};
+
+// One monitor per scope ("shard" for the fleet router, "tenant" for the
+// request server); keys are shard ids / tenant ids within that scope.
+class SloMonitor {
+ public:
+  SloMonitor(const VirtualClock& clock, const SloConfig& cfg,
+             std::string scope);
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  const SloConfig& config() const { return cfg_; }
+  const std::string& scope() const { return scope_; }
+
+  // Recording: each call rolls the key's windows forward to now(),
+  // updates the current window, and re-evaluates the state machine.
+  void record_latency(std::uint32_t key, Cycles latency);
+  void record_shed(std::uint32_t key);
+  void record_error(std::uint32_t key);
+
+  // Annotates an authority-epoch bump (promotion / restart) on the
+  // timeline and forgives the key's accumulated bad events: the new
+  // authority starts with a clean budget (its windows restart at the
+  // current boundary), which is also what keeps a clock jump across the
+  // bump from attributing the dead time to the fresh enclave.
+  void note_epoch(std::uint32_t key, std::uint64_t epoch);
+
+  // Rolls windows to now() and returns the current state / evaluation.
+  HealthState health(std::uint32_t key);
+  SloSnapshot evaluate(std::uint32_t key);
+
+  // First cycle at which `key` entered `state` (0 = never).
+  Cycles first_entered(std::uint32_t key, HealthState state) const;
+
+  // Count of keys currently at or above `state`.
+  std::size_t keys_at_least(HealthState state) const;
+
+  // Full transition/annotation timeline, in record order (deterministic).
+  const std::vector<HealthEvent>& timeline() const { return timeline_; }
+
+  // Deterministic plain-text health report: config banner, the timeline
+  // (cycles + seconds at `hz`), and a per-key breach summary.
+  std::string report(double hz) const;
+
+  // Gauges msv_slo_health{<scope>=...} (0/1/2) and counters
+  // msv_slo_transitions{<scope>=...,to=...} into the registry.
+  void publish(MetricsRegistry& m) const;
+
+ private:
+  struct Bucket {
+    Cycles start = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t slow = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t errors = 0;
+    Histogram latency;
+  };
+
+  struct KeyState {
+    std::deque<Bucket> buckets;  // trailing, newest at back
+    HealthState state = HealthState::kHealthy;
+    Cycles first_degraded_at = 0;
+    Cycles first_critical_at = 0;
+    std::uint64_t degraded_count = 0;
+    std::uint64_t critical_count = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  // Rolls `ks` forward so its newest bucket covers now(); ages out
+  // buckets beyond the slow window. Large jumps (idle gaps, epoch bumps)
+  // simply drop every stale bucket.
+  void roll(KeyState& ks);
+  Bucket& current_bucket(KeyState& ks);
+  SloSnapshot evaluate_locked(const KeyState& ks) const;
+  void transition(std::uint32_t key, KeyState& ks, const SloSnapshot& snap);
+
+  const VirtualClock* clock_;
+  SloConfig cfg_;
+  std::string scope_;
+  std::map<std::uint32_t, KeyState> keys_;
+  std::vector<HealthEvent> timeline_;
+};
+
+}  // namespace msv::telemetry

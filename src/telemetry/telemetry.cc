@@ -109,6 +109,20 @@ void Histogram::record(std::uint64_t value) {
   max_ = std::max(max_, value);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 std::uint64_t Histogram::quantile(double q) const {
   if (count_ == 0) return 0;
   if (q <= 0) return min();
@@ -224,6 +238,7 @@ std::uint32_t Tracer::alloc_record(std::uint64_t trace_id,
                                    std::uint64_t tid) {
   if (spans_.size() >= max_spans_) {
     ++dropped_;
+    ++dropped_by_category_[static_cast<std::size_t>(c)];
     return kNoIndex;
   }
   SpanRecord r;
@@ -247,7 +262,16 @@ void Tracer::open_span(std::uint64_t trace_id, std::uint64_t parent_id,
   if (trace_id == 0) trace_id = span_id;  // roots start a fresh trace
   const std::uint32_t index =
       alloc_record(trace_id, span_id, parent_id, c, name, tenant, tid);
-  stacks_[tid].push_back(Frame{index, span_id, trace_id});
+  stacks_[tid].push_back(Frame{index, name, span_id, trace_id});
+}
+
+std::vector<std::uint32_t> Tracer::stack_names(std::uint64_t tid) const {
+  std::vector<std::uint32_t> out;
+  const auto it = stacks_.find(tid);
+  if (it == stacks_.end()) return out;
+  out.reserve(it->second.size());
+  for (const Frame& f : it->second) out.push_back(f.name);
+  return out;
 }
 
 void Tracer::begin_span(Category c, std::uint32_t name, std::int32_t tenant) {
@@ -312,13 +336,15 @@ void Tracer::reset() {
   spans_.clear();
   stacks_.clear();
   dropped_ = 0;
+  for (std::uint64_t& d : dropped_by_category_) d = 0;
   next_span_id_ = 1;
 }
 
 // ---------------------------------------------------------------------------
 // Telemetry facade
 
-Telemetry::Telemetry(const VirtualClock& clock) : tracer_(clock) {
+Telemetry::Telemetry(const VirtualClock& clock)
+    : clock_(&clock), tracer_(clock) {
   names_.tcs_wait = tracer_.intern("tcs.wait");
   names_.swl_ring = tracer_.intern("swl.ring");
   names_.swl_serve = tracer_.intern("swl.serve");

@@ -122,6 +122,9 @@ struct Gauge {
 class Histogram {
  public:
   void record(std::uint64_t value);
+  // Adds every bucket of `other` (the SLO monitor aggregates its trailing
+  // windows this way). Exact: both sides share the same bucket geometry.
+  void merge(const Histogram& other);
 
   std::uint64_t count() const { return count_; }
   std::uint64_t sum() const { return sum_; }
@@ -278,14 +281,26 @@ class Tracer {
   const std::deque<SpanRecord>& spans() const { return spans_; }
   // Spans that hit the ring bound and were counted, not stored.
   std::uint64_t dropped() const { return dropped_; }
+  // Ring-wrap accounting per subsystem: which category lost spans when
+  // the ring filled (exported as msv_trace_dropped{category=...}).
+  std::uint64_t dropped_in(Category c) const {
+    return dropped_by_category_[static_cast<std::size_t>(c)];
+  }
   // Total spans started (stored + dropped).
   std::uint64_t started() const { return next_span_id_ - 1; }
+
+  // Interned name ids of `tid`'s open spans, outermost first (empty when
+  // the task has none). Stack frames carry names even when the record
+  // ring dropped the span, so the sampling profiler keeps attributing
+  // after the ring wraps.
+  std::vector<std::uint32_t> stack_names(std::uint64_t tid) const;
 
   void reset();
 
  private:
   struct Frame {
     std::uint32_t index;  // kNoIndex when the record was dropped
+    std::uint32_t name;   // interned; survives a dropped record
     std::uint64_t span_id;
     std::uint64_t trace_id;
   };
@@ -308,6 +323,7 @@ class Tracer {
 
   std::deque<SpanRecord> spans_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_by_category_[kCategoryCount] = {};
   std::uint64_t next_span_id_ = 1;
 
   std::vector<std::string> names_;
@@ -362,6 +378,8 @@ class AdoptedSpanScope {
 // ---------------------------------------------------------------------------
 // Facade
 
+class FlightBus;  // flight.h — forensics layer, attached via set_flight()
+
 // One Telemetry per Env ("machine"): the registry, the tracer and the
 // pre-interned names of the fixed span taxonomy, so hot paths never hash
 // a string.
@@ -411,12 +429,21 @@ class Telemetry {
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
   const WellKnown& names() const { return names_; }
+  const VirtualClock& clock() const { return *clock_; }
+
+  // Flight-recorder bus (flight.h). nullptr = disarmed: every recording
+  // site in the bridge / faults / fleet layers is one pointer test, so
+  // baselines without a bus stay byte-identical.
+  FlightBus* flight() { return flight_; }
+  void set_flight(FlightBus* bus) { flight_ = bus; }
 
  private:
+  const VirtualClock* clock_;
   TraceConfig config_;
   MetricsRegistry metrics_;
   Tracer tracer_;
   WellKnown names_;
+  FlightBus* flight_ = nullptr;
 };
 
 }  // namespace msv::telemetry

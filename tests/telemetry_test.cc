@@ -363,5 +363,90 @@ TEST(TelemetryDeterminism, TelemetryOffRecordsNothing) {
   EXPECT_EQ(app.env().telemetry.metrics().size(), 0u);
 }
 
+// ---- Prometheus exposition conformance (DESIGN.md §16) ---------------------
+
+TEST(TelemetryExposition, EscapesLabelValuesAndEmitsHelpTypeLines) {
+  MetricsRegistry m;
+  // Label values exercising all three escapes the exposition format
+  // defines: backslash, double quote, newline.
+  m.counter("msv_test_total", {{"path", "a\\b"},
+                               {"quote", "\"q\""},
+                               {"nl", "x\ny"}})
+      .add(3);
+  const std::string text = telemetry::prometheus_text(m);
+  // Golden line: labels sorted by key, values escaped, raw newline gone.
+  EXPECT_NE(
+      text.find(
+          "msv_test_total{nl=\"x\\ny\",path=\"a\\\\b\",quote=\"\\\"q\\\"\"} 3\n"),
+      std::string::npos)
+      << text;
+  // Every family carries # HELP then # TYPE, in that order, before its
+  // first sample.
+  const std::size_t help = text.find("# HELP msv_test_total ");
+  const std::size_t type = text.find("# TYPE msv_test_total counter\n");
+  const std::size_t sample = text.find("msv_test_total{");
+  ASSERT_NE(help, std::string::npos);
+  ASSERT_NE(type, std::string::npos);
+  ASSERT_NE(sample, std::string::npos);
+  EXPECT_LT(help, type);
+  EXPECT_LT(type, sample);
+}
+
+TEST(TelemetryExposition, HistogramsRenderSummaryWithSumAndCount) {
+  MetricsRegistry m;
+  Histogram& h = m.histogram("msv_test_latency");
+  for (const std::uint64_t v : {1, 2, 3, 100}) h.record(v);
+  const std::string text = telemetry::prometheus_text(m);
+  EXPECT_NE(text.find("# TYPE msv_test_latency summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("msv_test_latency{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("msv_test_latency{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("msv_test_latency_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find("msv_test_latency_sum 106\n"), std::string::npos);
+}
+
+TEST(TelemetryExposition, TraceDropsAreExportedPerCategory) {
+  Env env;
+  TraceConfig tc;
+  tc.mode = TraceMode::kFull;
+  tc.max_spans = 2;
+  env.telemetry.configure(tc);
+  Tracer& tracer = env.telemetry.tracer();
+  const std::uint32_t name = tracer.intern("s");
+  for (int i = 0; i < 5; ++i) {
+    tracer.begin_span(Category::kServer, name);
+    tracer.end_span();
+  }
+  ASSERT_EQ(tracer.dropped(), 3u);
+  EXPECT_EQ(tracer.dropped_in(Category::kServer), 3u);
+
+  MetricsRegistry m;
+  telemetry::publish_tracer_self(m, tracer);
+  // Every category is present — zeros included, so "nothing dropped" is
+  // distinguishable from "counter missing" — and the breakdown sums to
+  // the total (tools/check_trace.py asserts the same on the trace side).
+  std::uint64_t sum = 0;
+  for (std::size_t c = 0; c < telemetry::kCategoryCount; ++c) {
+    const char* cat =
+        telemetry::category_name(static_cast<Category>(c));
+    const auto* e = m.find("msv_trace_dropped", {{"category", cat}});
+    ASSERT_NE(e, nullptr) << "missing category " << cat;
+    sum += e->counter.value;
+  }
+  EXPECT_EQ(sum, tracer.dropped());
+  const auto* server = m.find("msv_trace_dropped", {{"category", "server"}});
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->counter.value, 3u);
+  const std::string text = telemetry::prometheus_text(m);
+  EXPECT_NE(
+      text.find("# HELP msv_trace_dropped Spans dropped by trace-ring "
+                "wrap, by span category\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("msv_trace_dropped{category=\"server\"} 3\n"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace msv

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""bench_diff.py — the perf-regression gate (DESIGN.md §16).
+
+Compares a freshly produced BENCH_*.json against the checked-in baseline
+and fails when the run regressed past the tolerance bands:
+
+  * throughput-like metrics (``*_throughput_rps``, ``*_rps``): FAIL when
+    the candidate is more than --throughput-tol (default 10%) BELOW the
+    baseline;
+  * tail-latency metrics (``*_p99_us``, ``*_p99_cycles``): FAIL when the
+    candidate is more than --p99-tol (default 20%) ABOVE the baseline;
+  * everything else: informational only (printed with --verbose) — counts
+    move legitimately when scenarios change, and the simulator's own
+    determinism self-checks already guard exactness within a run.
+
+Only the ``metrics`` object is compared (checked-in artifacts carry extra
+post-processed keys like ``git_sha``), and only over the intersection of
+keys: a new scenario adds keys without breaking the gate, and a removed
+one drops out the next time the baseline is refreshed.
+
+Scale guard: when the two files disagree on workload-scale keys
+(``requests``, ``tenants``, ``iterations``) the comparison would be
+meaningless — e.g. a --smoke run against a full-length baseline — so the
+gate exits 0 with a notice instead of crying wolf.
+
+Usage:
+    bench_diff.py BASELINE CANDIDATE [--throughput-tol=0.10]
+                  [--p99-tol=0.20] [--verbose]
+
+Exit status: 0 = within bands (or not comparable), 1 = regression,
+2 = unreadable/malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+SCALE_KEYS = ("requests", "tenants", "iterations", "ops", "calls")
+
+
+def is_throughput(key):
+    return key.endswith("_throughput_rps") or key.endswith("_rps")
+
+
+def is_p99(key):
+    return key.endswith("_p99_us") or key.endswith("_p99_cycles")
+
+
+def load_metrics(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        print(f"bench_diff: {path} has no metrics object", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for key, value in metrics.items():
+        try:
+            out[key] = float(value)
+        except (TypeError, ValueError):
+            continue
+    return doc.get("benchmark", "?"), out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--throughput-tol", type=float, default=0.10,
+                    help="max fractional throughput drop (default 0.10)")
+    ap.add_argument("--p99-tol", type=float, default=0.20,
+                    help="max fractional p99 rise (default 0.20)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="also print informational (ungated) deltas")
+    args = ap.parse_args()
+
+    base_name, base = load_metrics(args.baseline)
+    cand_name, cand = load_metrics(args.candidate)
+    if base_name != cand_name:
+        print(f"bench_diff: comparing different benchmarks "
+              f"({base_name} vs {cand_name})", file=sys.stderr)
+        sys.exit(2)
+
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print(f"bench_diff: {base_name}: no common metric keys — "
+              "nothing to compare")
+        return 0
+
+    for key in SCALE_KEYS:
+        if key in base and key in cand and base[key] != cand[key]:
+            print(f"bench_diff: {base_name}: scale key '{key}' differs "
+                  f"({base[key]:g} vs {cand[key]:g}) — runs are not "
+                  "comparable, skipping the gate")
+            return 0
+
+    failures = []
+    gated = 0
+    for key in common:
+        b, c = base[key], cand[key]
+        if is_throughput(key):
+            gated += 1
+            if b > 0 and c < b * (1.0 - args.throughput_tol):
+                failures.append(
+                    f"  FAIL {key}: {c:g} vs baseline {b:g} "
+                    f"({(c / b - 1.0) * 100:+.1f}%, tolerance "
+                    f"-{args.throughput_tol * 100:.0f}%)")
+            elif args.verbose:
+                delta = (c / b - 1.0) * 100 if b else 0.0
+                print(f"  ok   {key}: {c:g} vs {b:g} ({delta:+.1f}%)")
+        elif is_p99(key):
+            gated += 1
+            if b > 0 and c > b * (1.0 + args.p99_tol):
+                failures.append(
+                    f"  FAIL {key}: {c:g} vs baseline {b:g} "
+                    f"({(c / b - 1.0) * 100:+.1f}%, tolerance "
+                    f"+{args.p99_tol * 100:.0f}%)")
+            elif args.verbose:
+                delta = (c / b - 1.0) * 100 if b else 0.0
+                print(f"  ok   {key}: {c:g} vs {b:g} ({delta:+.1f}%)")
+        elif args.verbose and b != c:
+            delta = (c / b - 1.0) * 100 if b else float("inf")
+            print(f"  info {key}: {c:g} vs {b:g} ({delta:+.1f}%)")
+
+    if failures:
+        print(f"bench_diff: {base_name}: {len(failures)} regression(s) "
+              f"past tolerance ({gated} gated metrics):")
+        print("\n".join(failures))
+        return 1
+    print(f"bench_diff: {base_name}: OK — {gated} gated metrics within "
+          f"bands (-{args.throughput_tol * 100:.0f}% throughput / "
+          f"+{args.p99_tol * 100:.0f}% p99), {len(common)} compared")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

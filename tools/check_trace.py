@@ -74,6 +74,22 @@ def main(argv):
         if key not in other:
             return fail("otherData missing %s" % key)
 
+    # Per-category ring-wrap accounting (DESIGN.md §16): the exporter must
+    # break dropped_spans down by category, every category must be present
+    # (zeros included — "nothing dropped" is distinguishable from "counter
+    # missing"), and the breakdown must sum to the total.
+    by_cat = other.get("dropped_by_category")
+    if not isinstance(by_cat, dict) or not by_cat:
+        return fail("otherData missing dropped_by_category")
+    missing = REQUIRED_CATEGORIES - set(by_cat)
+    if missing:
+        return fail("dropped_by_category missing categories: %s"
+                    % sorted(missing))
+    total = sum(by_cat.values())
+    if total != other["dropped_spans"]:
+        return fail("dropped_by_category sums to %d but dropped_spans is %d"
+                    % (total, other["dropped_spans"]))
+
     print("check_trace: %d spans, %d linked, %d categories, %d dropped — OK"
           % (len(spans), linked, len(categories),
              other.get("dropped_spans", 0)))

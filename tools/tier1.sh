@@ -31,12 +31,32 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 "$BUILD_DIR"/bench/fig_faults --smoke \
   --json="$BUILD_DIR"/BENCH_faults.json > /dev/null
 
-# Fleet smoke (DESIGN.md §14): 64 Zipfian tenants over a sharded enclave
-# fleet — ring routing, a loss storm served by warm-standby promotion vs
-# the restart ladder (promotion must win the p99 by >= 3x), a hot-tenant
-# migration, and a fleet-wide two-run determinism self-check.
+# Fleet smoke (DESIGN.md §14 + §16): 64 Zipfian tenants over a sharded
+# enclave fleet — ring routing, a loss storm served by warm-standby
+# promotion vs the restart ladder (promotion must win the p99 by >= 3x),
+# a hot-tenant migration, a fleet-wide two-run determinism self-check,
+# and the health-under-storm scenario (SLO monitor + flight recorder +
+# profiler armed at zero simulated-cycle cost; artifacts below).
 "$BUILD_DIR"/bench/fig_fleet --smoke \
-  --json="$BUILD_DIR"/BENCH_fleet.json > /dev/null
+  --json="$BUILD_DIR"/BENCH_fleet.json \
+  --health-out="$BUILD_DIR"/fleet_health.txt \
+  --postmortem-out="$BUILD_DIR"/fleet_postmortem.json \
+  --folded-out="$BUILD_DIR"/fleet_folded.txt > /dev/null
+
+# msvmon must parse every artifact the health stack just wrote (exit 2 =
+# malformed bundle; the post-mortems are only useful if they open).
+"$BUILD_DIR"/tools/msvmon --health="$BUILD_DIR"/fleet_health.txt \
+  --postmortem="$BUILD_DIR"/fleet_postmortem.json \
+  --folded="$BUILD_DIR"/fleet_folded.txt --summary
+
+# Perf-regression gate (DESIGN.md §16): fresh smoke reports vs the
+# checked-in baselines — fail on >10% throughput drop or >20% p99 rise.
+# (Counters and clocks are exact by determinism; the bands only absorb
+# legitimate re-baselines, not drift.)
+tools/bench_diff.py BENCH_fleet.json "$BUILD_DIR"/BENCH_fleet.json
+tools/bench_diff.py BENCH_health.json "$BUILD_DIR"/BENCH_fleet.json
+tools/bench_diff.py BENCH_faults.json "$BUILD_DIR"/BENCH_faults.json
+tools/bench_diff.py BENCH_rmi_batch.json "$BUILD_DIR"/BENCH_rmi_batch.json
 
 # msvlint must stay clean over the whole example/app corpus — including
 # the §6.5/§6.6 app models and the value-trust analysis feeding MSV010 —
@@ -58,6 +78,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 # secret-carrying class inside, and cuts boundary crossings >= 20%.
 "$BUILD_DIR"/bench/abl_partition --smoke \
   --json="$BUILD_DIR"/BENCH_partition.json > /dev/null
+tools/bench_diff.py BENCH_partition.json "$BUILD_DIR"/BENCH_partition.json
 
 # Telemetry smoke: a traced serving run must emit a valid Chrome trace
 # with the full span taxonomy linked by trace context (DESIGN.md §10).
@@ -66,4 +87,4 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
   --metrics-out="$BUILD_DIR"/fig_server_metrics.txt > /dev/null
 tools/check_trace.py "$BUILD_DIR"/fig_server_trace.json
 
-echo "tier1: tests + ablations + batched-rmi + fault-storm + msvlint + partition-optimizer + telemetry-trace smoke OK"
+echo "tier1: tests + ablations + batched-rmi + fault-storm + msvlint + partition-optimizer + telemetry-trace + health/bench-diff smoke OK"
