@@ -57,6 +57,11 @@ class Isolate {
   void set_field(const GcRef& obj, std::uint32_t index, const Value& v);
 
  private:
+  // Non-list / non-array cases of to_slot/from_slot (the leaves the
+  // iterative graph walks bottom out on).
+  SlotValue to_slot_scalar(const Value& v);
+  Value from_slot_scalar(SlotValue s);
+
   Env& env_;
   MemoryDomain& domain_;
   Config config_;

@@ -135,58 +135,125 @@ std::shared_ptr<ValueList> Value::list_ptr() const {
   return std::get<std::shared_ptr<ValueList>>(v_);
 }
 
-std::uint64_t Value::payload_bytes() const {
-  switch (type()) {
-    case ValueType::kNull:
-      return 1;
-    case ValueType::kBool:
-      return 1;
-    case ValueType::kI32:
-      return 4;
-    case ValueType::kI64:
-    case ValueType::kF64:
-      return 8;
-    case ValueType::kString:
-      return 4 + as_string().size();
-    case ValueType::kRef:
-      return 8;  // the proxy hash travels instead of the object
-    case ValueType::kList: {
-      std::uint64_t total = 4;
-      for (const auto& v : as_list()) total += v.payload_bytes();
-      return total;
+// Deep neutral-object graphs are legal RMI arguments (a 100k-deep nested
+// list must round-trip), so every graph walk below — including the
+// destructor — uses an explicit work-list instead of native-stack
+// recursion.
+
+Value::~Value() {
+  auto* own = std::get_if<std::shared_ptr<ValueList>>(&v_);
+  if (own == nullptr || *own == nullptr || own->use_count() != 1) return;
+  // Uniquely-owned list: without help, the shared_ptr teardown would
+  // recurse element-by-element down the chain. Steal sublists that are
+  // about to become uniquely owned and drain them iteratively; elements
+  // are destroyed one at a time (back to front) so a sublist shared
+  // between siblings is seen as unique by the *last* sibling to die and
+  // still lands on the work-list instead of unwinding recursively.
+  std::vector<std::shared_ptr<ValueList>> pending;
+  pending.push_back(std::move(*own));
+  while (!pending.empty()) {
+    std::shared_ptr<ValueList> list = std::move(pending.back());
+    pending.pop_back();
+    while (!list->empty()) {
+      auto* sub = std::get_if<std::shared_ptr<ValueList>>(&list->back().v_);
+      if (sub != nullptr && *sub != nullptr && sub->use_count() == 1) {
+        pending.push_back(std::move(*sub));
+      }
+      list->pop_back();  // shallow: the element's sublist was stolen
     }
   }
-  return 0;
 }
 
-std::string Value::to_debug_string() const {
-  switch (type()) {
+std::uint64_t Value::payload_bytes() const {
+  // The footprint is an order-independent sum, so a plain pointer
+  // work-list replaces the recursion.
+  std::uint64_t total = 0;
+  std::vector<const Value*> work{this};
+  while (!work.empty()) {
+    const Value* v = work.back();
+    work.pop_back();
+    switch (v->type()) {
+      case ValueType::kNull:
+      case ValueType::kBool:
+        total += 1;
+        break;
+      case ValueType::kI32:
+        total += 4;
+        break;
+      case ValueType::kI64:
+      case ValueType::kF64:
+        total += 8;
+        break;
+      case ValueType::kString:
+        total += 4 + v->as_string().size();
+        break;
+      case ValueType::kRef:
+        total += 8;  // the proxy hash travels instead of the object
+        break;
+      case ValueType::kList:
+        total += 4;
+        for (const auto& e : v->as_list()) work.push_back(&e);
+        break;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+std::string scalar_debug_string(const Value& v) {
+  switch (v.type()) {
     case ValueType::kNull:
       return "null";
     case ValueType::kBool:
-      return as_bool() ? "true" : "false";
+      return v.as_bool() ? "true" : "false";
     case ValueType::kI32:
-      return std::to_string(as_i32());
+      return std::to_string(v.as_i32());
     case ValueType::kI64:
-      return std::to_string(std::get<std::int64_t>(v_)) + "L";
+      return std::to_string(v.as_i64()) + "L";
     case ValueType::kF64:
-      return std::to_string(as_f64());
+      return std::to_string(v.as_f64());
     case ValueType::kString:
-      return "\"" + as_string() + "\"";
+      return "\"" + v.as_string() + "\"";
     case ValueType::kRef:
-      return as_ref().is_null()
+      return v.as_ref().is_null()
                  ? "ref(null)"
-                 : "ref@" + std::to_string(as_ref().address());
-    case ValueType::kList: {
-      std::string s = "[";
-      for (std::size_t i = 0; i < as_list().size(); ++i) {
-        if (i) s += ", ";
-        s += as_list()[i].to_debug_string();
-      }
-      return s + "]";
-    }
+                 : "ref@" + std::to_string(v.as_ref().address());
+    case ValueType::kList:
+      break;
   }
   return "?";
+}
+
+}  // namespace
+
+std::string Value::to_debug_string() const {
+  if (type() != ValueType::kList) return scalar_debug_string(*this);
+  // Depth-first with an explicit frame stack; emits exactly the bytes
+  // the recursive formatter did ("[e0, e1, ...]", nested in place).
+  struct Frame {
+    const ValueList* list;
+    std::size_t next = 0;
+  };
+  std::string out = "[";
+  std::vector<Frame> stack{{&as_list(), 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next == f.list->size()) {
+      out += "]";
+      stack.pop_back();
+      continue;
+    }
+    if (f.next > 0) out += ", ";
+    const Value& e = (*f.list)[f.next++];
+    if (e.type() == ValueType::kList) {
+      out += "[";
+      stack.push_back({&e.as_list(), 0});
+    } else {
+      out += scalar_debug_string(e);
+    }
+  }
+  return out;
 }
 
 }  // namespace msv::rt

@@ -71,6 +71,17 @@ class Value {
   Value(ValueList l) : v_(std::make_shared<ValueList>(std::move(l))) {}
   Value(std::shared_ptr<ValueList> l) : v_(std::move(l)) {}
 
+  // Deep neutral-object graphs (a 100k-deep nested list is one RMI
+  // argument) must not unwind the native stack recursively: the custom
+  // destructor drains uniquely-owned list chains with an explicit
+  // work-list. Declaring it suppresses the implicit copy/move members,
+  // so they are defaulted back explicitly — all four are memberwise.
+  ~Value();
+  Value(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(const Value&) = default;
+  Value& operator=(Value&&) = default;
+
   ValueType type() const;
   const char* type_name() const;
 

@@ -18,8 +18,10 @@ namespace msv::sgx {
 
 struct EpcStats {
   std::uint64_t accesses = 0;
-  std::uint64_t faults = 0;     // page not resident, paged in
-  std::uint64_t evictions = 0;  // resident page pushed out to DRAM
+  std::uint64_t faults = 0;       // page not resident, paged in
+  std::uint64_t evictions = 0;    // resident page pushed out to DRAM
+  std::uint64_t released = 0;     // dropped free by release_region
+  std::uint64_t invalidated = 0;  // dropped free by invalidate_all
 };
 
 class EpcModel {
@@ -46,20 +48,48 @@ class EpcModel {
   void set_reserved_pages(std::uint64_t n);
   std::uint64_t reserved_pages() const { return reserved_pages_; }
 
+  // Administrative capacity limit (the cgroup/driver-quota analog used by
+  // the stress suite to shrink capacity mid-run): the enclave's share is
+  // clamped to `pages` regardless of external pressure. Like reservation
+  // pressure, a shrink below the resident set evicts lazily — each excess
+  // page charges its page-out exactly once, on the next access (any
+  // access, hit or miss: a "hit" on a page the shrunken EPC cannot hold
+  // is physically impossible, so the drain happens before the lookup).
+  // capacity_pages() (the default) removes the limit. Must be >= 1.
+  void set_limit(std::uint64_t pages);
+  std::uint64_t limit_pages() const { return limit_pages_; }
+
   std::uint64_t capacity_pages() const { return capacity_pages_; }
   std::uint64_t effective_capacity_pages() const {
-    return capacity_pages_ - reserved_pages_;
+    const std::uint64_t share = capacity_pages_ - reserved_pages_;
+    return share < limit_pages_ ? share : limit_pages_;
   }
   std::uint64_t resident_pages() const { return lru_.size(); }
   const EpcStats& stats() const { return stats_; }
+
+  // Page-count conservation: every fault brought one page in, and every
+  // page left through exactly one of eviction / region release /
+  // enclave-loss invalidation or is still resident. The stress suite
+  // asserts this after every shrink/regrow storm; a drift means an
+  // eviction was double-charged or skipped.
+  bool stats_reconcile() const {
+    return stats_.faults == stats_.evictions + stats_.released +
+                                stats_.invalidated + lru_.size();
+  }
 
  private:
   using Key = std::uint64_t;  // (region << 40) | page
   static Key make_key(std::uint64_t region, std::uint64_t page);
 
+  // Evicts LRU pages until the resident set fits the effective capacity
+  // (strictly, or leaving `headroom` free frames), charging page-out per
+  // page.
+  void drain_to_capacity(std::uint64_t headroom);
+
   Env& env_;
   std::uint64_t capacity_pages_;
   std::uint64_t reserved_pages_ = 0;
+  std::uint64_t limit_pages_;
   // Most-recently-used at the front.
   std::list<Key> lru_;
   std::unordered_map<Key, std::list<Key>::iterator> index_;

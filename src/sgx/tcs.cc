@@ -20,8 +20,14 @@ void TcsPool::configure(const TcsConfig& config) {
 
 void TcsPool::acquire() {
   ++stats_.acquisitions;
-  if (in_use_ + seized_held_ < config_.slots && waiters_.empty() &&
-      granted_.empty()) {
+  // Fast path: a genuinely free slot and nobody queued ahead of us. A
+  // slot handed off but not yet claimed (granted_) is already counted in
+  // in_use_, so pending grants must NOT close the fast path: when the
+  // queue drains during a nested ocall a grant can sit unclaimed for a
+  // long simulated while, and gating on granted_.empty() made every
+  // fresh caller queue behind an unrelated future release — spurious
+  // tcs_waits and wait_cycles charged against a pool with idle slots.
+  if (in_use_ + seized_held_ < config_.slots && waiters_.empty()) {
     ++in_use_;
     stats_.max_in_use = std::max(stats_.max_in_use, in_use_);
     return;

@@ -249,6 +249,90 @@ TEST(Wire, AllTagsByteIdenticalAcrossCodecs) {
   EXPECT_EQ(seen.size(), 10u) << "every WireTag must lead some encoding";
 }
 
+TEST(Wire, DeepListRoundTripsWithoutNativeRecursion) {
+  // A 100k-deep nested list is a legal RMI argument: both codecs must
+  // walk it with explicit work-lists. On the old recursive codecs this
+  // test dies of native stack overflow rather than failing an assertion.
+  constexpr std::size_t kDepth = 100'000;
+  Value deep(std::int32_t{9});
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    rt::ValueList wrap;
+    wrap.push_back(std::move(deep));
+    deep = Value(std::move(wrap));
+  }
+  EXPECT_EQ(element_count(deep), kDepth + 1);
+  EXPECT_EQ(deep.payload_bytes(), 4u * kDepth + 4u);
+
+  const RefEncoder no_refs = [](ByteBuffer&, const rt::GcRef&) {
+    FAIL() << "no refs in this test";
+  };
+  const RefDecoder no_ref_decode = [](ByteReader&, WireTag) -> Value {
+    throw RuntimeFault("no refs");
+  };
+
+  ByteBuffer tagged;
+  encode_value(tagged, deep, no_refs);
+  ByteBuffer legacy;
+  encode_value_compat(legacy, deep, no_refs);
+  ASSERT_EQ(tagged.bytes(), legacy.bytes()) << "codecs must stay byte-equal";
+
+  for (const bool compat : {false, true}) {
+    ByteReader r(tagged);
+    Value back = compat ? decode_value_compat(r, no_ref_decode)
+                        : decode_value(r, no_ref_decode);
+    EXPECT_TRUE(r.done());
+    std::size_t depth = 0;
+    const Value* cur = &back;
+    while (cur->type() == rt::ValueType::kList) {
+      ASSERT_EQ(cur->as_list().size(), 1u);
+      cur = &cur->as_list()[0];
+      ++depth;
+    }
+    EXPECT_EQ(depth, kDepth);
+    EXPECT_EQ(cur->as_i32(), 9);
+    ByteBuffer again;
+    encode_value(again, back, no_refs);
+    EXPECT_EQ(again.bytes(), tagged.bytes());
+  }  // `back` chains destruct iteratively here
+}
+
+TEST(Wire, LyingListCountIsRejectedNotAllocated) {
+  // A corrupt (or hostile) frame can claim a list of 2^40 elements with
+  // no payload behind it. Each element needs at least one tag byte, so a
+  // count beyond the remaining input is rejected before any allocation.
+  const RefDecoder no_ref_decode = [](ByteReader&, WireTag) -> Value {
+    throw RuntimeFault("no refs");
+  };
+  for (const std::uint64_t lie :
+       {std::uint64_t{1} << 40, std::uint64_t{5}, std::uint64_t{1}}) {
+    ByteBuffer buf;
+    buf.put_u8(static_cast<std::uint8_t>(WireTag::kList));
+    buf.put_varint(lie);  // claims elements that are not there
+    ByteReader r(buf);
+    EXPECT_THROW(decode_value(r, no_ref_decode), RuntimeFault);
+    ByteReader rc(buf);
+    EXPECT_THROW(decode_value_compat(rc, no_ref_decode), RuntimeFault);
+  }
+
+  // Nested: a well-formed outer list whose inner list lies.
+  ByteBuffer buf;
+  buf.put_u8(static_cast<std::uint8_t>(WireTag::kList));
+  buf.put_varint(2);
+  buf.put_u8(static_cast<std::uint8_t>(WireTag::kNull));
+  buf.put_u8(static_cast<std::uint8_t>(WireTag::kList));
+  buf.put_varint(100);
+  ByteReader r(buf);
+  EXPECT_THROW(decode_value(r, no_ref_decode), RuntimeFault);
+
+  // An honest empty list still decodes.
+  ByteBuffer ok;
+  ok.put_u8(static_cast<std::uint8_t>(WireTag::kList));
+  ok.put_varint(0);
+  ByteReader ro(ok);
+  EXPECT_EQ(decode_value(ro, no_ref_decode).as_list().size(), 0u);
+  EXPECT_TRUE(ro.done());
+}
+
 TEST(ProxyRuntimeTest, FastAndLegacyPathsChargeIdenticalCycles) {
   // End-to-end cycle-identity check behind the abl_rmi_fastpath gate: the
   // same mixed primitive/generic call sequence under fast_rmi on and off
@@ -506,6 +590,90 @@ TEST(BatchCodec, MalformedFramesRaiseTypedErrors) {
   badstatus.put_u8(2);
   badstatus.put_varint(0);
   EXPECT_THROW(decode_batch_response(badstatus, 1, limits), BatchCodecError);
+}
+
+TEST(BatchCodec, FuzzCorpusTruncationsAndMutationsAreTypedOrSound) {
+  // Fuzz-shaped corpus over the attacker-reachable frame decoders: every
+  // strict byte-prefix of a valid request/response frame, plus
+  // deterministic single-byte mutations at every offset. The decoder must
+  // either throw BatchCodecError or return views that point inside the
+  // frame and respect the limits — never crash, never alias past the end.
+  BatchLimits limits;
+  limits.max_calls = 8;
+  limits.max_entry_bytes = 64;
+  limits.max_frame_bytes = 256;
+
+  ByteBuffer req;
+  encode_batch_header(req, 3);
+  const std::uint8_t p0[] = {0x01, 0x7f, 0x80, 0xff};
+  const std::uint8_t p1[] = {0x00};
+  encode_batch_entry(req, 1, p0, sizeof p0);
+  encode_batch_entry(req, 200, p1, sizeof p1);  // two-byte varint call id
+  encode_batch_entry(req, 3, nullptr, 0);
+
+  ByteBuffer resp;
+  encode_batch_header(resp, 3);
+  encode_batch_result(resp, true, p0, sizeof p0);
+  const char* err = "nope";
+  encode_batch_result(resp, false,
+                      reinterpret_cast<const std::uint8_t*>(err), 4);
+  encode_batch_result(resp, true, nullptr, 0);
+
+  // Every strict prefix is a truncation and must fail typed.
+  for (std::size_t n = 0; n < req.size(); ++n) {
+    EXPECT_THROW(decode_batch_request(req.data(), n, limits), BatchCodecError)
+        << "request prefix of " << n << " bytes";
+  }
+  for (std::size_t n = 0; n < resp.size(); ++n) {
+    EXPECT_THROW(decode_batch_response(resp.data(), n, 3, limits),
+                 BatchCodecError)
+        << "response prefix of " << n << " bytes";
+  }
+
+  // Deterministic xorshift64 so the corpus replays byte-identically.
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  const auto next_byte = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return static_cast<std::uint8_t>(rng);
+  };
+  const auto in_bounds = [](const std::vector<std::uint8_t>& frame,
+                            const std::uint8_t* data, std::size_t n) {
+    return n == 0 ||
+           (data >= frame.data() && data + n <= frame.data() + frame.size());
+  };
+
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t i = 0; i < req.size(); ++i) {
+      auto mut = req.bytes();
+      mut[i] = next_byte();
+      try {
+        const auto entries = decode_batch_request(mut.data(), mut.size(),
+                                                  limits);
+        EXPECT_LE(entries.size(), limits.max_calls);
+        for (const auto& e : entries) {
+          EXPECT_LE(e.size, limits.max_entry_bytes);
+          EXPECT_TRUE(in_bounds(mut, e.data, e.size));
+        }
+      } catch (const BatchCodecError&) {
+        // rejection is the other sound outcome
+      }
+    }
+    for (std::size_t i = 0; i < resp.size(); ++i) {
+      auto mut = resp.bytes();
+      mut[i] = next_byte();
+      try {
+        const auto results = decode_batch_response(mut.data(), mut.size(), 3,
+                                                   limits);
+        EXPECT_EQ(results.size(), 3u);  // count mismatch must have thrown
+        for (const auto& r : results) {
+          EXPECT_TRUE(in_bounds(mut, r.data, r.size));
+        }
+      } catch (const BatchCodecError&) {
+      }
+    }
+  }
 }
 
 // ---- Batched & async RMI through the public pipeline ----------------------

@@ -321,5 +321,81 @@ TEST_F(RuntimeTest, ValuePayloadBytes) {
   EXPECT_EQ(list.payload_bytes(), 4u + 4u + 6u);
 }
 
+// ---- Deep neutral-object graphs ----------------------------------------
+//
+// Checkpoints and RMI arguments legally carry 100k-deep nested lists, so
+// every graph walk (including ~Value) uses an explicit work-list. These
+// tests fail by crashing the process (native stack overflow) on the old
+// recursive walks.
+
+// [[[...leaf...]]] nested `depth` times, built iteratively.
+Value deep_chain(std::size_t depth, Value leaf) {
+  Value cur = std::move(leaf);
+  for (std::size_t i = 0; i < depth; ++i) {
+    ValueList wrap;
+    wrap.push_back(std::move(cur));
+    cur = Value(std::move(wrap));
+  }
+  return cur;
+}
+
+// Walks down single-element lists, checks the leaf, returns the depth.
+std::size_t chain_depth(const Value& v, std::int32_t expect_leaf) {
+  std::size_t depth = 0;
+  const Value* cur = &v;
+  while (cur->type() == ValueType::kList) {
+    EXPECT_EQ(cur->as_list().size(), 1u);
+    cur = &cur->as_list()[0];
+    ++depth;
+  }
+  EXPECT_EQ(cur->as_i32(), expect_leaf);
+  return depth;
+}
+
+TEST_F(RuntimeTest, DeepValueChainDestructsWithoutNativeRecursion) {
+  constexpr std::size_t kDepth = 300'000;
+  {
+    const Value v = deep_chain(kDepth, Value(std::int32_t{7}));
+    EXPECT_EQ(chain_depth(v, 7), kDepth);
+    EXPECT_EQ(v.payload_bytes(), 4u * kDepth + 4u);
+  }  // ~Value drains 300k uniquely-owned frames here
+}
+
+TEST_F(RuntimeTest, SiblingSharedDeepChainDrainsOnLastOwner) {
+  // Two siblings share one deep chain: neither copy is uniquely owned
+  // when the first dies, so the drain must trigger for the *last* sibling
+  // destroyed, not just the stack head.
+  constexpr std::size_t kDepth = 200'000;
+  {
+    Value chain = deep_chain(kDepth, Value(std::int32_t{3}));
+    ValueList sibs;
+    sibs.push_back(chain);             // shares the chain head
+    sibs.push_back(std::move(chain));  // same head again
+    const Value parent(std::move(sibs));
+  }
+}
+
+TEST_F(RuntimeTest, DeepValueDebugStringIsIterative) {
+  constexpr std::size_t kDepth = 100'000;
+  const Value v = deep_chain(kDepth, Value(std::int32_t{3}));
+  const std::string s = v.to_debug_string();
+  ASSERT_EQ(s.size(), 2 * kDepth + 1);
+  EXPECT_EQ(s[0], '[');
+  EXPECT_EQ(s[kDepth], '3');
+  EXPECT_EQ(s[s.size() - 1], ']');
+}
+
+TEST_F(RuntimeTest, DeepListRoundTripsThroughHeapSlots) {
+  // to_slot materializes one heap array per nesting level; from_slot walks
+  // them back out. 100k levels needs a larger heap than the fixture's 1MB
+  // but must never need a larger native stack.
+  constexpr std::size_t kDepth = 100'000;
+  Isolate big(env_, domain_, Isolate::Config{"deep-iso", 64ull << 20});
+  const GcRef holder = big.new_instance(1, 1);
+  big.set_field(holder, 0, deep_chain(kDepth, Value(std::int32_t{41})));
+  const Value back = big.get_field(holder, 0);
+  EXPECT_EQ(chain_depth(back, 41), kDepth);
+}
+
 }  // namespace
 }  // namespace msv::rt

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sched/scheduler.h"
+#include "sgx/tcs.h"
 #include "support/error.h"
 
 namespace msv {
@@ -331,6 +332,86 @@ TEST_F(SchedulerTest, MeasureDetachedDefersTimers) {
   EXPECT_FALSE(fired) << "timers do not fire on the detached core";
   env.clock.advance(50);
   EXPECT_TRUE(fired);
+}
+
+// ---- TCS pool queueing under the scheduler (DESIGN.md §8) ------------------
+//
+// The pool's wakeup protocol parks waiters on the scheduler, so its FIFO
+// and attribution contracts are really scheduler contracts — pinned here
+// with the pool driven directly (no bridge), where the interleavings are
+// explicit.
+
+TEST_F(SchedulerTest, TcsPendingGrantDoesNotCloseTheFastPath) {
+  // Regression (stress_tcs bursty-arrival find): a slot handed to a
+  // queued waiter is counted in in_use_ from the instant of the grant,
+  // but before the fix acquire()'s fast path also required
+  // granted_.empty() — so a caller arriving while a grant sat unclaimed
+  // (e.g. the queue drained during another task's nested ocall) queued
+  // behind an unrelated future release even though a slot was genuinely
+  // free. Timeline: A and B hold both slots until t=1000; C queues at
+  // t=1; at t=1000 A's release grants C (unclaimed — C resumes last),
+  // B's release frees a slot, and D's acquire at the same instant must
+  // take that free slot without queueing.
+  sched::Scheduler sched(env);
+  sgx::TcsPool pool(env, sgx::TcsConfig{2, sgx::TcsConfig::OnExhaustion::kBlock});
+  pool.attach_scheduler(&sched);
+  for (const char* name : {"a", "b"}) {
+    sched.spawn(name, [&] {
+      pool.acquire();
+      sched.sleep_for(1'000);
+      pool.release();
+    });
+  }
+  sched.spawn("c", [&] {
+    sched.sleep_for(1);
+    pool.acquire();  // queues: both slots held until t=1000
+    sched.sleep_for(5'000);
+    pool.release();
+  });
+  Cycles d_acquired_at = 0;
+  sched.spawn("d", [&] {
+    sched.sleep_for(1'000);
+    pool.acquire();  // a slot is free; C's grant must not push D into the queue
+    d_acquired_at = env.clock.now();
+    sched.sleep_for(5'000);
+    pool.release();
+  });
+  sched.run();
+  EXPECT_EQ(pool.stats().acquisitions, 4u);
+  EXPECT_EQ(pool.stats().waits, 1u) << "only C queued; D hit the fast path";
+  EXPECT_EQ(pool.stats().wait_cycles, 999u)
+      << "C's wait (t=1 .. t=1000) is the only queueing delay — D waiting "
+         "for C's release would have inflated this by ~5000";
+  EXPECT_EQ(d_acquired_at, 1'000u) << "D acquired the free slot immediately";
+}
+
+TEST_F(SchedulerTest, TcsWaitersWakeFifoWithExactAttribution) {
+  // Three callers queue behind a single slot in arrival order; grants
+  // must come back in the same order, and each waiter's queueing delay
+  // lands in wait_cycles exactly (arrival -> grant claim, no rounding).
+  sched::Scheduler sched(env);
+  sgx::TcsPool pool(env, sgx::TcsConfig{1, sgx::TcsConfig::OnExhaustion::kBlock});
+  pool.attach_scheduler(&sched);
+  std::vector<std::string> grant_order;
+  sched.spawn("holder", [&] {
+    pool.acquire();
+    sched.sleep_for(1'000);
+    pool.release();
+  });
+  for (const char* name : {"w1", "w2", "w3"}) {
+    sched.spawn(name, [&, name] {
+      pool.acquire();
+      grant_order.push_back(name);
+      sched.sleep_for(100);
+      pool.release();
+    });
+  }
+  sched.run();
+  EXPECT_EQ(grant_order, (std::vector<std::string>{"w1", "w2", "w3"}));
+  EXPECT_EQ(pool.stats().waits, 3u);
+  EXPECT_EQ(pool.stats().max_waiters, 3u);
+  // w1 waited 0..1000, w2 0..1100, w3 0..1200.
+  EXPECT_EQ(pool.stats().wait_cycles, 1'000u + 1'100u + 1'200u);
 }
 
 }  // namespace

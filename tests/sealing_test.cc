@@ -134,6 +134,45 @@ TEST_F(SealingTest, DeserializeRejectsTruncationAndTrailingBytes) {
   EXPECT_THROW(SealedBlob::deserialize({}), SecurityFault);
 }
 
+TEST_F(SealingTest, FuzzCorpusEveryTruncationRejected) {
+  // Exhaustive prefix corpus: every field is length-framed and the MAC is
+  // fixed-width at the tail, so *every* strict prefix of a valid wire
+  // blob must fail typed — there is no shorter blob that still parses.
+  const auto wire = platform_.seal(enclave_, bytes("fuzz corpus"), 21)
+                        .serialize();
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const std::vector<std::uint8_t> cut(wire.begin(), wire.begin() + n);
+    EXPECT_THROW(SealedBlob::deserialize(cut), SecurityFault)
+        << "prefix of " << n << " bytes parsed";
+  }
+  const auto ok = SealedBlob::deserialize(wire);
+  EXPECT_EQ(platform_.unseal(enclave_, ok), bytes("fuzz corpus"));
+}
+
+TEST_F(SealingTest, FuzzCorpusNoBitFlipSurvivesToPlaintext) {
+  // Every single-bit flip anywhere in the wire blob: the outcome must be
+  // a typed rejection at deserialize OR at unseal (MAC/policy). No flip
+  // may round-trip to the sealed plaintext — that would mean some wire
+  // byte is neither parsed strictly nor authenticated.
+  const auto plain = bytes("bit flip corpus payload");
+  const auto wire = platform_.seal(enclave_, plain, 22).serialize();
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = wire;
+      mutated[i] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        const SealedBlob blob = SealedBlob::deserialize(mutated);
+        const auto out = platform_.unseal(enclave_, blob);
+        ADD_FAILURE() << "flip of bit " << bit << " at byte " << i
+                      << " unsealed to "
+                      << std::string(out.begin(), out.end());
+      } catch (const SecurityFault&) {
+        // rejected — the only sound outcome for a tampered blob
+      }
+    }
+  }
+}
+
 TEST_F(SealingTest, GoldenBlobIsByteStable) {
   // Pins the wire format and the keystream/MAC endianness: a blob sealed
   // today must unseal under every future build (and on every host

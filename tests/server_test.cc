@@ -138,6 +138,55 @@ TEST(TcsPool, NestedOcallKeepsTheTcs) {
   EXPECT_EQ(bridge.stats().tcs_waits, 1u);
 }
 
+TEST(TcsPool, QueueDrainsFifoAcrossNestedOcallWindow) {
+  // Callers that queued while the lone TCS holder sat in a nested ocall
+  // must be granted in arrival order once the ecall finally returns, and
+  // each waiter's full queued window (arrival -> grant claim) must land
+  // in tcs_wait_cycles — the drain happening "under" an ocall window is
+  // exactly where the pre-fix pool mis-handled unclaimed grants.
+  Env env;
+  auto enclave =
+      make_enclave(env, TcsConfig{1, TcsConfig::OnExhaustion::kBlock});
+  TransitionBridge bridge(env, *enclave);
+  sched::Scheduler sched(env);
+  bridge.attach_scheduler(sched);
+  const CallId host = bridge.register_ocall("host", [&](ByteReader&) {
+    sched.sleep_for(10'000);  // the TCS stays held across this window
+    return ByteBuffer();
+  });
+  const CallId enter = bridge.register_ecall("enter", [&](ByteReader&) {
+    ByteBuffer req, resp;
+    bridge.ocall(host, req, resp);
+    return ByteBuffer();
+  });
+  const CallId quick = bridge.register_ecall("quick", [&](ByteReader&) {
+    return ByteBuffer();
+  });
+  std::vector<int> completion_order;
+  sched.spawn("holder", [&, enter] {
+    ByteBuffer req, resp;
+    bridge.ecall(enter, req, resp);
+    completion_order.push_back(0);
+  });
+  for (int t = 1; t <= 3; ++t) {
+    sched.spawn("waiter", [&, quick, t] {
+      sched.sleep_for(static_cast<Cycles>(t));  // arrival order 1, 2, 3
+      ByteBuffer req, resp;
+      bridge.ecall(quick, req, resp);
+      completion_order.push_back(t);
+    });
+  }
+  sched.run();
+  EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2, 3}))
+      << "grants must drain the queue in arrival order";
+  EXPECT_EQ(bridge.stats().tcs_waits, 3u);
+  // Every waiter queued from its arrival (t=1,2,3) until the holder's
+  // ecall released the slot after the 10k-cycle nested ocall; the three
+  // windows overlap almost entirely, so the total is strictly more than
+  // 3x the ocall window alone would suggest for one waiter.
+  EXPECT_GT(bridge.stats().tcs_wait_cycles, 3u * 10'000u);
+}
+
 // ---- Per-task call contexts ------------------------------------------------
 
 TEST(BridgeConcurrency, SideStacksArePerTask) {

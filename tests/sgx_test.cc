@@ -77,6 +77,85 @@ TEST(Epc, RegionsDoNotCollide) {
   EXPECT_EQ(epc.stats().faults, faults + 1) << "same page id, other region";
 }
 
+TEST(Epc, ShrinkMidRunChargesLazyEvictionExactlyOnce) {
+  // Regression (stress_epc shrink-mid-run find): after set_limit drops
+  // the capacity below the resident set, the pre-fix model drained the
+  // excess only on the next *miss* — a hit on any resident page stayed
+  // free and the set stayed physically over capacity indefinitely. The
+  // drain must happen on the next access of any kind, each excess page
+  // charging its page-out exactly once, and a drained page must fault
+  // when touched again.
+  Env env;
+  env.cost.epc_usable_bytes = 8 * env.cost.page_bytes;  // 8-page EPC
+  EpcModel epc(env);
+  ASSERT_EQ(epc.capacity_pages(), 8u);
+  for (std::uint64_t p = 0; p < 8; ++p) epc.access(1, p);
+  ASSERT_EQ(epc.resident_pages(), 8u);
+  ASSERT_EQ(epc.stats().evictions, 0u);
+
+  epc.set_limit(4);  // shrink mid-run: 4 excess pages, evicted lazily
+  EXPECT_EQ(epc.resident_pages(), 8u) << "eviction is lazy, not eager";
+
+  // A HIT on the MRU page (page 7) must first drain the 4 LRU pages
+  // (0..3), charging page-out per page — exactly once each.
+  const Cycles before = env.clock.now();
+  epc.access(1, 7);
+  EXPECT_EQ(env.clock.now() - before, 4 * env.cost.epc_page_out_cycles)
+      << "4 excess pages drain on the first post-shrink access";
+  EXPECT_EQ(epc.stats().evictions, 4u);
+  EXPECT_EQ(epc.resident_pages(), 4u);
+
+  // Subsequent hits within the shrunken set are free again.
+  const Cycles after_drain = env.clock.now();
+  epc.access(1, 7);
+  epc.access(1, 6);
+  EXPECT_EQ(env.clock.now(), after_drain);
+  EXPECT_EQ(epc.stats().evictions, 4u) << "no double-charged evictions";
+
+  // A drained page is gone: touching it faults and evicts the new LRU.
+  const auto faults_before = epc.stats().faults;
+  epc.access(1, 0);
+  EXPECT_EQ(epc.stats().faults, faults_before + 1);
+  EXPECT_EQ(epc.stats().evictions, 5u);
+  EXPECT_EQ(epc.resident_pages(), 4u);
+
+  // Regrow: the limit lifts, faults refill without evicting.
+  epc.set_limit(8);
+  const auto evictions_before = epc.stats().evictions;
+  for (std::uint64_t p = 8; p < 12; ++p) epc.access(1, p);
+  EXPECT_EQ(epc.resident_pages(), 8u);
+  EXPECT_EQ(epc.stats().evictions, evictions_before)
+      << "regrown capacity absorbs new pages without eviction";
+
+  // Conservation: every page that ever faulted in either left through a
+  // counted exit (eviction/release/invalidation) or is still resident.
+  EXPECT_TRUE(epc.stats_reconcile())
+      << "faults=" << epc.stats().faults
+      << " evictions=" << epc.stats().evictions
+      << " resident=" << epc.resident_pages();
+}
+
+TEST(Epc, StatsReconcileAcrossReleaseAndInvalidate) {
+  Env env;
+  env.cost.epc_usable_bytes = 4 * env.cost.page_bytes;
+  EpcModel epc(env);
+  for (std::uint64_t p = 0; p < 6; ++p) epc.access(1, p);  // 2 evictions
+  epc.access(2, 0);
+  epc.release_region(2);
+  EXPECT_EQ(epc.stats().released, 1u);
+  EXPECT_TRUE(epc.stats_reconcile());
+  epc.invalidate_all();
+  EXPECT_EQ(epc.stats().invalidated, 3u);
+  EXPECT_EQ(epc.resident_pages(), 0u);
+  EXPECT_TRUE(epc.stats_reconcile());
+  // Reserved-pressure shrink reconciles the same way as set_limit.
+  for (std::uint64_t p = 0; p < 4; ++p) epc.access(3, p);
+  epc.set_reserved_pages(2);
+  epc.access(3, 3);  // hit; drains 2 pages first
+  EXPECT_EQ(epc.resident_pages(), 2u);
+  EXPECT_TRUE(epc.stats_reconcile());
+}
+
 TEST(Epc, OutOfRangeIndicesAreRejectedNotAliased) {
   // A region id >= 2^24 (or a page >= 2^40) would shift bits off the top
   // of the packed (region << 40) | page key and silently alias another

@@ -16,7 +16,10 @@ and fails when the run regressed past the tolerance bands:
 Only the ``metrics`` object is compared (checked-in artifacts carry extra
 post-processed keys like ``git_sha``), and only over the intersection of
 keys: a new scenario adds keys without breaking the gate, and a removed
-one drops out the next time the baseline is refreshed.
+one drops out the next time the baseline is refreshed. An *empty*
+intersection, however, is a hard failure: it means every key was renamed
+(or the wrong files were paired) and the gate would silently compare
+nothing — exactly the rot this tool exists to prevent.
 
 Scale guard: when the two files disagree on workload-scale keys
 (``requests``, ``tenants``, ``iterations``) the comparison would be
@@ -27,8 +30,8 @@ Usage:
     bench_diff.py BASELINE CANDIDATE [--throughput-tol=0.10]
                   [--p99-tol=0.20] [--verbose]
 
-Exit status: 0 = within bands (or not comparable), 1 = regression,
-2 = unreadable/malformed input.
+Exit status: 0 = within bands (or scale-skipped), 1 = regression or an
+empty metric-key intersection, 2 = unreadable/malformed input.
 """
 
 import argparse
@@ -87,9 +90,21 @@ def main():
 
     common = sorted(set(base) & set(cand))
     if not common:
-        print(f"bench_diff: {base_name}: no common metric keys — "
-              "nothing to compare")
-        return 0
+        # An empty intersection is never a benign skip: it means the
+        # baseline predates a metric-key rename (or one side is from a
+        # different world entirely), and silently returning 0 here is how
+        # a gate rots into a no-op. Name the keys on both sides so the
+        # rename is obvious from the failure message alone.
+        print(f"bench_diff: {base_name}: no common metric keys — the gate "
+              "would compare nothing, failing hard instead.",
+              file=sys.stderr)
+        print(f"  baseline keys:  {', '.join(sorted(base)) or '(none)'}",
+              file=sys.stderr)
+        print(f"  candidate keys: {', '.join(sorted(cand)) or '(none)'}",
+              file=sys.stderr)
+        print("  (did a metric or scale key get renamed without "
+              "re-baselining?)", file=sys.stderr)
+        return 1
 
     for key in SCALE_KEYS:
         if key in base and key in cand and base[key] != cand[key]:

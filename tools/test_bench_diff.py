@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Pytest-style checks for tools/bench_diff.py (run in CI by tier1.sh).
+
+Each ``test_*`` function exercises one exit-protocol contract of the
+perf-regression gate by invoking bench_diff.py as a subprocess on
+synthetic report pairs:
+
+  * within-band runs pass (exit 0),
+  * a throughput drop / p99 rise past tolerance fails (exit 1),
+  * a scale-key mismatch skips the gate (exit 0 with a notice),
+  * an EMPTY metric-key intersection is a hard failure (exit 1) that
+    names the keys on both sides — the regression this file pins is the
+    old behaviour where a renamed scale key silently skipped *all*
+    metrics and the gate rotted into a no-op,
+  * malformed input exits 2.
+
+Runs under pytest if available, but needs nothing beyond the standard
+library: executing the file directly runs every test_* function and
+exits non-zero on the first failure.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH_DIFF = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "bench_diff.py")
+
+
+def run_diff(base_doc, cand_doc, *extra):
+    """Writes both docs to temp files and runs bench_diff.py on them."""
+    with tempfile.TemporaryDirectory() as d:
+        base = os.path.join(d, "base.json")
+        cand = os.path.join(d, "cand.json")
+        for path, doc in ((base, base_doc), (cand, cand_doc)):
+            with open(path, "w", encoding="utf-8") as f:
+                if isinstance(doc, str):
+                    f.write(doc)
+                else:
+                    json.dump(doc, f)
+        return subprocess.run(
+            [sys.executable, BENCH_DIFF, base, cand, *extra],
+            capture_output=True, text=True)
+
+
+def report(metrics, name="stress"):
+    return {"benchmark": name, "tables": {}, "metrics": metrics}
+
+
+def test_within_bands_passes():
+    r = run_diff(report({"a_throughput_rps": 100.0, "a_p99_us": 50.0}),
+                 report({"a_throughput_rps": 95.0, "a_p99_us": 55.0}))
+    assert r.returncode == 0, r.stdout + r.stderr
+    assert "OK" in r.stdout
+
+
+def test_throughput_regression_fails():
+    r = run_diff(report({"a_throughput_rps": 100.0}),
+                 report({"a_throughput_rps": 80.0}))
+    assert r.returncode == 1, r.stdout + r.stderr
+    assert "a_throughput_rps" in r.stdout
+
+
+def test_p99_regression_fails():
+    r = run_diff(report({"a_p99_cycles": 1000.0}),
+                 report({"a_p99_cycles": 1500.0}))
+    assert r.returncode == 1, r.stdout + r.stderr
+    assert "a_p99_cycles" in r.stdout
+
+
+def test_scale_key_mismatch_skips():
+    # Same metric keys, different workload scale: smoke vs full runs are
+    # not comparable, and the gate says so without crying wolf.
+    r = run_diff(report({"requests": 100, "a_throughput_rps": 100.0}),
+                 report({"requests": 10, "a_throughput_rps": 10.0}))
+    assert r.returncode == 0, r.stdout + r.stderr
+    assert "not comparable" in r.stdout
+
+
+def test_empty_intersection_is_a_hard_failure():
+    # The pinned regression: baseline predates a key rename, so the
+    # intersection is empty. The old gate printed "nothing to compare"
+    # and exited 0; it must exit 1 and name the keys on both sides.
+    r = run_diff(report({"old_requests": 100, "old_throughput_rps": 50.0}),
+                 report({"requests": 100, "a_throughput_rps": 50.0}))
+    assert r.returncode == 1, r.stdout + r.stderr
+    assert "no common metric keys" in r.stderr
+    assert "old_throughput_rps" in r.stderr, "baseline keys must be named"
+    assert "a_throughput_rps" in r.stderr, "candidate keys must be named"
+
+
+def test_both_sides_empty_is_a_hard_failure():
+    r = run_diff(report({}), report({}))
+    assert r.returncode == 1, r.stdout + r.stderr
+    assert "(none)" in r.stderr
+
+
+def test_mismatched_benchmark_names_exit_2():
+    r = run_diff(report({"a_rps": 1.0}, name="x"),
+                 report({"a_rps": 1.0}, name="y"))
+    assert r.returncode == 2, r.stdout + r.stderr
+
+
+def test_malformed_input_exits_2():
+    r = run_diff("{not json", report({"a_rps": 1.0}))
+    assert r.returncode == 2, r.stdout + r.stderr
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    for name, fn in tests:
+        fn()
+        print(f"  ok   {name}")
+    print(f"test_bench_diff: {len(tests)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

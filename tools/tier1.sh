@@ -80,6 +80,27 @@ tools/bench_diff.py BENCH_rmi_batch.json "$BUILD_DIR"/BENCH_rmi_batch.json
   --json="$BUILD_DIR"/BENCH_partition.json > /dev/null
 tools/bench_diff.py BENCH_partition.json "$BUILD_DIR"/BENCH_partition.json
 
+# Stress smoke tier (DESIGN.md §17): the five adversarial-workload
+# stressors, each its own abort-on-gate acceptance test — the EPC paging
+# cliff curve + mid-run shrink, GC allocation storms + weakref churn,
+# pathological serde shapes + sealed checkpoints, TCS exhaustion, and the
+# fault storm under overload with the health stack armed. Their reports
+# merge into one BENCH_stress.json gated against the checked-in baseline
+# (the suite is deterministic, so smoke-vs-smoke compares exactly).
+for s in epc gc serde tcs storm; do
+  "$BUILD_DIR"/bench/stress_$s --smoke \
+    --json="$BUILD_DIR"/stress_$s.json > /dev/null
+done
+tools/stress_report.py --out "$BUILD_DIR"/BENCH_stress.json \
+  epc="$BUILD_DIR"/stress_epc.json gc="$BUILD_DIR"/stress_gc.json \
+  serde="$BUILD_DIR"/stress_serde.json tcs="$BUILD_DIR"/stress_tcs.json \
+  storm="$BUILD_DIR"/stress_storm.json > /dev/null
+tools/bench_diff.py BENCH_stress.json "$BUILD_DIR"/BENCH_stress.json
+
+# bench_diff's own contract (gating bands, scale-key skip, empty-
+# intersection hard failure) is load-bearing for every gate above.
+python3 tools/test_bench_diff.py > /dev/null
+
 # Telemetry smoke: a traced serving run must emit a valid Chrome trace
 # with the full span taxonomy linked by trace context (DESIGN.md §10).
 "$BUILD_DIR"/bench/fig_server --smoke \
@@ -87,4 +108,4 @@ tools/bench_diff.py BENCH_partition.json "$BUILD_DIR"/BENCH_partition.json
   --metrics-out="$BUILD_DIR"/fig_server_metrics.txt > /dev/null
 tools/check_trace.py "$BUILD_DIR"/fig_server_trace.json
 
-echo "tier1: tests + ablations + batched-rmi + fault-storm + msvlint + partition-optimizer + telemetry-trace + health/bench-diff smoke OK"
+echo "tier1: tests + ablations + batched-rmi + fault-storm + msvlint + partition-optimizer + telemetry-trace + health/bench-diff + stress smoke OK"
